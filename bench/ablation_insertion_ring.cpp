@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Slotted vs register-insertion access control — the open question of
+ * paper Section 2 ("Which one of slotted or register insertion rings
+ * offers the best performance is not clear. Intuitively, under light
+ * loads, the register insertion ring has a faster access time...
+ * Under medium to heavy loads, the simplicity of enforcing fairness
+ * on the slotted ring may yield better performance.").
+ *
+ * Both disciplines run the full-map directory protocol (snooping is
+ * unsuitable for register insertion, Section 3.3) over the same
+ * message census and ring geometry; only the bandwidth-granting rule
+ * differs. The insertion model deliberately omits SCI's
+ * starvation-avoidance throughput tax, so it is an optimistic bound.
+ */
+
+#include <iostream>
+
+#include "bench/common.hpp"
+#include "model/calibration.hpp"
+#include "model/insertion_model.hpp"
+#include "util/table.hpp"
+
+using namespace ringsim;
+
+int
+main(int argc, char **argv)
+{
+    bench::Options opt = bench::parseOptions(argc, argv);
+
+    TextTable table({"workload", "MIPS", "slotted lat (ns)",
+                     "insertion lat (ns)", "slotted util %",
+                     "insertion link util %"});
+
+    for (trace::Benchmark b : {trace::Benchmark::MP3D,
+                               trace::Benchmark::WATER}) {
+        for (unsigned procs : {16u, 32u}) {
+            trace::WorkloadConfig wl = trace::workloadPreset(b, procs);
+            opt.apply(wl);
+            coherence::Census census = model::calibrate(wl);
+
+            for (double mips : {50.0, 200.0, 1000.0}) {
+                model::RingModelInput in;
+                in.census = census;
+                in.ring =
+                    core::RingSystemConfig::forProcs(procs).ring;
+                in.system.procCycle = nsToTicks(1e3 / mips);
+                in.protocol = model::RingProtocol::Directory;
+
+                model::ModelResult slotted = model::solveRing(in);
+                model::ModelResult inserted =
+                    model::solveInsertionRing(in);
+
+                table.addRow({wl.displayName(), fmtDouble(mips, 0),
+                              fmtDouble(slotted.missLatencyNs, 0),
+                              fmtDouble(inserted.missLatencyNs, 0),
+                              fmtPercent(slotted.networkUtilization, 1),
+                              fmtPercent(inserted.networkUtilization,
+                                         1)});
+            }
+        }
+    }
+
+    bench::emit(opt,
+                "Slotted vs register-insertion ring (directory "
+                "protocol, analytic)",
+                table);
+    return 0;
+}

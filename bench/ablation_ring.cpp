@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Ablations of the slotted-ring design choices the paper discusses in
+ * prose but does not plot:
+ *
+ *  1. Anti-starvation rule (Section 5.0): "starvation of clusters in
+ *     the slotted ring architecture is easily avoided by preventing a
+ *     node from reusing a message slot immediately after removing a
+ *     message from that slot. Our simulations show that this has no
+ *     significant impact on system performance." — toggle the rule
+ *     and compare.
+ *
+ *  2. 64-bit parallel ring (Section 4.2): "With 64-bit parallel
+ *     rings, utilization levels never surpass 50% and snooping
+ *     performs significantly better than directory in all cases." —
+ *     rerun the snoop/directory comparison at 64-bit width.
+ *
+ *  3. Snooper cost context (Section 3.3): ring clock 250 vs 500 MHz
+ *     under snooping, the design-space axis of Figure 6's ring pair.
+ */
+
+#include <iostream>
+
+#include "bench/common.hpp"
+#include "core/system.hpp"
+#include "util/table.hpp"
+
+using namespace ringsim;
+
+namespace {
+
+core::RunResult
+runRing(const trace::WorkloadConfig &wl, Tick period, unsigned link_bits,
+        bool anti_starvation, core::ProtocolKind kind)
+{
+    core::RingSystemConfig cfg =
+        core::RingSystemConfig::forProcs(wl.procs, period);
+    cfg.ring.frame.linkBits = link_bits;
+    cfg.ring.antiStarvation = anti_starvation;
+    return core::runRingSystem(cfg, wl, kind);
+}
+
+void
+addRow(TextTable &table, const trace::WorkloadConfig &wl,
+       const std::string &variant, const core::RunResult &r)
+{
+    table.addRow({wl.displayName(), variant,
+                  fmtPercent(r.procUtilization, 1),
+                  fmtPercent(r.networkUtilization, 1),
+                  fmtDouble(r.missLatencyNs, 0),
+                  fmtDouble(r.acquireWaitNs, 1)});
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bench::Options opt = bench::parseOptions(argc, argv);
+
+    TextTable table({"workload", "variant", "proc util %", "net util %",
+                     "miss lat (ns)", "slot wait (ns)"});
+
+    // --- Ablation 1: anti-starvation rule on the busiest SPLASH
+    // configuration (MP3D 32, fast ring).
+    {
+        trace::WorkloadConfig wl =
+            trace::workloadPreset(trace::Benchmark::MP3D, 32);
+        opt.apply(wl);
+        addRow(table, wl, "snoop, anti-starvation ON",
+               runRing(wl, 2000, 32, true,
+                       core::ProtocolKind::RingSnoop));
+        addRow(table, wl, "snoop, anti-starvation OFF",
+               runRing(wl, 2000, 32, false,
+                       core::ProtocolKind::RingSnoop));
+    }
+
+    // --- Ablation 2: 64-bit parallel ring, snoop vs directory.
+    for (unsigned procs : {16u, 32u}) {
+        trace::WorkloadConfig wl =
+            trace::workloadPreset(trace::Benchmark::MP3D, procs);
+        opt.apply(wl);
+        addRow(table, wl, "snoop, 32-bit ring",
+               runRing(wl, 2000, 32, true,
+                       core::ProtocolKind::RingSnoop));
+        addRow(table, wl, "snoop, 64-bit ring",
+               runRing(wl, 2000, 64, true,
+                       core::ProtocolKind::RingSnoop));
+        addRow(table, wl, "directory, 64-bit ring",
+               runRing(wl, 2000, 64, true,
+                       core::ProtocolKind::RingDirectory));
+    }
+
+    // --- Ablation 3: ring clock (the Figure 6 ring pair).
+    {
+        trace::WorkloadConfig wl =
+            trace::workloadPreset(trace::Benchmark::MP3D, 16);
+        opt.apply(wl);
+        addRow(table, wl, "snoop, 500 MHz",
+               runRing(wl, 2000, 32, true,
+                       core::ProtocolKind::RingSnoop));
+        addRow(table, wl, "snoop, 250 MHz",
+               runRing(wl, 4000, 32, true,
+                       core::ProtocolKind::RingSnoop));
+    }
+
+    bench::emit(opt,
+                "Ring design ablations (anti-starvation, link width, "
+                "clock)",
+                table);
+    return 0;
+}

@@ -1,0 +1,62 @@
+#include "common.hpp"
+
+#include <cstdlib>
+#include <iostream>
+
+#include "util/logging.hpp"
+
+namespace ringsim::bench {
+
+void
+Options::apply(trace::WorkloadConfig &cfg) const
+{
+    cfg.dataRefsPerProc = fast ? refs / 4 : refs;
+    cfg.seed = seed;
+}
+
+Options
+parseOptions(int argc, char **argv)
+{
+    Options opt;
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto need_value = [&](const char *flag) -> std::string {
+            if (i + 1 >= argc)
+                fatal("%s needs a value", flag);
+            return argv[++i];
+        };
+        if (arg == "--refs") {
+            opt.refs = std::strtoull(need_value("--refs").c_str(),
+                                     nullptr, 10);
+            if (opt.refs == 0)
+                fatal("--refs must be positive");
+        } else if (arg == "--seed") {
+            opt.seed = std::strtoull(need_value("--seed").c_str(),
+                                     nullptr, 10);
+        } else if (arg == "--csv") {
+            opt.csv = true;
+        } else if (arg == "--fast") {
+            opt.fast = true;
+        } else if (arg == "--help" || arg == "-h") {
+            std::cout << "flags: --refs N  --seed S  --csv  --fast\n";
+            std::exit(0);
+        } else {
+            fatal("unknown flag '%s' (try --help)", arg.c_str());
+        }
+    }
+    return opt;
+}
+
+void
+emit(const Options &opt, const std::string &title,
+     const TextTable &table)
+{
+    if (opt.csv) {
+        table.printCsv(std::cout);
+        return;
+    }
+    std::cout << "\n== " << title << " ==\n";
+    table.print(std::cout);
+}
+
+} // namespace ringsim::bench

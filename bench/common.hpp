@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Shared helpers for the experiment (bench) binaries.
+ *
+ * Every bench reproduces one table or figure of the paper: it prints
+ * the paper's reference values next to ringsim's measured values, as
+ * an aligned text table (default) or CSV (--csv). Common flags:
+ *
+ *   --refs N    data references per processor (default 120000)
+ *   --seed S    master workload seed
+ *   --csv       emit CSV instead of the text table
+ *   --fast      quarter-length traces (quick shape check)
+ */
+
+#ifndef RINGSIM_BENCH_COMMON_HPP
+#define RINGSIM_BENCH_COMMON_HPP
+
+#include <string>
+#include <vector>
+
+#include "trace/workload.hpp"
+#include "util/table.hpp"
+
+namespace ringsim::bench {
+
+/** Parsed common options. */
+struct Options
+{
+    Count refs = 120'000;
+    std::uint64_t seed = 12345;
+    bool csv = false;
+    bool fast = false;
+
+    /** Apply refs/seed to a workload preset. */
+    void apply(trace::WorkloadConfig &cfg) const;
+};
+
+/** Parse the common flags; fatal()s on unknown arguments. */
+Options parseOptions(int argc, char **argv);
+
+/** Print @p table as text or CSV per @p opt, with a title line. */
+void emit(const Options &opt, const std::string &title,
+          const TextTable &table);
+
+} // namespace ringsim::bench
+
+#endif // RINGSIM_BENCH_COMMON_HPP

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Reproduces Figure 3: snooping vs full-map directory on 500 MHz
+ * 32-bit slotted rings — processor utilization, ring utilization and
+ * average miss latency vs processor cycle time, for MP3D, WATER and
+ * CHOLESKY at 8, 16 and 32 processors.
+ *
+ * Curves come from the analytic model (calibrated once per workload);
+ * a detailed simulation validates the 50 MIPS point of each curve.
+ */
+
+#include <iostream>
+
+#include "bench/fig_common.hpp"
+
+using namespace ringsim;
+
+int
+main(int argc, char **argv)
+{
+    bench::Options opt = bench::parseOptions(argc, argv);
+    TextTable table = bench::makeFigureTable();
+
+    for (trace::Benchmark b : {trace::Benchmark::MP3D,
+                               trace::Benchmark::WATER,
+                               trace::Benchmark::CHOLESKY}) {
+        for (unsigned procs : {8u, 16u, 32u}) {
+            trace::WorkloadConfig wl = trace::workloadPreset(b, procs);
+            opt.apply(wl);
+            coherence::Census census = model::calibrate(wl);
+
+            bench::addRingSeries(table, wl, census, 2000,
+                                 model::RingProtocol::Snoop,
+                                 "snooping");
+            bench::addRingSeries(table, wl, census, 2000,
+                                 model::RingProtocol::Directory,
+                                 "directory");
+            bench::addRingSimPoint(table, wl, 2000,
+                                   core::ProtocolKind::RingSnoop,
+                                   "snooping");
+            bench::addRingSimPoint(table, wl, 2000,
+                                   core::ProtocolKind::RingDirectory,
+                                   "directory");
+        }
+    }
+
+    bench::emit(opt,
+                "Figure 3: snooping vs directory, 500 MHz 32-bit "
+                "rings (SPLASH, 8/16/32 CPUs)",
+                table);
+    return 0;
+}

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Reproduces Figure 4: snooping vs full-map directory on a 500 MHz
+ * 32-bit slotted ring for the 64-processor workloads FFT, WEATHER and
+ * SIMPLE.
+ */
+
+#include <iostream>
+
+#include "bench/fig_common.hpp"
+
+using namespace ringsim;
+
+int
+main(int argc, char **argv)
+{
+    bench::Options opt = bench::parseOptions(argc, argv);
+    TextTable table = bench::makeFigureTable();
+
+    for (trace::Benchmark b : {trace::Benchmark::FFT,
+                               trace::Benchmark::WEATHER,
+                               trace::Benchmark::SIMPLE}) {
+        trace::WorkloadConfig wl = trace::workloadPreset(b, 64);
+        opt.apply(wl);
+        coherence::Census census = model::calibrate(wl);
+
+        bench::addRingSeries(table, wl, census, 2000,
+                             model::RingProtocol::Snoop, "snooping");
+        bench::addRingSeries(table, wl, census, 2000,
+                             model::RingProtocol::Directory,
+                             "directory");
+        bench::addRingSimPoint(table, wl, 2000,
+                               core::ProtocolKind::RingSnoop,
+                               "snooping");
+        bench::addRingSimPoint(table, wl, 2000,
+                               core::ProtocolKind::RingDirectory,
+                               "directory");
+    }
+
+    bench::emit(opt,
+                "Figure 4: snooping vs directory, 500 MHz 32-bit "
+                "ring (FFT/WEATHER/SIMPLE, 64 CPUs)",
+                table);
+    return 0;
+}

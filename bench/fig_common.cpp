@@ -1,0 +1,95 @@
+#include "fig_common.hpp"
+
+namespace ringsim::bench {
+
+const std::vector<double> &
+cycleSweepNs()
+{
+    static const std::vector<double> sweep = {1,  2,  3,  4,  5, 6,
+                                              8,  10, 12, 14, 16, 20};
+    return sweep;
+}
+
+TextTable
+makeFigureTable()
+{
+    return TextTable({"workload", "series", "source", "cycle (ns)",
+                      "proc util %", "net util %", "miss lat (ns)"});
+}
+
+namespace {
+
+void
+addRow(TextTable &table, const trace::WorkloadConfig &wl,
+       const std::string &label, const char *source, double cycle_ns,
+       double putil, double netutil, double lat)
+{
+    table.addRow({wl.displayName(), label, source,
+                  fmtDouble(cycle_ns, 0), fmtPercent(putil, 1),
+                  fmtPercent(netutil, 1), fmtDouble(lat, 0)});
+}
+
+} // namespace
+
+void
+addRingSeries(TextTable &table, const trace::WorkloadConfig &wl,
+              const coherence::Census &census, Tick ring_period,
+              model::RingProtocol protocol, const std::string &label)
+{
+    for (double cycle_ns : cycleSweepNs()) {
+        model::RingModelInput in;
+        in.census = census;
+        in.ring =
+            core::RingSystemConfig::forProcs(wl.procs, ring_period)
+                .ring;
+        in.system.procCycle = nsToTicks(cycle_ns);
+        in.protocol = protocol;
+        model::ModelResult r = model::solveRing(in);
+        addRow(table, wl, label, "model", cycle_ns,
+               r.procUtilization, r.networkUtilization,
+               r.missLatencyNs);
+    }
+}
+
+void
+addBusSeries(TextTable &table, const trace::WorkloadConfig &wl,
+             const coherence::Census &census, Tick bus_period,
+             const std::string &label)
+{
+    for (double cycle_ns : cycleSweepNs()) {
+        model::BusModelInput in;
+        in.census = census;
+        in.bus = core::BusSystemConfig::forProcs(wl.procs, bus_period)
+                     .bus;
+        in.system.procCycle = nsToTicks(cycle_ns);
+        model::ModelResult r = model::solveBus(in);
+        addRow(table, wl, label, "model", cycle_ns,
+               r.procUtilization, r.networkUtilization,
+               r.missLatencyNs);
+    }
+}
+
+void
+addRingSimPoint(TextTable &table, const trace::WorkloadConfig &wl,
+                Tick ring_period, core::ProtocolKind kind,
+                const std::string &label)
+{
+    core::RingSystemConfig cfg =
+        core::RingSystemConfig::forProcs(wl.procs, ring_period);
+    core::RunResult r = core::runRingSystem(cfg, wl, kind);
+    addRow(table, wl, label, "sim", 20, r.procUtilization,
+           r.networkUtilization, r.missLatencyNs);
+}
+
+void
+addBusSimPoint(TextTable &table, const trace::WorkloadConfig &wl,
+               Tick bus_period, const std::string &label)
+{
+    core::BusSystemConfig cfg =
+        core::BusSystemConfig::forProcs(wl.procs, bus_period);
+    core::RunResult r = core::runBusSystem(cfg, wl);
+    addRow(table, wl, label, "sim", 20, r.procUtilization,
+           r.networkUtilization, r.missLatencyNs);
+}
+
+} // namespace ringsim::bench

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Shared sweep machinery for the figure benches (Figures 3, 4, 6).
+ *
+ * The paper's hybrid methodology: one calibration per workload, then
+ * analytic-model curves over processor cycle time 1..20 ns, validated
+ * by a detailed simulation at the 50 MIPS (20 ns) point. Each bench
+ * prints one row per (configuration, cycle) with processor
+ * utilization, network utilization and mean remote-miss latency, and
+ * a "sim" row for the validation point.
+ */
+
+#ifndef RINGSIM_BENCH_FIG_COMMON_HPP
+#define RINGSIM_BENCH_FIG_COMMON_HPP
+
+#include <vector>
+
+#include "bench/common.hpp"
+#include "core/system.hpp"
+#include "model/bus_model.hpp"
+#include "model/calibration.hpp"
+#include "model/ring_model.hpp"
+#include "util/table.hpp"
+
+namespace ringsim::bench {
+
+/** Processor cycle sweep of the figures, in ns (x axes, 1..20). */
+const std::vector<double> &cycleSweepNs();
+
+/** Columns of a figure table. */
+TextTable makeFigureTable();
+
+/** Add the model-swept series of one ring configuration. */
+void addRingSeries(TextTable &table, const trace::WorkloadConfig &wl,
+                   const coherence::Census &census, Tick ring_period,
+                   model::RingProtocol protocol,
+                   const std::string &label);
+
+/** Add the model-swept series of one bus configuration. */
+void addBusSeries(TextTable &table, const trace::WorkloadConfig &wl,
+                  const coherence::Census &census, Tick bus_period,
+                  const std::string &label);
+
+/** Add the timed-simulation validation row (50 MIPS point). */
+void addRingSimPoint(TextTable &table, const trace::WorkloadConfig &wl,
+                     Tick ring_period, core::ProtocolKind kind,
+                     const std::string &label);
+
+/** Add the timed bus validation row (50 MIPS point). */
+void addBusSimPoint(TextTable &table, const trace::WorkloadConfig &wl,
+                    Tick bus_period, const std::string &label);
+
+} // namespace ringsim::bench
+
+#endif // RINGSIM_BENCH_FIG_COMMON_HPP

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the simulation substrates:
+ * event-kernel throughput, slotted-ring cycle throughput, synthetic
+ * trace generation rate, functional coherence-engine rate. These are
+ * performance regression guards, not paper artifacts.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "coherence/engine.hpp"
+#include "ring/network.hpp"
+#include "sim/kernel.hpp"
+#include "trace/generator.hpp"
+
+using namespace ringsim;
+
+namespace {
+
+void
+BM_KernelPostOneShot(benchmark::State &state)
+{
+    sim::Kernel kernel;
+    Count fired = 0;
+    for (auto _ : state) {
+        kernel.post(kernel.now() + 1, [&fired]() { ++fired; });
+        kernel.runOne();
+    }
+    benchmark::DoNotOptimize(fired);
+}
+BENCHMARK(BM_KernelPostOneShot);
+
+void
+BM_KernelTicker(benchmark::State &state)
+{
+    sim::Kernel kernel;
+    Count ticks = 0;
+    sim::Ticker ticker(kernel, 1000, [&ticks](Count) { ++ticks; });
+    ticker.start(0);
+    for (auto _ : state)
+        kernel.runOne();
+    ticker.stop();
+    benchmark::DoNotOptimize(ticks);
+}
+BENCHMARK(BM_KernelTicker);
+
+/** A client that never touches the slots (pure rotation cost). */
+class IdleClient : public ring::RingClient
+{
+  public:
+    void onSlot(ring::SlotHandle &) override {}
+};
+
+void
+BM_RingCycle(benchmark::State &state)
+{
+    sim::Kernel kernel;
+    ring::RingConfig config;
+    config.nodes = static_cast<unsigned>(state.range(0));
+    ring::SlotRing ring_net(kernel, config);
+    IdleClient client;
+    for (NodeId n = 0; n < config.nodes; ++n)
+        ring_net.setClient(n, client);
+    ring_net.start(0);
+    for (auto _ : state)
+        kernel.runOne();
+    ring_net.stop();
+    state.SetItemsProcessed(
+        static_cast<int64_t>(state.iterations()) * config.nodes);
+}
+BENCHMARK(BM_RingCycle)->Arg(8)->Arg(16)->Arg(32)->Arg(64);
+
+void
+BM_TraceGeneration(benchmark::State &state)
+{
+    trace::WorkloadConfig cfg =
+        trace::workloadPreset(trace::Benchmark::MP3D, 8);
+    cfg.dataRefsPerProc = ~Count(0) / 2; // never exhausts
+    trace::AddressMap map = trace::makeAddressMap(cfg);
+    trace::SyntheticStream stream(cfg, map, 0);
+    trace::TraceRecord rec;
+    for (auto _ : state) {
+        stream.next(rec);
+        benchmark::DoNotOptimize(rec);
+    }
+    state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_TraceGeneration);
+
+void
+BM_FunctionalEngine(benchmark::State &state)
+{
+    trace::WorkloadConfig cfg =
+        trace::workloadPreset(trace::Benchmark::MP3D, 16);
+    cfg.dataRefsPerProc = ~Count(0) / 2;
+    trace::AddressMap map = trace::makeAddressMap(cfg);
+    coherence::EngineOptions options;
+    coherence::FunctionalEngine engine(map, options);
+    std::vector<std::unique_ptr<trace::SyntheticStream>> streams;
+    for (NodeId p = 0; p < cfg.procs; ++p)
+        streams.push_back(
+            std::make_unique<trace::SyntheticStream>(cfg, map, p));
+    trace::TraceRecord rec;
+    NodeId p = 0;
+    for (auto _ : state) {
+        streams[p]->next(rec);
+        engine.access(p, rec);
+        p = (p + 1) % cfg.procs;
+    }
+    state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_FunctionalEngine);
+
+} // namespace
+
+BENCHMARK_MAIN();

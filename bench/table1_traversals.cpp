@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Reproduces Table 1: distribution of the number of ring traversals,
+ * full-map directory vs SCI-style linked list, for remote misses and
+ * invalidations of the three 16-processor SPLASH workloads.
+ *
+ * Paper reference values are printed beside the measured ones.
+ */
+
+#include <iostream>
+
+#include "bench/common.hpp"
+#include "coherence/driver.hpp"
+#include "util/table.hpp"
+
+using namespace ringsim;
+
+namespace {
+
+/** Paper Table 1 values, in % (full map / linked list). */
+struct PaperRow
+{
+    const char *benchmark;
+    double miss_full[3];  //!< 1 / 2 / 3+ traversals
+    double miss_list[3];
+    double inv_full[3];
+    double inv_list[3];
+};
+
+const PaperRow paperRows[] = {
+    {"MP3D", {70.5, 29.5, 0.0}, {67.0, 32.0, 1.0},
+     {12.6, 87.4, 0.0}, {7.1, 87.7, 5.2}},
+    {"WATER", {72.4, 27.6, 0.0}, {53.5, 45.9, 0.6},
+     {12.6, 87.4, 0.0}, {7.2, 88.6, 4.2}},
+    {"CHOLESKY", {84.5, 15.5, 0.0}, {66.5, 31.5, 1.8},
+     {17.1, 82.9, 0.0}, {5.2, 75.5, 19.3}},
+};
+
+double
+pct(Count n, Count total)
+{
+    return total ? 100.0 * static_cast<double>(n) /
+                       static_cast<double>(total)
+                 : 0.0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bench::Options opt = bench::parseOptions(argc, argv);
+
+    TextTable table({"benchmark", "txn", "protocol", "1 (paper)",
+                     "2 (paper)", "3+ (paper)", "1 (ours)", "2 (ours)",
+                     "3+ (ours)"});
+
+    const trace::Benchmark benchmarks[] = {trace::Benchmark::MP3D,
+                                           trace::Benchmark::WATER,
+                                           trace::Benchmark::CHOLESKY};
+    for (unsigned bi = 0; bi < 3; ++bi) {
+        trace::WorkloadConfig cfg =
+            trace::workloadPreset(benchmarks[bi], 16);
+        opt.apply(cfg);
+        coherence::Census census = coherence::runFunctional(cfg);
+        const PaperRow &paper = paperRows[bi];
+
+        struct Line
+        {
+            const char *txn;
+            const char *proto;
+            const double *paper_vals;
+            const std::array<Count, 4> *hist;
+        };
+        const Line lines[] = {
+            {"miss", "full map", paper.miss_full,
+             &census.fullMap.missTraversals},
+            {"miss", "linked list", paper.miss_list,
+             &census.linkedList.missTraversals},
+            {"invalidate", "full map", paper.inv_full,
+             &census.fullMap.invTraversals},
+            {"invalidate", "linked list", paper.inv_list,
+             &census.linkedList.invTraversals},
+        };
+        for (const Line &line : lines) {
+            const auto &h = *line.hist;
+            Count remote = h[1] + h[2] + h[3];
+            table.addRow({cfg.displayName(), line.txn, line.proto,
+                          fmtDouble(line.paper_vals[0], 1),
+                          fmtDouble(line.paper_vals[1], 1),
+                          fmtDouble(line.paper_vals[2], 1),
+                          fmtDouble(pct(h[1], remote), 1),
+                          fmtDouble(pct(h[2], remote), 1),
+                          fmtDouble(pct(h[3], remote), 1)});
+        }
+    }
+
+    bench::emit(opt,
+                "Table 1: ring traversals per transaction (%), "
+                "full map vs linked list",
+                table);
+    return 0;
+}

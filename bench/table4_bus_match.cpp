@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Reproduces Table 4: the bus clock cycle (ns) a 64-bit split-
+ * transaction bus needs to match the processor utilization of 32-bit
+ * slotted rings clocked at 250 and 500 MHz, for processor speeds of
+ * 100/200/400 MIPS, on the three SPLASH workloads at 8/16/32 CPUs.
+ *
+ * Methodology exactly as in the paper: calibrate once per workload,
+ * evaluate the ring's utilization with the analytic model, then
+ * bisect the bus model's clock to the same utilization.
+ */
+
+#include <iostream>
+
+#include "bench/common.hpp"
+#include "model/calibration.hpp"
+#include "model/matcher.hpp"
+#include "util/table.hpp"
+
+using namespace ringsim;
+
+namespace {
+
+/** Paper Table 4 (ns): per benchmark row, 250 MHz then 500 MHz, at
+ *  100/200/400 MIPS. */
+struct PaperRow
+{
+    const char *name;
+    unsigned procs;
+    double ring250[3];
+    double ring500[3];
+};
+
+const PaperRow paperRows[] = {
+    {"MP3D", 8, {12.5, 10.3, 8.9}, {7.8, 6.6, 5.6}},
+    {"WATER", 8, {19.6, 19.1, 17.7}, {10.0, 10.0, 9.9}},
+    {"CHOLESKY", 8, {12.8, 10.6, 9.0}, {7.6, 6.6, 5.7}},
+    {"MP3D", 16, {9.0, 7.1, 6.2}, {6.5, 4.9, 4.0}},
+    {"WATER", 16, {25.4, 21.4, 16.5}, {14.1, 12.9, 10.9}},
+    {"CHOLESKY", 16, {6.8, 5.4, 4.7}, {4.9, 3.7, 3.1}},
+    {"MP3D", 32, {3.8, 3.7, 3.6}, {2.4, 2.1, 2.0}},
+    {"WATER", 32, {21.4, 13.9, 9.2}, {16.2, 11.0, 7.3}},
+    {"CHOLESKY", 32, {3.7, 3.5, 3.4}, {2.3, 2.0, 1.9}},
+};
+
+const double mipsPoints[3] = {100, 200, 400};
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bench::Options opt = bench::parseOptions(argc, argv);
+
+    TextTable table({"benchmark", "ring MHz", "100 MIPS (paper/ours)",
+                     "200 MIPS (paper/ours)",
+                     "400 MIPS (paper/ours)"});
+
+    for (const PaperRow &row : paperRows) {
+        trace::WorkloadConfig cfg = trace::workloadPreset(
+            trace::benchmarkFromName(row.name), row.procs);
+        opt.apply(cfg);
+        coherence::Census census = model::calibrate(cfg);
+
+        for (unsigned ring_idx = 0; ring_idx < 2; ++ring_idx) {
+            Tick ring_period = ring_idx == 0 ? 4000 : 2000;
+            const double *paper =
+                ring_idx == 0 ? row.ring250 : row.ring500;
+
+            std::vector<std::string> cells;
+            cells.push_back(cfg.displayName());
+            cells.push_back(ring_idx == 0 ? "250" : "500");
+            for (unsigned m = 0; m < 3; ++m) {
+                Tick cycle = nsToTicks(1e3 / mipsPoints[m]);
+
+                model::RingModelInput rin;
+                rin.census = census;
+                rin.ring = core::RingSystemConfig::forProcs(
+                               row.procs, ring_period)
+                               .ring;
+                rin.system.procCycle = cycle;
+                rin.protocol = model::RingProtocol::Snoop;
+                double target = model::solveRing(rin).procUtilization;
+
+                model::BusModelInput bin;
+                bin.census = census;
+                bin.bus =
+                    core::BusSystemConfig::forProcs(row.procs).bus;
+                bin.system.procCycle = cycle;
+                double period_ns =
+                    model::matchBusClock(bin, target);
+
+                cells.push_back(fmtDouble(paper[m], 1) + " / " +
+                                fmtDouble(period_ns, 1));
+            }
+            table.addRow(cells);
+        }
+    }
+
+    bench::emit(opt,
+                "Table 4: bus clock cycle (ns) matching slotted-ring "
+                "processor utilization",
+                table);
+    return 0;
+}

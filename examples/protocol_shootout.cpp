@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Protocol shootout: run one workload on all three timed systems —
+ * ring snooping, ring directory and the split-transaction bus — and
+ * print a side-by-side comparison.
+ *
+ *   $ ./build/examples/protocol_shootout [benchmark] [procs]
+ *   $ ./build/examples/protocol_shootout cholesky 16
+ */
+
+#include <cstdlib>
+#include <iostream>
+
+#include "core/system.hpp"
+#include "util/table.hpp"
+
+using namespace ringsim;
+
+int
+main(int argc, char **argv)
+{
+    trace::Benchmark bench = trace::Benchmark::MP3D;
+    unsigned procs = 8;
+    if (argc > 1)
+        bench = trace::benchmarkFromName(argv[1]);
+    if (argc > 2)
+        procs = static_cast<unsigned>(std::strtoul(argv[2], nullptr, 10));
+
+    trace::WorkloadConfig workload =
+        trace::workloadPreset(bench, procs);
+    workload.dataRefsPerProc = 60'000;
+
+    TextTable table({"system", "proc util %", "net util %",
+                     "miss latency (ns)", "invalidation (ns)"});
+
+    auto add = [&table](const char *name, const core::RunResult &r) {
+        table.addRow({name, fmtPercent(r.procUtilization, 1),
+                      fmtPercent(r.networkUtilization, 1),
+                      fmtDouble(r.missLatencyNs, 0),
+                      fmtDouble(r.upgradeLatencyNs, 0)});
+    };
+
+    core::RingSystemConfig ring_cfg =
+        core::RingSystemConfig::forProcs(procs);
+    add("ring 500MHz / snooping",
+        core::runRingSystem(ring_cfg, workload,
+                            core::ProtocolKind::RingSnoop));
+    add("ring 500MHz / directory",
+        core::runRingSystem(ring_cfg, workload,
+                            core::ProtocolKind::RingDirectory));
+
+    core::BusSystemConfig bus_cfg =
+        core::BusSystemConfig::forProcs(procs, 10000);
+    add("bus 100MHz / snooping",
+        core::runBusSystem(bus_cfg, workload));
+    bus_cfg = core::BusSystemConfig::forProcs(procs, 20000);
+    add("bus  50MHz / snooping", core::runBusSystem(bus_cfg, workload));
+
+    std::cout << "Workload: " << workload.displayName()
+              << " (50 MIPS processors)\n";
+    table.print(std::cout);
+    return 0;
+}

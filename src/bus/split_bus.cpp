@@ -1,0 +1,98 @@
+#include "split_bus.hpp"
+
+#include "util/logging.hpp"
+
+namespace ringsim::bus {
+
+void
+BusConfig::validate() const
+{
+    if (nodes == 0)
+        fatal("bus must have at least one node");
+    if (clockPeriod == 0)
+        fatal("bus clock period must be nonzero");
+    if (widthBits == 0 || widthBits % 8 != 0)
+        fatal("bus width %u bits is not a multiple of 8", widthBits);
+    if (blockBytes == 0)
+        fatal("bus block size must be nonzero");
+    if (requestCycles == 0)
+        fatal("bus request tenure must be nonzero");
+}
+
+SplitBus::SplitBus(sim::Kernel &kernel, const BusConfig &config)
+    : kernel_(kernel), config_(config)
+{
+    config_.validate();
+}
+
+Tick
+SplitBus::alignUp(Tick t) const
+{
+    Tick p = config_.clockPeriod;
+    return ((t + p - 1) / p) * p;
+}
+
+void
+SplitBus::request(NodeId node, unsigned cycles, Grant on_complete)
+{
+    if (node >= config_.nodes)
+        panic("bus request from out-of-range node %u", node);
+    if (cycles == 0)
+        panic("bus request for zero cycles");
+    queue_.push_back(
+        Pending{node, cycles, std::move(on_complete), kernel_.now()});
+    tryStart();
+}
+
+void
+SplitBus::tryStart()
+{
+    if (active_ || queue_.empty())
+        return;
+
+    Pending txn = std::move(queue_.front());
+    queue_.pop_front();
+    active_ = true;
+
+    // Arbitration overlaps with the previous transfer (FutureBus+
+    // style): it runs from the submission time, so a queued requester
+    // that has been waiting longer than the arbitration delay is
+    // granted the instant the bus frees up.
+    Tick arb = static_cast<Tick>(config_.arbitrationCycles) *
+               config_.clockPeriod;
+    Tick start = alignUp(std::max(txn.submitted + arb, freeAt_));
+    Tick length = static_cast<Tick>(txn.cycles) * config_.clockPeriod;
+    Tick end = start + length;
+
+    freeAt_ = end;
+    busyTime_ += length;
+    ++tenures_;
+    queueDelay_.add(static_cast<double>(start - txn.submitted));
+
+    kernel_.post(end, [this, txn = std::move(txn), start, end]() {
+        active_ = false;
+        txn.onComplete(start, end);
+        tryStart();
+    });
+}
+
+double
+SplitBus::utilization() const
+{
+    Tick now = kernel_.now();
+    if (now <= statsStart_)
+        return 0.0;
+    return static_cast<double>(busyTime_) /
+           static_cast<double>(now - statsStart_);
+}
+
+void
+SplitBus::resetStats()
+{
+    busyTime_ = 0;
+    tenures_ = 0;
+    queueDelay_.reset();
+    statsStart_ = kernel_.now();
+}
+
+} // namespace ringsim::bus

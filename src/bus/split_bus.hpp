@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Split-transaction shared bus timing model.
+ *
+ * Section 4.3: the comparison target is a split-transaction version of
+ * FutureBus+ — 64-bit wide, clocked at 50 or 100 MHz, with a 3-state
+ * write-invalidate snooping protocol and memory partitioned among the
+ * nodes. A remote miss occupies the bus for a 2-cycle request tenure
+ * and a 4-cycle response tenure (header + 16 B / 64-bit = 2 data
+ * cycles + ack): six bus cycles minimum, excluding arbitration and the
+ * memory fetch, matching the paper's check value.
+ *
+ * The bus is a single FCFS resource; tenures are granted back-to-back
+ * on cycle boundaries with a one-cycle (overlapped) arbitration delay.
+ */
+
+#ifndef RINGSIM_BUS_SPLIT_BUS_HPP
+#define RINGSIM_BUS_SPLIT_BUS_HPP
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+
+#include "sim/kernel.hpp"
+#include "stats/stats.hpp"
+#include "util/units.hpp"
+
+namespace ringsim::bus {
+
+/** Static description of a split-transaction bus. */
+struct BusConfig
+{
+    /** Nodes attached to the bus. */
+    unsigned nodes = 8;
+
+    /** Bus clock period in ticks; 20000 ps = 50 MHz. */
+    Tick clockPeriod = 20000;
+
+    /** Data path width in bits. */
+    unsigned widthBits = 64;
+
+    /** Cache block size moved by a response, in bytes. */
+    size_t blockBytes = 16;
+
+    /** Cycles of a request (address) tenure. */
+    unsigned requestCycles = 2;
+
+    /** Non-data cycles of a response tenure (header + ack). */
+    unsigned responseOverheadCycles = 2;
+
+    /** Arbitration latency added before a grant (overlapped). */
+    unsigned arbitrationCycles = 1;
+
+    /** Data cycles needed to move one block. */
+    unsigned dataCycles() const {
+        size_t bytes_per_cycle = widthBits / 8;
+        return static_cast<unsigned>(
+            (blockBytes + bytes_per_cycle - 1) / bytes_per_cycle);
+    }
+
+    /** Total cycles of a block response tenure. */
+    unsigned responseCycles() const {
+        return responseOverheadCycles + dataCycles();
+    }
+
+    /** Minimum bus cycles for a remote miss (request + response). */
+    unsigned missCycles() const {
+        return requestCycles + responseCycles();
+    }
+
+    /** Validate parameters; fatal() on misconfiguration. */
+    void validate() const;
+};
+
+/**
+ * The bus resource. Clients submit tenures; the bus grants them FCFS,
+ * aligned to clock edges, and reports start and end times.
+ */
+class SplitBus
+{
+  public:
+    /** Called when a tenure is granted; args are (start, end) ticks. */
+    using Grant = std::function<void(Tick start, Tick end)>;
+
+    SplitBus(sim::Kernel &kernel, const BusConfig &config);
+
+    /** The bus configuration. */
+    const BusConfig &config() const { return config_; }
+
+    /**
+     * Request a tenure of @p cycles bus cycles for node @p node.
+     * @p on_complete fires when the tenure's last cycle finishes.
+     */
+    void request(NodeId node, unsigned cycles, Grant on_complete);
+
+    /** Total ticks the bus has spent transferring. */
+    Tick busyTime() const { return busyTime_; }
+
+    /** Bus utilization so far: busy time / elapsed time. */
+    double utilization() const;
+
+    /** Tenures granted so far. */
+    Count tenures() const { return tenures_; }
+
+    /** Transactions currently queued (incl. the one in flight). */
+    size_t queueDepth() const { return queue_.size() + (active_ ? 1 : 0); }
+
+    /** Mean queueing delay (request to grant) in ticks. */
+    double meanQueueDelay() const { return queueDelay_.mean(); }
+
+    /** Zero the busy-time/tenure statistics (end of warmup). */
+    void resetStats();
+
+  private:
+    struct Pending
+    {
+        NodeId node;
+        unsigned cycles;
+        Grant onComplete;
+        Tick submitted;
+    };
+
+    /** Round @p t up to the next bus clock edge. */
+    Tick alignUp(Tick t) const;
+
+    /** Start the next queued tenure if the bus is idle. */
+    void tryStart();
+
+    sim::Kernel &kernel_;
+    BusConfig config_;
+    std::deque<Pending> queue_;
+    bool active_ = false;
+    Tick freeAt_ = 0;
+    Tick busyTime_ = 0;
+    Tick statsStart_ = 0;
+    Count tenures_ = 0;
+    stats::Sampler queueDelay_;
+};
+
+} // namespace ringsim::bus
+
+#endif // RINGSIM_BUS_SPLIT_BUS_HPP

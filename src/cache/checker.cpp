@@ -1,0 +1,172 @@
+#include "checker.hpp"
+
+#include "util/logging.hpp"
+
+namespace ringsim::cache {
+
+CoherenceChecker::CoherenceChecker(unsigned nodes)
+    : nodes_(nodes)
+{
+    if (nodes == 0 || nodes > 64)
+        fatal("CoherenceChecker supports 1..64 nodes, got %u", nodes);
+}
+
+void
+CoherenceChecker::checkEntry(const Entry &e, Addr block) const
+{
+    ++checks_;
+    if (e.writer != invalidNode && e.readers != 0) {
+        panic("block %llx: WE copy at node %u coexists with RS copies "
+              "(mask %llx)",
+              static_cast<unsigned long long>(block), e.writer,
+              static_cast<unsigned long long>(e.readers));
+    }
+}
+
+void
+CoherenceChecker::readFill(NodeId node, Addr block, bool from_memory)
+{
+    Entry &e = entry(block);
+    if (node >= nodes_)
+        panic("readFill from out-of-range node %u", node);
+    if (e.writer == node)
+        panic("block %llx: node %u read-fills while holding WE",
+              static_cast<unsigned long long>(block), node);
+    if (from_memory) {
+        if (e.writer != invalidNode) {
+            panic("block %llx: clean fill at node %u while node %u "
+                  "holds a dirty copy",
+                  static_cast<unsigned long long>(block), node, e.writer);
+        }
+        if (e.memVersion != e.version) {
+            panic("block %llx: clean fill at node %u reads version %u "
+                  "but latest is %u (stale memory)",
+                  static_cast<unsigned long long>(block), node,
+                  e.memVersion, e.version);
+        }
+    } else {
+        if (e.writer == invalidNode) {
+            panic("block %llx: cache-supplied fill at node %u but no "
+                  "dirty copy exists",
+                  static_cast<unsigned long long>(block), node);
+        }
+    }
+    e.readers |= (std::uint64_t(1) << node);
+    checkEntry(e, block);
+}
+
+void
+CoherenceChecker::writeFill(NodeId node, Addr block)
+{
+    Entry &e = entry(block);
+    if (node >= nodes_)
+        panic("writeFill from out-of-range node %u", node);
+    std::uint64_t others = e.readers & ~(std::uint64_t(1) << node);
+    if (others != 0) {
+        panic("block %llx: node %u gains WE while RS copies remain "
+              "(mask %llx)",
+              static_cast<unsigned long long>(block), node,
+              static_cast<unsigned long long>(others));
+    }
+    if (e.writer != invalidNode && e.writer != node) {
+        panic("block %llx: node %u gains WE while node %u holds WE",
+              static_cast<unsigned long long>(block), node, e.writer);
+    }
+    e.readers = 0;
+    e.writer = node;
+    ++e.version;
+    ++totalWrites_;
+    checkEntry(e, block);
+}
+
+void
+CoherenceChecker::writeHit(NodeId node, Addr block)
+{
+    Entry &e = entry(block);
+    if (e.writer != node) {
+        panic("block %llx: write hit at node %u but WE holder is %d",
+              static_cast<unsigned long long>(block), node,
+              e.writer == invalidNode ? -1 : static_cast<int>(e.writer));
+    }
+    ++e.version;
+    ++totalWrites_;
+    checkEntry(e, block);
+}
+
+void
+CoherenceChecker::drop(NodeId node, Addr block)
+{
+    Entry &e = entry(block);
+    if (e.writer == node) {
+        panic("block %llx: WE copy at node %u dropped without "
+              "write-back",
+              static_cast<unsigned long long>(block), node);
+    }
+    e.readers &= ~(std::uint64_t(1) << node);
+    checkEntry(e, block);
+}
+
+void
+CoherenceChecker::downgrade(NodeId node, Addr block)
+{
+    Entry &e = entry(block);
+    if (e.writer != node) {
+        panic("block %llx: downgrade at node %u but WE holder is %d",
+              static_cast<unsigned long long>(block), node,
+              e.writer == invalidNode ? -1 : static_cast<int>(e.writer));
+    }
+    e.writer = invalidNode;
+    e.readers |= (std::uint64_t(1) << node);
+    e.memVersion = e.version; // owner copied data back to memory
+    checkEntry(e, block);
+}
+
+void
+CoherenceChecker::writeback(NodeId node, Addr block)
+{
+    Entry &e = entry(block);
+    if (e.writer != node) {
+        panic("block %llx: write-back from node %u but WE holder is %d",
+              static_cast<unsigned long long>(block), node,
+              e.writer == invalidNode ? -1 : static_cast<int>(e.writer));
+    }
+    e.writer = invalidNode;
+    e.memVersion = e.version;
+    checkEntry(e, block);
+}
+
+bool
+CoherenceChecker::holds(NodeId node, Addr block) const
+{
+    auto it = blocks_.find(block);
+    if (it == blocks_.end())
+        return false;
+    const Entry &e = it->second;
+    return e.writer == node ||
+           (e.readers & (std::uint64_t(1) << node)) != 0;
+}
+
+bool
+CoherenceChecker::holdsExclusive(NodeId node, Addr block) const
+{
+    auto it = blocks_.find(block);
+    return it != blocks_.end() && it->second.writer == node;
+}
+
+NodeId
+CoherenceChecker::writer(Addr block) const
+{
+    auto it = blocks_.find(block);
+    return it == blocks_.end() ? invalidNode : it->second.writer;
+}
+
+unsigned
+CoherenceChecker::sharerCount(Addr block) const
+{
+    auto it = blocks_.find(block);
+    if (it == blocks_.end())
+        return 0;
+    return static_cast<unsigned>(__builtin_popcountll(it->second.readers));
+}
+
+} // namespace ringsim::cache

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Global coherence invariant checker.
+ *
+ * Traces carry no data values, so instead of byte-comparing memory we
+ * track a version number per block: every completed write bumps it.
+ * The checker mirrors which node holds each block in which state and
+ * asserts, on every protocol action, the two invariants any
+ * write-invalidate protocol must preserve:
+ *
+ *  - single writer: at most one WE copy, and never alongside RS copies;
+ *  - no stale reads: a fill that is served from memory must observe the
+ *    latest version (i.e. memory must have been updated by a write-back
+ *    or owner copy-back before a clean fill happens).
+ *
+ * Every timed and functional protocol implementation in ringsim drives
+ * a checker; integration tests run full systems with it enabled.
+ */
+
+#ifndef RINGSIM_CACHE_CHECKER_HPP
+#define RINGSIM_CACHE_CHECKER_HPP
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "util/units.hpp"
+
+namespace ringsim::cache {
+
+/**
+ * Tracks per-block holder sets and versions across all nodes.
+ * Supports systems of up to 64 nodes (the paper's maximum).
+ */
+class CoherenceChecker
+{
+  public:
+    /** @param nodes number of caches in the system (<= 64). */
+    explicit CoherenceChecker(unsigned nodes);
+
+    /** Number of nodes being tracked. */
+    unsigned nodes() const { return nodes_; }
+
+    /**
+     * Node @p node obtained an RS copy of @p block.
+     * @param from_memory true if served by the home memory (clean),
+     *        false if supplied by the owning cache.
+     */
+    void readFill(NodeId node, Addr block, bool from_memory);
+
+    /** Node @p node obtained a WE copy (write miss or upgrade). */
+    void writeFill(NodeId node, Addr block);
+
+    /** Node @p node performed a store hit on its WE copy. */
+    void writeHit(NodeId node, Addr block);
+
+    /** Node @p node lost its copy (invalidation or replacement). */
+    void drop(NodeId node, Addr block);
+
+    /**
+     * Node @p node's WE copy became RS; its data went back to memory
+     * (remote read of a dirty block).
+     */
+    void downgrade(NodeId node, Addr block);
+
+    /** Node @p node wrote its dirty copy back to memory and dropped it. */
+    void writeback(NodeId node, Addr block);
+
+    /** State queries used by tests. */
+    bool holds(NodeId node, Addr block) const;
+    bool holdsExclusive(NodeId node, Addr block) const;
+    NodeId writer(Addr block) const;
+    unsigned sharerCount(Addr block) const;
+
+    /** Total writes observed (version sum); used as a sanity stat. */
+    std::uint64_t totalWrites() const { return totalWrites_; }
+
+    /** Number of invariant checks performed. */
+    std::uint64_t checksPerformed() const { return checks_; }
+
+  private:
+    struct Entry
+    {
+        std::uint64_t readers = 0;   //!< bitmask of RS holders
+        NodeId writer = invalidNode; //!< WE holder, if any
+        std::uint32_t version = 0;   //!< bumped by every write
+        std::uint32_t memVersion = 0; //!< version memory has observed
+    };
+
+    Entry &entry(Addr block) { return blocks_[block]; }
+    void checkEntry(const Entry &e, Addr block) const;
+
+    unsigned nodes_;
+    std::unordered_map<Addr, Entry> blocks_;
+    std::uint64_t totalWrites_ = 0;
+    mutable std::uint64_t checks_ = 0;
+};
+
+} // namespace ringsim::cache
+
+#endif // RINGSIM_CACHE_CHECKER_HPP

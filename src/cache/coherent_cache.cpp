@@ -1,0 +1,184 @@
+#include "coherent_cache.hpp"
+
+#include "util/logging.hpp"
+
+namespace ringsim::cache {
+
+const char *
+stateName(State s)
+{
+    switch (s) {
+      case State::Invalid:
+        return "INV";
+      case State::ReadShared:
+        return "RS";
+      case State::WriteExcl:
+        return "WE";
+    }
+    return "?";
+}
+
+CoherentCache::CoherentCache(const Geometry &geometry)
+    : geom_(geometry)
+{
+    geom_.validate();
+    lines_.resize(geom_.blocks());
+}
+
+int
+CoherentCache::findWay(Addr addr) const
+{
+    size_t set = geom_.setIndex(addr);
+    Addr tag = geom_.tag(addr);
+    for (unsigned way = 0; way < geom_.assoc; ++way) {
+        const Line &l = line(set, way);
+        if (l.state != State::Invalid && l.tag == tag)
+            return static_cast<int>(way);
+    }
+    return -1;
+}
+
+AccessResult
+CoherentCache::classify(Addr addr, bool is_write) const
+{
+    int way = findWay(addr);
+    if (way < 0)
+        return AccessResult::Miss;
+    const Line &l = line(geom_.setIndex(addr), static_cast<unsigned>(way));
+    if (!is_write)
+        return AccessResult::Hit;
+    return l.state == State::WriteExcl ? AccessResult::Hit
+                                       : AccessResult::UpgradeMiss;
+}
+
+State
+CoherentCache::state(Addr addr) const
+{
+    int way = findWay(addr);
+    if (way < 0)
+        return State::Invalid;
+    return line(geom_.setIndex(addr), static_cast<unsigned>(way)).state;
+}
+
+void
+CoherentCache::touch(Addr addr)
+{
+    int way = findWay(addr);
+    if (way < 0)
+        panic("touch of uncached address %llx",
+              static_cast<unsigned long long>(addr));
+    line(geom_.setIndex(addr), static_cast<unsigned>(way)).lastUse =
+        ++useClock_;
+    hits_.inc();
+}
+
+Victim
+CoherentCache::fill(Addr addr, State new_state)
+{
+    if (new_state == State::Invalid)
+        panic("fill with Invalid state");
+    size_t set = geom_.setIndex(addr);
+    Addr tag = geom_.tag(addr);
+
+    // Re-filling a present block (e.g. upgrade implemented as a fill)
+    // must not allocate a second way.
+    int present = findWay(addr);
+    if (present >= 0) {
+        Line &l = line(set, static_cast<unsigned>(present));
+        l.state = new_state;
+        l.lastUse = ++useClock_;
+        fills_.inc();
+        return {};
+    }
+
+    // Choose an invalid way, else the LRU way.
+    unsigned victim_way = 0;
+    bool found_invalid = false;
+    std::uint64_t oldest = ~std::uint64_t(0);
+    for (unsigned way = 0; way < geom_.assoc; ++way) {
+        Line &l = line(set, way);
+        if (l.state == State::Invalid) {
+            victim_way = way;
+            found_invalid = true;
+            break;
+        }
+        if (l.lastUse < oldest) {
+            oldest = l.lastUse;
+            victim_way = way;
+        }
+    }
+
+    Victim victim;
+    Line &l = line(set, victim_way);
+    if (!found_invalid) {
+        victim.valid = true;
+        victim.blockAddr = geom_.blockFromTag(l.tag, set);
+        victim.state = l.state;
+        evictions_.inc();
+        if (l.state == State::WriteExcl)
+            writebacks_.inc();
+    }
+
+    l.tag = tag;
+    l.state = new_state;
+    l.lastUse = ++useClock_;
+    fills_.inc();
+    return victim;
+}
+
+void
+CoherentCache::upgrade(Addr addr)
+{
+    int way = findWay(addr);
+    if (way < 0)
+        panic("upgrade of uncached address %llx",
+              static_cast<unsigned long long>(addr));
+    Line &l = line(geom_.setIndex(addr), static_cast<unsigned>(way));
+    if (l.state != State::ReadShared)
+        panic("upgrade of a block in state %s", stateName(l.state));
+    l.state = State::WriteExcl;
+    l.lastUse = ++useClock_;
+}
+
+void
+CoherentCache::invalidate(Addr addr)
+{
+    int way = findWay(addr);
+    if (way < 0)
+        return;
+    line(geom_.setIndex(addr), static_cast<unsigned>(way)).state =
+        State::Invalid;
+}
+
+void
+CoherentCache::downgrade(Addr addr)
+{
+    int way = findWay(addr);
+    if (way < 0)
+        panic("downgrade of uncached address %llx",
+              static_cast<unsigned long long>(addr));
+    Line &l = line(geom_.setIndex(addr), static_cast<unsigned>(way));
+    if (l.state != State::WriteExcl)
+        panic("downgrade of a block in state %s", stateName(l.state));
+    l.state = State::ReadShared;
+}
+
+size_t
+CoherentCache::validBlocks() const
+{
+    size_t n = 0;
+    for (const Line &l : lines_)
+        if (l.state != State::Invalid)
+            ++n;
+    return n;
+}
+
+void
+CoherentCache::clear()
+{
+    for (Line &l : lines_)
+        l = Line{};
+    useClock_ = 0;
+}
+
+} // namespace ringsim::cache

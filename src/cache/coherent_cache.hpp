@@ -1,0 +1,146 @@
+/**
+ * @file
+ * A 3-state (INV / RS / WE) coherent cache model.
+ *
+ * The protocol of the paper (Section 3.1) uses three block states:
+ * Invalid, Read-Shared (read-only) and Write-Exclusive (read-write,
+ * i.e. dirty and owned). This class models the tag/state array only —
+ * traces carry no data, so correctness is checked with version numbers
+ * by cache::CoherenceChecker instead of byte values.
+ */
+
+#ifndef RINGSIM_CACHE_COHERENT_CACHE_HPP
+#define RINGSIM_CACHE_COHERENT_CACHE_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "cache/geometry.hpp"
+#include "stats/stats.hpp"
+#include "util/units.hpp"
+
+namespace ringsim::cache {
+
+/** Coherence state of a cached block. */
+enum class State : std::uint8_t {
+    Invalid,      //!< not present
+    ReadShared,   //!< present read-only (RS)
+    WriteExcl,    //!< present read-write, dirty, owned (WE)
+};
+
+/** Printable name of a state. */
+const char *stateName(State s);
+
+/** Outcome of a cache access attempt. */
+enum class AccessResult : std::uint8_t {
+    Hit,          //!< usable copy present (RS for reads, WE for writes)
+    Miss,         //!< block absent: a read or write miss
+    UpgradeMiss,  //!< write to an RS copy: needs an invalidation only
+};
+
+/** A block displaced by a fill. */
+struct Victim
+{
+    bool valid = false;    //!< a block was displaced
+    Addr blockAddr = 0;    //!< base address of the displaced block
+    State state = State::Invalid; //!< its state (WE => write back)
+};
+
+/**
+ * Tag/state array of one processor's data cache. Set-associative with
+ * true-LRU replacement; the paper's configuration is direct mapped.
+ */
+class CoherentCache
+{
+  public:
+    /** Build a cache with the given geometry (validated here). */
+    explicit CoherentCache(const Geometry &geometry);
+
+    /** The cache's geometry. */
+    const Geometry &geometry() const { return geom_; }
+
+    /**
+     * Classify an access without changing any state.
+     *
+     * @param addr byte address accessed.
+     * @param is_write true for stores.
+     */
+    AccessResult classify(Addr addr, bool is_write) const;
+
+    /** Current state of the block containing @p addr. */
+    State state(Addr addr) const;
+
+    /**
+     * Record a hit (refreshes LRU). classify() must have returned Hit.
+     */
+    void touch(Addr addr);
+
+    /**
+     * Install the block containing @p addr in @p new_state, evicting
+     * the LRU way of the set if needed.
+     *
+     * @return the displaced block, if any.
+     */
+    Victim fill(Addr addr, State new_state);
+
+    /** Upgrade an RS copy to WE (after invalidations complete). */
+    void upgrade(Addr addr);
+
+    /** Invalidate the copy of @p addr if present. */
+    void invalidate(Addr addr);
+
+    /**
+     * Downgrade a WE copy to RS (remote read observed). The block must
+     * be present in WE state.
+     */
+    void downgrade(Addr addr);
+
+    /** Number of valid (non-Invalid) blocks currently cached. */
+    size_t validBlocks() const;
+
+    /** Hits recorded via touch(). */
+    const stats::Counter &hits() const { return hits_; }
+
+    /** Fills recorded via fill(). */
+    const stats::Counter &fills() const { return fills_; }
+
+    /** Evictions of valid blocks. */
+    const stats::Counter &evictions() const { return evictions_; }
+
+    /** Evictions of WE (dirty) blocks, i.e. write-backs. */
+    const stats::Counter &writebacks() const { return writebacks_; }
+
+    /** Drop all blocks and reset LRU (stats retained). */
+    void clear();
+
+  private:
+    struct Line
+    {
+        Addr tag = 0;
+        State state = State::Invalid;
+        std::uint64_t lastUse = 0;
+    };
+
+    /** Find the way holding @p addr, or -1. */
+    int findWay(Addr addr) const;
+
+    Line &line(size_t set, unsigned way) {
+        return lines_[set * geom_.assoc + way];
+    }
+    const Line &line(size_t set, unsigned way) const {
+        return lines_[set * geom_.assoc + way];
+    }
+
+    Geometry geom_;
+    std::vector<Line> lines_;
+    std::uint64_t useClock_ = 0;
+
+    stats::Counter hits_;
+    stats::Counter fills_;
+    stats::Counter evictions_;
+    stats::Counter writebacks_;
+};
+
+} // namespace ringsim::cache
+
+#endif // RINGSIM_CACHE_COHERENT_CACHE_HPP

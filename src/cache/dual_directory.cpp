@@ -1,0 +1,52 @@
+#include "dual_directory.hpp"
+
+#include <algorithm>
+
+#include "util/logging.hpp"
+
+namespace ringsim::cache {
+
+DualDirectory::DualDirectory(const Geometry &geometry, unsigned banks)
+    : geom_(geometry), last_(banks, 0), seen_(banks, false),
+      lookups_(banks, 0)
+{
+    if (banks == 0)
+        fatal("DualDirectory needs at least one bank");
+    geom_.validate();
+}
+
+unsigned
+DualDirectory::bank(Addr addr) const
+{
+    // Interleave by low block-number bits: bank 0 serves even block
+    // addresses, bank 1 odd ones (paper Section 3.3).
+    return static_cast<unsigned>(geom_.blockNumber(addr) % banks());
+}
+
+Tick
+DualDirectory::lookup(Addr addr, Tick now)
+{
+    unsigned b = bank(addr);
+    ++lookups_[b];
+    ++total_;
+    Tick gap = 0;
+    if (seen_[b]) {
+        if (now < last_[b])
+            panic("DualDirectory lookups out of time order");
+        gap = now - last_[b];
+        minGap_ = std::min(minGap_, gap);
+    }
+    seen_[b] = true;
+    last_[b] = now;
+    return gap;
+}
+
+Count
+DualDirectory::bankLookups(unsigned bank_idx) const
+{
+    if (bank_idx >= lookups_.size())
+        panic("DualDirectory bank %u out of range", bank_idx);
+    return lookups_[bank_idx];
+}
+
+} // namespace ringsim::cache

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Dual-directory (snooper tag mirror) timing model.
+ *
+ * Section 3.3 of the paper: the snooping ring interface keeps a second
+ * copy of the cache tags — the dual directory — that probes are checked
+ * against at ring speed. With a 2-way interleaved dual directory (one
+ * bank for even block addresses, one for odd), consecutive probes for
+ * the same bank are separated by at least one frame time, which bounds
+ * the rate the snooper hardware must sustain (Table 3).
+ *
+ * This class models the banked lookup stream: it records per-bank
+ * inter-arrival statistics and can assert that the frame interleaving
+ * really enforces the minimum spacing.
+ */
+
+#ifndef RINGSIM_CACHE_DUAL_DIRECTORY_HPP
+#define RINGSIM_CACHE_DUAL_DIRECTORY_HPP
+
+#include <vector>
+
+#include "cache/geometry.hpp"
+#include "stats/stats.hpp"
+#include "util/units.hpp"
+
+namespace ringsim::cache {
+
+/** Banked snoop-tag mirror with inter-arrival accounting. */
+class DualDirectory
+{
+  public:
+    /**
+     * @param geometry the mirrored cache's geometry (for bank hashing).
+     * @param banks interleaving factor; the paper uses 2.
+     */
+    DualDirectory(const Geometry &geometry, unsigned banks = 2);
+
+    /** Bank servicing the block that contains @p addr. */
+    unsigned bank(Addr addr) const;
+
+    /**
+     * Record a probe lookup for @p addr at time @p now.
+     * @return ticks since the previous lookup to the same bank, or 0
+     *         for the first lookup.
+     */
+    Tick lookup(Addr addr, Tick now);
+
+    /** Smallest inter-arrival observed on any bank (max Tick if none). */
+    Tick minInterArrival() const { return minGap_; }
+
+    /** Lookups recorded per bank. */
+    Count bankLookups(unsigned bank_idx) const;
+
+    /** Total lookups recorded. */
+    Count totalLookups() const { return total_; }
+
+    /** Interleaving factor. */
+    unsigned banks() const { return static_cast<unsigned>(last_.size()); }
+
+  private:
+    Geometry geom_;
+    std::vector<Tick> last_;
+    std::vector<bool> seen_;
+    std::vector<Count> lookups_;
+    Tick minGap_ = ~Tick(0);
+    Count total_ = 0;
+};
+
+} // namespace ringsim::cache
+
+#endif // RINGSIM_CACHE_DUAL_DIRECTORY_HPP

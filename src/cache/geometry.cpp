@@ -1,0 +1,34 @@
+#include "geometry.hpp"
+
+#include "util/logging.hpp"
+
+namespace ringsim::cache {
+
+namespace {
+
+bool
+isPow2(size_t v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
+} // namespace
+
+void
+Geometry::validate() const
+{
+    if (!isPow2(blockBytes))
+        fatal("cache block size %zu is not a power of two", blockBytes);
+    if (!isPow2(sizeBytes))
+        fatal("cache size %zu is not a power of two", sizeBytes);
+    if (assoc == 0)
+        fatal("cache associativity must be nonzero");
+    if (sizeBytes % blockBytes != 0)
+        fatal("cache size %zu not a multiple of block size %zu",
+              sizeBytes, blockBytes);
+    if (blocks() % assoc != 0)
+        fatal("cache blocks %zu not divisible by associativity %u",
+              blocks(), assoc);
+}
+
+} // namespace ringsim::cache

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Cache geometry: size/block/associativity math shared by the cache
+ * model, the trace characterizer and the coherence engines.
+ *
+ * The paper's fixed configuration is a 128 KB direct-mapped data cache
+ * with 16-byte blocks (Section 4.1); both are parameters here so the
+ * Table 3 sweeps (block sizes 16..128 B) and sensitivity studies work.
+ */
+
+#ifndef RINGSIM_CACHE_GEOMETRY_HPP
+#define RINGSIM_CACHE_GEOMETRY_HPP
+
+#include <cstddef>
+
+#include "util/units.hpp"
+
+namespace ringsim::cache {
+
+/** Geometry of one cache: capacity, block size and associativity. */
+struct Geometry
+{
+    /** Total capacity in bytes. */
+    size_t sizeBytes = 128 * 1024;
+
+    /** Cache block (line) size in bytes; must be a power of two. */
+    size_t blockBytes = 16;
+
+    /** Ways per set; 1 = direct mapped. */
+    unsigned assoc = 1;
+
+    /** Number of blocks the cache can hold. */
+    size_t blocks() const { return sizeBytes / blockBytes; }
+
+    /** Number of sets. */
+    size_t sets() const { return blocks() / assoc; }
+
+    /** Strip the block offset: the global block number of @p addr. */
+    Addr blockNumber(Addr addr) const { return addr / blockBytes; }
+
+    /** First byte address of the block containing @p addr. */
+    Addr blockBase(Addr addr) const {
+        return blockNumber(addr) * blockBytes;
+    }
+
+    /** Set index for @p addr. */
+    size_t setIndex(Addr addr) const {
+        return static_cast<size_t>(blockNumber(addr) % sets());
+    }
+
+    /** Tag for @p addr (block number with the index bits removed). */
+    Addr tag(Addr addr) const { return blockNumber(addr) / sets(); }
+
+    /** Reassemble a block base address from tag and set index. */
+    Addr blockFromTag(Addr tag_value, size_t set) const {
+        return (tag_value * sets() + set) * blockBytes;
+    }
+
+    /** Validate invariants (power-of-two sizes, divisibility). */
+    void validate() const;
+};
+
+} // namespace ringsim::cache
+
+#endif // RINGSIM_CACHE_GEOMETRY_HPP

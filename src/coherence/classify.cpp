@@ -1,0 +1,129 @@
+#include "classify.hpp"
+
+#include "util/logging.hpp"
+
+namespace ringsim::coherence {
+
+unsigned
+hopDist(unsigned n, NodeId from, NodeId to)
+{
+    if (from >= n || to >= n)
+        panic("hopDist: node out of range (%u, %u of %u)", from, to, n);
+    return (to + n - from) % n;
+}
+
+unsigned
+traversalsOf(unsigned n, unsigned hops)
+{
+    if (hops % n != 0)
+        panic("chain of %u hops is not a whole number of traversals "
+              "on a %u node ring", hops, n);
+    return hops / n;
+}
+
+DirMiss
+classifyDirMiss(unsigned n, NodeId requester, NodeId home, bool dirty,
+                NodeId owner, bool multicast)
+{
+    DirMiss out;
+    if (dirty) {
+        if (owner == requester)
+            panic("dirty miss with requester as owner");
+        // Chain: requester -> home (request probe), home -> owner
+        // (forward probe), owner -> requester (block message).
+        unsigned to_home = hopDist(n, requester, home);
+        unsigned to_owner = hopDist(n, home, owner);
+        unsigned to_req = hopDist(n, owner, requester);
+        out.probeHops = to_home + to_owner;
+        out.blockHops = to_req;
+        unsigned chain = to_home + to_owner + to_req;
+        out.traversals = traversalsOf(n, chain);
+        if (out.traversals == 0) {
+            // requester == home == owner cannot happen; a zero chain
+            // means requester == home and owner == requester: absurd.
+            panic("zero-length dirty miss chain");
+        }
+        out.cls = out.traversals == 1 ? DirMissClass::Dirty1
+                                      : DirMissClass::Two;
+        return out;
+    }
+
+    unsigned to_home = hopDist(n, requester, home);
+    unsigned back = hopDist(n, home, requester);
+    if (multicast) {
+        // Home launches a full-ring invalidation probe and awaits its
+        // return before replying (Section 3.2).
+        out.probeHops = to_home + n;
+        out.blockHops = back;
+        out.traversals = traversalsOf(n, to_home + n + back);
+        out.cls = out.traversals == 1 ? DirMissClass::Clean1
+                                      : DirMissClass::Two;
+        if (requester == home)
+            out.cls = DirMissClass::Clean1; // one traversal, clean
+        return out;
+    }
+
+    if (requester == home) {
+        out.cls = DirMissClass::Local;
+        return out;
+    }
+    out.probeHops = to_home;
+    out.blockHops = back;
+    out.traversals = traversalsOf(n, to_home + back);
+    out.cls = DirMissClass::Clean1;
+    return out;
+}
+
+unsigned
+dirUpgradeTraversals(unsigned n, NodeId requester, NodeId home,
+                     bool sharers)
+{
+    unsigned round_trip =
+        requester == home
+            ? 0
+            : traversalsOf(n, hopDist(n, requester, home) +
+                                  hopDist(n, home, requester));
+    return round_trip + (sharers ? 1 : 0);
+}
+
+unsigned
+llistMissTraversals(unsigned n, NodeId requester, NodeId home,
+                    NodeId head)
+{
+    if (head == invalidNode || head == home) {
+        // Uncached (or the home itself heads the list): a plain home
+        // round trip; free when the requester is the home.
+        if (requester == home)
+            return 0;
+        return traversalsOf(n, hopDist(n, requester, home) +
+                                   hopDist(n, home, requester));
+    }
+    unsigned chain = hopDist(n, requester, home) +
+                     hopDist(n, home, head) +
+                     hopDist(n, head, requester);
+    if (chain == 0)
+        return 0; // requester == home == head (cannot happen on a miss)
+    return traversalsOf(n, chain);
+}
+
+unsigned
+llistInvalidateHops(unsigned n, NodeId requester, NodeId home,
+                    unsigned sharers)
+{
+    unsigned hops = 0;
+    if (requester != home)
+        hops += hopDist(n, requester, home) + hopDist(n, home, requester);
+    // Each purge is a full round trip: requester -> sharer -> requester.
+    hops += sharers * n;
+    return hops;
+}
+
+unsigned
+llistInvalidateTraversals(unsigned n, NodeId requester, NodeId home,
+                          unsigned sharers)
+{
+    (void)n; // geometry does not matter: each purge is a round trip
+    return (requester == home ? 0 : 1) + sharers;
+}
+
+} // namespace ringsim::coherence

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Ring-traversal arithmetic shared by the functional engine and the
+ * timed protocol controllers.
+ *
+ * Nodes sit on a unidirectional ring in index order; the downstream
+ * distance from a to b is (b - a) mod n hops. A chain of forwards
+ * r -> h -> o -> r always covers a whole number of ring traversals
+ * because each leg is shorter than the ring and the chain returns to
+ * its start — Section 3.2's "one extra trip" condition falls out of
+ * this arithmetic.
+ */
+
+#ifndef RINGSIM_COHERENCE_CLASSIFY_HPP
+#define RINGSIM_COHERENCE_CLASSIFY_HPP
+
+#include <vector>
+
+#include "util/units.hpp"
+
+namespace ringsim::coherence {
+
+/** Downstream hop distance from @p from to @p to on an @p n node ring. */
+unsigned hopDist(unsigned n, NodeId from, NodeId to);
+
+/** Whole ring traversals covered by a closed chain of @p hops hops. */
+unsigned traversalsOf(unsigned n, unsigned hops);
+
+/** Figure 5 class of a directory miss. */
+enum class DirMissClass {
+    Local,  //!< served at the requester, no ring transaction
+    Clean1, //!< clean block, remote home, one traversal
+    Dirty1, //!< dirty block, one traversal
+    Two,    //!< two traversals
+};
+
+/** Classification result for a full-map directory miss. */
+struct DirMiss
+{
+    unsigned traversals = 0; //!< 0 for local
+    unsigned probeHops = 0;  //!< probe mileage on the ring
+    unsigned blockHops = 0;  //!< block-message mileage on the ring
+    DirMissClass cls = DirMissClass::Local;
+};
+
+/**
+ * Classify a full-map directory miss (read or write).
+ *
+ * @param n ring size in nodes.
+ * @param requester missing node.
+ * @param home block's home node.
+ * @param dirty true if a remote cache owns the block.
+ * @param owner the owning cache when @p dirty.
+ * @param multicast true when the home must launch a full-ring
+ *        invalidation (write miss to a block with presence bits set).
+ */
+DirMiss classifyDirMiss(unsigned n, NodeId requester, NodeId home,
+                        bool dirty, NodeId owner, bool multicast);
+
+/**
+ * Traversals of a full-map upgrade (invalidation).
+ * One home round trip, plus a full-ring multicast when other presence
+ * bits are set.
+ */
+unsigned dirUpgradeTraversals(unsigned n, NodeId requester, NodeId home,
+                              bool sharers);
+
+/**
+ * Traversals of a linked-list (SCI-flavored) miss.
+ *
+ * Section 3.2: "Each miss request to a cached block is first
+ * transferred to the home node, which then forwards the request to
+ * the head node; this transaction requires one or two ring traversals,
+ * depending on the relative positions of the requester, the home and
+ * the head." Uncached blocks are a plain home round trip.
+ *
+ * @param head current list head (data supplier when the list is
+ *        nonempty), or invalidNode when the block is uncached.
+ */
+unsigned llistMissTraversals(unsigned n, NodeId requester, NodeId home,
+                             NodeId head);
+
+/**
+ * Traversals of a linked-list invalidation.
+ *
+ * Section 3.2: invalidating the sharing list takes extra traversals;
+ * in the worst case a block shared by n nodes costs n traversals. The
+ * writer first visits the home to detach/attach as head (one round
+ * trip unless it *is* the home), then purges each remaining sharer
+ * with a serial round trip — one traversal per sharer.
+ *
+ * @param sharers list entries other than the requester.
+ */
+unsigned llistInvalidateTraversals(unsigned n, NodeId requester,
+                                   NodeId home, unsigned sharers);
+
+/** Probe mileage of the serial invalidation above, in hops. */
+unsigned llistInvalidateHops(unsigned n, NodeId requester, NodeId home,
+                             unsigned sharers);
+
+} // namespace ringsim::coherence
+
+#endif // RINGSIM_COHERENCE_CLASSIFY_HPP

@@ -1,0 +1,53 @@
+#include "driver.hpp"
+
+#include <vector>
+
+#include "trace/generator.hpp"
+#include "util/logging.hpp"
+
+namespace ringsim::coherence {
+
+Census
+runFunctional(const trace::WorkloadConfig &cfg,
+              const DriverOptions &options)
+{
+    trace::AddressMap map = trace::makeAddressMap(cfg);
+    trace::TraceSet streams = trace::makeTraceSet(cfg, map);
+
+    EngineOptions engine_options;
+    engine_options.geometry = options.geometry;
+    engine_options.geometry.blockBytes = cfg.blockBytes;
+    engine_options.check = options.check;
+    FunctionalEngine engine(map, engine_options);
+
+    auto warmup_target = static_cast<Count>(
+        options.warmupFrac * static_cast<double>(cfg.dataRefsPerProc));
+    bool warmed = warmup_target == 0;
+
+    std::vector<bool> alive(cfg.procs, true);
+    std::vector<Count> data_seen(cfg.procs, 0);
+    unsigned live = cfg.procs;
+    trace::TraceRecord rec;
+
+    while (live > 0) {
+        for (NodeId p = 0; p < cfg.procs; ++p) {
+            if (!alive[p])
+                continue;
+            if (!streams[p]->next(rec)) {
+                alive[p] = false;
+                --live;
+                continue;
+            }
+            engine.access(p, rec);
+            if (rec.isData())
+                ++data_seen[p];
+        }
+        if (!warmed && data_seen[0] >= warmup_target) {
+            engine.resetCensus();
+            warmed = true;
+        }
+    }
+    return engine.census();
+}
+
+} // namespace ringsim::coherence

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Round-robin functional-run driver.
+ *
+ * Interleaves the per-processor streams one reference at a time (the
+ * untimed stand-in for equal processor progress), discards a warmup
+ * prefix so cold-cache effects don't distort the census, and returns
+ * the measured Census.
+ */
+
+#ifndef RINGSIM_COHERENCE_DRIVER_HPP
+#define RINGSIM_COHERENCE_DRIVER_HPP
+
+#include "coherence/engine.hpp"
+#include "trace/workload.hpp"
+
+namespace ringsim::coherence {
+
+/** Options of a functional run. */
+struct DriverOptions
+{
+    /** Cache geometry; block size is taken from the workload. */
+    cache::Geometry geometry;
+
+    /** Fraction of each processor's data refs treated as warmup. */
+    double warmupFrac = 0.3;
+
+    /** Enable the coherence invariant checker. */
+    bool check = false;
+};
+
+/**
+ * Generate @p cfg's trace and run it through the functional engine.
+ * @return the post-warmup census.
+ */
+Census runFunctional(const trace::WorkloadConfig &cfg,
+                     const DriverOptions &options = {});
+
+} // namespace ringsim::coherence
+
+#endif // RINGSIM_COHERENCE_DRIVER_HPP

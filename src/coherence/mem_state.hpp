@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Memory-side per-block coherence state.
+ *
+ * One structure serves all three protocols:
+ *  - the snooping protocol only needs the dirty bit (Section 3.1);
+ *  - the full-map directory adds presence bits, which are *sticky*:
+ *    silent RS replacement leaves the bit set, so presence is always a
+ *    superset of the true holders (invalidations may chase evicted
+ *    copies — realistic full-map behavior);
+ *  - the linked-list protocol keeps the exact sharing list in order
+ *    (SCI rollout removes an entry when a cache evicts a copy).
+ */
+
+#ifndef RINGSIM_COHERENCE_MEM_STATE_HPP
+#define RINGSIM_COHERENCE_MEM_STATE_HPP
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "util/units.hpp"
+
+namespace ringsim::coherence {
+
+/** Home-node state of one block. */
+struct MemState
+{
+    /** Set while some cache holds the block WE. */
+    bool dirty = false;
+
+    /** The WE holder when dirty. */
+    NodeId owner = invalidNode;
+
+    /** Sticky full-map presence bits (bit i = node i). */
+    std::uint64_t presence = 0;
+
+    /** Exact sharing list, head first (linked-list protocol). */
+    std::vector<NodeId> list;
+
+    /** Presence bits other than @p node. */
+    std::uint64_t
+    presenceExcept(NodeId node) const
+    {
+        return presence & ~(std::uint64_t(1) << node);
+    }
+
+    /** True if @p node is on the sharing list. */
+    bool
+    onList(NodeId node) const
+    {
+        return std::find(list.begin(), list.end(), node) != list.end();
+    }
+
+    /** Sharing-list length excluding @p node. */
+    unsigned
+    listSizeExcept(NodeId node) const
+    {
+        auto size = static_cast<unsigned>(list.size());
+        return onList(node) ? size - 1 : size;
+    }
+
+    /** Current list head, or invalidNode when the list is empty. */
+    NodeId
+    head() const
+    {
+        return list.empty() ? invalidNode : list.front();
+    }
+
+    /** Put @p node at the head (moving it if already listed). */
+    void
+    prepend(NodeId node)
+    {
+        detach(node);
+        list.insert(list.begin(), node);
+    }
+
+    /** Remove @p node from the list (rollout); no-op if absent. */
+    void
+    detach(NodeId node)
+    {
+        list.erase(std::remove(list.begin(), list.end(), node),
+                   list.end());
+    }
+
+    /** Make @p node the sole holder in WE state. */
+    void
+    makeExclusive(NodeId node)
+    {
+        dirty = true;
+        owner = node;
+        presence = std::uint64_t(1) << node;
+        list.clear();
+        list.push_back(node);
+    }
+
+    /** Clear ownership after a write-back. */
+    void
+    clearOwner()
+    {
+        dirty = false;
+        owner = invalidNode;
+    }
+};
+
+} // namespace ringsim::coherence
+
+#endif // RINGSIM_COHERENCE_MEM_STATE_HPP

@@ -1,0 +1,53 @@
+#include "config.hpp"
+
+#include "util/logging.hpp"
+
+namespace ringsim::core {
+
+const char *
+protocolName(ProtocolKind k)
+{
+    switch (k) {
+      case ProtocolKind::RingSnoop:
+        return "ring-snoop";
+      case ProtocolKind::RingDirectory:
+        return "ring-directory";
+      case ProtocolKind::BusSnoop:
+        return "bus-snoop";
+    }
+    return "?";
+}
+
+void
+SystemConfig::validate() const
+{
+    if (procCycle == 0)
+        fatal("processor cycle time must be nonzero");
+    if (memoryLatency == 0)
+        fatal("memory latency must be nonzero");
+    if (warmupFrac < 0.0 || warmupFrac >= 1.0)
+        fatal("warmup fraction must be in [0, 1)");
+    cacheGeometry.validate();
+}
+
+RingSystemConfig
+RingSystemConfig::forProcs(unsigned procs, Tick ring_period)
+{
+    RingSystemConfig cfg;
+    cfg.ring.nodes = procs;
+    cfg.ring.clockPeriod = ring_period;
+    cfg.ring.frame.blockBytes = cfg.common.cacheGeometry.blockBytes;
+    return cfg;
+}
+
+BusSystemConfig
+BusSystemConfig::forProcs(unsigned procs, Tick bus_period)
+{
+    BusSystemConfig cfg;
+    cfg.bus.nodes = procs;
+    cfg.bus.clockPeriod = bus_period;
+    cfg.bus.blockBytes = cfg.common.cacheGeometry.blockBytes;
+    return cfg;
+}
+
+} // namespace ringsim::core

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Timed-system configuration.
+ *
+ * Gathers the paper's fixed parameters (Section 4.1) and the knobs the
+ * evaluation sweeps: processor cycle time (1–20 ns), ring clock
+ * (250/500 MHz), bus clock (50/100 MHz). Service times the paper
+ * leaves to its tech report (directory lookup, dirty-cache supply) are
+ * explicit, documented assumptions here.
+ */
+
+#ifndef RINGSIM_CORE_CONFIG_HPP
+#define RINGSIM_CORE_CONFIG_HPP
+
+#include "bus/split_bus.hpp"
+#include "cache/geometry.hpp"
+#include "ring/config.hpp"
+#include "util/units.hpp"
+
+namespace ringsim::core {
+
+/** Which timed coherence protocol a system runs. */
+enum class ProtocolKind {
+    RingSnoop,     //!< snooping on the slotted ring (Section 3.1)
+    RingDirectory, //!< full-map directory on the ring (Section 3.2)
+    BusSnoop,      //!< snooping split-transaction bus (Section 4.3)
+};
+
+/** Printable protocol name. */
+const char *protocolName(ProtocolKind k);
+
+/** Parameters common to every timed system. */
+struct SystemConfig
+{
+    /** Processor cycle time in ticks (20000 ps = 50 MIPS). */
+    Tick procCycle = 20000;
+
+    /** Local memory bank access time (fixed at 140 ns, Section 4.1). */
+    Tick memoryLatency = 140000;
+
+    /**
+     * Directory lookup / forward decision time at the home node.
+     * Assumption (tech-report detail not in the paper).
+     */
+    Tick dirLookup = 40000;
+
+    /**
+     * Time for a dirty cache to supply a block, modeled like a memory
+     * bank access. Assumption (tech-report detail not in the paper).
+     */
+    Tick cacheSupply = 140000;
+
+    /** Data cache geometry (128 KB direct mapped, 16 B blocks). */
+    cache::Geometry cacheGeometry;
+
+    /**
+     * Store-buffer depth for the latency-tolerance extension (paper
+     * Section 6): 0 = processors block on all misses and
+     * invalidations (the paper's baseline); K > 0 lets up to K write
+     * misses / invalidations proceed in the background (weak
+     * ordering). Read misses always block.
+     */
+    unsigned storeBufferDepth = 0;
+
+    /** Fraction of each processor's data refs treated as warmup. */
+    double warmupFrac = 0.3;
+
+    /** Run the coherence invariant checker during the simulation. */
+    bool check = false;
+
+    /** Validate; fatal() on misconfiguration. */
+    void validate() const;
+};
+
+/** A ring system = common config + ring parameters. */
+struct RingSystemConfig
+{
+    SystemConfig common;
+    ring::RingConfig ring;
+
+    /** Convenience: build the paper's default ring for @p procs. */
+    static RingSystemConfig forProcs(unsigned procs,
+                                     Tick ring_period = 2000);
+};
+
+/** A bus system = common config + bus parameters. */
+struct BusSystemConfig
+{
+    SystemConfig common;
+    bus::BusConfig bus;
+
+    /** Convenience: build the paper's default bus for @p procs. */
+    static BusSystemConfig forProcs(unsigned procs,
+                                    Tick bus_period = 20000);
+};
+
+} // namespace ringsim::core
+
+#endif // RINGSIM_CORE_CONFIG_HPP

@@ -1,0 +1,100 @@
+#include "metrics.hpp"
+
+#include "util/logging.hpp"
+
+namespace ringsim::core {
+
+const char *
+latClassName(LatClass c)
+{
+    switch (c) {
+      case LatClass::LocalMiss:
+        return "local-miss";
+      case LatClass::CleanMiss1:
+        return "1-cycle-clean";
+      case LatClass::DirtyMiss1:
+        return "1-cycle-dirty";
+      case LatClass::Miss2:
+        return "2-cycle";
+      case LatClass::Upgrade:
+        return "upgrade";
+    }
+    return "?";
+}
+
+Metrics::Metrics(unsigned procs)
+    : busy_(procs, 0), stall_(procs, 0)
+{
+    if (procs == 0)
+        fatal("Metrics needs at least one processor");
+}
+
+void
+Metrics::addLatency(LatClass cls, Tick latency)
+{
+    lat_[static_cast<unsigned>(cls)].add(static_cast<double>(latency));
+}
+
+void
+Metrics::reset()
+{
+    std::fill(busy_.begin(), busy_.end(), 0);
+    std::fill(stall_.begin(), stall_.end(), 0);
+    for (auto &sampler : lat_)
+        sampler.reset();
+    acquireWait_.reset();
+}
+
+double
+Metrics::procUtilization(NodeId p) const
+{
+    Tick total = busy_[p] + stall_[p];
+    if (total == 0)
+        return 0.0;
+    return static_cast<double>(busy_[p]) / static_cast<double>(total);
+}
+
+double
+Metrics::meanProcUtilization() const
+{
+    double sum = 0.0;
+    for (unsigned p = 0; p < procs(); ++p)
+        sum += procUtilization(p);
+    return sum / procs();
+}
+
+const stats::Sampler &
+Metrics::latency(LatClass cls) const
+{
+    return lat_[static_cast<unsigned>(cls)];
+}
+
+double
+Metrics::meanMissLatency() const
+{
+    double weighted = 0.0;
+    Count n = 0;
+    for (LatClass cls : {LatClass::CleanMiss1, LatClass::DirtyMiss1,
+                         LatClass::Miss2}) {
+        const stats::Sampler &s = latency(cls);
+        weighted += s.sum();
+        n += s.count();
+    }
+    return n ? weighted / static_cast<double>(n) : 0.0;
+}
+
+double
+Metrics::meanMissLatencyAll() const
+{
+    double weighted = 0.0;
+    Count n = 0;
+    for (LatClass cls : {LatClass::LocalMiss, LatClass::CleanMiss1,
+                         LatClass::DirtyMiss1, LatClass::Miss2}) {
+        const stats::Sampler &s = latency(cls);
+        weighted += s.sum();
+        n += s.count();
+    }
+    return n ? weighted / static_cast<double>(n) : 0.0;
+}
+
+} // namespace ringsim::core

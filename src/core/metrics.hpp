@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Per-run measurement record for the timed systems.
+ *
+ * Collects exactly what Figures 3, 4 and 6 plot: per-processor busy
+ * and stall time (=> processor utilization), miss latencies broken
+ * down by the Figure 5 classes, invalidation latencies, and slot/bus
+ * acquisition waits. Network utilization comes from the interconnect
+ * components themselves.
+ */
+
+#ifndef RINGSIM_CORE_METRICS_HPP
+#define RINGSIM_CORE_METRICS_HPP
+
+#include <vector>
+
+#include "stats/stats.hpp"
+#include "util/units.hpp"
+
+namespace ringsim::core {
+
+/** Latency class of a completed transaction (Figure 5 naming). */
+enum class LatClass {
+    LocalMiss,  //!< served by the local memory bank, no network
+    CleanMiss1, //!< clean block, remote home, one traversal
+    DirtyMiss1, //!< dirty block, one traversal
+    Miss2,      //!< two-traversal miss
+    Upgrade,    //!< invalidation (processor blocks on these too)
+};
+
+/** Printable class name. */
+const char *latClassName(LatClass c);
+
+/** Measurements of one timed run. */
+class Metrics
+{
+  public:
+    explicit Metrics(unsigned procs);
+
+    /** Processor @p p executed for @p t ticks. */
+    void addBusy(NodeId p, Tick t) { busy_[p] += t; }
+
+    /** Processor @p p stalled for @p t ticks. */
+    void addStall(NodeId p, Tick t) { stall_[p] += t; }
+
+    /** Record a completed transaction of class @p cls. */
+    void addLatency(LatClass cls, Tick latency);
+
+    /** Record a slot/bus acquisition wait. */
+    void addAcquireWait(Tick wait) { acquireWait_.add(
+        static_cast<double>(wait)); }
+
+    /** Zero all measurements (end of warmup). */
+    void reset();
+
+    /** Number of processors. */
+    unsigned procs() const {
+        return static_cast<unsigned>(busy_.size());
+    }
+
+    /** Busy ticks of processor @p p. */
+    Tick busy(NodeId p) const { return busy_[p]; }
+
+    /** Stall ticks of processor @p p. */
+    Tick stall(NodeId p) const { return stall_[p]; }
+
+    /** Utilization of processor @p p (busy / (busy + stall)). */
+    double procUtilization(NodeId p) const;
+
+    /** Mean utilization over all processors. */
+    double meanProcUtilization() const;
+
+    /** Latency sampler of one class. */
+    const stats::Sampler &latency(LatClass cls) const;
+
+    /**
+     * Mean latency over all data-fetch miss classes that used the
+     * network — the paper's "average miss latency" (remote misses).
+     */
+    double meanMissLatency() const;
+
+    /** Mean latency including local misses. */
+    double meanMissLatencyAll() const;
+
+    /** Mean invalidation (upgrade) latency. */
+    double meanUpgradeLatency() const {
+        return latency(LatClass::Upgrade).mean();
+    }
+
+    /** Slot/bus acquisition wait sampler. */
+    const stats::Sampler &acquireWait() const { return acquireWait_; }
+
+    /** Completed transactions of class @p cls. */
+    Count classCount(LatClass cls) const {
+        return latency(cls).count();
+    }
+
+  private:
+    std::vector<Tick> busy_;
+    std::vector<Tick> stall_;
+    stats::Sampler lat_[5];
+    stats::Sampler acquireWait_;
+};
+
+} // namespace ringsim::core
+
+#endif // RINGSIM_CORE_METRICS_HPP

@@ -1,0 +1,107 @@
+#include "processor.hpp"
+
+#include "util/logging.hpp"
+
+namespace ringsim::core {
+
+Processor::Processor(sim::Kernel &kernel, NodeId proc, Tick cycle,
+                     trace::RefStream &stream, Protocol &protocol,
+                     Metrics &metrics)
+    : kernel_(kernel), proc_(proc), cycle_(cycle), stream_(stream),
+      protocol_(protocol), metrics_(metrics)
+{
+    if (cycle_ == 0)
+        panic("processor cycle time must be nonzero");
+}
+
+void
+Processor::start(Tick start_at)
+{
+    kernel_.post(start_at, [this]() { execute(); });
+}
+
+void
+Processor::execute()
+{
+    // Batch hits: consume references until one needs a transaction.
+    Count batched = 0;
+    trace::TraceRecord rec;
+    for (;;) {
+        if (!stream_.next(rec)) {
+            metrics_.addBusy(proc_, batched * cycle_);
+            done_ = true;
+            if (onDone_)
+                onDone_();
+            return;
+        }
+        if (rec.isData()) {
+            ++dataRefs_;
+            if (!warmed_ && warmupRefs_ > 0 && dataRefs_ >= warmupRefs_) {
+                warmed_ = true;
+                // Account the batch so far, then let the system reset.
+                metrics_.addBusy(proc_, batched * cycle_);
+                batched = 0;
+                if (onWarm_)
+                    onWarm_();
+            }
+        }
+        if (rec.op == trace::Op::Instr ||
+            protocol_.tryAccess(proc_, rec)) {
+            ++batched;
+            continue;
+        }
+        if (rec.isWrite() && storeDepth_ > 0 &&
+            outstandingStores_ < storeDepth_) {
+            // Non-blocking store: retire into the buffer now, run its
+            // transaction in the background at the point in time
+            // where this reference executes.
+            ++outstandingStores_;
+            ++batched; // the store's own execute cycle
+            issueStore(kernel_.now() + batched * cycle_, rec);
+            continue;
+        }
+        break;
+    }
+
+    // `rec` needs a transaction after the batched hit run executes.
+    metrics_.addBusy(proc_, batched * cycle_);
+    pending_ = rec;
+    if (batched == 0) {
+        issue();
+    } else {
+        kernel_.postIn(batched * cycle_, [this]() { issue(); });
+    }
+}
+
+void
+Processor::issueStore(Tick when, const trace::TraceRecord &rec)
+{
+    kernel_.post(when, [this, rec]() {
+        ++transactions_;
+        protocol_.startTransaction(proc_, rec, [this]() {
+            if (outstandingStores_ == 0)
+                panic("store-buffer completion underflow");
+            --outstandingStores_;
+        });
+    });
+}
+
+void
+Processor::issue()
+{
+    ++transactions_;
+    issueTime_ = kernel_.now();
+    protocol_.startTransaction(proc_, pending_,
+                               [this]() { complete(); });
+}
+
+void
+Processor::complete()
+{
+    metrics_.addStall(proc_, kernel_.now() - issueTime_);
+    // The missed reference itself still takes its execute cycle.
+    metrics_.addBusy(proc_, cycle_);
+    kernel_.postIn(cycle_, [this]() { execute(); });
+}
+
+} // namespace ringsim::core

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Trace-driven processor model.
+ *
+ * Section 4.1 baseline: processors execute one instruction per cycle
+ * as long as accesses hit in the cache, and block on all misses and
+ * invalidations. Runs of hits are batched into a single kernel event
+ * (the hit path changes no interconnect state), so simulation cost is
+ * dominated by transactions, not references.
+ *
+ * Extension (paper Section 6, "latency tolerance"): an optional store
+ * buffer of depth K makes write misses and invalidations non-blocking
+ * (weak ordering): the store retires into the buffer and its
+ * transaction proceeds in the background; the processor only stalls
+ * when the buffer is full (or on read misses, which always block —
+ * the load's value is needed). Depth 0 is the paper's blocking
+ * baseline.
+ */
+
+#ifndef RINGSIM_CORE_PROCESSOR_HPP
+#define RINGSIM_CORE_PROCESSOR_HPP
+
+#include <functional>
+
+#include "core/metrics.hpp"
+#include "core/protocol.hpp"
+#include "sim/kernel.hpp"
+#include "trace/stream.hpp"
+
+namespace ringsim::core {
+
+/** One CPU consuming its reference stream. */
+class Processor
+{
+  public:
+    /**
+     * @param kernel event kernel.
+     * @param proc this processor's node id.
+     * @param cycle processor cycle time in ticks.
+     * @param stream reference stream (not owned; must outlive).
+     * @param protocol timed protocol (not owned; must outlive).
+     * @param metrics run metrics (not owned; must outlive).
+     */
+    Processor(sim::Kernel &kernel, NodeId proc, Tick cycle,
+              trace::RefStream &stream, Protocol &protocol,
+              Metrics &metrics);
+
+    /** Called once when this processor crosses the warmup boundary. */
+    void onWarm(std::function<void()> cb) { onWarm_ = std::move(cb); }
+
+    /** Called once when the stream is exhausted. */
+    void onDone(std::function<void()> cb) { onDone_ = std::move(cb); }
+
+    /** Data references after which onWarm fires (0 = immediately). */
+    void setWarmupRefs(Count refs) { warmupRefs_ = refs; }
+
+    /**
+     * Enable non-blocking stores through a @p depth entry store
+     * buffer (0 = block on all misses and invalidations, the paper's
+     * baseline).
+     */
+    void setStoreBufferDepth(unsigned depth) { storeDepth_ = depth; }
+
+    /** Begin executing at time @p start_at. */
+    void start(Tick start_at = 0);
+
+    /** True when the stream is exhausted. */
+    bool done() const { return done_; }
+
+    /** Data references consumed so far. */
+    Count dataRefs() const { return dataRefs_; }
+
+    /** Transactions issued so far. */
+    Count transactions() const { return transactions_; }
+
+  private:
+    /** Consume references until a transaction is needed or the stream
+     *  ends; schedules the next step. */
+    void execute();
+
+    /** Issue the pending transaction (after its hit run elapsed). */
+    void issue();
+
+    /** Transaction completed: account the stall and continue. */
+    void complete();
+
+    sim::Kernel &kernel_;
+    NodeId proc_;
+    Tick cycle_;
+    trace::RefStream &stream_;
+    Protocol &protocol_;
+    Metrics &metrics_;
+
+    /** Post a background (store-buffer) transaction at @p when. */
+    void issueStore(Tick when, const trace::TraceRecord &rec);
+
+    trace::TraceRecord pending_{};
+    bool done_ = false;
+    Count dataRefs_ = 0;
+    Count transactions_ = 0;
+    Count warmupRefs_ = 0;
+    bool warmed_ = false;
+    Tick issueTime_ = 0;
+    unsigned storeDepth_ = 0;
+    unsigned outstandingStores_ = 0;
+
+    std::function<void()> onWarm_;
+    std::function<void()> onDone_;
+};
+
+} // namespace ringsim::core
+
+#endif // RINGSIM_CORE_PROCESSOR_HPP

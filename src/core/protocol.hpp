@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Interface between the trace-driven processors and a timed protocol.
+ *
+ * ringsim's timed simulators apply cache/directory state transitions
+ * atomically when a transaction *issues* (via the shared functional
+ * engine) and then model the transaction's timing — message legs on
+ * the ring or bus, slot/arbiter waits, memory-bank queueing. This is
+ * the standard trace-driven decomposition: the reference stream fixes
+ * the state sequence, the timing layer fixes when each step happens,
+ * and the two cannot race (DESIGN.md §6 documents the approximation).
+ */
+
+#ifndef RINGSIM_CORE_PROTOCOL_HPP
+#define RINGSIM_CORE_PROTOCOL_HPP
+
+#include <functional>
+
+#include "trace/record.hpp"
+#include "util/units.hpp"
+
+namespace ringsim::core {
+
+/** Timed-protocol interface used by core::Processor. */
+class Protocol
+{
+  public:
+    virtual ~Protocol() = default;
+
+    /**
+     * Try the fast path: returns true when the reference hits (state
+     * already updated) and the processor may keep executing; false
+     * when a transaction is needed (no state touched yet).
+     */
+    virtual bool tryAccess(NodeId p, const trace::TraceRecord &ref) = 0;
+
+    /**
+     * Start the transaction for a reference that missed. State is
+     * applied now; @p on_complete fires when the transaction's last
+     * message leg finishes and the processor may resume.
+     */
+    virtual void startTransaction(NodeId p,
+                                  const trace::TraceRecord &ref,
+                                  std::function<void()> on_complete) = 0;
+};
+
+} // namespace ringsim::core
+
+#endif // RINGSIM_CORE_PROTOCOL_HPP

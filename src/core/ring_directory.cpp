@@ -1,0 +1,230 @@
+#include "ring_directory.hpp"
+
+#include "coherence/classify.hpp"
+#include "util/logging.hpp"
+
+namespace ringsim::core {
+
+using coherence::AccessOutcome;
+using coherence::DirMissClass;
+
+bool
+RingDirectoryProtocol::needsMulticast(const Txn &txn)
+{
+    const AccessOutcome &o = txn.outcome;
+    if (o.type == AccessOutcome::Type::Upgrade)
+        return o.mapSharers;
+    return o.isWrite && !o.wasDirty && o.mapSharers;
+}
+
+void
+RingDirectoryProtocol::launch(Txn &txn)
+{
+    const AccessOutcome &o = txn.outcome;
+    txn.remainingLegs = 1;
+
+    if (o.type == AccessOutcome::Type::Upgrade) {
+        txn.cls = LatClass::Upgrade;
+    } else {
+        coherence::DirMiss dm = coherence::classifyDirMiss(
+            nodes_, txn.requester, o.home, o.wasDirty, o.owner,
+            needsMulticast(txn));
+        switch (dm.cls) {
+          case DirMissClass::Local:
+            txn.cls = LatClass::LocalMiss;
+            break;
+          case DirMissClass::Clean1:
+            txn.cls = LatClass::CleanMiss1;
+            break;
+          case DirMissClass::Dirty1:
+            txn.cls = LatClass::DirtyMiss1;
+            break;
+          case DirMissClass::Two:
+            txn.cls = LatClass::Miss2;
+            break;
+        }
+    }
+
+    if (txn.requester == o.home) {
+        // The home is local: run the directory actions directly.
+        std::uint64_t id = txn.id;
+        kernel_.post(kernel_.now() + config_.dirLookup,
+                     [this, id]() { homeActions(id); });
+        return;
+    }
+
+    ring::RingMessage req;
+    req.kind = MsgDirRequest;
+    req.src = txn.requester;
+    req.dst = o.home;
+    req.addr = o.block;
+    req.payload = txn.id;
+    enqueue(txn.requester, req, /*is_block=*/false);
+}
+
+void
+RingDirectoryProtocol::respond(std::uint64_t id, NodeId from, Tick when)
+{
+    Txn *txn = findTxn(id);
+    if (!txn)
+        panic("directory respond for finished transaction");
+
+    if (txn->requester == from) {
+        // Requester is the responder (local home): no message needed.
+        kernel_.post(when, [this, id]() { legDone(id); });
+        return;
+    }
+
+    bool data = txn->outcome.type == AccessOutcome::Type::Miss;
+    ring::RingMessage msg;
+    msg.kind = data ? MsgBlockData : MsgDirAck;
+    msg.src = from;
+    msg.dst = txn->requester;
+    msg.addr = txn->outcome.block;
+    msg.payload = id;
+    kernel_.post(when, [this, from, msg]() {
+        enqueue(from, msg, msg.kind == MsgBlockData);
+    });
+}
+
+void
+RingDirectoryProtocol::homeActions(std::uint64_t id)
+{
+    Txn *txn = findTxn(id);
+    if (!txn)
+        panic("directory homeActions for finished transaction");
+    const AccessOutcome &o = txn->outcome;
+    NodeId home = o.home;
+    Tick now = kernel_.now();
+
+    if (o.wasDirty) {
+        // Forward to the owning cache; it answers the requester.
+        ring::RingMessage fwd;
+        fwd.kind = MsgDirForward;
+        fwd.src = home;
+        fwd.dst = o.owner;
+        fwd.addr = o.block;
+        fwd.payload = id;
+        enqueue(home, fwd, /*is_block=*/false);
+        return;
+    }
+
+    if (needsMulticast(*txn)) {
+        // Launch the full-ring invalidation; overlap the memory fetch
+        // (the response still waits for the multicast's return).
+        if (o.type == AccessOutcome::Type::Miss) {
+            txn->dataReadyAt =
+                bankDone(home, now, config_.memoryLatency);
+        } else {
+            txn->dataReadyAt = now;
+        }
+        ring::RingMessage inv;
+        inv.kind = MsgDirMulticast;
+        inv.src = home;
+        inv.dst = ring::broadcastNode;
+        inv.addr = o.block;
+        inv.payload = id;
+        enqueue(home, inv, /*is_block=*/false);
+        return;
+    }
+
+    if (o.type == AccessOutcome::Type::Upgrade) {
+        // No sharers: acknowledge immediately.
+        respond(id, home, now);
+        return;
+    }
+
+    // Clean data from the home memory.
+    Tick ready = bankDone(home, now, config_.memoryLatency);
+    respond(id, home, ready);
+}
+
+void
+RingDirectoryProtocol::handleMessage(NodeId n, ring::SlotHandle &slot)
+{
+    const ring::RingMessage &msg = slot.message();
+    switch (msg.kind) {
+      case MsgDirRequest: {
+        if (msg.dst != n)
+            return;
+        ring::RingMessage req = slot.remove();
+        std::uint64_t id = req.payload;
+        Tick tail = ring_.slotTailTime(slot.type());
+        kernel_.post(kernel_.now() + tail + config_.dirLookup,
+                     [this, id]() { homeActions(id); });
+        return;
+      }
+      case MsgDirForward: {
+        if (msg.dst != n)
+            return;
+        ring::RingMessage fwd = slot.remove();
+        std::uint64_t id = fwd.payload;
+        Txn *txn = findTxn(id);
+        if (!txn)
+            panic("directory forward for finished transaction");
+        Tick tail = ring_.slotTailTime(slot.type());
+        Tick ready = kernel_.now() + tail + config_.cacheSupply;
+        respond(id, n, ready);
+
+        // A read of a dirty block also refreshes the home memory; if
+        // the home is not on the owner->requester path the owner
+        // sends a separate copy.
+        const AccessOutcome &o = txn->outcome;
+        if (!o.isWrite && o.home != n && o.home != txn->requester) {
+            unsigned to_req =
+                coherence::hopDist(nodes_, n, txn->requester);
+            unsigned to_home = coherence::hopDist(nodes_, n, o.home);
+            if (to_home > to_req) {
+                ring::RingMessage copy;
+                copy.kind = MsgBlockTraffic;
+                copy.src = n;
+                copy.dst = o.home;
+                copy.addr = o.block;
+                copy.payload = 0;
+                NodeId owner = n;
+                kernel_.post(ready, [this, owner, copy]() {
+                    enqueue(owner, copy, /*is_block=*/true);
+                });
+            }
+        }
+        return;
+      }
+      case MsgDirMulticast: {
+        if (msg.src != n)
+            return; // invalidations were applied at issue; pass on
+        ring::RingMessage inv = slot.remove();
+        std::uint64_t id = inv.payload;
+        Txn *txn = findTxn(id);
+        if (!txn)
+            panic("directory multicast for finished transaction");
+        Tick when = std::max(kernel_.now(), txn->dataReadyAt);
+        respond(id, n, when);
+        return;
+      }
+      case MsgDirAck: {
+        if (msg.dst != n)
+            return;
+        ring::RingMessage ack = slot.remove();
+        Tick tail = ring_.slotTailTime(slot.type());
+        std::uint64_t id = ack.payload;
+        kernel_.post(kernel_.now() + tail,
+                     [this, id]() { legDone(id); });
+        return;
+      }
+      case MsgBlockData: {
+        if (msg.dst != n)
+            return;
+        ring::RingMessage data = slot.remove();
+        Tick tail = ring_.slotTailTime(ring::SlotType::Block);
+        std::uint64_t id = data.payload;
+        kernel_.post(kernel_.now() + tail,
+                     [this, id]() { legDone(id); });
+        return;
+      }
+      default:
+        panic("directory ring saw unexpected message kind %u",
+              msg.kind);
+    }
+}
+
+} // namespace ringsim::core

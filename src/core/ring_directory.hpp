@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Timed full-map directory protocol for the slotted ring (Section 3.2).
+ *
+ * All requests go point-to-point to the home node, which owns the
+ * full-map directory entry (presence bits + dirty bit). Clean blocks
+ * are served from the home's memory; dirty blocks are forwarded to
+ * the owning cache, which supplies the requester directly. Write
+ * misses and invalidations to blocks with presence bits set launch a
+ * full-ring multicast invalidation whose return the home awaits
+ * before responding — the source of the protocol's 2-traversal
+ * transactions and its non-uniform latencies.
+ */
+
+#ifndef RINGSIM_CORE_RING_DIRECTORY_HPP
+#define RINGSIM_CORE_RING_DIRECTORY_HPP
+
+#include "core/ring_protocol.hpp"
+
+namespace ringsim::core {
+
+/** The directory controller set. */
+class RingDirectoryProtocol : public RingProtocolBase
+{
+  public:
+    using RingProtocolBase::RingProtocolBase;
+
+  protected:
+    void launch(Txn &txn) override;
+    void handleMessage(NodeId n, ring::SlotHandle &slot) override;
+
+  private:
+    /** Directory actions at the home node (after the lookup delay). */
+    void homeActions(std::uint64_t id);
+
+    /** Send the block (or ack) that completes the transaction. */
+    void respond(std::uint64_t id, NodeId from, Tick when);
+
+    /** True when this transaction needs a multicast invalidation. */
+    static bool needsMulticast(const Txn &txn);
+};
+
+} // namespace ringsim::core
+
+#endif // RINGSIM_CORE_RING_DIRECTORY_HPP

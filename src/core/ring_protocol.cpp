@@ -1,0 +1,180 @@
+#include "ring_protocol.hpp"
+
+#include <algorithm>
+
+#include "cache/coherent_cache.hpp"
+#include "util/logging.hpp"
+
+namespace ringsim::core {
+
+RingProtocolBase::RingProtocolBase(sim::Kernel &kernel,
+                                   const SystemConfig &config,
+                                   coherence::FunctionalEngine &engine,
+                                   ring::SlotRing &ring_net,
+                                   Metrics &metrics)
+    : kernel_(kernel), config_(config), engine_(engine), ring_(ring_net),
+      metrics_(metrics), nodes_(ring_net.config().nodes)
+{
+    config_.validate();
+    queues_.resize(static_cast<size_t>(nodes_) * 3);
+    bankFreeAt_.assign(nodes_, 0);
+    clients_.reserve(nodes_);
+    for (NodeId n = 0; n < nodes_; ++n) {
+        clients_.push_back(std::make_unique<NodeClient>(*this, n));
+        ring_.setClient(n, *clients_.back());
+    }
+}
+
+RingProtocolBase::~RingProtocolBase() = default;
+
+bool
+RingProtocolBase::tryAccess(NodeId p, const trace::TraceRecord &ref)
+{
+    // Fast path: hits update state (touch + census) and cost nothing
+    // beyond the processor cycle; anything else is left untouched for
+    // startTransaction.
+    cache::AccessResult res =
+        engine_.cacheOf(p).classify(ref.addr, ref.isWrite());
+    if (res != cache::AccessResult::Hit)
+        return false;
+    engine_.access(p, ref);
+    return true;
+}
+
+void
+RingProtocolBase::startTransaction(NodeId p,
+                                   const trace::TraceRecord &ref,
+                                   std::function<void()> on_complete)
+{
+    std::uint64_t id = nextTxnId_++;
+    Txn &txn = txns_[id];
+    txn.id = id;
+    txn.requester = p;
+    txn.issueTime = kernel_.now();
+    txn.onComplete = std::move(on_complete);
+    engine_.access(p, ref, &txn.outcome);
+    if (txn.outcome.type == coherence::AccessOutcome::Type::Instr)
+        panic("startTransaction called for an instruction fetch");
+    if (txn.outcome.type == coherence::AccessOutcome::Type::Hit) {
+        // With non-blocking stores a reference classified as a miss
+        // at decode time can be a hit by issue time (an in-flight
+        // store to the same block already applied its fill). Nothing
+        // to do on the wire.
+        auto cb = std::move(txn.onComplete);
+        txns_.erase(id);
+        kernel_.post(kernel_.now(), std::move(cb));
+        return;
+    }
+    sendVictimWriteback(txn);
+    launch(txn);
+}
+
+void
+RingProtocolBase::legDone(std::uint64_t id)
+{
+    auto it = txns_.find(id);
+    if (it == txns_.end())
+        panic("legDone for unknown transaction %llu",
+              static_cast<unsigned long long>(id));
+    Txn &txn = it->second;
+    if (txn.remainingLegs == 0)
+        panic("legDone underflow");
+    if (--txn.remainingLegs > 0)
+        return;
+    metrics_.addLatency(txn.cls, kernel_.now() - txn.issueTime);
+    auto cb = std::move(txn.onComplete);
+    txns_.erase(it);
+    cb();
+}
+
+RingProtocolBase::Txn *
+RingProtocolBase::findTxn(std::uint64_t id)
+{
+    auto it = txns_.find(id);
+    return it == txns_.end() ? nullptr : &it->second;
+}
+
+std::deque<RingProtocolBase::QueuedMsg> &
+RingProtocolBase::queueFor(NodeId n, ring::SlotType t)
+{
+    return queues_[static_cast<size_t>(n) * 3 +
+                   static_cast<unsigned>(t)];
+}
+
+void
+RingProtocolBase::enqueue(NodeId n, const ring::RingMessage &msg,
+                          bool is_block)
+{
+    ring::SlotType t = is_block ? ring::SlotType::Block
+                                : ring_.probeTypeFor(msg.addr);
+    queueFor(n, t).push_back(QueuedMsg{msg, kernel_.now()});
+}
+
+Tick
+RingProtocolBase::bankDone(NodeId node, Tick when, Tick service)
+{
+    Tick start = std::max(when, bankFreeAt_[node]);
+    bankFreeAt_[node] = start + service;
+    return start + service;
+}
+
+void
+RingProtocolBase::sendVictimWriteback(const Txn &txn)
+{
+    const coherence::AccessOutcome &o = txn.outcome;
+    if (!o.victimValid || !o.victimDirty)
+        return;
+    // The directory state was already updated by the functional
+    // engine (write-back buffer with immediate home update); the
+    // block message itself is traffic that occupies a block slot and
+    // the home's memory bank.
+    if (o.victimHome == txn.requester) {
+        bankDone(txn.requester, kernel_.now(), config_.memoryLatency);
+        return;
+    }
+    ring::RingMessage msg;
+    msg.kind = MsgBlockTraffic;
+    msg.src = txn.requester;
+    msg.dst = o.victimHome;
+    msg.addr = o.victimBlock;
+    msg.payload = 0;
+    enqueue(txn.requester, msg, /*is_block=*/true);
+}
+
+void
+RingProtocolBase::onSlot(NodeId n, ring::SlotHandle &slot)
+{
+    if (slot.occupied()) {
+        const ring::RingMessage &msg = slot.message();
+        if (msg.kind == MsgBlockTraffic) {
+            if (msg.dst == n) {
+                ring::RingMessage taken = slot.remove();
+                // Arriving write-back / refresh data occupies the
+                // destination's memory bank.
+                bankDone(n, kernel_.now() + ring_.slotTailTime(
+                                 ring::SlotType::Block),
+                         config_.memoryLatency);
+                (void)taken;
+            }
+        } else {
+            handleMessage(n, slot);
+        }
+    }
+    if (!slot.occupied())
+        tryInsert(n, slot);
+}
+
+void
+RingProtocolBase::tryInsert(NodeId n, ring::SlotHandle &slot)
+{
+    auto &q = queueFor(n, slot.type());
+    if (q.empty())
+        return;
+    if (!slot.canInsert(q.front().msg.addr))
+        return;
+    metrics_.addAcquireWait(kernel_.now() - q.front().enqueued);
+    slot.insert(q.front().msg);
+    q.pop_front();
+}
+
+} // namespace ringsim::core

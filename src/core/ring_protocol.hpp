@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Shared machinery of the timed ring protocols.
+ *
+ * Both ring protocols (snooping and full-map directory) need the same
+ * plumbing: per-node outbound message queues in front of each slot
+ * type, a per-node memory-bank FCFS queue, a transaction table, and
+ * the glue that turns SlotRing callbacks into protocol steps. The
+ * concrete protocols implement message handling and transaction
+ * scripts on top.
+ */
+
+#ifndef RINGSIM_CORE_RING_PROTOCOL_HPP
+#define RINGSIM_CORE_RING_PROTOCOL_HPP
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "coherence/engine.hpp"
+#include "core/config.hpp"
+#include "core/metrics.hpp"
+#include "core/protocol.hpp"
+#include "ring/network.hpp"
+#include "sim/kernel.hpp"
+
+namespace ringsim::core {
+
+/** Message opcodes used on the ring by the timed protocols. */
+enum RingMsgKind : std::uint32_t {
+    MsgSnoopProbe = 1, //!< broadcast miss/invalidation probe (snoop)
+    MsgDirRequest,     //!< point-to-point request to the home
+    MsgDirForward,     //!< home-to-owner forward
+    MsgDirMulticast,   //!< home-launched full-ring invalidation
+    MsgDirAck,         //!< home-to-requester acknowledgment
+    MsgBlockData,      //!< block message completing a transaction
+    MsgBlockTraffic,   //!< block message with no waiting transaction
+                       //!< (write-backs, memory refresh copies)
+};
+
+/** Base class of the timed ring protocols. */
+class RingProtocolBase : public Protocol
+{
+  public:
+    /**
+     * All references are borrowed and must outlive the protocol.
+     */
+    RingProtocolBase(sim::Kernel &kernel, const SystemConfig &config,
+                     coherence::FunctionalEngine &engine,
+                     ring::SlotRing &ring_net, Metrics &metrics);
+
+    ~RingProtocolBase() override;
+
+    bool tryAccess(NodeId p, const trace::TraceRecord &ref) override;
+
+    void startTransaction(NodeId p, const trace::TraceRecord &ref,
+                          std::function<void()> on_complete) override;
+
+    /** Outstanding transactions (tests/assertions). */
+    size_t inFlight() const { return txns_.size(); }
+
+  protected:
+    /** One outstanding transaction. */
+    struct Txn
+    {
+        std::uint64_t id = 0;
+        NodeId requester = invalidNode;
+        coherence::AccessOutcome outcome;
+        LatClass cls = LatClass::LocalMiss;
+        Tick issueTime = 0;
+        unsigned remainingLegs = 1;
+        /** The requester's own probe returning counts as a leg. */
+        bool probeReturnLeg = false;
+        /** Directory: memory data ready time (overlapped fetch). */
+        Tick dataReadyAt = 0;
+        std::function<void()> onComplete;
+    };
+
+    /**
+     * Protocol script: called once per transaction, after the state
+     * has been applied. Must set txn.cls and txn.remainingLegs and
+     * kick off the transaction's first timing step(s).
+     */
+    virtual void launch(Txn &txn) = 0;
+
+    /** A slot carrying a message reached node @p n. */
+    virtual void handleMessage(NodeId n, ring::SlotHandle &slot) = 0;
+
+    /** One leg of transaction @p id finished; completes at zero. */
+    void legDone(std::uint64_t id);
+
+    /** Queue @p msg for insertion at node @p n (type by message). */
+    void enqueue(NodeId n, const ring::RingMessage &msg,
+                 bool is_block);
+
+    /** FCFS memory bank at @p node: returns service completion time
+     *  for a request arriving at @p when. */
+    Tick bankDone(NodeId node, Tick when, Tick service);
+
+    /** Queue the victim write-back traffic of @p txn, if any. */
+    void sendVictimWriteback(const Txn &txn);
+
+    /** Look up an outstanding transaction; null if finished. */
+    Txn *findTxn(std::uint64_t id);
+
+    sim::Kernel &kernel_;
+    SystemConfig config_;
+    coherence::FunctionalEngine &engine_;
+    ring::SlotRing &ring_;
+    Metrics &metrics_;
+    unsigned nodes_;
+
+  private:
+    /** RingClient adapter for one node. */
+    class NodeClient : public ring::RingClient
+    {
+      public:
+        NodeClient(RingProtocolBase &owner, NodeId node)
+            : owner_(owner), node_(node)
+        {}
+
+        void onSlot(ring::SlotHandle &slot) override {
+            owner_.onSlot(node_, slot);
+        }
+
+      private:
+        RingProtocolBase &owner_;
+        NodeId node_;
+    };
+
+    struct QueuedMsg
+    {
+        ring::RingMessage msg;
+        Tick enqueued;
+    };
+
+    void onSlot(NodeId n, ring::SlotHandle &slot);
+    void tryInsert(NodeId n, ring::SlotHandle &slot);
+
+    std::deque<QueuedMsg> &queueFor(NodeId n, ring::SlotType t);
+
+    std::vector<std::unique_ptr<NodeClient>> clients_;
+    /** queues_[node * 3 + slot type] */
+    std::vector<std::deque<QueuedMsg>> queues_;
+    std::vector<Tick> bankFreeAt_;
+    std::unordered_map<std::uint64_t, Txn> txns_;
+    std::uint64_t nextTxnId_ = 1;
+};
+
+} // namespace ringsim::core
+
+#endif // RINGSIM_CORE_RING_PROTOCOL_HPP

@@ -1,0 +1,133 @@
+#include "ring_snoop.hpp"
+
+#include "util/logging.hpp"
+
+namespace ringsim::core {
+
+using coherence::AccessOutcome;
+
+NodeId
+RingSnoopProtocol::supplierOf(const Txn &txn) const
+{
+    return txn.outcome.wasDirty ? txn.outcome.owner : txn.outcome.home;
+}
+
+void
+RingSnoopProtocol::launch(Txn &txn)
+{
+    const AccessOutcome &o = txn.outcome;
+
+    if (o.type == AccessOutcome::Type::Upgrade) {
+        // Invalidation: one broadcast probe; done when it returns.
+        txn.cls = LatClass::Upgrade;
+        txn.remainingLegs = 1;
+        txn.probeReturnLeg = true;
+        ring::RingMessage probe;
+        probe.kind = MsgSnoopProbe;
+        probe.src = txn.requester;
+        probe.dst = ring::broadcastNode;
+        probe.addr = o.block;
+        probe.payload = txn.id;
+        enqueue(txn.requester, probe, /*is_block=*/false);
+        return;
+    }
+
+    // Every miss broadcasts a probe; the dirty bit only decides who
+    // responds (Section 3.1).
+    ring::RingMessage probe;
+    probe.kind = MsgSnoopProbe;
+    probe.src = txn.requester;
+    probe.dst = ring::broadcastNode;
+    probe.addr = o.block;
+    probe.payload = txn.id;
+
+    bool local_data = !o.wasDirty && o.home == txn.requester;
+    if (local_data) {
+        // The local bank answers, but the transaction commits when
+        // the probe returns: both legs must finish.
+        txn.cls = LatClass::LocalMiss;
+        txn.remainingLegs = 2;
+        txn.probeReturnLeg = true;
+        Tick done = bankDone(txn.requester, kernel_.now(),
+                             config_.memoryLatency);
+        std::uint64_t id = txn.id;
+        kernel_.post(done, [this, id]() { legDone(id); });
+    } else {
+        // Remote data: completion is the block's arrival.
+        txn.cls = o.wasDirty ? LatClass::DirtyMiss1
+                             : LatClass::CleanMiss1;
+        txn.remainingLegs = 1;
+        txn.probeReturnLeg = false;
+    }
+    enqueue(txn.requester, probe, /*is_block=*/false);
+}
+
+void
+RingSnoopProtocol::supply(Txn &txn, NodeId supplier)
+{
+    // Home memory access goes through the FCFS bank; a dirty cache
+    // supplies after a fixed cache-array access.
+    Tick ready;
+    if (txn.outcome.wasDirty) {
+        ready = kernel_.now() + config_.cacheSupply;
+    } else {
+        ready = bankDone(supplier, kernel_.now(),
+                         config_.memoryLatency);
+    }
+    std::uint64_t id = txn.id;
+    NodeId requester = txn.requester;
+    Addr block = txn.outcome.block;
+    kernel_.post(ready, [this, id, supplier, requester, block]() {
+        if (!findTxn(id))
+            panic("snoop supplier fired for finished transaction");
+        ring::RingMessage data;
+        data.kind = MsgBlockData;
+        data.src = supplier;
+        data.dst = requester;
+        data.addr = block;
+        data.payload = id;
+        enqueue(supplier, data, /*is_block=*/true);
+    });
+}
+
+void
+RingSnoopProtocol::handleMessage(NodeId n, ring::SlotHandle &slot)
+{
+    const ring::RingMessage &msg = slot.message();
+    switch (msg.kind) {
+      case MsgSnoopProbe: {
+        if (msg.src == n) {
+            // Our own probe came back: remove it; one traversal total.
+            ring::RingMessage probe = slot.remove();
+            Txn *txn = findTxn(probe.payload);
+            if (txn && txn->probeReturnLeg)
+                legDone(probe.payload);
+            return;
+        }
+        // Snoop: the owner answers a *data* probe as it passes
+        // (invalidation probes need no reply beyond their return).
+        Txn *txn = findTxn(msg.payload);
+        if (txn &&
+            txn->outcome.type == AccessOutcome::Type::Miss &&
+            supplierOf(*txn) == n &&
+            supplierOf(*txn) != txn->requester) {
+            supply(*txn, n);
+        }
+        return;
+      }
+      case MsgBlockData: {
+        if (msg.dst != n)
+            return;
+        ring::RingMessage data = slot.remove();
+        Tick tail = ring_.slotTailTime(ring::SlotType::Block);
+        std::uint64_t id = data.payload;
+        kernel_.post(kernel_.now() + tail,
+                     [this, id]() { legDone(id); });
+        return;
+      }
+      default:
+        panic("snooping ring saw unexpected message kind %u", msg.kind);
+    }
+}
+
+} // namespace ringsim::core

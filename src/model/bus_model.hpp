@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Iterative analytic model of the split-transaction bus system.
+ *
+ * The bus is a single FCFS server; request and response tenures are
+ * the two service classes. Waiting uses the M/G/1 mean-wait formula
+ * on the tenure mix, iterated with the execution time exactly like the
+ * ring model (blocking processors close the loop, so the fixed point
+ * always settles below saturation).
+ */
+
+#ifndef RINGSIM_MODEL_BUS_MODEL_HPP
+#define RINGSIM_MODEL_BUS_MODEL_HPP
+
+#include "bus/split_bus.hpp"
+#include "coherence/census.hpp"
+#include "core/config.hpp"
+#include "model/result.hpp"
+
+namespace ringsim::model {
+
+/** Inputs of one bus-model evaluation. */
+struct BusModelInput
+{
+    /** Calibration census; the bus mirrors the snooping protocol. */
+    coherence::Census census;
+
+    /** Bus geometry and clocking. */
+    bus::BusConfig bus;
+
+    /** Service times and processor cycle. */
+    core::SystemConfig system;
+};
+
+/** Solve the fixed point for one operating point. */
+ModelResult solveBus(const BusModelInput &input);
+
+} // namespace ringsim::model
+
+#endif // RINGSIM_MODEL_BUS_MODEL_HPP

@@ -1,0 +1,16 @@
+#include "calibration.hpp"
+
+#include "coherence/driver.hpp"
+
+namespace ringsim::model {
+
+coherence::Census
+calibrate(const trace::WorkloadConfig &workload, double warmup_frac)
+{
+    coherence::DriverOptions options;
+    options.warmupFrac = warmup_frac;
+    options.geometry.blockBytes = workload.blockBytes;
+    return coherence::runFunctional(workload, options);
+}
+
+} // namespace ringsim::model

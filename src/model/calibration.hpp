@@ -1,0 +1,27 @@
+/**
+ * @file
+ * Calibration runs for the hybrid methodology.
+ *
+ * The paper simulates each benchmark once (50 MIPS processors) to
+ * extract the coherence-event counts the analytic models consume
+ * (Section 4.0). Event counts in a trace-driven blocking-processor
+ * system are timing-independent, so one *functional* pass per
+ * workload yields the same census far faster; the model/tests compare
+ * it against timed-run censuses to confirm.
+ */
+
+#ifndef RINGSIM_MODEL_CALIBRATION_HPP
+#define RINGSIM_MODEL_CALIBRATION_HPP
+
+#include "coherence/census.hpp"
+#include "trace/workload.hpp"
+
+namespace ringsim::model {
+
+/** Produce the calibration census of one workload. */
+coherence::Census calibrate(const trace::WorkloadConfig &workload,
+                            double warmup_frac = 0.3);
+
+} // namespace ringsim::model
+
+#endif // RINGSIM_MODEL_CALIBRATION_HPP

@@ -1,0 +1,150 @@
+#include "insertion_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hpp"
+
+namespace ringsim::model {
+
+ModelResult
+solveInsertionRing(const RingModelInput &input)
+{
+    if (input.protocol != RingProtocol::Directory) {
+        fatal("register insertion cannot support snooping (paper "
+              "Section 3.3); model only the directory protocol");
+    }
+    const coherence::Census &census = input.census;
+    const ring::RingConfig &rc = input.ring;
+    const core::SystemConfig &sys = input.system;
+    if (census.procs == 0)
+        fatal("insertion-ring model needs a census with processors");
+    if (rc.nodes != census.procs)
+        fatal("insertion-ring model: census has %u procs, ring has %u "
+              "nodes", census.procs, rc.nodes);
+
+    const coherence::ProtocolCensus &pc = census.fullMap;
+    const double procs = census.procs;
+    const double stages = rc.totalStages();
+    const double t_ring = static_cast<double>(rc.clockPeriod);
+    const double rtt = stages * t_ring;
+
+    // Message transmission times (no slot framing: a message is just
+    // its own length on the wire).
+    const double probe_len = rc.frame.probeStages() * t_ring;
+    const double block_len = rc.frame.blockSlotStages() * t_ring;
+    const double tail_p = probe_len - t_ring;
+    const double tail_b = block_len - t_ring;
+
+    const double mem = static_cast<double>(sys.memoryLatency);
+    const double lookup = static_cast<double>(sys.dirLookup);
+    const double supply = static_cast<double>(sys.cacheSupply);
+    const double cycle = static_cast<double>(sys.procCycle);
+
+    const double n_local = static_cast<double>(pc.localMisses) / procs;
+    const double n_clean1 = static_cast<double>(pc.cleanMiss1) / procs;
+    const double n_dirty1 = static_cast<double>(pc.dirtyMiss1) / procs;
+    const double n_two = static_cast<double>(pc.miss2) / procs;
+    const double n_inv0 =
+        static_cast<double>(pc.invTraversals[0]) / procs;
+    const double n_inv1 =
+        static_cast<double>(pc.invTraversals[1]) / procs;
+    const double n_inv2 =
+        static_cast<double>(pc.invTraversals[2] +
+                            pc.invTraversals[3]) / procs;
+
+    // Per-link load: a message of length L crossing k node-to-node
+    // links occupies each of them for L; there are `procs` links.
+    const double probe_linkcross = pc.probeHops; // total node hops
+    const double block_linkcross = pc.blockHops;
+
+    const double cpu_work =
+        (static_cast<double>(census.dataRefs()) +
+         static_cast<double>(census.instrRefs)) /
+        procs * cycle;
+
+    ModelResult out;
+    double wait = 0.0; // bypass-FIFO insertion wait
+    double t_exec = cpu_work;
+    double rho = 0.0;
+
+    for (unsigned iter = 0; iter < 2000; ++iter) {
+        // Same directory paths as the slotted ring, with the slot
+        // waits replaced by the insertion wait.
+        double l_local = lookup + mem;
+        double l_clean1 =
+            wait + rtt + tail_p + lookup + mem + wait + tail_b;
+        double l_dirty1 = 2.0 * wait + rtt + 2.0 * tail_p + lookup +
+                          supply + wait + tail_b;
+        double l_two = 2.0 * wait + 2.0 * rtt + 2.0 * tail_p + lookup +
+                       0.5 * (mem + supply) + wait + tail_b;
+        double l_inv0 = lookup;
+        double l_inv1 = 2.0 * wait + rtt + tail_p + lookup;
+        double l_inv2 = 3.0 * wait + 2.0 * rtt + 2.0 * tail_p + lookup;
+
+        double stall = n_local * l_local + n_clean1 * l_clean1 +
+                       n_dirty1 * l_dirty1 + n_two * l_two +
+                       n_inv0 * l_inv0 + n_inv1 * l_inv1 +
+                       n_inv2 * l_inv2;
+        double t_new = cpu_work + stall;
+
+        // M/G/1 per output link.
+        double lam_link = (probe_linkcross + block_linkcross) /
+                          (procs * t_new);
+        double total_cross = probe_linkcross + block_linkcross;
+        double es = total_cross > 0.0
+            ? (probe_linkcross * probe_len +
+               block_linkcross * block_len) / total_cross
+            : 0.0;
+        double es2 = total_cross > 0.0
+            ? (probe_linkcross * probe_len * probe_len +
+               block_linkcross * block_len * block_len) / total_cross
+            : 0.0;
+        double rho_new = lam_link * es;
+        bool clamped = rho_new > 0.98;
+        if (clamped)
+            rho_new = 0.98;
+        out.saturated = out.saturated || clamped;
+        double wait_new =
+            es > 0.0 ? rho_new * es2 / (2.0 * es * (1.0 - rho_new))
+                     : 0.0;
+
+        wait = 0.5 * wait + 0.5 * wait_new;
+        rho = rho_new;
+
+        out.iterations = iter + 1;
+        if (std::abs(t_new - t_exec) <= 1e-9 * t_new) {
+            t_exec = t_new;
+            break;
+        }
+        t_exec = t_new;
+    }
+
+    double l_clean1 =
+        wait + rtt + tail_p + lookup + mem + wait + tail_b;
+    double l_dirty1 = 2.0 * wait + rtt + 2.0 * tail_p + lookup +
+                      supply + wait + tail_b;
+    double l_two = 2.0 * wait + 2.0 * rtt + 2.0 * tail_p + lookup +
+                   0.5 * (mem + supply) + wait + tail_b;
+    double n_remote = n_clean1 + n_dirty1 + n_two;
+    double n_inv = n_inv0 + n_inv1 + n_inv2;
+
+    out.execTimeNs = t_exec / tickNs;
+    out.procUtilization = cpu_work / t_exec;
+    out.networkUtilization = rho;
+    out.missLatencyNs =
+        n_remote > 0.0
+            ? (n_clean1 * l_clean1 + n_dirty1 * l_dirty1 +
+               n_two * l_two) / n_remote / tickNs
+            : 0.0;
+    out.upgradeLatencyNs =
+        n_inv > 0.0
+            ? (n_inv0 * (lookup) +
+               n_inv1 * (2.0 * wait + rtt + tail_p + lookup) +
+               n_inv2 * (3.0 * wait + 2.0 * rtt + 2.0 * tail_p +
+                         lookup)) / n_inv / tickNs
+            : 0.0;
+    return out;
+}
+
+} // namespace ringsim::model

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Analytic model of a register-insertion ring, for the slotted-vs-
+ * insertion comparison the paper poses but does not quantify
+ * (Section 2: "Which one of slotted or register insertion rings
+ * offers the best performance is not clear").
+ *
+ * Modeled in the style of Scott, Goodman & Vernon's SCI-ring analysis
+ * (the paper's reference [16]): each node's output link is an M/G/1
+ * server whose service time is a message's transmission time.
+ * Messages insert immediately when the link is idle (no slot-residual
+ * wait — the insertion ring's advantage at light load) and queue in
+ * the bypass FIFO behind through-traffic as load grows (its
+ * disadvantage: the 1/(1-rho) blow-up, on top of which the real SCI
+ * starvation-avoidance mechanism costs extra throughput that we do
+ * not charge — this model flatters register insertion).
+ *
+ * The comparison runs both access-control disciplines over the same
+ * directory-protocol message census and ring geometry, so the only
+ * difference is how bandwidth is granted.
+ */
+
+#ifndef RINGSIM_MODEL_INSERTION_MODEL_HPP
+#define RINGSIM_MODEL_INSERTION_MODEL_HPP
+
+#include "model/ring_model.hpp"
+
+namespace ringsim::model {
+
+/** Solve the register-insertion fixed point for one operating point.
+ *  Input fields are interpreted exactly as for solveRing() (the frame
+ *  structure only contributes message lengths, not slot timing). */
+ModelResult solveInsertionRing(const RingModelInput &input);
+
+} // namespace ringsim::model
+
+#endif // RINGSIM_MODEL_INSERTION_MODEL_HPP

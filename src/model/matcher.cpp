@@ -1,0 +1,38 @@
+#include "matcher.hpp"
+
+#include "util/logging.hpp"
+
+namespace ringsim::model {
+
+double
+matchBusClock(BusModelInput input, double target_util, double lo_ns,
+              double hi_ns)
+{
+    if (!(lo_ns > 0.0) || !(hi_ns > lo_ns))
+        fatal("matchBusClock: bad bracket [%f, %f]", lo_ns, hi_ns);
+
+    auto util_at = [&input](double period_ns) {
+        input.bus.clockPeriod = nsToTicks(period_ns);
+        return solveBus(input).procUtilization;
+    };
+
+    // Utilization decreases as the bus slows down.
+    if (util_at(hi_ns) >= target_util)
+        return hi_ns;
+    if (util_at(lo_ns) <= target_util)
+        return lo_ns;
+
+    double lo = lo_ns;
+    double hi = hi_ns;
+    for (int iter = 0; iter < 60; ++iter) {
+        double mid = 0.5 * (lo + hi);
+        if (util_at(mid) >= target_util) {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    return 0.5 * (lo + hi);
+}
+
+} // namespace ringsim::model

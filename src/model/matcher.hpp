@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Bus-clock matcher for Table 4.
+ *
+ * Table 4 reports the bus clock cycle a 64-bit split-transaction bus
+ * needs to reach the *same processor utilization* (same program
+ * execution time) as a given slotted-ring configuration. Processor
+ * utilization is monotone in the bus clock period, so a bisection on
+ * the period solves it.
+ */
+
+#ifndef RINGSIM_MODEL_MATCHER_HPP
+#define RINGSIM_MODEL_MATCHER_HPP
+
+#include "model/bus_model.hpp"
+#include "model/ring_model.hpp"
+
+namespace ringsim::model {
+
+/**
+ * Find the bus clock period whose modeled processor utilization
+ * matches @p target_util.
+ *
+ * @param input bus model input; its bus.clockPeriod is ignored.
+ * @param target_util utilization to match (from the ring model).
+ * @param lo_ns,hi_ns search bracket in nanoseconds.
+ * @return matched bus period in nanoseconds; hi_ns when even the
+ *         slowest bus exceeds the target, lo_ns when even the fastest
+ *         bus cannot reach it.
+ */
+double matchBusClock(BusModelInput input, double target_util,
+                     double lo_ns = 0.5, double hi_ns = 1000.0);
+
+} // namespace ringsim::model
+
+#endif // RINGSIM_MODEL_MATCHER_HPP

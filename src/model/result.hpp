@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Output record of the analytic models.
+ */
+
+#ifndef RINGSIM_MODEL_RESULT_HPP
+#define RINGSIM_MODEL_RESULT_HPP
+
+#include "util/units.hpp"
+
+namespace ringsim::model {
+
+/** One solved operating point. */
+struct ModelResult
+{
+    /** Per-processor execution time of the census window, ns. */
+    double execTimeNs = 0;
+
+    /** Processor utilization (cpu work / execution time). */
+    double procUtilization = 0;
+
+    /** Ring slot or bus utilization. */
+    double networkUtilization = 0;
+
+    /** Mean remote-miss latency, ns. */
+    double missLatencyNs = 0;
+
+    /** Mean invalidation latency, ns. */
+    double upgradeLatencyNs = 0;
+
+    /** Fixed-point iterations used. */
+    unsigned iterations = 0;
+
+    /** True if the solver hit its iteration cap before converging. */
+    bool saturated = false;
+};
+
+} // namespace ringsim::model
+
+#endif // RINGSIM_MODEL_RESULT_HPP

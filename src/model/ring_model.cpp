@@ -1,0 +1,207 @@
+#include "ring_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hpp"
+
+namespace ringsim::model {
+
+namespace {
+
+/** Clamp an occupancy so the wait formula stays finite. */
+double
+clampRho(double rho, bool &saturated)
+{
+    if (rho > 0.98) {
+        saturated = true;
+        return 0.98;
+    }
+    return std::max(rho, 0.0);
+}
+
+/**
+ * Expected wait for an empty slot of one type: residual time until
+ * the next same-type header (frame/2) plus geometric retries over
+ * occupied slots.
+ */
+double
+slotWait(double frame, double rho)
+{
+    return frame / 2.0 + frame * rho / (1.0 - rho);
+}
+
+} // namespace
+
+ModelResult
+solveRing(const RingModelInput &input)
+{
+    const coherence::Census &census = input.census;
+    const ring::RingConfig &rc = input.ring;
+    const core::SystemConfig &sys = input.system;
+    if (census.procs == 0)
+        fatal("ring model needs a census with processors");
+    if (rc.nodes != census.procs)
+        fatal("ring model: census has %u procs, ring has %u nodes",
+              census.procs, rc.nodes);
+
+    const coherence::ProtocolCensus &pc =
+        input.protocol == RingProtocol::Snoop ? census.snoop
+                                              : census.fullMap;
+
+    const double procs = census.procs;
+    const double stages = rc.totalStages();
+    const double t_ring = static_cast<double>(rc.clockPeriod);
+    const double rtt = stages * t_ring;
+    const double frame =
+        static_cast<double>(rc.frame.frameStages()) * t_ring;
+    const double tail_p =
+        static_cast<double>(rc.frame.probeStages() - 1) * t_ring;
+    const double tail_b =
+        static_cast<double>(rc.frame.blockSlotStages() - 1) * t_ring;
+    const double frames = rc.framesOnRing();
+
+    const double mem = static_cast<double>(sys.memoryLatency);
+    const double lookup = static_cast<double>(sys.dirLookup);
+    const double supply = static_cast<double>(sys.cacheSupply);
+    const double cycle = static_cast<double>(sys.procCycle);
+
+    // Per-processor event counts over the census window.
+    const double n_local =
+        static_cast<double>(pc.localMisses) / procs;
+    const double n_clean1 = static_cast<double>(pc.cleanMiss1) / procs;
+    const double n_dirty1 = static_cast<double>(pc.dirtyMiss1) / procs;
+    const double n_two = static_cast<double>(pc.miss2) / procs;
+    const double n_inv0 =
+        static_cast<double>(pc.invTraversals[0]) / procs;
+    const double n_inv1 =
+        static_cast<double>(pc.invTraversals[1]) / procs;
+    const double n_inv2 =
+        static_cast<double>(pc.invTraversals[2] +
+                            pc.invTraversals[3]) / procs;
+
+    // Message-slot occupancy time: a message holds its slot for the
+    // stage-distance it travels.
+    const double probe_occ =
+        pc.probes ? (pc.probeHops / static_cast<double>(pc.probes)) *
+                        (stages / procs) * t_ring
+                  : 0.0;
+    const double block_occ =
+        pc.blocks ? (pc.blockHops / static_cast<double>(pc.blocks)) *
+                        (stages / procs) * t_ring
+                  : 0.0;
+
+    const double cpu_work =
+        (static_cast<double>(census.dataRefs()) +
+         static_cast<double>(census.instrRefs)) /
+        procs * cycle;
+
+    ModelResult out;
+    double w_p = frame / 2.0;
+    double w_b = frame / 2.0;
+    double t_exec = cpu_work;
+    double rho_p = 0.0;
+    double rho_b = 0.0;
+
+    for (unsigned iter = 0; iter < 2000; ++iter) {
+        double l_local, l_clean1, l_dirty1, l_two;
+        double l_inv0, l_inv1, l_inv2;
+        if (input.protocol == RingProtocol::Snoop) {
+            // All snoop transactions take exactly one traversal.
+            l_local = std::max(w_p + rtt, mem);
+            l_clean1 = w_p + rtt + mem + w_b + tail_b;
+            l_dirty1 = w_p + rtt + supply + w_b + tail_b;
+            l_inv0 = l_inv1 = l_inv2 = w_p + rtt;
+            l_two = 0.0;
+        } else {
+            l_local = lookup + mem;
+            l_clean1 = w_p + rtt + tail_p + lookup + mem + w_b + tail_b;
+            l_dirty1 = 2.0 * w_p + rtt + 2.0 * tail_p + lookup +
+                       supply + w_b + tail_b;
+            l_two = 2.0 * w_p + 2.0 * rtt + 2.0 * tail_p + lookup +
+                    0.5 * (mem + supply) + w_b + tail_b;
+            l_inv0 = lookup;
+            l_inv1 = 2.0 * w_p + rtt + tail_p + lookup;
+            l_inv2 = 3.0 * w_p + 2.0 * rtt + 2.0 * tail_p + lookup;
+        }
+
+        double stall = n_local * l_local + n_clean1 * l_clean1 +
+                       n_dirty1 * l_dirty1 + n_two * l_two +
+                       n_inv0 * l_inv0 + n_inv1 * l_inv1 +
+                       n_inv2 * l_inv2;
+        double t_new = cpu_work + stall;
+
+        // Closed-system bound per slot class: the window cannot be
+        // shorter than the slot-time demand divided by the number of
+        // slots serving it.
+        double probe_demand = static_cast<double>(pc.probes) *
+                              probe_occ / (2.0 * frames);
+        double block_demand =
+            static_cast<double>(pc.blocks) * block_occ / frames;
+        t_new = std::max({t_new, probe_demand, block_demand});
+
+        // Message rates over the window -> occupancy per slot type.
+        double lam_p = static_cast<double>(pc.probes) / t_new;
+        double lam_b = static_cast<double>(pc.blocks) / t_new;
+        bool clamped = false;
+        double rho_p_new =
+            clampRho(lam_p * probe_occ / (2.0 * frames), clamped);
+        double rho_b_new =
+            clampRho(lam_b * block_occ / frames, clamped);
+        out.saturated = out.saturated || clamped;
+
+        double w_p_new = slotWait(frame, rho_p_new);
+        double w_b_new = slotWait(frame, rho_b_new);
+
+        // Damped update for stable convergence near saturation.
+        w_p = 0.5 * w_p + 0.5 * w_p_new;
+        w_b = 0.5 * w_b + 0.5 * w_b_new;
+        rho_p = rho_p_new;
+        rho_b = rho_b_new;
+
+        out.iterations = iter + 1;
+        if (std::abs(t_new - t_exec) <= 1e-9 * t_new) {
+            t_exec = t_new;
+            break;
+        }
+        t_exec = t_new;
+    }
+
+    // Final latencies at the fixed point.
+    double l_clean1, l_dirty1, l_two, l_inv;
+    double n_inv = n_inv0 + n_inv1 + n_inv2;
+    if (input.protocol == RingProtocol::Snoop) {
+        l_clean1 = w_p + rtt + mem + w_b + tail_b;
+        l_dirty1 = w_p + rtt + supply + w_b + tail_b;
+        l_two = 0.0;
+        l_inv = w_p + rtt;
+    } else {
+        l_clean1 = w_p + rtt + tail_p + lookup + mem + w_b + tail_b;
+        l_dirty1 = 2.0 * w_p + rtt + 2.0 * tail_p + lookup + supply +
+                   w_b + tail_b;
+        l_two = 2.0 * w_p + 2.0 * rtt + 2.0 * tail_p + lookup +
+                0.5 * (mem + supply) + w_b + tail_b;
+        l_inv = n_inv > 0.0
+            ? (n_inv0 * lookup +
+               n_inv1 * (2.0 * w_p + rtt + tail_p + lookup) +
+               n_inv2 * (3.0 * w_p + 2.0 * rtt + 2.0 * tail_p +
+                         lookup)) / n_inv
+            : 0.0;
+    }
+
+    double n_remote = n_clean1 + n_dirty1 + n_two;
+    out.execTimeNs = t_exec / tickNs;
+    out.procUtilization = cpu_work / t_exec;
+    out.missLatencyNs =
+        n_remote > 0.0
+            ? (n_clean1 * l_clean1 + n_dirty1 * l_dirty1 +
+               n_two * l_two) / n_remote / tickNs
+            : 0.0;
+    out.upgradeLatencyNs = l_inv / tickNs;
+    // Slot-count-weighted average occupancy (2 probe slots + 1 block
+    // slot per frame).
+    out.networkUtilization = (2.0 * rho_p + rho_b) / 3.0;
+    return out;
+}
+
+} // namespace ringsim::model

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Iterative analytic model of the slotted-ring systems.
+ *
+ * The hybrid methodology (Section 4.0, after Menasce & Barroso): a
+ * simulation census fixes the per-processor coherence-event counts;
+ * the model iterates
+ *
+ *   latencies -> execution time -> message rates -> slot occupancy
+ *   -> slot waits -> latencies
+ *
+ * to a fixed point. Slot waiting combines the residual until the next
+ * same-type slot header (frame time / 2) with geometric retries on
+ * occupied slots (frame * rho / (1 - rho)). Pure path latencies come
+ * from the ring geometry exactly as the timed simulator computes them.
+ */
+
+#ifndef RINGSIM_MODEL_RING_MODEL_HPP
+#define RINGSIM_MODEL_RING_MODEL_HPP
+
+#include "coherence/census.hpp"
+#include "core/config.hpp"
+#include "model/result.hpp"
+#include "ring/config.hpp"
+
+namespace ringsim::model {
+
+/** Which ring protocol to model. */
+enum class RingProtocol { Snoop, Directory };
+
+/** Inputs of one ring-model evaluation. */
+struct RingModelInput
+{
+    /** Calibration census (counts are for the whole census window). */
+    coherence::Census census;
+
+    /** Ring geometry and clocking. */
+    ring::RingConfig ring;
+
+    /** Service times and the processor cycle to evaluate at. */
+    core::SystemConfig system;
+
+    RingProtocol protocol = RingProtocol::Snoop;
+};
+
+/** Solve the fixed point for one operating point. */
+ModelResult solveRing(const RingModelInput &input);
+
+} // namespace ringsim::model
+
+#endif // RINGSIM_MODEL_RING_MODEL_HPP

@@ -1,0 +1,61 @@
+#include "config.hpp"
+
+#include "util/logging.hpp"
+
+namespace ringsim::ring {
+
+unsigned
+RingConfig::totalStages() const
+{
+    unsigned minimum = nodes * minStagesPerNode;
+    unsigned per_frame = frame.frameStages();
+    unsigned frames = (minimum + per_frame - 1) / per_frame;
+    return frames * per_frame;
+}
+
+unsigned
+RingConfig::framesOnRing() const
+{
+    return totalStages() / frame.frameStages();
+}
+
+unsigned
+RingConfig::slotsOfType(SlotType t) const
+{
+    // One slot of each type per frame; two probe slots split by parity.
+    (void)t;
+    return framesOnRing();
+}
+
+unsigned
+RingConfig::nodePosition(NodeId n) const
+{
+    if (n >= nodes)
+        panic("node %u out of range (ring has %u nodes)", n, nodes);
+    // Spread nodes evenly around the (possibly padded) ring.
+    return static_cast<unsigned>(
+        (static_cast<std::uint64_t>(n) * totalStages()) / nodes);
+}
+
+unsigned
+RingConfig::stageDistance(NodeId from, NodeId to) const
+{
+    unsigned s = totalStages();
+    unsigned a = nodePosition(from);
+    unsigned b = nodePosition(to);
+    return (b + s - a) % s;
+}
+
+void
+RingConfig::validate() const
+{
+    if (nodes == 0)
+        fatal("ring must have at least one node");
+    if (clockPeriod == 0)
+        fatal("ring clock period must be nonzero");
+    if (minStagesPerNode == 0)
+        fatal("ring interfaces contribute at least one stage");
+    frame.validate();
+}
+
+} // namespace ringsim::ring

@@ -1,0 +1,103 @@
+#include "frame_layout.hpp"
+
+#include "util/logging.hpp"
+
+namespace ringsim::ring {
+
+namespace {
+
+unsigned
+ceilDiv(size_t a, size_t b)
+{
+    return static_cast<unsigned>((a + b - 1) / b);
+}
+
+} // namespace
+
+const char *
+slotTypeName(SlotType t)
+{
+    switch (t) {
+      case SlotType::ProbeEven:
+        return "probe-even";
+      case SlotType::ProbeOdd:
+        return "probe-odd";
+      case SlotType::Block:
+        return "block";
+    }
+    return "?";
+}
+
+unsigned
+FrameLayout::probeStages() const
+{
+    return ceilDiv(probeBytes, wordBytes());
+}
+
+unsigned
+FrameLayout::blockSlotStages() const
+{
+    return ceilDiv(headerBytes, wordBytes()) +
+           ceilDiv(blockBytes, wordBytes());
+}
+
+unsigned
+FrameLayout::frameStages() const
+{
+    return 2 * probeStages() + blockSlotStages();
+}
+
+unsigned
+FrameLayout::slotStages(SlotType t) const
+{
+    return t == SlotType::Block ? blockSlotStages() : probeStages();
+}
+
+unsigned
+FrameLayout::slotOffset(unsigned s) const
+{
+    switch (s) {
+      case 0:
+        return 0;
+      case 1:
+        return probeStages();
+      case 2:
+        return 2 * probeStages();
+    }
+    panic("slot index %u out of range", s);
+}
+
+SlotType
+FrameLayout::slotTypeAt(unsigned s)
+{
+    switch (s) {
+      case 0:
+        return SlotType::ProbeEven;
+      case 1:
+        return SlotType::ProbeOdd;
+      case 2:
+        return SlotType::Block;
+    }
+    panic("slot index %u out of range", s);
+}
+
+void
+FrameLayout::validate() const
+{
+    if (linkBits == 0 || linkBits % 8 != 0)
+        fatal("ring link width %u bits is not a multiple of 8", linkBits);
+    if (blockBytes == 0)
+        fatal("ring block size must be nonzero");
+}
+
+Tick
+snoopInterArrival(unsigned link_bits, size_t block_bytes, Tick ring_period)
+{
+    FrameLayout layout;
+    layout.linkBits = link_bits;
+    layout.blockBytes = block_bytes;
+    layout.validate();
+    return static_cast<Tick>(layout.frameStages()) * ring_period;
+}
+
+} // namespace ringsim::ring

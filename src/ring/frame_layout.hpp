@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Slot and frame geometry of the slotted ring.
+ *
+ * Section 3.3: the ring's bandwidth is divided into fixed *frames*,
+ * each holding one probe slot for even-address blocks, one probe slot
+ * for odd-address blocks, and one block slot. Probes carry a block
+ * address plus control (8 bytes here); block messages carry a header
+ * (8 bytes) plus one cache block. A slot occupies
+ * ceil(bytes / link_width) consecutive pipeline stages.
+ *
+ * Check values from the paper: 32-bit links and 16-byte blocks give a
+ * 10-stage frame (2 + 2 + 6) and a 20 ns frame time at 500 MHz; the
+ * full Table 3 matrix is reproduced by snoopInterArrival().
+ */
+
+#ifndef RINGSIM_RING_FRAME_LAYOUT_HPP
+#define RINGSIM_RING_FRAME_LAYOUT_HPP
+
+#include <cstddef>
+
+#include "util/units.hpp"
+
+namespace ringsim::ring {
+
+/** The three kinds of slots that make up a frame. */
+enum class SlotType : unsigned char {
+    ProbeEven, //!< probe slot reserved for even block addresses
+    ProbeOdd,  //!< probe slot reserved for odd block addresses
+    Block,     //!< block (data) slot
+};
+
+/** Printable name of a slot type. */
+const char *slotTypeName(SlotType t);
+
+/** Number of slots in one frame. */
+inline constexpr unsigned slotsPerFrame = 3;
+
+/** Frame geometry for a given link width and cache block size. */
+struct FrameLayout
+{
+    /** Link (and latch) width in bits. */
+    unsigned linkBits = 32;
+
+    /** Cache block size carried by a block slot, in bytes. */
+    size_t blockBytes = 16;
+
+    /** Probe message size: block address + control/routing info. */
+    static constexpr size_t probeBytes = 8;
+
+    /** Block message header size (same format as a probe). */
+    static constexpr size_t headerBytes = 8;
+
+    /** Bytes transferred per stage. */
+    size_t wordBytes() const { return linkBits / 8; }
+
+    /** Stages occupied by one probe slot. */
+    unsigned probeStages() const;
+
+    /** Stages occupied by one block slot (header + data). */
+    unsigned blockSlotStages() const;
+
+    /** Stages occupied by a whole frame. */
+    unsigned frameStages() const;
+
+    /** Stages occupied by a slot of the given type. */
+    unsigned slotStages(SlotType t) const;
+
+    /** Stage offset of slot @p s (0..2) from the frame start. */
+    unsigned slotOffset(unsigned s) const;
+
+    /** Type of the @p s -th slot in a frame (even probe, odd, block). */
+    static SlotType slotTypeAt(unsigned s);
+
+    /** Sanity-check the layout (width divides sizes and is nonzero). */
+    void validate() const;
+};
+
+/**
+ * Minimum probe inter-arrival time per dual-directory bank (Table 3).
+ *
+ * With a 2-way interleaved dual directory, the even/odd probe slots of
+ * a frame hit different banks, so a bank sees at most one probe per
+ * frame: the minimum spacing is exactly the frame time.
+ *
+ * @param link_bits ring data-path width in bits.
+ * @param block_bytes cache block size in bytes.
+ * @param ring_period ring clock period in ticks.
+ * @return the frame time in ticks.
+ */
+Tick snoopInterArrival(unsigned link_bits, size_t block_bytes,
+                       Tick ring_period);
+
+} // namespace ringsim::ring
+
+#endif // RINGSIM_RING_FRAME_LAYOUT_HPP

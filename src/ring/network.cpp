@@ -1,0 +1,206 @@
+#include "network.hpp"
+
+#include "util/logging.hpp"
+
+namespace ringsim::ring {
+
+SlotType
+SlotHandle::type() const
+{
+    return ring_.slots_[slot_].type;
+}
+
+bool
+SlotHandle::occupied() const
+{
+    return ring_.slots_[slot_].occupied;
+}
+
+const RingMessage &
+SlotHandle::message() const
+{
+    const SlotRing::Slot &s = ring_.slots_[slot_];
+    if (!s.occupied)
+        panic("message() on an empty slot");
+    return s.msg;
+}
+
+RingMessage
+SlotHandle::remove()
+{
+    SlotRing::Slot &s = ring_.slots_[slot_];
+    if (!s.occupied)
+        panic("remove() on an empty slot");
+    s.occupied = false;
+    freedHere_ = true;
+    unsigned t = SlotRing::typeIndex(s.type);
+    --ring_.occupiedCount_[t];
+    ++ring_.removed_[t];
+    return s.msg;
+}
+
+bool
+SlotHandle::canInsert(Addr addr) const
+{
+    const SlotRing::Slot &s = ring_.slots_[slot_];
+    if (s.occupied)
+        return false;
+    if (freedHere_ && ring_.config_.antiStarvation)
+        return false;
+    if (s.type == SlotType::Block)
+        return true;
+    return ring_.probeTypeFor(addr) == s.type;
+}
+
+void
+SlotHandle::insert(const RingMessage &msg)
+{
+    if (!canInsert(msg.addr))
+        panic("insert() into an unavailable slot (node %u)", node_);
+    SlotRing::Slot &s = ring_.slots_[slot_];
+    s.occupied = true;
+    s.msg = msg;
+    unsigned t = SlotRing::typeIndex(s.type);
+    ++ring_.occupiedCount_[t];
+    ++ring_.inserted_[t];
+}
+
+SlotRing::SlotRing(sim::Kernel &kernel, const RingConfig &config)
+    : kernel_(kernel), config_(config),
+      ticker_(kernel, config.clockPeriod,
+              [this](Count cycle) { tick(cycle); })
+{
+    config_.validate();
+
+    unsigned stages = config_.totalStages();
+    unsigned frames = config_.framesOnRing();
+    const FrameLayout &frame = config_.frame;
+
+    headerSlot_.assign(stages, -1);
+    slots_.clear();
+    for (unsigned f = 0; f < frames; ++f) {
+        unsigned frame_base = f * frame.frameStages();
+        for (unsigned s = 0; s < slotsPerFrame; ++s) {
+            Slot slot;
+            slot.type = FrameLayout::slotTypeAt(s);
+            unsigned idx = static_cast<unsigned>(slots_.size());
+            slots_.push_back(slot);
+            headerSlot_[frame_base + frame.slotOffset(s)] =
+                static_cast<int>(idx);
+        }
+    }
+
+    nodePos_.assign(config_.nodes, 0);
+    for (NodeId n = 0; n < config_.nodes; ++n)
+        nodePos_[n] = config_.nodePosition(n);
+
+    clients_.assign(config_.nodes, nullptr);
+}
+
+void
+SlotRing::setClient(NodeId n, RingClient &client)
+{
+    if (n >= clients_.size())
+        panic("setClient: node %u out of range", n);
+    clients_[n] = &client;
+}
+
+void
+SlotRing::start(Tick start_at)
+{
+    for (NodeId n = 0; n < config_.nodes; ++n)
+        if (!clients_[n])
+            panic("SlotRing started with no client at node %u", n);
+    ticker_.start(start_at);
+}
+
+void
+SlotRing::stop()
+{
+    ticker_.stop();
+}
+
+void
+SlotRing::tick(Count cycle)
+{
+    unsigned stages = config_.totalStages();
+    unsigned rot = static_cast<unsigned>(cycle % stages);
+
+    // Accumulate slot occupancy before this cycle's changes; the
+    // integral divided by (cycles * slots-of-type) is the utilization.
+    for (unsigned t = 0; t < 3; ++t)
+        occupancyIntegral_[t] += occupiedCount_[t];
+    ++cycles_;
+
+    // The pattern has advanced `rot` stages, so the pattern offset now
+    // at physical position p is (p - rot) mod stages. A node sees a
+    // slot when that offset is the slot's header stage.
+    for (NodeId n = 0; n < config_.nodes; ++n) {
+        unsigned pos = nodePos_[n];
+        unsigned off = (pos + stages - rot) % stages;
+        int slot_idx = headerSlot_[off];
+        if (slot_idx < 0)
+            continue;
+        SlotHandle handle(*this, static_cast<unsigned>(slot_idx), n);
+        clients_[n]->onSlot(handle);
+    }
+}
+
+Count
+SlotRing::inserted(SlotType t) const
+{
+    return inserted_[typeIndex(t)];
+}
+
+Count
+SlotRing::removed(SlotType t) const
+{
+    return removed_[typeIndex(t)];
+}
+
+double
+SlotRing::occupancy(SlotType t) const
+{
+    if (cycles_ == 0)
+        return 0.0;
+    unsigned slots_of_type = config_.slotsOfType(t);
+    return static_cast<double>(occupancyIntegral_[typeIndex(t)]) /
+           (static_cast<double>(cycles_) * slots_of_type);
+}
+
+double
+SlotRing::totalOccupancy() const
+{
+    if (cycles_ == 0)
+        return 0.0;
+    std::uint64_t integral = occupancyIntegral_[0] +
+                             occupancyIntegral_[1] + occupancyIntegral_[2];
+    return static_cast<double>(integral) /
+           (static_cast<double>(cycles_) * config_.totalSlots());
+}
+
+unsigned
+SlotRing::occupiedNow() const
+{
+    return occupiedCount_[0] + occupiedCount_[1] + occupiedCount_[2];
+}
+
+void
+SlotRing::resetStats()
+{
+    cycles_ = 0;
+    for (unsigned t = 0; t < 3; ++t) {
+        occupancyIntegral_[t] = 0;
+        inserted_[t] = 0;
+        removed_[t] = 0;
+    }
+}
+
+SlotType
+SlotRing::probeTypeFor(Addr addr) const
+{
+    Addr block = addr / config_.frame.blockBytes;
+    return (block % 2 == 0) ? SlotType::ProbeEven : SlotType::ProbeOdd;
+}
+
+} // namespace ringsim::ring

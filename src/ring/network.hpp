@@ -1,0 +1,202 @@
+/**
+ * @file
+ * Cycle-level model of the unidirectional slotted ring.
+ *
+ * The ring is a circular pipeline of totalStages() latch stages whose
+ * contents advance one stage per ring clock. The slot pattern (frames
+ * of even-probe / odd-probe / block slots) is fixed; rather than
+ * copying latch contents we rotate a read index, and we invoke a
+ * node's RingClient exactly when a slot *header* stage reaches that
+ * node's position. Protocol controllers implement RingClient and use
+ * the SlotHandle to snoop, remove, or insert messages.
+ *
+ * Access-control rules enforced here (Sections 2.0 and 5.0):
+ *  - a message may only be inserted into an empty slot whose type
+ *    matches (probe parity must match the block address);
+ *  - anti-starvation: a node may not reuse a slot in the same visit in
+ *    which it removed a message from it.
+ */
+
+#ifndef RINGSIM_RING_NETWORK_HPP
+#define RINGSIM_RING_NETWORK_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "ring/config.hpp"
+#include "sim/kernel.hpp"
+#include "stats/stats.hpp"
+#include "util/units.hpp"
+
+namespace ringsim::ring {
+
+/** Destination value meaning "snooped by everyone" (broadcast probes). */
+inline constexpr NodeId broadcastNode = invalidNode - 1;
+
+/** A message occupying one slot. */
+struct RingMessage
+{
+    NodeId src = invalidNode;  //!< inserting node
+    NodeId dst = invalidNode;  //!< destination, or broadcastNode
+    Addr addr = 0;             //!< block base address
+    std::uint32_t kind = 0;    //!< protocol-defined opcode
+    std::uint64_t payload = 0; //!< protocol-defined extra field
+};
+
+class SlotRing;
+
+/**
+ * A node's view of the slot whose header just reached it. Valid only
+ * for the duration of the RingClient::onSlot call.
+ */
+class SlotHandle
+{
+  public:
+    /** Type of the visiting slot. */
+    SlotType type() const;
+
+    /** True if the slot carries a message. */
+    bool occupied() const;
+
+    /** The carried message; panics when empty. */
+    const RingMessage &message() const;
+
+    /**
+     * Take the message out of the slot, freeing it. Only meaningful
+     * for the destination (or the source, for self-removed probes);
+     * the protocol is responsible for honoring that.
+     */
+    RingMessage remove();
+
+    /**
+     * True if insert() would succeed: the slot is empty, was not freed
+     * by this node in this visit, and @p addr has the parity this slot
+     * serves (always true for block slots).
+     */
+    bool canInsert(Addr addr) const;
+
+    /** Place @p msg into the slot; panics unless canInsert(msg.addr). */
+    void insert(const RingMessage &msg);
+
+    /** The node being visited. */
+    NodeId node() const { return node_; }
+
+  private:
+    friend class SlotRing;
+
+    SlotHandle(SlotRing &ring_owner, unsigned slot_idx, NodeId node_id)
+        : ring_(ring_owner), slot_(slot_idx), node_(node_id)
+    {}
+
+    SlotRing &ring_;
+    unsigned slot_;
+    NodeId node_;
+    bool freedHere_ = false;
+};
+
+/** Interface implemented by each node's protocol controller. */
+class RingClient
+{
+  public:
+    virtual ~RingClient() = default;
+
+    /** A slot header reached this node's interface. */
+    virtual void onSlot(SlotHandle &slot) = 0;
+};
+
+/**
+ * The slotted ring proper: owns the slots, advances them every clock,
+ * and dispatches slot headers to the registered clients.
+ */
+class SlotRing
+{
+  public:
+    /**
+     * @param kernel event kernel driving the simulation.
+     * @param config ring geometry and clocking (validated here).
+     */
+    SlotRing(sim::Kernel &kernel, const RingConfig &config);
+
+    /** Attach the protocol controller for node @p n (required). */
+    void setClient(NodeId n, RingClient &client);
+
+    /** Begin rotating at time @p start_at. */
+    void start(Tick start_at = 0);
+
+    /** Stop rotating (removes the pending tick). */
+    void stop();
+
+    /** The ring's configuration. */
+    const RingConfig &config() const { return config_; }
+
+    /** Time for the non-header stages of a slot to drain at a node. */
+    Tick slotTailTime(SlotType t) const {
+        return static_cast<Tick>(config_.frame.slotStages(t) - 1) *
+               config_.clockPeriod;
+    }
+
+    /** Ring cycles elapsed. */
+    Count cycles() const { return cycles_; }
+
+    /** Messages inserted so far, by slot type (0=even,1=odd,2=block). */
+    Count inserted(SlotType t) const;
+
+    /** Messages removed so far, by slot type. */
+    Count removed(SlotType t) const;
+
+    /** Average occupancy (0..1) of slots of type @p t so far. */
+    double occupancy(SlotType t) const;
+
+    /** Average occupancy of all slots (the paper's ring utilization). */
+    double totalOccupancy() const;
+
+    /** Slots currently occupied (for tests). */
+    unsigned occupiedNow() const;
+
+    /** Which parity probe slot serves @p addr. */
+    SlotType probeTypeFor(Addr addr) const;
+
+    /**
+     * Zero the occupancy/throughput statistics (slots in flight are
+     * untouched). Used at the end of the warmup window.
+     */
+    void resetStats();
+
+  private:
+    friend class SlotHandle;
+
+    struct Slot
+    {
+        SlotType type;
+        bool occupied = false;
+        RingMessage msg;
+    };
+
+    void tick(Count cycle);
+
+    static unsigned typeIndex(SlotType t) {
+        return static_cast<unsigned>(t);
+    }
+
+    sim::Kernel &kernel_;
+    RingConfig config_;
+    sim::Ticker ticker_;
+
+    std::vector<Slot> slots_;
+    /** headerSlot_[stage offset] = slot index whose header sits there,
+     *  or -1 for a non-header stage. */
+    std::vector<int> headerSlot_;
+    /** nodeAtPos_[stage] = node anchored at that stage, or invalid. */
+    std::vector<NodeId> nodePos_;
+    std::vector<RingClient *> clients_;
+
+    Count cycles_ = 0;
+    unsigned occupiedCount_[3] = {0, 0, 0};
+    std::uint64_t occupancyIntegral_[3] = {0, 0, 0};
+    Count inserted_[3] = {0, 0, 0};
+    Count removed_[3] = {0, 0, 0};
+};
+
+} // namespace ringsim::ring
+
+#endif // RINGSIM_RING_NETWORK_HPP

@@ -1,0 +1,161 @@
+#include "kernel.hpp"
+
+#include "util/logging.hpp"
+
+namespace ringsim::sim {
+
+Event::~Event()
+{
+    // An event must not be destroyed while a kernel still references
+    // it; the owner is responsible for descheduling first. We cannot
+    // reach the kernel from here, so flag the misuse.
+    if (scheduled_)
+        panic("Event destroyed while still scheduled");
+}
+
+Kernel::~Kernel() = default;
+
+void
+Kernel::schedule(Event &event, Tick when)
+{
+    if (event.scheduled_)
+        panic("Event scheduled twice (when=%llu)",
+              static_cast<unsigned long long>(when));
+    if (when < now_)
+        panic("Event scheduled in the past (%llu < %llu)",
+              static_cast<unsigned long long>(when),
+              static_cast<unsigned long long>(now_));
+    event.scheduled_ = true;
+    event.when_ = when;
+    ++event.generation_;
+    queue_.push(Entry{when, nextSeq_++, &event, event.generation_, {}});
+    ++live_;
+}
+
+void
+Kernel::deschedule(Event &event)
+{
+    if (!event.scheduled_)
+        panic("deschedule of an unscheduled event");
+    // Lazy removal: bump the generation so the stale queue entry is
+    // skipped when popped.
+    event.scheduled_ = false;
+    ++event.generation_;
+    --live_;
+}
+
+void
+Kernel::post(Tick when, std::function<void()> fn)
+{
+    if (when < now_)
+        panic("Callback posted in the past (%llu < %llu)",
+              static_cast<unsigned long long>(when),
+              static_cast<unsigned long long>(now_));
+    queue_.push(Entry{when, nextSeq_++, nullptr, 0, std::move(fn)});
+    ++live_;
+}
+
+void
+Kernel::fireNext()
+{
+    for (;;) {
+        Entry entry = queue_.top();
+        queue_.pop();
+        if (entry.event) {
+            // Skip entries invalidated by deschedule()/reschedule.
+            if (!entry.event->scheduled_ ||
+                entry.event->generation_ != entry.generation) {
+                continue;
+            }
+            now_ = entry.when;
+            entry.event->scheduled_ = false;
+            --live_;
+            ++processed_;
+            entry.event->process();
+            return;
+        }
+        now_ = entry.when;
+        --live_;
+        ++processed_;
+        entry.fn();
+        return;
+    }
+}
+
+Count
+Kernel::run(Tick until)
+{
+    stopping_ = false;
+    Count fired = 0;
+    while (live_ > 0 && !stopping_) {
+        // Peek past stale entries to find the next live firing time.
+        while (!queue_.empty()) {
+            const Entry &top = queue_.top();
+            if (top.event &&
+                (!top.event->scheduled_ ||
+                 top.event->generation_ != top.generation)) {
+                queue_.pop();
+                continue;
+            }
+            break;
+        }
+        if (queue_.empty())
+            break;
+        if (queue_.top().when > until)
+            break;
+        fireNext();
+        ++fired;
+    }
+    return fired;
+}
+
+bool
+Kernel::runOne()
+{
+    while (!queue_.empty()) {
+        const Entry &top = queue_.top();
+        if (top.event &&
+            (!top.event->scheduled_ ||
+             top.event->generation_ != top.generation)) {
+            queue_.pop();
+            continue;
+        }
+        fireNext();
+        return true;
+    }
+    return false;
+}
+
+Ticker::Ticker(Kernel &kernel, Tick period,
+               std::function<void(Count)> handler)
+    : kernel_(kernel), period_(period), handler_(std::move(handler))
+{
+    if (period_ == 0)
+        panic("Ticker period must be nonzero");
+}
+
+void
+Ticker::start(Tick start_at)
+{
+    if (scheduled())
+        panic("Ticker started twice");
+    kernel_.schedule(*this, start_at);
+}
+
+void
+Ticker::stop()
+{
+    if (scheduled())
+        kernel_.deschedule(*this);
+}
+
+void
+Ticker::process()
+{
+    Count this_cycle = cycle_++;
+    // Reschedule before the handler so the handler may stop() us.
+    kernel_.schedule(*this, kernel_.now() + period_);
+    handler_(this_cycle);
+}
+
+} // namespace ringsim::sim

@@ -1,0 +1,188 @@
+/**
+ * @file
+ * Discrete-event simulation kernel.
+ *
+ * This is ringsim's substitute for the CSIM library the paper used: a
+ * deterministic event-driven kernel with integer-picosecond time.
+ * Components either derive from Event and reschedule themselves (cheap,
+ * no allocation per firing — used by the per-cycle ring and bus models)
+ * or post one-shot lambdas for occasional actions.
+ *
+ * Determinism: events that fire at the same tick are processed in the
+ * order they were scheduled (a monotone sequence number breaks ties),
+ * so a given configuration and seed always reproduces the same run.
+ */
+
+#ifndef RINGSIM_SIM_KERNEL_HPP
+#define RINGSIM_SIM_KERNEL_HPP
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "util/units.hpp"
+
+namespace ringsim::sim {
+
+class Kernel;
+
+/**
+ * A reusable schedulable event. Derive and implement process().
+ * An Event may be scheduled on at most one kernel at a time.
+ */
+class Event
+{
+  public:
+    virtual ~Event();
+
+    Event(const Event &) = delete;
+    Event &operator=(const Event &) = delete;
+
+    /** Invoked by the kernel when the event fires. */
+    virtual void process() = 0;
+
+    /** True while the event sits in a kernel's queue. */
+    bool scheduled() const { return scheduled_; }
+
+    /** Tick at which the event will fire (valid while scheduled). */
+    Tick when() const { return when_; }
+
+  protected:
+    Event() = default;
+
+  private:
+    friend class Kernel;
+
+    bool scheduled_ = false;
+    Tick when_ = 0;
+    std::uint64_t generation_ = 0;
+};
+
+/**
+ * The event queue and simulated clock.
+ */
+class Kernel
+{
+  public:
+    Kernel() = default;
+    ~Kernel();
+
+    Kernel(const Kernel &) = delete;
+    Kernel &operator=(const Kernel &) = delete;
+
+    /** Current simulated time. */
+    Tick now() const { return now_; }
+
+    /**
+     * Schedule a reusable event at absolute time @p when (>= now).
+     * The event must not already be scheduled.
+     */
+    void schedule(Event &event, Tick when);
+
+    /** Schedule a reusable event @p delta ticks from now. */
+    void scheduleIn(Event &event, Tick delta) {
+        schedule(event, now_ + delta);
+    }
+
+    /** Remove a scheduled event from the queue. */
+    void deschedule(Event &event);
+
+    /** Post a one-shot callback at absolute time @p when (>= now). */
+    void post(Tick when, std::function<void()> fn);
+
+    /** Post a one-shot callback @p delta ticks from now. */
+    void postIn(Tick delta, std::function<void()> fn) {
+        post(now_ + delta, std::move(fn));
+    }
+
+    /**
+     * Run until the queue drains, @p until is reached, or stop() is
+     * called. Events scheduled exactly at @p until still fire.
+     *
+     * @return the number of events processed.
+     */
+    Count run(Tick until = ~Tick(0));
+
+    /** Process exactly one event. @return false if the queue is empty. */
+    bool runOne();
+
+    /** Ask run() to return after the current event completes. */
+    void stop() { stopping_ = true; }
+
+    /** True if no events are pending. */
+    bool empty() const { return live_ == 0; }
+
+    /** Events currently pending. */
+    Count pending() const { return live_; }
+
+    /** Total events processed since construction. */
+    Count processed() const { return processed_; }
+
+  private:
+    struct Entry
+    {
+        Tick when;
+        std::uint64_t seq;
+        Event *event;          // null for one-shot lambdas
+        std::uint64_t generation;
+        std::function<void()> fn;
+
+        bool operator>(const Entry &other) const {
+            if (when != other.when)
+                return when > other.when;
+            return seq > other.seq;
+        }
+    };
+
+    /** Pop entries until one is live; fire it. Queue must be nonempty. */
+    void fireNext();
+
+    std::priority_queue<Entry, std::vector<Entry>, std::greater<>> queue_;
+    Tick now_ = 0;
+    std::uint64_t nextSeq_ = 0;
+    Count live_ = 0;
+    Count processed_ = 0;
+    bool stopping_ = false;
+};
+
+/**
+ * Calls a handler every @p period ticks, starting at @p start.
+ * The cycle-level ring and bus models are built on this.
+ */
+class Ticker : public Event
+{
+  public:
+    /**
+     * @param kernel kernel to run on.
+     * @param period distance between firings, in ticks (> 0).
+     * @param handler called once per firing with the current cycle
+     *        index (0, 1, 2, ...).
+     */
+    Ticker(Kernel &kernel, Tick period,
+           std::function<void(Count cycle)> handler);
+
+    /** Begin ticking; first firing at absolute time @p start. */
+    void start(Tick start_at);
+
+    /** Stop ticking (idempotent). */
+    void stop();
+
+    /** Ticks between firings. */
+    Tick period() const { return period_; }
+
+    /** Index of the next cycle to fire. */
+    Count cycle() const { return cycle_; }
+
+    void process() override;
+
+  private:
+    Kernel &kernel_;
+    Tick period_;
+    Count cycle_ = 0;
+    std::function<void(Count)> handler_;
+};
+
+} // namespace ringsim::sim
+
+#endif // RINGSIM_SIM_KERNEL_HPP

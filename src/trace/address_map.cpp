@@ -1,0 +1,96 @@
+#include "address_map.hpp"
+
+#include "util/logging.hpp"
+
+namespace ringsim::trace {
+
+namespace {
+
+std::uint64_t
+mix64(std::uint64_t x)
+{
+    x ^= x >> 33;
+    x *= 0xff51afd7ed558ccdULL;
+    x ^= x >> 33;
+    x *= 0xc4ceb9fe1a85ec53ULL;
+    x ^= x >> 33;
+    return x;
+}
+
+} // namespace
+
+AddressMap::AddressMap(unsigned nodes, size_t block_bytes,
+                       std::uint64_t seed)
+    : nodes_(nodes), blockBytes_(block_bytes), seed_(seed)
+{
+    if (nodes == 0)
+        fatal("AddressMap needs at least one node");
+    if (block_bytes == 0 || (block_bytes & (block_bytes - 1)) != 0)
+        fatal("AddressMap block size must be a power of two");
+}
+
+Addr
+AddressMap::sharedBlock(std::uint64_t index) const
+{
+    return sharedBase + index * blockBytes_;
+}
+
+Addr
+AddressMap::privateBlock(NodeId p, std::uint64_t index) const
+{
+    if (p >= nodes_)
+        panic("privateBlock: node %u out of range", p);
+    return privateBase + static_cast<Addr>(p) * regionStride +
+           index * blockBytes_;
+}
+
+Addr
+AddressMap::codeBlock(NodeId p, std::uint64_t index) const
+{
+    if (p >= nodes_)
+        panic("codeBlock: node %u out of range", p);
+    return codeBase + static_cast<Addr>(p) * regionStride +
+           index * blockBytes_;
+}
+
+bool
+AddressMap::isShared(Addr addr) const
+{
+    return addr >= sharedBase && addr < privateBase;
+}
+
+bool
+AddressMap::isPrivate(Addr addr) const
+{
+    return addr >= privateBase && addr < codeBase;
+}
+
+NodeId
+AddressMap::home(Addr addr) const
+{
+    if (isShared(addr)) {
+        // The paper allocates shared pages randomly among the nodes.
+        // Real traces spread shared data over thousands of pages; the
+        // synthetic pools are compact, so page-granular hashing would
+        // concentrate every home on a handful of nodes (hot memory
+        // banks the 1993 systems did not have). Hashing at block
+        // granularity reproduces the statistics of random page
+        // placement over a large heap.
+        Addr block = addr / blockBytes_;
+        return static_cast<NodeId>(mix64(block ^ seed_) % nodes_);
+    }
+    if (addr >= privateBase) {
+        // Private data and code live on the owner's partition.
+        Addr offset = addr - (isPrivate(addr) ? privateBase : codeBase);
+        NodeId owner = static_cast<NodeId>(offset / regionStride);
+        if (owner >= nodes_)
+            panic("address %llx beyond the last node's region",
+                  static_cast<unsigned long long>(addr));
+        return owner;
+    }
+    // Anything below the shared base (not produced by the generators)
+    // is hashed like a shared page so ad-hoc tests still work.
+    return static_cast<NodeId>(mix64((addr / pageBytes) ^ seed_) % nodes_);
+}
+
+} // namespace ringsim::trace

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Simulated physical address space layout and home-node mapping.
+ *
+ * Section 3.1: physical shared memory is partitioned among the nodes;
+ * the node a block's address maps to is its *home*. Section 4.2 notes
+ * shared pages are randomly allocated among the nodes — we hash the
+ * page number. Private data and code are allocated on the owning
+ * node's partition (the natural allocation policy of the era's OSes).
+ *
+ * Layout (byte addresses):
+ *   shared data   [sharedBase,  sharedBase  + sharedBlocks * block)
+ *   private data  [privateBase + p * regionStride, ...) per processor
+ *   code          [codeBase    + p * regionStride, ...) per processor
+ */
+
+#ifndef RINGSIM_TRACE_ADDRESS_MAP_HPP
+#define RINGSIM_TRACE_ADDRESS_MAP_HPP
+
+#include <cstddef>
+
+#include "util/units.hpp"
+
+namespace ringsim::trace {
+
+/** Address-space layout for an N-node system. */
+class AddressMap
+{
+  public:
+    /** Base of the shared data region. */
+    static constexpr Addr sharedBase = 0x0000'1000'0000ULL;
+
+    /**
+     * Base of the per-processor private data regions. Offset by half
+     * the paper cache's index space (4096 blocks of 16 B) so the
+     * private working set and the hot shared pool land in different
+     * direct-mapped sets, as a real allocator's separate arenas
+     * typically would.
+     */
+    static constexpr Addr privateBase = 0x0040'0001'0000ULL;
+
+    /** Base of the per-processor code regions. */
+    static constexpr Addr codeBase = 0x0080'0000'0000ULL;
+
+    /** Bytes reserved per processor for private data / code. */
+    static constexpr Addr regionStride = 0x1000'0000ULL; // 256 MB
+
+    /** Page size used for home assignment. */
+    static constexpr Addr pageBytes = 4096;
+
+    /**
+     * @param nodes number of nodes in the system.
+     * @param block_bytes cache block size.
+     * @param seed seed for the random shared-page placement.
+     */
+    AddressMap(unsigned nodes, size_t block_bytes, std::uint64_t seed);
+
+    /** Number of nodes. */
+    unsigned nodes() const { return nodes_; }
+
+    /** Cache block size. */
+    size_t blockBytes() const { return blockBytes_; }
+
+    /** Byte address of shared block @p index. */
+    Addr sharedBlock(std::uint64_t index) const;
+
+    /** Byte address of private block @p index of processor @p p. */
+    Addr privateBlock(NodeId p, std::uint64_t index) const;
+
+    /** Byte address of code block @p index of processor @p p. */
+    Addr codeBlock(NodeId p, std::uint64_t index) const;
+
+    /** True if @p addr falls in the shared region. */
+    bool isShared(Addr addr) const;
+
+    /** True if @p addr falls in any private data region. */
+    bool isPrivate(Addr addr) const;
+
+    /** Home node of the block containing @p addr. */
+    NodeId home(Addr addr) const;
+
+  private:
+    unsigned nodes_;
+    size_t blockBytes_;
+    std::uint64_t seed_;
+};
+
+} // namespace ringsim::trace
+
+#endif // RINGSIM_TRACE_ADDRESS_MAP_HPP

@@ -1,0 +1,85 @@
+#include "generator.hpp"
+
+#include "util/logging.hpp"
+
+namespace ringsim::trace {
+
+AddressMap
+makeAddressMap(const WorkloadConfig &cfg)
+{
+    return AddressMap(cfg.procs, cfg.blockBytes, cfg.seed);
+}
+
+SyntheticStream::SyntheticStream(const WorkloadConfig &cfg,
+                                 const AddressMap &map, NodeId proc)
+    : cfg_(cfg), map_(map), proc_(proc),
+      rng_(Rng(cfg.seed).fork(proc)),
+      sharedModel_(makeSharedModel(cfg, proc))
+{
+    if (proc >= cfg.procs)
+        panic("SyntheticStream: proc %u out of range", proc);
+}
+
+std::uint64_t
+SyntheticStream::nextPrivateBlock()
+{
+    // Initialization sweep: touch the whole working set once, so it is
+    // resident before the measurement window opens (real programs do
+    // exactly this while setting up their data structures).
+    if (warmCursor_ < cfg_.privateWorkingSet)
+        return warmCursor_++;
+
+    if (rng_.chance(cfg_.privateMissFrac)) {
+        // Streaming / cold access: a block never touched before, past
+        // the resident working set. Sets the private miss rate floor.
+        return cfg_.privateWorkingSet + privateStreamCursor_++;
+    }
+    // Strongly Zipf-skewed reuse inside the resident working set, so
+    // the warmup window covers the hot blocks and the steady-state
+    // private miss rate is set by privateMissFrac, not by cold tail
+    // touches.
+    return rng_.nextZipf(cfg_.privateWorkingSet, 1.1);
+}
+
+bool
+SyntheticStream::next(TraceRecord &out)
+{
+    if (dataEmitted_ >= cfg_.dataRefsPerProc)
+        return false;
+
+    // Emit the owed instruction fetches before each data reference.
+    if (instrDebt_ >= 1.0) {
+        instrDebt_ -= 1.0;
+        out.op = Op::Instr;
+        std::uint64_t block = codeCursor_ % codeLoopBlocks;
+        std::uint64_t word = (codeCursor_ / codeLoopBlocks) % 4;
+        out.addr = map_.codeBlock(proc_, block) + word * 4;
+        ++codeCursor_;
+        return true;
+    }
+    instrDebt_ += cfg_.instrPerData;
+
+    ++dataEmitted_;
+    if (rng_.chance(cfg_.sharedFrac)) {
+        SharedAccess access = sharedModel_->next(rng_);
+        out.op = access.isWrite ? Op::Write : Op::Read;
+        out.addr = map_.sharedBlock(access.blockIndex);
+    } else {
+        out.op = rng_.chance(cfg_.privateWriteFrac) ? Op::Write
+                                                    : Op::Read;
+        out.addr = map_.privateBlock(proc_, nextPrivateBlock());
+    }
+    return true;
+}
+
+TraceSet
+makeTraceSet(const WorkloadConfig &cfg, const AddressMap &map)
+{
+    TraceSet set;
+    set.reserve(cfg.procs);
+    for (NodeId p = 0; p < cfg.procs; ++p)
+        set.push_back(std::make_unique<SyntheticStream>(cfg, map, p));
+    return set;
+}
+
+} // namespace ringsim::trace

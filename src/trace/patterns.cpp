@@ -1,0 +1,365 @@
+#include "patterns.hpp"
+
+#include <algorithm>
+
+#include "util/logging.hpp"
+
+namespace ringsim::trace {
+
+namespace {
+
+/** Draw a per-block access count around the fractional knob @p k. */
+unsigned
+drawPerBlock(Rng &rng, double k)
+{
+    if (k <= 1.0)
+        return 1;
+    auto base = static_cast<unsigned>(k);
+    double frac = k - static_cast<double>(base);
+    return base + (rng.chance(frac) ? 1 : 0);
+}
+
+/**
+ * Objects touched in episodes (MP3D's migratory particles, WATER's
+ * read-mostly molecules). An episode picks an object and performs
+ * readsPerBlock accesses on each of its blocks. With probability
+ * auxProb the episode is a *write* episode whose accesses store with
+ * probability writeProb; read episodes never write, so RS copies
+ * accumulate across processors between writers. zipfAlpha > 0 skews
+ * the object choice toward a per-processor hot set (WATER locality);
+ * zero gives uniform choice (MP3D migration).
+ */
+class ObjectEpisodeModel : public SharedModel
+{
+  public:
+    ObjectEpisodeModel(const WorkloadConfig &cfg, NodeId proc)
+        : knobs_(cfg.knobs),
+          numObjects_(std::max<Count>(1,
+              cfg.knobs.poolBlocks / cfg.knobs.unitBlocks)),
+          procs_(cfg.procs), self_(proc),
+          sliceObjects_(std::max<Count>(1, numObjects_ / cfg.procs))
+    {}
+
+    SharedAccess
+    next(Rng &rng) override
+    {
+        if (blockAccessesLeft_ == 0)
+            advanceBlock(rng);
+        bool first = blockAccessesLeft_ == blockAccessTotal_;
+        --blockAccessesLeft_;
+        SharedAccess access;
+        access.blockIndex =
+            object_ * knobs_.unitBlocks + blockInObject_;
+        // Read-modify-write: the first touch of a block is always a
+        // read, later touches of a write episode store with
+        // probability writeProb.
+        access.isWrite = writing_ && !first &&
+                         rng.chance(knobs_.writeProb);
+        return access;
+    }
+
+  private:
+    void
+    advanceBlock(Rng &rng)
+    {
+        if (blocksLeft_ == 0) {
+            writing_ = rng.chance(knobs_.auxProb);
+            if (knobs_.zipfAlpha > 0.0) {
+                // Owner-affine mode (WATER): the pool is sliced per
+                // processor. Writes update the processor's own
+                // molecules; reads stay home half the time and
+                // otherwise visit the downstream neighbor's slice —
+                // so a written molecule typically has about one
+                // remote sharer to invalidate.
+                Count rank =
+                    rng.nextZipf(sliceObjects_, knobs_.zipfAlpha);
+                NodeId owner = self_;
+                if (!writing_ && procs_ > 1 && rng.chance(0.5))
+                    owner = (self_ + 1) % procs_;
+                object_ = (owner * sliceObjects_ + rank) % numObjects_;
+            } else {
+                // Free migration (MP3D): any processor grabs any
+                // object.
+                object_ = rng.nextBounded(numObjects_);
+            }
+            blocksLeft_ = knobs_.unitBlocks;
+            blockInObject_ = 0;
+        } else {
+            ++blockInObject_;
+        }
+        --blocksLeft_;
+        blockAccessesLeft_ = drawPerBlock(rng, knobs_.readsPerBlock);
+        blockAccessTotal_ = blockAccessesLeft_;
+    }
+
+    PatternKnobs knobs_;
+    Count numObjects_;
+    unsigned procs_;
+    NodeId self_;
+    Count sliceObjects_;
+    Count object_ = 0;
+    bool writing_ = false;
+    unsigned blocksLeft_ = 0;
+    unsigned blockInObject_ = 0;
+    unsigned blockAccessesLeft_ = 0;
+    unsigned blockAccessTotal_ = 0;
+};
+
+/**
+ * Producer-consumer panels (CHOLESKY). With probability auxProb an
+ * episode *produces*: the processor writes every block of a panel
+ * from its own slice of the pool (producer affinity — a processor
+ * factors its own panels, so repeated production write-hits and the
+ * first production after consumers read it upgrades; writeProb sets
+ * the stores per block of a produce pass). Other episodes *consume*:
+ * a panel chosen with pipeline affinity is read readsPerBlock times
+ * per block.
+ */
+class ProducerConsumerModel : public SharedModel
+{
+  public:
+    ProducerConsumerModel(const WorkloadConfig &cfg, NodeId proc)
+        : knobs_(cfg.knobs),
+          numPanels_(std::max<Count>(1,
+              cfg.knobs.poolBlocks / cfg.knobs.unitBlocks)),
+          panelsPerProc_(std::max<Count>(1, numPanels_ / cfg.procs)),
+          self_(proc),
+          writesPerBlock_(std::max(1u,
+              static_cast<unsigned>(cfg.knobs.writeProb)))
+    {}
+
+    SharedAccess
+    next(Rng &rng) override
+    {
+        if (accessesLeft_ == 0)
+            startEpisode(rng);
+        --accessesLeft_;
+
+        SharedAccess access;
+        if (producing_) {
+            access.blockIndex =
+                panel_ * knobs_.unitBlocks + cursor_++ / writesPerBlock_;
+            access.isWrite = true;
+        } else {
+            if (blockAccessesLeft_ == 0) {
+                ++blockInPanel_;
+                blockAccessesLeft_ =
+                    drawPerBlock(rng, knobs_.readsPerBlock);
+            }
+            --blockAccessesLeft_;
+            access.blockIndex = panel_ * knobs_.unitBlocks +
+                                blockInPanel_ % knobs_.unitBlocks;
+            access.isWrite = false;
+        }
+        return access;
+    }
+
+  private:
+    void
+    startEpisode(Rng &rng)
+    {
+        producing_ = rng.chance(knobs_.auxProb);
+        if (producing_) {
+            // A Zipf-hot panel of this processor's own slice.
+            Count rank = knobs_.zipfAlpha > 0.0
+                ? rng.nextZipf(panelsPerProc_, knobs_.zipfAlpha)
+                : rng.nextBounded(panelsPerProc_);
+            panel_ = (self_ * panelsPerProc_ + rank) % numPanels_;
+            cursor_ = 0;
+            accessesLeft_ = writesPerBlock_ * knobs_.unitBlocks;
+            return;
+        }
+        // Consume with pipeline affinity: mostly the *next*
+        // producer's hot panels (one dedicated consumer per panel,
+        // so the producer's upgrade typically purges a single
+        // sharer), with an occasional visit anywhere (the fan-out
+        // that gives CHOLESKY its long invalidation tail in Table 1).
+        {
+            Count producers = std::max<Count>(1,
+                numPanels_ / panelsPerProc_);
+            Count producer = rng.chance(0.12)
+                ? rng.nextBounded(producers)
+                : (self_ + 1) % producers;
+            Count rank = knobs_.zipfAlpha > 0.0
+                ? rng.nextZipf(panelsPerProc_, knobs_.zipfAlpha)
+                : rng.nextBounded(panelsPerProc_);
+            panel_ = (producer * panelsPerProc_ + rank) % numPanels_;
+        }
+        blockInPanel_ = 0;
+        blockAccessesLeft_ = drawPerBlock(rng, knobs_.readsPerBlock);
+        accessesLeft_ = std::max<unsigned>(
+            1, static_cast<unsigned>(knobs_.unitBlocks *
+                                     knobs_.readsPerBlock));
+    }
+
+    PatternKnobs knobs_;
+    Count numPanels_;
+    Count panelsPerProc_;
+    NodeId self_;
+    unsigned writesPerBlock_;
+    Count panel_ = 0;
+    bool producing_ = false;
+    unsigned cursor_ = 0;
+    unsigned accessesLeft_ = 0;
+    unsigned blockInPanel_ = 0;
+    unsigned blockAccessesLeft_ = 0;
+};
+
+/**
+ * All-to-all transpose (FFT). The pool is divided into one segment per
+ * processor. Passes alternate: a write pass touches every block of the
+ * processor's own segment readsPerBlock times with writes; a read pass
+ * picks another processor's segment and reads it the same way.
+ */
+class AllToAllModel : public SharedModel
+{
+  public:
+    AllToAllModel(const WorkloadConfig &cfg, NodeId proc)
+        : knobs_(cfg.knobs), procs_(cfg.procs), self_(proc),
+          segBlocks_(std::max<Count>(1, cfg.knobs.poolBlocks / cfg.procs))
+    {}
+
+    SharedAccess
+    next(Rng &rng) override
+    {
+        if (accessesLeft_ == 0)
+            startPass(rng);
+        --accessesLeft_;
+
+        if (blockAccessesLeft_ == 0) {
+            ++blockInSeg_;
+            blockAccessesLeft_ = drawPerBlock(rng, knobs_.readsPerBlock);
+        }
+        --blockAccessesLeft_;
+
+        SharedAccess access;
+        access.blockIndex =
+            target_ * segBlocks_ + (blockInSeg_ % segBlocks_);
+        access.isWrite = writing_;
+        return access;
+    }
+
+  private:
+    void
+    startPass(Rng &rng)
+    {
+        writing_ = !writing_;
+        if (writing_) {
+            target_ = self_;
+        } else if (procs_ > 1) {
+            target_ = static_cast<NodeId>(
+                rng.nextBounded(procs_ - 1));
+            if (target_ >= self_)
+                ++target_;
+        } else {
+            target_ = self_;
+        }
+        blockInSeg_ = 0;
+        blockAccessesLeft_ = drawPerBlock(rng, knobs_.readsPerBlock);
+        accessesLeft_ = std::max<Count>(
+            1, static_cast<Count>(static_cast<double>(segBlocks_) *
+                                  knobs_.readsPerBlock));
+    }
+
+    PatternKnobs knobs_;
+    unsigned procs_;
+    NodeId self_;
+    Count segBlocks_;
+    NodeId target_ = 0;
+    bool writing_ = false; // flipped to true by the first startPass
+    Count accessesLeft_ = 0;
+    Count blockInSeg_ = 0;
+    unsigned blockAccessesLeft_ = 0;
+};
+
+/**
+ * Near-neighbor grid sweeps (WEATHER, SIMPLE). Each processor owns a
+ * band larger than the cache and sweeps it cyclically, touching each
+ * block readsPerBlock times (capacity misses dominate). writeProb is
+ * the expected number of writes per block visit. With probability
+ * auxProb an access instead reads a boundary block of an adjacent
+ * processor's band.
+ */
+class SweepNeighborModel : public SharedModel
+{
+  public:
+    static constexpr Count boundaryBlocks = 64;
+
+    SweepNeighborModel(const WorkloadConfig &cfg, NodeId proc)
+        : knobs_(cfg.knobs), procs_(cfg.procs), self_(proc),
+          bandBlocks_(std::max<Count>(1, cfg.knobs.poolBlocks / cfg.procs))
+    {}
+
+    SharedAccess
+    next(Rng &rng) override
+    {
+        if (knobs_.auxProb > 0.0 && rng.chance(knobs_.auxProb))
+            return boundaryRead(rng);
+
+        if (blockAccessesLeft_ == 0) {
+            cursor_ = (cursor_ + 1) % bandBlocks_;
+            blockAccessesLeft_ = drawPerBlock(rng, knobs_.readsPerBlock);
+        }
+        --blockAccessesLeft_;
+
+        SharedAccess access;
+        access.blockIndex = self_ * bandBlocks_ + cursor_;
+        access.isWrite =
+            rng.chance(knobs_.writeProb / knobs_.readsPerBlock);
+        return access;
+    }
+
+  private:
+    SharedAccess
+    boundaryRead(Rng &rng)
+    {
+        NodeId neighbor;
+        if (procs_ == 1) {
+            neighbor = self_;
+        } else if (rng.chance(0.5)) {
+            neighbor = (self_ + 1) % procs_;
+        } else {
+            neighbor = (self_ + procs_ - 1) % procs_;
+        }
+        Count zone = std::min(boundaryBlocks, bandBlocks_);
+        Count off;
+        if (rng.chance(0.5)) {
+            off = rng.nextBounded(zone); // leading edge
+        } else {
+            off = bandBlocks_ - 1 - rng.nextBounded(zone);
+        }
+        SharedAccess access;
+        access.blockIndex = neighbor * bandBlocks_ + off;
+        access.isWrite = false;
+        return access;
+    }
+
+    PatternKnobs knobs_;
+    unsigned procs_;
+    NodeId self_;
+    Count bandBlocks_;
+    Count cursor_ = 0;
+    unsigned blockAccessesLeft_ = 0;
+};
+
+} // namespace
+
+std::unique_ptr<SharedModel>
+makeSharedModel(const WorkloadConfig &cfg, NodeId proc)
+{
+    if (proc >= cfg.procs)
+        panic("makeSharedModel: proc %u out of range", proc);
+    switch (cfg.pattern) {
+      case SharingPattern::ObjectEpisode:
+        return std::make_unique<ObjectEpisodeModel>(cfg, proc);
+      case SharingPattern::ProducerConsumer:
+        return std::make_unique<ProducerConsumerModel>(cfg, proc);
+      case SharingPattern::AllToAll:
+        return std::make_unique<AllToAllModel>(cfg, proc);
+      case SharingPattern::SweepNeighbor:
+        return std::make_unique<SweepNeighborModel>(cfg, proc);
+    }
+    panic("unknown sharing pattern");
+}
+
+} // namespace ringsim::trace

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Shared-data access pattern models.
+ *
+ * Each synthetic benchmark's read-write sharing behavior is produced
+ * by one of these models (DESIGN.md §2 maps benchmarks to patterns).
+ * A model is per-processor state that emits a sequence of (shared
+ * block index, is-write) pairs; the generator turns indices into
+ * addresses. Models are deliberately simple state machines whose knobs
+ * (PatternKnobs) steer the miss rate, write fraction and sharing style
+ * toward the paper's Table 2 values.
+ */
+
+#ifndef RINGSIM_TRACE_PATTERNS_HPP
+#define RINGSIM_TRACE_PATTERNS_HPP
+
+#include <cstdint>
+#include <memory>
+
+#include "trace/workload.hpp"
+#include "util/rng.hpp"
+#include "util/units.hpp"
+
+namespace ringsim::trace {
+
+/** One shared-data access produced by a pattern model. */
+struct SharedAccess
+{
+    std::uint64_t blockIndex = 0; //!< index into the shared pool
+    bool isWrite = false;
+};
+
+/** Per-processor generator of shared accesses. */
+class SharedModel
+{
+  public:
+    virtual ~SharedModel() = default;
+
+    /** Produce the next shared access for this processor. */
+    virtual SharedAccess next(Rng &rng) = 0;
+};
+
+/**
+ * Instantiate the pattern model configured in @p cfg for processor
+ * @p proc. The returned model is independent of all other processors'
+ * models (cross-processor sharing emerges from overlapping indices).
+ */
+std::unique_ptr<SharedModel> makeSharedModel(const WorkloadConfig &cfg,
+                                             NodeId proc);
+
+} // namespace ringsim::trace
+
+#endif // RINGSIM_TRACE_PATTERNS_HPP

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * The unit of trace-driven simulation: one memory reference.
+ */
+
+#ifndef RINGSIM_TRACE_RECORD_HPP
+#define RINGSIM_TRACE_RECORD_HPP
+
+#include <cstdint>
+
+#include "util/units.hpp"
+
+namespace ringsim::trace {
+
+/** Reference type. */
+enum class Op : std::uint8_t {
+    Read,  //!< data load
+    Write, //!< data store
+    Instr, //!< instruction fetch (never misses, per Section 4.1)
+};
+
+/** Printable name of an op. */
+inline const char *
+opName(Op op)
+{
+    switch (op) {
+      case Op::Read:
+        return "R";
+      case Op::Write:
+        return "W";
+      case Op::Instr:
+        return "I";
+    }
+    return "?";
+}
+
+/** One memory reference of one processor. */
+struct TraceRecord
+{
+    Op op = Op::Read;
+    Addr addr = 0;
+
+    bool isData() const { return op != Op::Instr; }
+    bool isWrite() const { return op == Op::Write; }
+};
+
+} // namespace ringsim::trace
+
+#endif // RINGSIM_TRACE_RECORD_HPP

@@ -1,0 +1,15 @@
+#include "stream.hpp"
+
+namespace ringsim::trace {
+
+std::vector<TraceRecord>
+drain(RefStream &stream, size_t limit)
+{
+    std::vector<TraceRecord> out;
+    TraceRecord rec;
+    while (out.size() < limit && stream.next(rec))
+        out.push_back(rec);
+    return out;
+}
+
+} // namespace ringsim::trace

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Per-processor reference streams.
+ *
+ * A trace for an N-processor run is N independent streams, one per
+ * CPU; the simulator interleaves them by timing (the functional
+ * engines interleave round-robin). Streams are lazy so multi-million
+ * reference runs need no trace storage.
+ */
+
+#ifndef RINGSIM_TRACE_STREAM_HPP
+#define RINGSIM_TRACE_STREAM_HPP
+
+#include <memory>
+#include <vector>
+
+#include "trace/record.hpp"
+
+namespace ringsim::trace {
+
+/** A lazily-produced sequence of references for one processor. */
+class RefStream
+{
+  public:
+    virtual ~RefStream() = default;
+
+    /**
+     * Produce the next reference.
+     * @return false when the stream is exhausted (@p out untouched).
+     */
+    virtual bool next(TraceRecord &out) = 0;
+};
+
+/** A stream over a pre-materialized vector (tests, file replay). */
+class VectorStream : public RefStream
+{
+  public:
+    explicit VectorStream(std::vector<TraceRecord> records)
+        : records_(std::move(records))
+    {}
+
+    bool
+    next(TraceRecord &out) override
+    {
+        if (pos_ >= records_.size())
+            return false;
+        out = records_[pos_++];
+        return true;
+    }
+
+  private:
+    std::vector<TraceRecord> records_;
+    size_t pos_ = 0;
+};
+
+/** The full trace of a run: one stream per processor. */
+using TraceSet = std::vector<std::unique_ptr<RefStream>>;
+
+/** Materialize up to @p limit records of a stream (test helper). */
+std::vector<TraceRecord> drain(RefStream &stream,
+                               size_t limit = ~size_t(0));
+
+} // namespace ringsim::trace
+
+#endif // RINGSIM_TRACE_STREAM_HPP

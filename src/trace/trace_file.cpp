@@ -1,0 +1,144 @@
+#include "trace_file.hpp"
+
+#include <cstdio>
+#include <cstring>
+#include <memory>
+
+#include "util/logging.hpp"
+
+namespace ringsim::trace {
+
+namespace {
+
+constexpr char magic[4] = {'R', 'N', 'G', 'T'};
+constexpr std::uint32_t version = 1;
+
+struct FileCloser
+{
+    void operator()(std::FILE *f) const {
+        if (f)
+            std::fclose(f);
+    }
+};
+
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+
+bool
+writeAll(std::FILE *f, const void *data, size_t bytes)
+{
+    return std::fwrite(data, 1, bytes, f) == bytes;
+}
+
+bool
+readAll(std::FILE *f, void *data, size_t bytes)
+{
+    return std::fread(data, 1, bytes, f) == bytes;
+}
+
+} // namespace
+
+bool
+writeTraceFile(const std::string &path, const MaterializedTrace &trace)
+{
+    FilePtr f(std::fopen(path.c_str(), "wb"));
+    if (!f) {
+        warn("cannot open '%s' for writing", path.c_str());
+        return false;
+    }
+
+    auto procs = static_cast<std::uint32_t>(trace.size());
+    if (!writeAll(f.get(), magic, sizeof(magic)) ||
+        !writeAll(f.get(), &version, sizeof(version)) ||
+        !writeAll(f.get(), &procs, sizeof(procs))) {
+        warn("short write to '%s'", path.c_str());
+        return false;
+    }
+    for (const auto &stream : trace) {
+        std::uint64_t count = stream.size();
+        if (!writeAll(f.get(), &count, sizeof(count))) {
+            warn("short write to '%s'", path.c_str());
+            return false;
+        }
+    }
+    for (const auto &stream : trace) {
+        for (const TraceRecord &rec : stream) {
+            std::uint64_t addr = rec.addr;
+            auto op = static_cast<std::uint8_t>(rec.op);
+            if (!writeAll(f.get(), &addr, sizeof(addr)) ||
+                !writeAll(f.get(), &op, sizeof(op))) {
+                warn("short write to '%s'", path.c_str());
+                return false;
+            }
+        }
+    }
+    return true;
+}
+
+MaterializedTrace
+readTraceFile(const std::string &path)
+{
+    FilePtr f(std::fopen(path.c_str(), "rb"));
+    if (!f)
+        fatal("cannot open trace file '%s'", path.c_str());
+
+    char got_magic[4];
+    std::uint32_t got_version = 0;
+    std::uint32_t procs = 0;
+    if (!readAll(f.get(), got_magic, sizeof(got_magic)) ||
+        !readAll(f.get(), &got_version, sizeof(got_version)) ||
+        !readAll(f.get(), &procs, sizeof(procs))) {
+        fatal("trace file '%s': truncated header", path.c_str());
+    }
+    if (std::memcmp(got_magic, magic, sizeof(magic)) != 0)
+        fatal("trace file '%s': bad magic", path.c_str());
+    if (got_version != version) {
+        fatal("trace file '%s': version %u, expected %u", path.c_str(),
+              got_version, version);
+    }
+
+    std::vector<std::uint64_t> counts(procs);
+    for (std::uint32_t p = 0; p < procs; ++p) {
+        if (!readAll(f.get(), &counts[p], sizeof(counts[p])))
+            fatal("trace file '%s': truncated counts", path.c_str());
+    }
+
+    MaterializedTrace trace(procs);
+    for (std::uint32_t p = 0; p < procs; ++p) {
+        trace[p].reserve(counts[p]);
+        for (std::uint64_t i = 0; i < counts[p]; ++i) {
+            std::uint64_t addr = 0;
+            std::uint8_t op = 0;
+            if (!readAll(f.get(), &addr, sizeof(addr)) ||
+                !readAll(f.get(), &op, sizeof(op))) {
+                fatal("trace file '%s': truncated records", path.c_str());
+            }
+            if (op > static_cast<std::uint8_t>(Op::Instr))
+                fatal("trace file '%s': bad op %u", path.c_str(), op);
+            trace[p].push_back(
+                TraceRecord{static_cast<Op>(op), addr});
+        }
+    }
+    return trace;
+}
+
+TraceSet
+toStreams(MaterializedTrace trace)
+{
+    TraceSet set;
+    set.reserve(trace.size());
+    for (auto &records : trace)
+        set.push_back(std::make_unique<VectorStream>(std::move(records)));
+    return set;
+}
+
+MaterializedTrace
+materialize(TraceSet &set, size_t per_proc_limit)
+{
+    MaterializedTrace trace;
+    trace.reserve(set.size());
+    for (auto &stream : set)
+        trace.push_back(drain(*stream, per_proc_limit));
+    return trace;
+}
+
+} // namespace ringsim::trace

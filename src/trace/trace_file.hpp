@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Binary trace file I/O.
+ *
+ * Generated traces can be materialized to disk so a run can be
+ * repeated bit-exactly without re-generation, shared between tools, or
+ * inspected offline. Format: a fixed header (magic, version, processor
+ * count, per-processor record counts) followed by each processor's
+ * records packed as {u64 address, u8 op}.
+ */
+
+#ifndef RINGSIM_TRACE_TRACE_FILE_HPP
+#define RINGSIM_TRACE_TRACE_FILE_HPP
+
+#include <string>
+#include <vector>
+
+#include "trace/record.hpp"
+#include "trace/stream.hpp"
+
+namespace ringsim::trace {
+
+/** A fully materialized multi-processor trace. */
+using MaterializedTrace = std::vector<std::vector<TraceRecord>>;
+
+/**
+ * Write @p trace to @p path.
+ * @return true on success; false (with a warn) on I/O failure.
+ */
+bool writeTraceFile(const std::string &path,
+                    const MaterializedTrace &trace);
+
+/**
+ * Read a trace file written by writeTraceFile().
+ * fatal()s on malformed input; returns an empty trace only for an
+ * empty file written with zero processors.
+ */
+MaterializedTrace readTraceFile(const std::string &path);
+
+/** Wrap a materialized trace as a TraceSet of VectorStreams. */
+TraceSet toStreams(MaterializedTrace trace);
+
+/** Materialize every stream of @p set (drains the streams). */
+MaterializedTrace materialize(TraceSet &set,
+                              size_t per_proc_limit = ~size_t(0));
+
+} // namespace ringsim::trace
+
+#endif // RINGSIM_TRACE_TRACE_FILE_HPP

@@ -1,0 +1,283 @@
+#include "workload.hpp"
+
+#include <algorithm>
+#include <cctype>
+
+#include "util/logging.hpp"
+
+namespace ringsim::trace {
+
+const char *
+benchmarkName(Benchmark b)
+{
+    switch (b) {
+      case Benchmark::MP3D:
+        return "MP3D";
+      case Benchmark::WATER:
+        return "WATER";
+      case Benchmark::CHOLESKY:
+        return "CHOLESKY";
+      case Benchmark::FFT:
+        return "FFT";
+      case Benchmark::WEATHER:
+        return "WEATHER";
+      case Benchmark::SIMPLE:
+        return "SIMPLE";
+    }
+    return "?";
+}
+
+std::string
+WorkloadConfig::displayName() const
+{
+    return std::string(benchmarkName(benchmark)) + " " +
+           std::to_string(procs);
+}
+
+void
+WorkloadConfig::scale(double factor)
+{
+    if (factor <= 0.0)
+        fatal("workload scale factor must be positive");
+    dataRefsPerProc =
+        static_cast<Count>(static_cast<double>(dataRefsPerProc) * factor);
+    if (dataRefsPerProc == 0)
+        dataRefsPerProc = 1;
+}
+
+namespace {
+
+/**
+ * Fill the fields shared by all sizes of one benchmark; the
+ * per-size presets below override the mix fractions.
+ */
+WorkloadConfig
+baseConfig(Benchmark b, unsigned procs)
+{
+    WorkloadConfig cfg;
+    cfg.benchmark = b;
+    cfg.procs = procs;
+    return cfg;
+}
+
+} // namespace
+
+WorkloadConfig
+workloadPreset(Benchmark b, unsigned procs)
+{
+    WorkloadConfig cfg = baseConfig(b, procs);
+    bool splash = (b == Benchmark::MP3D || b == Benchmark::WATER ||
+                   b == Benchmark::CHOLESKY);
+    if (splash && procs != 8 && procs != 16 && procs != 32) {
+        fatal("%s presets exist for 8/16/32 processors, not %u",
+              benchmarkName(b), procs);
+    }
+    if (!splash && procs != 64) {
+        fatal("%s presets exist for 64 processors, not %u",
+              benchmarkName(b), procs);
+    }
+
+    switch (b) {
+      case Benchmark::MP3D:
+        // Migratory particle objects: bursts of read-modify-write on
+        // randomly chosen objects. High read-write sharing => many
+        // dirty misses and sharer invalidations.
+        cfg.pattern = SharingPattern::ObjectEpisode;
+        cfg.instrPerData = 2.0;
+        cfg.privateWriteFrac = 0.22;
+        cfg.knobs.unitBlocks = 4;
+        cfg.knobs.poolBlocks = static_cast<Count>(procs) * 96;
+        cfg.knobs.zipfAlpha = 0.0; // uniform object choice (migration)
+        cfg.knobs.auxProb = 0.85;  // most episodes modify (RMW)
+        if (procs == 8) {
+            cfg.sharedFrac = 0.338;
+            cfg.knobs.readsPerBlock = 10.0;
+            cfg.knobs.writeProb = 0.43;
+            cfg.privateMissFrac = 0.0015;
+            cfg.targets = {3.76, 7.51, 2.48, 1.27, 0.22, 0.33,
+                           0.0329, 0.0944};
+        } else if (procs == 16) {
+            cfg.sharedFrac = 0.363;
+            cfg.knobs.readsPerBlock = 8.0;
+            cfg.knobs.writeProb = 0.40;
+            cfg.privateMissFrac = 0.0019;
+            cfg.targets = {3.94, 8.23, 2.50, 1.43, 0.22, 0.30,
+                           0.0454, 0.1217};
+        } else {
+            cfg.sharedFrac = 0.448;
+            cfg.knobs.readsPerBlock = 2.8;
+            cfg.knobs.writeProb = 0.38;
+            cfg.privateMissFrac = 0.0098;
+            cfg.targets = {4.64, 11.16, 2.51, 2.08, 0.22, 0.21,
+                           0.1655, 0.3574};
+        }
+        break;
+
+      case Benchmark::WATER:
+        // Molecule data read by everyone, written rarely: low miss
+        // rates, invalidations mostly hit multiple sharers.
+        cfg.pattern = SharingPattern::ObjectEpisode;
+        cfg.instrPerData = 2.37;
+        cfg.privateWriteFrac = 0.18;
+        cfg.knobs.unitBlocks = 2;
+        cfg.knobs.poolBlocks = static_cast<Count>(procs) * 512;
+        cfg.knobs.zipfAlpha = 1.6; // Zipf-skewed molecule choice
+        cfg.knobs.auxProb = 0.12;  // write episodes are rare
+        if (procs == 8) {
+            cfg.sharedFrac = 0.136;
+            cfg.knobs.readsPerBlock = 22.0;
+            cfg.knobs.writeProb = 0.61;
+            cfg.privateMissFrac = 0.00026;
+            cfg.targets = {11.05, 25.89, 9.54, 1.50, 0.18, 0.07,
+                           0.0021, 0.0138};
+        } else if (procs == 16) {
+            cfg.sharedFrac = 0.159;
+            cfg.knobs.readsPerBlock = 18.0;
+            cfg.knobs.writeProb = 0.53;
+            cfg.privateMissFrac = 0.00036;
+            cfg.targets = {11.36, 27.15, 9.55, 1.81, 0.18, 0.06,
+                           0.0032, 0.0182};
+        } else {
+            cfg.sharedFrac = 0.175;
+            cfg.knobs.readsPerBlock = 9.0;
+            cfg.knobs.writeProb = 0.56;
+            cfg.privateMissFrac = 0.00075;
+            cfg.targets = {11.60, 28.12, 9.56, 2.03, 0.18, 0.06,
+                           0.0073, 0.0382};
+        }
+        break;
+
+      case Benchmark::CHOLESKY:
+        // Producer-consumer panels: a panel is factored (written) by
+        // one processor, then read by several.
+        cfg.pattern = SharingPattern::ProducerConsumer;
+        cfg.instrPerData = 2.4;
+        cfg.privateWriteFrac = 0.20;
+        cfg.knobs.unitBlocks = 8;
+        cfg.knobs.poolBlocks = static_cast<Count>(procs) * 4096;
+        cfg.knobs.zipfAlpha = 0.0; // panel reuse via affinity, not rank
+        cfg.knobs.writeProb = 1.0; // stores per block when producing
+        if (procs == 8) {
+            cfg.sharedFrac = 0.232;
+            cfg.knobs.readsPerBlock = 12.9;
+            cfg.knobs.auxProb = 0.68; // produce probability
+            cfg.privateMissFrac = 0.0055;
+            cfg.targets = {6.97, 15.00, 5.29, 1.62, 0.21, 0.14,
+                           0.0288, 0.1061};
+        } else if (procs == 16) {
+            // Growing working set: the panel pool rivals the cache,
+            // so capacity misses and consumer roll-outs appear.
+            cfg.sharedFrac = 0.286;
+            cfg.knobs.readsPerBlock = 4.6;
+            cfg.knobs.auxProb = 0.31;
+            cfg.privateMissFrac = 0.0099;
+            cfg.targets = {8.91, 21.26, 6.27, 2.55, 0.20, 0.09,
+                           0.0612, 0.1896};
+        } else {
+            // The 32-CPU run's shared miss rate is capacity-driven:
+            // the panel pool outgrows the cache and the panel choice
+            // flattens.
+            cfg.sharedFrac = 0.388;
+            cfg.knobs.poolBlocks = static_cast<Count>(procs) * 6144;
+            cfg.knobs.zipfAlpha = 0.0;
+            cfg.knobs.readsPerBlock = 1.3;
+            cfg.knobs.auxProb = 0.064;
+            cfg.privateMissFrac = 0.0228;
+            cfg.targets = {13.75, 37.84, 8.21, 5.33, 0.18, 0.05,
+                           0.1947, 0.4671};
+        }
+        break;
+
+      case Benchmark::FFT:
+        // Transpose-style all-to-all: write own segment, read a
+        // permuted other segment. Half the shared refs are writes.
+        cfg.pattern = SharingPattern::AllToAll;
+        cfg.instrPerData = 0.72;
+        cfg.privateWriteFrac = 0.27;
+        cfg.sharedFrac = 0.239;
+        cfg.knobs.unitBlocks = 0; // derived: poolBlocks / procs
+        cfg.knobs.poolBlocks = static_cast<Count>(procs) * 256;
+        cfg.knobs.readsPerBlock = 2.0; // passes touch each block twice
+        cfg.knobs.writeProb = 1.0;     // write passes are all-writes
+        cfg.privateMissFrac = 0.0080;
+        cfg.targets = {4.31, 3.12, 3.28, 1.03, 0.27, 0.50,
+                       0.0685, 0.2612};
+        break;
+
+      case Benchmark::WEATHER:
+        // Grid sweeps over a band larger than the cache plus
+        // neighbor-boundary reads: capacity-dominated clean misses.
+        cfg.pattern = SharingPattern::SweepNeighbor;
+        cfg.instrPerData = 0.87;
+        cfg.privateWriteFrac = 0.16;
+        cfg.sharedFrac = 0.161;
+        cfg.knobs.unitBlocks = 0; // derived: poolBlocks / procs
+        cfg.knobs.poolBlocks = static_cast<Count>(procs) * 16384;
+        cfg.knobs.readsPerBlock = 3.0;
+        cfg.knobs.writeProb = 0.57; // writes per block visit
+        cfg.knobs.auxProb = 0.04;   // boundary-read probability
+        cfg.privateMissFrac = 0.0034;
+        cfg.targets = {15.63, 13.64, 13.11, 2.52, 0.16, 0.19,
+                       0.0525, 0.3078};
+        break;
+
+      case Benchmark::SIMPLE:
+        cfg.pattern = SharingPattern::SweepNeighbor;
+        cfg.instrPerData = 0.83;
+        cfg.privateWriteFrac = 0.35;
+        cfg.sharedFrac = 0.290;
+        cfg.knobs.unitBlocks = 0;
+        cfg.knobs.poolBlocks = static_cast<Count>(procs) * 16384;
+        cfg.knobs.readsPerBlock = 2.0;
+        cfg.knobs.writeProb = 0.22;
+        cfg.knobs.auxProb = 0.06;
+        cfg.privateMissFrac = 0.0035;
+        cfg.targets = {14.02, 11.59, 9.94, 4.07, 0.35, 0.11,
+                       0.1597, 0.5416};
+        break;
+    }
+    return cfg;
+}
+
+std::vector<WorkloadConfig>
+allWorkloadPresets()
+{
+    std::vector<WorkloadConfig> all;
+    for (unsigned procs : {8u, 16u, 32u}) {
+        all.push_back(workloadPreset(Benchmark::MP3D, procs));
+    }
+    for (unsigned procs : {8u, 16u, 32u}) {
+        all.push_back(workloadPreset(Benchmark::WATER, procs));
+    }
+    for (unsigned procs : {8u, 16u, 32u}) {
+        all.push_back(workloadPreset(Benchmark::CHOLESKY, procs));
+    }
+    all.push_back(workloadPreset(Benchmark::FFT, 64));
+    all.push_back(workloadPreset(Benchmark::WEATHER, 64));
+    all.push_back(workloadPreset(Benchmark::SIMPLE, 64));
+    return all;
+}
+
+Benchmark
+benchmarkFromName(const std::string &name)
+{
+    std::string lower;
+    for (char c : name)
+        lower += static_cast<char>(std::tolower(c));
+    if (lower == "mp3d")
+        return Benchmark::MP3D;
+    if (lower == "water")
+        return Benchmark::WATER;
+    if (lower == "cholesky")
+        return Benchmark::CHOLESKY;
+    if (lower == "fft")
+        return Benchmark::FFT;
+    if (lower == "weather")
+        return Benchmark::WEATHER;
+    if (lower == "simple")
+        return Benchmark::SIMPLE;
+    fatal("unknown benchmark '%s' (want mp3d/water/cholesky/fft/"
+          "weather/simple)", name.c_str());
+}
+
+} // namespace ringsim::trace

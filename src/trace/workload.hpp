@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Benchmark workload descriptions.
+ *
+ * The paper drives its evaluation with captured traces of six programs
+ * (Table 2): MP3D, WATER and CHOLESKY from SPLASH at 8/16/32 CPUs, and
+ * FFT, WEATHER and SIMPLE at 64 CPUs (MIT traces). Those traces are
+ * not available, so each workload here is a *synthetic* generator
+ * parameterized to reproduce the Table 2 reference mix and the
+ * program's sharing pattern (see DESIGN.md §2). A WorkloadConfig fully
+ * describes one (benchmark, size) trace; presets for the paper's
+ * twelve combinations are in workloadPreset().
+ */
+
+#ifndef RINGSIM_TRACE_WORKLOAD_HPP
+#define RINGSIM_TRACE_WORKLOAD_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/units.hpp"
+
+namespace ringsim::trace {
+
+/** The six benchmarks of the paper. */
+enum class Benchmark { MP3D, WATER, CHOLESKY, FFT, WEATHER, SIMPLE };
+
+/** Printable benchmark name ("MP3D", ...). */
+const char *benchmarkName(Benchmark b);
+
+/** Sharing-pattern family implemented by the generators. */
+enum class SharingPattern {
+    ObjectEpisode,    //!< objects touched in bursts (MP3D migratory,
+                      //!< WATER read-mostly — knobs differ)
+    ProducerConsumer, //!< panels written once, read by many (CHOLESKY)
+    AllToAll,         //!< write own segment, read others' (FFT)
+    SweepNeighbor,    //!< big-band sweeps + boundary reads (WEATHER,
+                      //!< SIMPLE)
+};
+
+/** Knobs of a sharing-pattern generator. */
+struct PatternKnobs
+{
+    /** Total shared pool size in blocks (all units together). */
+    Count poolBlocks = 4096;
+
+    /** Blocks per unit (object / panel / segment / band). */
+    unsigned unitBlocks = 4;
+
+    /** Average accesses per block per episode (locality knob). */
+    double readsPerBlock = 4.0;
+
+    /** Per-access write probability (or produce-pass density). */
+    double writeProb = 0.2;
+
+    /**
+     * Pattern-specific secondary probability:
+     *  - ObjectEpisode: probability an episode is a *write* episode
+     *    (writes only occur inside write episodes, so readers
+     *    accumulate on a block between writers — the knob behind the
+     *    multi-sharer invalidation fractions of Table 1);
+     *  - ProducerConsumer: probability an episode produces;
+     *  - SweepNeighbor: probability an access reads a neighbor
+     *    boundary block.
+     */
+    double auxProb = 0.0;
+
+    /**
+     * Zipf skew of the object/panel choice (0 = uniform). Higher
+     * values concentrate episodes on a hot subset, raising reuse and
+     * lowering the shared miss rate (WATER, CHOLESKY).
+     */
+    double zipfAlpha = 0.0;
+};
+
+/** Paper-reported characteristics used as reproduction targets. */
+struct Table2Targets
+{
+    double dataRefsMillions = 0;
+    double instrRefsMillions = 0;
+    double privateRefsMillions = 0;
+    double sharedRefsMillions = 0;
+    double privateWriteFrac = 0;
+    double sharedWriteFrac = 0;
+    double totalMissRate = 0;  //!< fraction of data refs
+    double sharedMissRate = 0; //!< fraction of shared refs
+};
+
+/** Complete description of one synthetic workload. */
+struct WorkloadConfig
+{
+    Benchmark benchmark = Benchmark::MP3D;
+    unsigned procs = 8;
+
+    /** Data references each processor emits. */
+    Count dataRefsPerProc = 150'000;
+
+    /** Instruction references per data reference. */
+    double instrPerData = 2.0;
+
+    /** Fraction of data references to shared data. */
+    double sharedFrac = 0.3;
+
+    /** Write fraction of private data references. */
+    double privateWriteFrac = 0.2;
+
+    /** Private-stream miss steering (cold/streaming fraction). */
+    double privateMissFrac = 0.002;
+
+    /** Private working-set size in blocks. */
+    Count privateWorkingSet = 2048;
+
+    SharingPattern pattern = SharingPattern::ObjectEpisode;
+    PatternKnobs knobs;
+
+    /** Cache block size the addresses are laid out for. */
+    size_t blockBytes = 16;
+
+    /** Master seed; per-processor streams fork from it. */
+    std::uint64_t seed = 12345;
+
+    /** Paper values this preset aims at (for reporting only). */
+    Table2Targets targets;
+
+    /** "MP3D 16"-style display name. */
+    std::string displayName() const;
+
+    /** Multiply per-processor reference counts by @p factor. */
+    void scale(double factor);
+};
+
+/**
+ * The preset for one of the paper's twelve (benchmark, size)
+ * combinations. Valid sizes: 8/16/32 for the SPLASH programs,
+ * 64 for FFT/WEATHER/SIMPLE. fatal()s on an invalid combination.
+ */
+WorkloadConfig workloadPreset(Benchmark b, unsigned procs);
+
+/** All twelve paper combinations, in Table 2 order. */
+std::vector<WorkloadConfig> allWorkloadPresets();
+
+/** Parse "mp3d"/"water"/... (case-insensitive); fatal() on failure. */
+Benchmark benchmarkFromName(const std::string &name);
+
+} // namespace ringsim::trace
+
+#endif // RINGSIM_TRACE_WORKLOAD_HPP

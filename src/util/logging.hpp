@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Status and error reporting helpers in the gem5 idiom.
+ *
+ * panic()  — an internal invariant was violated (a ringsim bug); aborts.
+ * fatal()  — the user supplied an impossible configuration; exits with 1.
+ * warn()   — something is suspicious but the run can continue.
+ * inform() — progress/status information.
+ */
+
+#ifndef RINGSIM_UTIL_LOGGING_HPP
+#define RINGSIM_UTIL_LOGGING_HPP
+
+#include <cstdarg>
+#include <string>
+
+namespace ringsim {
+
+/** Verbosity levels accepted by setLogLevel(). */
+enum class LogLevel { Silent, Warn, Inform, Debug };
+
+/** Set the global verbosity; messages below the level are suppressed. */
+void setLogLevel(LogLevel level);
+
+/** Current global verbosity. */
+LogLevel logLevel();
+
+/**
+ * Report an internal invariant violation and abort.
+ *
+ * @param fmt printf-style format of the diagnostic message.
+ */
+[[noreturn]] void panic(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/**
+ * Report an unrecoverable user/configuration error and exit(1).
+ *
+ * @param fmt printf-style format of the diagnostic message.
+ */
+[[noreturn]] void fatal(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Emit a warning to stderr (suppressed at LogLevel::Silent). */
+void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Emit a status message to stderr (needs LogLevel::Inform or higher). */
+void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Emit a debug message to stderr (needs LogLevel::Debug). */
+void debug(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** printf into a std::string. */
+std::string strprintf(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+} // namespace ringsim
+
+#endif // RINGSIM_UTIL_LOGGING_HPP

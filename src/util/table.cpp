@@ -1,0 +1,104 @@
+#include "table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "logging.hpp"
+
+namespace ringsim {
+
+TextTable::TextTable(std::vector<std::string> headers)
+    : headers_(std::move(headers))
+{
+    if (headers_.empty())
+        panic("TextTable requires at least one column");
+}
+
+void
+TextTable::addRow(std::vector<std::string> cells)
+{
+    if (cells.size() != headers_.size()) {
+        panic("TextTable row has %zu cells, expected %zu", cells.size(),
+              headers_.size());
+    }
+    rows_.push_back(std::move(cells));
+}
+
+void
+TextTable::print(std::ostream &os) const
+{
+    std::vector<size_t> widths(headers_.size());
+    for (size_t c = 0; c < headers_.size(); ++c)
+        widths[c] = headers_[c].size();
+    for (const auto &row : rows_)
+        for (size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+
+    auto print_row = [&](const std::vector<std::string> &row) {
+        for (size_t c = 0; c < row.size(); ++c) {
+            os << (c == 0 ? "| " : " | ");
+            os << row[c];
+            os << std::string(widths[c] - row[c].size(), ' ');
+        }
+        os << " |\n";
+    };
+
+    auto print_rule = [&]() {
+        for (size_t c = 0; c < widths.size(); ++c) {
+            os << (c == 0 ? "+-" : "-+-");
+            os << std::string(widths[c], '-');
+        }
+        os << "-+\n";
+    };
+
+    print_rule();
+    print_row(headers_);
+    print_rule();
+    for (const auto &row : rows_)
+        print_row(row);
+    print_rule();
+}
+
+void
+TextTable::printCsv(std::ostream &os) const
+{
+    auto quote = [](const std::string &s) {
+        if (s.find_first_of(",\"\n") == std::string::npos)
+            return s;
+        std::string out = "\"";
+        for (char ch : s) {
+            if (ch == '"')
+                out += '"';
+            out += ch;
+        }
+        out += '"';
+        return out;
+    };
+
+    auto print_row = [&](const std::vector<std::string> &row) {
+        for (size_t c = 0; c < row.size(); ++c) {
+            if (c)
+                os << ',';
+            os << quote(row[c]);
+        }
+        os << '\n';
+    };
+
+    print_row(headers_);
+    for (const auto &row : rows_)
+        print_row(row);
+}
+
+std::string
+fmtDouble(double v, int decimals)
+{
+    return strprintf("%.*f", decimals, v);
+}
+
+std::string
+fmtPercent(double fraction, int decimals)
+{
+    return strprintf("%.*f", decimals, fraction * 100.0);
+}
+
+} // namespace ringsim

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Plain-text table and CSV rendering for benchmark output.
+ *
+ * Every bench binary reproduces a table or figure from the paper; this
+ * helper renders aligned ASCII tables (for humans) and CSV (for
+ * plotting the figure series).
+ */
+
+#ifndef RINGSIM_UTIL_TABLE_HPP
+#define RINGSIM_UTIL_TABLE_HPP
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace ringsim {
+
+/**
+ * A growable table of string cells with a header row, rendered with
+ * per-column alignment.
+ */
+class TextTable
+{
+  public:
+    /** Create a table with the given column headers. */
+    explicit TextTable(std::vector<std::string> headers);
+
+    /** Append a row; must have exactly as many cells as headers. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Number of data rows. */
+    size_t rows() const { return rows_.size(); }
+
+    /** Number of columns. */
+    size_t columns() const { return headers_.size(); }
+
+    /** Render as an aligned ASCII table. */
+    void print(std::ostream &os) const;
+
+    /** Render as CSV (RFC-4180-style quoting where needed). */
+    void printCsv(std::ostream &os) const;
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/** Format a double with the given number of decimals. */
+std::string fmtDouble(double v, int decimals = 2);
+
+/** Format a fraction in [0,1] as a percentage string, e.g. "42.3". */
+std::string fmtPercent(double fraction, int decimals = 1);
+
+} // namespace ringsim
+
+#endif // RINGSIM_UTIL_TABLE_HPP

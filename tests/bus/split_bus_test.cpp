@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Unit tests for the split-transaction bus model.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/bus/split_bus.hpp"
+
+namespace ringsim::bus {
+namespace {
+
+TEST(BusConfig, PaperCheckValues)
+{
+    BusConfig c; // 64-bit, 16-byte blocks
+    c.validate();
+    EXPECT_EQ(c.dataCycles(), 2u);
+    EXPECT_EQ(c.responseCycles(), 4u);
+    EXPECT_EQ(c.missCycles(), 6u)
+        << "paper: minimum six bus cycles per remote miss";
+}
+
+TEST(BusConfig, WiderBlocksNeedMoreCycles)
+{
+    BusConfig c;
+    c.blockBytes = 64;
+    EXPECT_EQ(c.dataCycles(), 8u);
+    c.widthBits = 32;
+    EXPECT_EQ(c.dataCycles(), 16u);
+}
+
+TEST(BusConfigDeathTest, Validation)
+{
+    BusConfig c;
+    c.widthBits = 12;
+    EXPECT_EXIT(c.validate(), testing::ExitedWithCode(1), "width");
+    c = BusConfig{};
+    c.nodes = 0;
+    EXPECT_EXIT(c.validate(), testing::ExitedWithCode(1), "node");
+}
+
+class SplitBusTest : public ::testing::Test
+{
+  protected:
+    SplitBusTest() : bus_(kernel_, BusConfig{}) {}
+
+    sim::Kernel kernel_;
+    SplitBus bus_;
+};
+
+TEST_F(SplitBusTest, SingleTenureTiming)
+{
+    Tick start = 0, end = 0;
+    bus_.request(0, 2, [&](Tick s, Tick e) {
+        start = s;
+        end = e;
+    });
+    kernel_.run();
+    // One arbitration cycle, then two transfer cycles.
+    EXPECT_EQ(start, 1u * 20000u);
+    EXPECT_EQ(end, 3u * 20000u);
+    EXPECT_EQ(bus_.tenures(), 1u);
+    EXPECT_EQ(bus_.busyTime(), 2u * 20000u);
+}
+
+TEST_F(SplitBusTest, FcfsOrderAndNoOverlap)
+{
+    std::vector<std::pair<Tick, Tick>> grants;
+    for (NodeId n = 0; n < 4; ++n) {
+        bus_.request(n, 2, [&](Tick s, Tick e) {
+            grants.emplace_back(s, e);
+        });
+    }
+    kernel_.run();
+    ASSERT_EQ(grants.size(), 4u);
+    for (size_t i = 1; i < grants.size(); ++i)
+        EXPECT_GE(grants[i].first, grants[i - 1].second)
+            << "tenure " << i << " overlaps its predecessor";
+}
+
+TEST_F(SplitBusTest, QueueDelayGrowsUnderLoad)
+{
+    for (int i = 0; i < 8; ++i)
+        bus_.request(0, 4, [](Tick, Tick) {});
+    kernel_.run();
+    EXPECT_GT(bus_.meanQueueDelay(), 0.0);
+    EXPECT_EQ(bus_.tenures(), 8u);
+}
+
+TEST_F(SplitBusTest, LateRequestAlignsToClockEdge)
+{
+    Tick start = 0;
+    kernel_.post(12345, [&]() {
+        bus_.request(1, 1, [&](Tick s, Tick) { start = s; });
+    });
+    kernel_.run();
+    EXPECT_EQ(start % 20000u, 0u) << "grants align to bus clock edges";
+    EXPECT_GE(start, 12345u + 20000u) << "arbitration delay applies";
+}
+
+TEST_F(SplitBusTest, UtilizationAndReset)
+{
+    bus_.request(0, 5, [](Tick, Tick) {});
+    kernel_.run();
+    EXPECT_GT(bus_.utilization(), 0.0);
+    bus_.resetStats();
+    EXPECT_EQ(bus_.busyTime(), 0u);
+    EXPECT_EQ(bus_.utilization(), 0.0);
+}
+
+TEST_F(SplitBusTest, BackToBackChaining)
+{
+    // A completion callback can issue the follow-up tenure (the
+    // split-transaction response path).
+    Tick response_end = 0;
+    bus_.request(0, 2, [&](Tick, Tick) {
+        bus_.request(1, 4, [&](Tick, Tick e) { response_end = e; });
+    });
+    kernel_.run();
+    EXPECT_GT(response_end, 0u);
+    EXPECT_EQ(bus_.tenures(), 2u);
+}
+
+TEST_F(SplitBusTest, DeathOnBadRequests)
+{
+    EXPECT_DEATH(bus_.request(99, 1, [](Tick, Tick) {}),
+                 "out-of-range");
+    EXPECT_DEATH(bus_.request(0, 0, [](Tick, Tick) {}), "zero");
+}
+
+} // namespace
+} // namespace ringsim::bus

@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Unit tests for the coherence invariant checker.
+ */
+
+#include <gtest/gtest.h>
+
+#include "src/cache/checker.hpp"
+
+namespace ringsim::cache {
+namespace {
+
+constexpr Addr blk = 0x1000;
+
+TEST(Checker, ReadersAccumulate)
+{
+    CoherenceChecker ck(4);
+    ck.readFill(0, blk, true);
+    ck.readFill(1, blk, true);
+    EXPECT_TRUE(ck.holds(0, blk));
+    EXPECT_TRUE(ck.holds(1, blk));
+    EXPECT_EQ(ck.sharerCount(blk), 2u);
+    EXPECT_EQ(ck.writer(blk), invalidNode);
+}
+
+TEST(Checker, WriteFillTakesOwnership)
+{
+    CoherenceChecker ck(4);
+    ck.writeFill(2, blk);
+    EXPECT_TRUE(ck.holdsExclusive(2, blk));
+    EXPECT_EQ(ck.writer(blk), 2u);
+    EXPECT_EQ(ck.totalWrites(), 1u);
+}
+
+TEST(Checker, WriteHitBumpsVersion)
+{
+    CoherenceChecker ck(2);
+    ck.writeFill(0, blk);
+    ck.writeHit(0, blk);
+    ck.writeHit(0, blk);
+    EXPECT_EQ(ck.totalWrites(), 3u);
+}
+
+TEST(Checker, DowngradeMakesMemoryFresh)
+{
+    CoherenceChecker ck(2);
+    ck.writeFill(0, blk);
+    ck.downgrade(0, blk);
+    // Memory was refreshed: a clean fill now observes the latest
+    // version.
+    ck.readFill(1, blk, true);
+    EXPECT_EQ(ck.sharerCount(blk), 2u);
+}
+
+TEST(Checker, WritebackReleasesOwnership)
+{
+    CoherenceChecker ck(2);
+    ck.writeFill(0, blk);
+    ck.writeback(0, blk);
+    EXPECT_EQ(ck.writer(blk), invalidNode);
+    ck.readFill(1, blk, true); // memory fresh after write-back
+}
+
+TEST(Checker, UpgradeSequence)
+{
+    CoherenceChecker ck(3);
+    ck.readFill(0, blk, true);
+    ck.readFill(1, blk, true);
+    // Node 1 upgrades: others drop, then it write-fills.
+    ck.drop(0, blk);
+    ck.writeFill(1, blk);
+    EXPECT_TRUE(ck.holdsExclusive(1, blk));
+    EXPECT_FALSE(ck.holds(0, blk));
+}
+
+TEST(CheckerDeathTest, StaleCleanFillCaught)
+{
+    CoherenceChecker ck(3);
+    ck.writeFill(0, blk);
+    // Node 0 silently loses WE without writing back: a later clean
+    // fill would read stale memory.
+    EXPECT_DEATH(
+        {
+            CoherenceChecker bad(3);
+            bad.writeFill(0, blk);
+            bad.readFill(1, blk, true);
+        },
+        "dirty copy");
+}
+
+TEST(CheckerDeathTest, SecondWriterCaught)
+{
+    EXPECT_DEATH(
+        {
+            CoherenceChecker ck(3);
+            ck.writeFill(0, blk);
+            ck.writeFill(1, blk);
+        },
+        "WE");
+}
+
+TEST(CheckerDeathTest, WriterWithReadersCaught)
+{
+    EXPECT_DEATH(
+        {
+            CoherenceChecker ck(3);
+            ck.readFill(0, blk, true);
+            ck.writeFill(1, blk);
+        },
+        "RS copies remain");
+}
+
+TEST(CheckerDeathTest, DropOfDirtyCopyCaught)
+{
+    EXPECT_DEATH(
+        {
+            CoherenceChecker ck(2);
+            ck.writeFill(0, blk);
+            ck.drop(0, blk);
+        },
+        "write-back");
+}
+
+TEST(CheckerDeathTest, VersionSkewCaught)
+{
+    EXPECT_DEATH(
+        {
+            CoherenceChecker ck(2);
+            ck.writeFill(0, blk);
+            ck.downgrade(0, blk);
+            ck.drop(0, blk);
+            // Another write without the reader observing it...
+            ck.writeFill(0, blk);
+            ck.downgrade(0, blk);
+            ck.drop(0, blk);
+            // ...is fine; but pretending memory still has version 1
+            // while the block was written again must be caught. We
+            // simulate that by a stale-memory fill path: write, drop
+            // without downgrade.
+            ck.writeFill(1, blk);
+            ck.readFill(0, blk, true);
+        },
+        "");
+}
+
+TEST(CheckerDeathTest, RejectsHugeSystems)
+{
+    EXPECT_EXIT(CoherenceChecker ck(65), testing::ExitedWithCode(1),
+                "1..64");
+}
+
+TEST(Checker, ChecksCounted)
+{
+    CoherenceChecker ck(2);
+    ck.readFill(0, blk, true);
+    ck.drop(0, blk);
+    EXPECT_GE(ck.checksPerformed(), 2u);
+}
+
+} // namespace
+} // namespace ringsim::cache

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Unit tests for the dual-directory (snoop tag mirror) model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "src/cache/dual_directory.hpp"
+
+namespace ringsim::cache {
+namespace {
+
+TEST(DualDirectory, BanksByBlockParity)
+{
+    Geometry g;
+    DualDirectory dd(g, 2);
+    EXPECT_EQ(dd.banks(), 2u);
+    EXPECT_EQ(dd.bank(0x000), 0u); // block 0
+    EXPECT_EQ(dd.bank(0x010), 1u); // block 1
+    EXPECT_EQ(dd.bank(0x020), 0u); // block 2
+    EXPECT_EQ(dd.bank(0x01f), 1u); // still block 1
+}
+
+TEST(DualDirectory, TracksInterArrivalPerBank)
+{
+    Geometry g;
+    DualDirectory dd(g, 2);
+    EXPECT_EQ(dd.lookup(0x000, 100), 0u) << "first lookup has no gap";
+    EXPECT_EQ(dd.lookup(0x010, 110), 0u) << "other bank, first lookup";
+    EXPECT_EQ(dd.lookup(0x000, 140), 40u);
+    EXPECT_EQ(dd.lookup(0x010, 160), 50u);
+    EXPECT_EQ(dd.minInterArrival(), 40u);
+    EXPECT_EQ(dd.totalLookups(), 4u);
+    EXPECT_EQ(dd.bankLookups(0), 2u);
+    EXPECT_EQ(dd.bankLookups(1), 2u);
+}
+
+TEST(DualDirectory, MinGapTracksSmallest)
+{
+    Geometry g;
+    DualDirectory dd(g, 2);
+    dd.lookup(0x000, 0);
+    dd.lookup(0x000, 100);
+    dd.lookup(0x000, 120);
+    EXPECT_EQ(dd.minInterArrival(), 20u);
+}
+
+TEST(DualDirectoryDeathTest, OutOfOrderPanics)
+{
+    Geometry g;
+    DualDirectory dd(g, 2);
+    dd.lookup(0x000, 100);
+    EXPECT_DEATH(dd.lookup(0x000, 50), "order");
+}
+
+TEST(DualDirectoryDeathTest, BankRangePanics)
+{
+    Geometry g;
+    DualDirectory dd(g, 2);
+    EXPECT_DEATH(dd.bankLookups(2), "range");
+}
+
+} // namespace
+} // namespace ringsim::cache

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Unit tests for cache geometry math.
+ */
+
+#include <gtest/gtest.h>
+
+#include "src/cache/geometry.hpp"
+
+namespace ringsim::cache {
+namespace {
+
+TEST(Geometry, PaperDefaults)
+{
+    Geometry g;
+    g.validate();
+    EXPECT_EQ(g.sizeBytes, 128u * 1024u);
+    EXPECT_EQ(g.blockBytes, 16u);
+    EXPECT_EQ(g.assoc, 1u);
+    EXPECT_EQ(g.blocks(), 8192u);
+    EXPECT_EQ(g.sets(), 8192u);
+}
+
+TEST(Geometry, BlockMath)
+{
+    Geometry g;
+    EXPECT_EQ(g.blockNumber(0x100), 0x10u);
+    EXPECT_EQ(g.blockBase(0x10f), 0x100u);
+    EXPECT_EQ(g.blockBase(0x100), 0x100u);
+}
+
+TEST(Geometry, SetIndexWraps)
+{
+    Geometry g;
+    Addr a = 0x100;
+    Addr b = a + g.sets() * g.blockBytes;
+    EXPECT_EQ(g.setIndex(a), g.setIndex(b));
+    EXPECT_NE(g.tag(a), g.tag(b));
+}
+
+TEST(Geometry, TagRoundTrip)
+{
+    Geometry g;
+    for (Addr a : {Addr(0), Addr(0x12340), Addr(0x40'0001'0000ULL)}) {
+        Addr base = g.blockBase(a);
+        EXPECT_EQ(g.blockFromTag(g.tag(a), g.setIndex(a)), base);
+    }
+}
+
+TEST(Geometry, Associative)
+{
+    Geometry g;
+    g.assoc = 4;
+    g.validate();
+    EXPECT_EQ(g.sets(), 2048u);
+}
+
+TEST(GeometryDeathTest, RejectsBadShapes)
+{
+    Geometry g;
+    g.blockBytes = 24;
+    EXPECT_EXIT(g.validate(), testing::ExitedWithCode(1),
+                "power of two");
+    g = Geometry{};
+    g.assoc = 0;
+    EXPECT_EXIT(g.validate(), testing::ExitedWithCode(1),
+                "associativity");
+}
+
+} // namespace
+} // namespace ringsim::cache

@@ -1,0 +1,174 @@
+/**
+ * @file
+ * Unit tests for ring-traversal arithmetic, including the paper's
+ * Figure 2 scenario.
+ */
+
+#include <gtest/gtest.h>
+
+#include "src/coherence/classify.hpp"
+
+namespace ringsim::coherence {
+namespace {
+
+TEST(HopDist, Basics)
+{
+    EXPECT_EQ(hopDist(16, 2, 13), 11u);
+    EXPECT_EQ(hopDist(16, 13, 2), 5u);
+    EXPECT_EQ(hopDist(16, 5, 5), 0u);
+    EXPECT_EQ(hopDist(16, 15, 0), 1u);
+}
+
+TEST(HopDist, RoundTripIsRingSize)
+{
+    for (unsigned n : {4u, 8u, 16u, 64u}) {
+        for (NodeId a = 0; a < n; ++a) {
+            for (NodeId b = 0; b < n; ++b) {
+                if (a != b) {
+                    EXPECT_EQ(hopDist(n, a, b) + hopDist(n, b, a), n);
+                }
+            }
+        }
+    }
+}
+
+TEST(TraversalsOf, ExactMultiples)
+{
+    EXPECT_EQ(traversalsOf(16, 0), 0u);
+    EXPECT_EQ(traversalsOf(16, 16), 1u);
+    EXPECT_EQ(traversalsOf(16, 32), 2u);
+}
+
+TEST(TraversalsOfDeathTest, NonMultiplePanics)
+{
+    EXPECT_DEATH(traversalsOf(16, 5), "whole number");
+}
+
+TEST(ClassifyDirMiss, CleanRemoteIsOneTraversal)
+{
+    // Any requester/home pair: r -> h -> r is exactly one loop.
+    for (NodeId r = 0; r < 16; ++r) {
+        for (NodeId h = 0; h < 16; ++h) {
+            if (r == h)
+                continue;
+            DirMiss dm = classifyDirMiss(16, r, h, false, invalidNode,
+                                         false);
+            EXPECT_EQ(dm.traversals, 1u);
+            EXPECT_EQ(dm.cls, DirMissClass::Clean1);
+            EXPECT_EQ(dm.probeHops + dm.blockHops, 16u);
+        }
+    }
+}
+
+TEST(ClassifyDirMiss, CleanLocalIsFree)
+{
+    DirMiss dm = classifyDirMiss(16, 3, 3, false, invalidNode, false);
+    EXPECT_EQ(dm.traversals, 0u);
+    EXPECT_EQ(dm.cls, DirMissClass::Local);
+    EXPECT_EQ(dm.probeHops, 0u);
+    EXPECT_EQ(dm.blockHops, 0u);
+}
+
+TEST(ClassifyDirMiss, PaperFigure2Scenario)
+{
+    // Figure 2(b): requester P2, home P13, dirty node P7 on a 16-node
+    // ring. The dirty node is on the home->requester segment going
+    // h -> d -> r, so the chain needs two traversals.
+    DirMiss dm = classifyDirMiss(16, 2, 13, true, 7, false);
+    EXPECT_EQ(dm.traversals, 2u);
+    EXPECT_EQ(dm.cls, DirMissClass::Two);
+}
+
+TEST(ClassifyDirMiss, DirtyDownstreamOfHomeIsOneTraversal)
+{
+    // Dirty node between home and requester (downstream): one loop.
+    // r=2, h=5, d=10: 3 + 5 + 8 = 16.
+    DirMiss dm = classifyDirMiss(16, 2, 5, true, 10, false);
+    EXPECT_EQ(dm.traversals, 1u);
+    EXPECT_EQ(dm.cls, DirMissClass::Dirty1);
+}
+
+TEST(ClassifyDirMiss, DirtyOnRequestPathIsTwoTraversals)
+{
+    // Dirty node between requester and home (on the r->h path):
+    // r=2, h=10, d=5: 8 + 11 + 13 = 32.
+    DirMiss dm = classifyDirMiss(16, 2, 10, true, 5, false);
+    EXPECT_EQ(dm.traversals, 2u);
+}
+
+TEST(ClassifyDirMiss, SymmetryClaim)
+{
+    // Section 3.3: if P2 and P7 share a block read-write, one of the
+    // two always pays the extra traversal regardless of the home.
+    for (NodeId h = 0; h < 16; ++h) {
+        if (h == 2 || h == 7)
+            continue;
+        unsigned t27 = classifyDirMiss(16, 2, h, true, 7, false)
+                           .traversals;
+        unsigned t72 = classifyDirMiss(16, 7, h, true, 2, false)
+                           .traversals;
+        EXPECT_EQ(t27 + t72, 3u) << "home " << h;
+    }
+}
+
+TEST(ClassifyDirMiss, MulticastAddsATraversal)
+{
+    DirMiss dm = classifyDirMiss(16, 2, 13, false, invalidNode, true);
+    EXPECT_EQ(dm.traversals, 2u);
+    EXPECT_EQ(dm.cls, DirMissClass::Two);
+    // Local home with multicast: exactly the multicast loop.
+    DirMiss local = classifyDirMiss(16, 3, 3, false, invalidNode, true);
+    EXPECT_EQ(local.traversals, 1u);
+    EXPECT_EQ(local.cls, DirMissClass::Clean1);
+}
+
+TEST(ClassifyDirMiss, DirtyOwnerAtHome)
+{
+    // Owner's cache at the home node: plain one-traversal chain.
+    DirMiss dm = classifyDirMiss(16, 2, 13, true, 13, false);
+    EXPECT_EQ(dm.traversals, 1u);
+    EXPECT_EQ(dm.cls, DirMissClass::Dirty1);
+}
+
+TEST(DirUpgrade, Traversals)
+{
+    EXPECT_EQ(dirUpgradeTraversals(16, 2, 13, false), 1u);
+    EXPECT_EQ(dirUpgradeTraversals(16, 2, 13, true), 2u);
+    EXPECT_EQ(dirUpgradeTraversals(16, 3, 3, false), 0u);
+    EXPECT_EQ(dirUpgradeTraversals(16, 3, 3, true), 1u);
+}
+
+TEST(LlistMiss, UncachedMatchesCleanDirectory)
+{
+    EXPECT_EQ(llistMissTraversals(16, 2, 13, invalidNode), 1u);
+    EXPECT_EQ(llistMissTraversals(16, 3, 3, invalidNode), 0u);
+}
+
+TEST(LlistMiss, HeadChainOneOrTwo)
+{
+    // Same chain arithmetic as the dirty directory miss.
+    EXPECT_EQ(llistMissTraversals(16, 2, 5, 10), 1u);
+    EXPECT_EQ(llistMissTraversals(16, 2, 10, 5), 2u);
+    EXPECT_EQ(llistMissTraversals(16, 2, 13, 13), 1u)
+        << "head at home degenerates to a round trip";
+}
+
+TEST(LlistInvalidate, SerialRoundTrips)
+{
+    EXPECT_EQ(llistInvalidateTraversals(16, 2, 13, 0), 1u);
+    EXPECT_EQ(llistInvalidateTraversals(16, 2, 13, 1), 2u);
+    EXPECT_EQ(llistInvalidateTraversals(16, 2, 13, 5), 6u);
+    EXPECT_EQ(llistInvalidateTraversals(16, 3, 3, 0), 0u);
+    EXPECT_EQ(llistInvalidateTraversals(16, 3, 3, 2), 2u);
+}
+
+TEST(LlistInvalidate, HopsMatchTraversalStructure)
+{
+    // Remote home: one round trip (16 hops) plus 16 per sharer.
+    EXPECT_EQ(llistInvalidateHops(16, 2, 13, 0), 16u);
+    EXPECT_EQ(llistInvalidateHops(16, 2, 13, 3), 16u + 48u);
+    EXPECT_EQ(llistInvalidateHops(16, 3, 3, 2), 32u);
+}
+
+} // namespace
+} // namespace ringsim::coherence

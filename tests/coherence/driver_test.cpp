@@ -1,0 +1,166 @@
+/**
+ * @file
+ * Tests for the round-robin functional driver and full-workload
+ * censuses (the Table 1 / Table 2 / Figure 5 machinery).
+ */
+
+#include <gtest/gtest.h>
+
+#include "src/coherence/driver.hpp"
+
+namespace ringsim::coherence {
+namespace {
+
+trace::WorkloadConfig
+smallWorkload(trace::Benchmark b, unsigned procs)
+{
+    trace::WorkloadConfig cfg = trace::workloadPreset(b, procs);
+    cfg.dataRefsPerProc = 20000;
+    return cfg;
+}
+
+TEST(Driver, CensusAccountsEveryDataRef)
+{
+    auto cfg = smallWorkload(trace::Benchmark::MP3D, 8);
+    DriverOptions opt;
+    opt.warmupFrac = 0.0; // count everything
+    Census c = runFunctional(cfg, opt);
+    EXPECT_EQ(c.dataRefs(), 8u * 20000u);
+    EXPECT_EQ(c.procs, 8u);
+}
+
+TEST(Driver, WarmupDiscardsPrefix)
+{
+    auto cfg = smallWorkload(trace::Benchmark::MP3D, 8);
+    DriverOptions all;
+    all.warmupFrac = 0.0;
+    DriverOptions warm;
+    warm.warmupFrac = 0.5;
+    Census c_all = runFunctional(cfg, all);
+    Census c_warm = runFunctional(cfg, warm);
+    EXPECT_LT(c_warm.dataRefs(), c_all.dataRefs());
+    // Post-warmup miss rate is lower than including the cold start.
+    EXPECT_LT(c_warm.totalMissRate(), c_all.totalMissRate());
+}
+
+TEST(Driver, DeterministicAcrossRuns)
+{
+    auto cfg = smallWorkload(trace::Benchmark::CHOLESKY, 8);
+    Census a = runFunctional(cfg);
+    Census b = runFunctional(cfg);
+    EXPECT_EQ(a.sharedMisses, b.sharedMisses);
+    EXPECT_EQ(a.upgrades, b.upgrades);
+    EXPECT_EQ(a.fullMap.missTraversals, b.fullMap.missTraversals);
+    EXPECT_EQ(a.linkedList.invTraversals, b.linkedList.invTraversals);
+}
+
+TEST(Driver, CheckerPassesOnAllWorkloads)
+{
+    // The invariant checker must stay silent for every preset.
+    for (auto cfg : trace::allWorkloadPresets()) {
+        cfg.dataRefsPerProc = 4000;
+        DriverOptions opt;
+        opt.check = true;
+        Census c = runFunctional(cfg, opt);
+        EXPECT_GT(c.dataRefs(), 0u) << cfg.displayName();
+    }
+}
+
+TEST(Driver, FullMapTraversalsNeverExceedTwo)
+{
+    for (trace::Benchmark b : {trace::Benchmark::MP3D,
+                               trace::Benchmark::WATER,
+                               trace::Benchmark::CHOLESKY}) {
+        auto cfg = smallWorkload(b, 16);
+        Census c = runFunctional(cfg);
+        EXPECT_EQ(c.fullMap.missTraversals[3], 0u)
+            << cfg.displayName();
+        EXPECT_EQ(c.fullMap.invTraversals[3], 0u)
+            << cfg.displayName();
+    }
+}
+
+TEST(Driver, SnoopAlwaysOneTraversal)
+{
+    auto cfg = smallWorkload(trace::Benchmark::MP3D, 16);
+    Census c = runFunctional(cfg);
+    EXPECT_EQ(c.snoop.missTraversals[0], 0u);
+    EXPECT_EQ(c.snoop.missTraversals[2], 0u);
+    EXPECT_EQ(c.snoop.missTraversals[3], 0u);
+    EXPECT_GT(c.snoop.missTraversals[1], 0u);
+    EXPECT_EQ(c.snoop.invTraversals[2], 0u);
+}
+
+TEST(Driver, LinkedListHasLongInvalidations)
+{
+    // Table 1 shape: only the linked list produces 3+-traversal
+    // transactions. MP3D's read-episode sharing shows them even at
+    // short trace lengths.
+    auto cfg = smallWorkload(trace::Benchmark::MP3D, 16);
+    Census c = runFunctional(cfg);
+    EXPECT_GT(c.linkedList.invTraversals[3], 0u);
+}
+
+TEST(Driver, MissClassesSumToRemoteMisses)
+{
+    auto cfg = smallWorkload(trace::Benchmark::MP3D, 16);
+    Census c = runFunctional(cfg);
+    EXPECT_EQ(c.fullMap.cleanMiss1 + c.fullMap.dirtyMiss1 +
+                  c.fullMap.miss2,
+              c.fullMap.remoteMisses());
+    EXPECT_EQ(c.snoop.localMisses + c.snoop.cleanMiss1 +
+                  c.snoop.dirtyMiss1,
+              c.snoop.missTraversals[1]);
+}
+
+TEST(Driver, SharedMissRateOrderingMatchesPaper)
+{
+    // Table 2 ordering at 16 CPUs: WATER << MP3D < CHOLESKY.
+    Census water =
+        runFunctional(smallWorkload(trace::Benchmark::WATER, 16));
+    Census mp3d =
+        runFunctional(smallWorkload(trace::Benchmark::MP3D, 16));
+    Census chol =
+        runFunctional(smallWorkload(trace::Benchmark::CHOLESKY, 16));
+    EXPECT_LT(water.sharedMissRate(), mp3d.sharedMissRate());
+    EXPECT_LT(mp3d.sharedMissRate(), chol.sharedMissRate());
+}
+
+TEST(Driver, CleanMissFractionGrowsWithSystemSize)
+{
+    // Figure 5 shape: random page placement sends a larger share of
+    // misses to remote homes as the system grows.
+    auto frac = [](const Census &c) {
+        Count remote = c.fullMap.remoteMisses();
+        return remote ? static_cast<double>(c.fullMap.cleanMiss1) /
+                            static_cast<double>(remote)
+                      : 0.0;
+    };
+    Census c8 =
+        runFunctional(smallWorkload(trace::Benchmark::MP3D, 8));
+    Census c32 =
+        runFunctional(smallWorkload(trace::Benchmark::MP3D, 32));
+    EXPECT_LT(frac(c8), frac(c32));
+}
+
+TEST(Driver, FftIsWriteHeavy)
+{
+    auto cfg = smallWorkload(trace::Benchmark::FFT, 64);
+    Census c = runFunctional(cfg);
+    EXPECT_NEAR(c.sharedWriteFrac(), 0.5, 0.06);
+}
+
+TEST(Driver, SweepWorkloadsAreCleanMissDominated)
+{
+    for (trace::Benchmark b : {trace::Benchmark::WEATHER,
+                               trace::Benchmark::SIMPLE}) {
+        auto cfg = smallWorkload(b, 64);
+        Census c = runFunctional(cfg);
+        double clean = static_cast<double>(c.fullMap.cleanMiss1) /
+                       static_cast<double>(c.fullMap.remoteMisses());
+        EXPECT_GT(clean, 0.9) << cfg.displayName();
+    }
+}
+
+} // namespace
+} // namespace ringsim::coherence

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Unit tests for the run metrics record.
+ */
+
+#include <gtest/gtest.h>
+
+#include "src/core/metrics.hpp"
+
+namespace ringsim::core {
+namespace {
+
+TEST(Metrics, Utilization)
+{
+    Metrics m(2);
+    m.addBusy(0, 80);
+    m.addStall(0, 20);
+    m.addBusy(1, 50);
+    m.addStall(1, 50);
+    EXPECT_DOUBLE_EQ(m.procUtilization(0), 0.8);
+    EXPECT_DOUBLE_EQ(m.procUtilization(1), 0.5);
+    EXPECT_DOUBLE_EQ(m.meanProcUtilization(), 0.65);
+}
+
+TEST(Metrics, EmptyUtilizationIsZero)
+{
+    Metrics m(1);
+    EXPECT_EQ(m.procUtilization(0), 0.0);
+}
+
+TEST(Metrics, LatencyClasses)
+{
+    Metrics m(1);
+    m.addLatency(LatClass::CleanMiss1, 100);
+    m.addLatency(LatClass::CleanMiss1, 200);
+    m.addLatency(LatClass::DirtyMiss1, 400);
+    m.addLatency(LatClass::LocalMiss, 10);
+    m.addLatency(LatClass::Upgrade, 50);
+    EXPECT_EQ(m.classCount(LatClass::CleanMiss1), 2u);
+    EXPECT_DOUBLE_EQ(m.latency(LatClass::CleanMiss1).mean(), 150.0);
+    // Remote mean: (100+200+400)/3.
+    EXPECT_NEAR(m.meanMissLatency(), 233.333, 0.01);
+    // Including local: (100+200+400+10)/4.
+    EXPECT_NEAR(m.meanMissLatencyAll(), 177.5, 0.01);
+    EXPECT_DOUBLE_EQ(m.meanUpgradeLatency(), 50.0);
+}
+
+TEST(Metrics, ResetClearsEverything)
+{
+    Metrics m(1);
+    m.addBusy(0, 10);
+    m.addStall(0, 10);
+    m.addLatency(LatClass::Miss2, 5);
+    m.addAcquireWait(3);
+    m.reset();
+    EXPECT_EQ(m.busy(0), 0u);
+    EXPECT_EQ(m.stall(0), 0u);
+    EXPECT_EQ(m.classCount(LatClass::Miss2), 0u);
+    EXPECT_EQ(m.acquireWait().count(), 0u);
+}
+
+TEST(Metrics, ClassNames)
+{
+    EXPECT_STREQ(latClassName(LatClass::LocalMiss), "local-miss");
+    EXPECT_STREQ(latClassName(LatClass::CleanMiss1), "1-cycle-clean");
+    EXPECT_STREQ(latClassName(LatClass::DirtyMiss1), "1-cycle-dirty");
+    EXPECT_STREQ(latClassName(LatClass::Miss2), "2-cycle");
+    EXPECT_STREQ(latClassName(LatClass::Upgrade), "upgrade");
+}
+
+TEST(MetricsDeathTest, NeedsProcessors)
+{
+    EXPECT_EXIT(Metrics(0), testing::ExitedWithCode(1), "processor");
+}
+
+} // namespace
+} // namespace ringsim::core

@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Unit tests for the trace-driven blocking processor, using a stub
+ * protocol with scripted hit/miss behavior.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/core/processor.hpp"
+
+namespace ringsim::core {
+namespace {
+
+/** Protocol stub: even block numbers hit, odd ones stall fixed time. */
+class StubProtocol : public Protocol
+{
+  public:
+    StubProtocol(sim::Kernel &kernel, Tick stall)
+        : kernel_(kernel), stall_(stall)
+    {}
+
+    bool
+    tryAccess(NodeId, const trace::TraceRecord &ref) override
+    {
+        ++accesses;
+        return (ref.addr / 16) % 2 == 0;
+    }
+
+    void
+    startTransaction(NodeId, const trace::TraceRecord &,
+                     std::function<void()> on_complete) override
+    {
+        ++transactions;
+        kernel_.postIn(stall_, std::move(on_complete));
+    }
+
+    int accesses = 0;
+    int transactions = 0;
+
+  private:
+    sim::Kernel &kernel_;
+    Tick stall_;
+};
+
+std::unique_ptr<trace::VectorStream>
+makeStream(const std::vector<trace::TraceRecord> &recs)
+{
+    return std::make_unique<trace::VectorStream>(recs);
+}
+
+TEST(Processor, AllHitsRunAtOneCyclePerRef)
+{
+    sim::Kernel kernel;
+    StubProtocol protocol(kernel, 0);
+    Metrics metrics(1);
+    auto stream = makeStream({{trace::Op::Read, 0x00},
+                              {trace::Op::Instr, 0x20},
+                              {trace::Op::Read, 0x40}});
+    Processor cpu(kernel, 0, 1000, *stream, protocol, metrics);
+    bool done = false;
+    cpu.onDone([&]() { done = true; });
+    cpu.start(0);
+    kernel.run();
+    EXPECT_TRUE(done);
+    EXPECT_EQ(metrics.busy(0), 3000u);
+    EXPECT_EQ(metrics.stall(0), 0u);
+    EXPECT_EQ(cpu.transactions(), 0u);
+    EXPECT_EQ(protocol.accesses, 2) << "instr refs bypass the protocol";
+}
+
+TEST(Processor, MissStallsAndResumes)
+{
+    sim::Kernel kernel;
+    StubProtocol protocol(kernel, 5000);
+    Metrics metrics(1);
+    auto stream = makeStream({{trace::Op::Read, 0x00},
+                              {trace::Op::Read, 0x10},   // miss
+                              {trace::Op::Read, 0x20}});
+    Processor cpu(kernel, 0, 1000, *stream, protocol, metrics);
+    cpu.start(0);
+    kernel.run();
+    EXPECT_EQ(cpu.transactions(), 1u);
+    EXPECT_EQ(metrics.stall(0), 5000u);
+    // 3 refs x 1 cycle each (the missed ref executes after the fill).
+    EXPECT_EQ(metrics.busy(0), 3000u);
+    // Timeline: 1 cycle hit, 5000 stall, then 1 cycle for the missed
+    // ref; the final hit run ends the stream without another event.
+    EXPECT_EQ(kernel.now(), 1000u + 5000u + 1000u);
+}
+
+TEST(Processor, CountsDataRefs)
+{
+    sim::Kernel kernel;
+    StubProtocol protocol(kernel, 0);
+    Metrics metrics(1);
+    auto stream = makeStream({{trace::Op::Read, 0x00},
+                              {trace::Op::Instr, 0x00},
+                              {trace::Op::Write, 0x20}});
+    Processor cpu(kernel, 0, 1000, *stream, protocol, metrics);
+    cpu.start(0);
+    kernel.run();
+    EXPECT_EQ(cpu.dataRefs(), 2u);
+}
+
+TEST(Processor, WarmupCallbackFiresOnce)
+{
+    sim::Kernel kernel;
+    StubProtocol protocol(kernel, 0);
+    Metrics metrics(1);
+    std::vector<trace::TraceRecord> recs(10, {trace::Op::Read, 0x00});
+    auto stream = makeStream(recs);
+    Processor cpu(kernel, 0, 1000, *stream, protocol, metrics);
+    int warmed = 0;
+    cpu.setWarmupRefs(4);
+    cpu.onWarm([&]() { ++warmed; });
+    cpu.start(0);
+    kernel.run();
+    EXPECT_EQ(warmed, 1);
+}
+
+TEST(Processor, BackToBackMisses)
+{
+    sim::Kernel kernel;
+    StubProtocol protocol(kernel, 2000);
+    Metrics metrics(1);
+    auto stream = makeStream({{trace::Op::Read, 0x10},
+                              {trace::Op::Read, 0x30},
+                              {trace::Op::Read, 0x50}});
+    Processor cpu(kernel, 0, 1000, *stream, protocol, metrics);
+    cpu.start(0);
+    kernel.run();
+    EXPECT_EQ(cpu.transactions(), 3u);
+    EXPECT_EQ(metrics.stall(0), 6000u);
+    EXPECT_EQ(metrics.busy(0), 3000u);
+}
+
+TEST(Processor, EmptyStreamFinishesImmediately)
+{
+    sim::Kernel kernel;
+    StubProtocol protocol(kernel, 0);
+    Metrics metrics(1);
+    auto stream = makeStream({});
+    Processor cpu(kernel, 0, 1000, *stream, protocol, metrics);
+    bool done = false;
+    cpu.onDone([&]() { done = true; });
+    cpu.start(0);
+    kernel.run();
+    EXPECT_TRUE(done);
+    EXPECT_EQ(metrics.busy(0), 0u);
+}
+
+} // namespace
+} // namespace ringsim::core

@@ -1,0 +1,216 @@
+/**
+ * @file
+ * Property-based (parameterized) suites: protocol invariants that
+ * must hold across node counts, block sizes, seeds and protocols.
+ */
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "src/coherence/driver.hpp"
+#include "src/core/system.hpp"
+
+namespace ringsim {
+namespace {
+
+// ---------------------------------------------------------------
+// Invariants of the functional engine across (procs, seed).
+// ---------------------------------------------------------------
+
+using EngineParam = std::tuple<unsigned, std::uint64_t>;
+
+class EngineProperty : public ::testing::TestWithParam<EngineParam>
+{
+  protected:
+    coherence::Census
+    run(trace::Benchmark b)
+    {
+        auto [procs, seed] = GetParam();
+        auto cfg = trace::workloadPreset(b, procs);
+        cfg.dataRefsPerProc = 6000;
+        cfg.seed = seed;
+        coherence::DriverOptions opt;
+        opt.check = true; // the checker itself is the main assertion
+        return coherence::runFunctional(cfg, opt);
+    }
+};
+
+TEST_P(EngineProperty, CheckerHoldsAndBucketsAreConsistent)
+{
+    for (trace::Benchmark b : {trace::Benchmark::MP3D,
+                               trace::Benchmark::WATER,
+                               trace::Benchmark::CHOLESKY}) {
+        coherence::Census c = run(b);
+
+        // Snooping: single traversal, always.
+        EXPECT_EQ(c.snoop.missTraversals[2], 0u);
+        EXPECT_EQ(c.snoop.missTraversals[3], 0u);
+        EXPECT_EQ(c.snoop.invTraversals[2], 0u);
+
+        // Full map: never more than two traversals.
+        EXPECT_EQ(c.fullMap.missTraversals[3], 0u);
+        EXPECT_EQ(c.fullMap.invTraversals[3], 0u);
+
+        // Figure 5 classes partition the full-map remote misses.
+        EXPECT_EQ(c.fullMap.cleanMiss1 + c.fullMap.dirtyMiss1 +
+                      c.fullMap.miss2,
+                  c.fullMap.remoteMisses());
+
+        // Total transactions agree across protocol scorings.
+        Count snoop_misses = c.snoop.missTraversals[0] +
+                             c.snoop.missTraversals[1];
+        Count map_misses = c.fullMap.missTraversals[0] +
+                           c.fullMap.remoteMisses();
+        Count list_misses = c.linkedList.missTraversals[0] +
+                            c.linkedList.remoteMisses();
+        EXPECT_EQ(snoop_misses, map_misses);
+        EXPECT_EQ(map_misses, list_misses);
+        EXPECT_EQ(map_misses, c.misses());
+    }
+}
+
+TEST_P(EngineProperty, MessageAccountingIsSane)
+{
+    coherence::Census c = run(trace::Benchmark::MP3D);
+    for (const coherence::ProtocolCensus *pc :
+         {&c.snoop, &c.fullMap, &c.linkedList}) {
+        // Mean probe mileage is at most one full loop.
+        if (pc->probes) {
+            double mean_hops =
+                pc->probeHops / static_cast<double>(pc->probes);
+            EXPECT_GT(mean_hops, 0.0);
+            EXPECT_LE(mean_hops, static_cast<double>(c.procs));
+        }
+        if (pc->blocks) {
+            double mean_hops =
+                pc->blockHops / static_cast<double>(pc->blocks);
+            EXPECT_GT(mean_hops, 0.0);
+            EXPECT_LE(mean_hops, static_cast<double>(c.procs));
+        }
+    }
+    // Snoop probes travel exactly the whole ring.
+    if (c.snoop.probes) {
+        EXPECT_DOUBLE_EQ(
+            c.snoop.probeHops / static_cast<double>(c.snoop.probes),
+            static_cast<double>(c.procs));
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ProcsAndSeeds, EngineProperty,
+    ::testing::Combine(::testing::Values(8u, 16u, 32u),
+                       ::testing::Values(1u, 42u, 20260704u)));
+
+// ---------------------------------------------------------------
+// Ring geometry properties across node counts and block sizes.
+// ---------------------------------------------------------------
+
+using GeomParam = std::tuple<unsigned, size_t, unsigned>;
+
+class RingGeometry : public ::testing::TestWithParam<GeomParam>
+{
+};
+
+TEST_P(RingGeometry, StageInvariants)
+{
+    auto [nodes, block_bytes, link_bits] = GetParam();
+    ring::RingConfig cfg;
+    cfg.nodes = nodes;
+    cfg.frame.blockBytes = block_bytes;
+    cfg.frame.linkBits = link_bits;
+    cfg.validate();
+
+    // Whole frames, enough stages for every node, positions distinct.
+    EXPECT_EQ(cfg.totalStages() % cfg.frame.frameStages(), 0u);
+    EXPECT_GE(cfg.totalStages(), nodes * cfg.minStagesPerNode);
+    EXPECT_LT(cfg.totalStages(),
+              nodes * cfg.minStagesPerNode + cfg.frame.frameStages());
+    for (NodeId a = 0; a < nodes; ++a)
+        for (NodeId b = a + 1; b < nodes; ++b)
+            EXPECT_NE(cfg.nodePosition(a), cfg.nodePosition(b));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, RingGeometry,
+    ::testing::Combine(::testing::Values(2u, 8u, 16u, 32u, 64u),
+                       ::testing::Values(size_t(16), size_t(32),
+                                         size_t(64)),
+                       ::testing::Values(16u, 32u, 64u)));
+
+// ---------------------------------------------------------------
+// Timed-system invariants across protocols and sizes (checker on).
+// ---------------------------------------------------------------
+
+using SystemParam = std::tuple<core::ProtocolKind, unsigned>;
+
+class TimedSystemProperty
+    : public ::testing::TestWithParam<SystemParam>
+{
+};
+
+TEST_P(TimedSystemProperty, CheckedRunWithSaneMetrics)
+{
+    auto [kind, procs] = GetParam();
+    auto wl = trace::workloadPreset(trace::Benchmark::MP3D, procs);
+    wl.dataRefsPerProc = 5000;
+
+    core::RunResult r;
+    if (kind == core::ProtocolKind::BusSnoop) {
+        auto cfg = core::BusSystemConfig::forProcs(procs);
+        cfg.common.check = true;
+        r = core::runBusSystem(cfg, wl);
+    } else {
+        auto cfg = core::RingSystemConfig::forProcs(procs);
+        cfg.common.check = true;
+        r = core::runRingSystem(cfg, wl, kind);
+    }
+
+    EXPECT_GT(r.procUtilization, 0.0);
+    EXPECT_LE(r.procUtilization, 1.0);
+    EXPECT_GE(r.networkUtilization, 0.0);
+    EXPECT_LE(r.networkUtilization, 1.0);
+    EXPECT_GT(r.window, 0u);
+    EXPECT_GT(r.missLatencyNs, 0.0);
+    // Latency floor: nothing beats one memory access.
+    EXPECT_GE(r.missLatencyNs, 140.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ProtocolsAndSizes, TimedSystemProperty,
+    ::testing::Combine(
+        ::testing::Values(core::ProtocolKind::RingSnoop,
+                          core::ProtocolKind::RingDirectory,
+                          core::ProtocolKind::BusSnoop),
+        ::testing::Values(8u, 16u, 32u)));
+
+// ---------------------------------------------------------------
+// Block-size sensitivity: larger blocks, fewer frames, same math.
+// ---------------------------------------------------------------
+
+class BlockSizeProperty : public ::testing::TestWithParam<size_t>
+{
+};
+
+TEST_P(BlockSizeProperty, CheckedSnoopRunAtAnyBlockSize)
+{
+    size_t block = GetParam();
+    auto wl = trace::workloadPreset(trace::Benchmark::CHOLESKY, 8);
+    wl.dataRefsPerProc = 4000;
+    wl.blockBytes = block;
+
+    auto cfg = core::RingSystemConfig::forProcs(8);
+    cfg.common.cacheGeometry.blockBytes = block;
+    cfg.ring.frame.blockBytes = block;
+    cfg.common.check = true;
+    core::RunResult r =
+        core::runRingSystem(cfg, wl, core::ProtocolKind::RingSnoop);
+    EXPECT_GT(r.procUtilization, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Blocks, BlockSizeProperty,
+                         ::testing::Values(size_t(16), size_t(32),
+                                           size_t(64)));
+
+} // namespace
+} // namespace ringsim

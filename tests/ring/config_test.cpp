@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Unit tests for whole-ring geometry, including the paper's 8-node
+ * 60 ns round-trip check value.
+ */
+
+#include <gtest/gtest.h>
+
+#include "src/ring/config.hpp"
+
+namespace ringsim::ring {
+namespace {
+
+TEST(RingConfig, PaperEightNodeRing)
+{
+    RingConfig c;
+    c.nodes = 8;
+    c.validate();
+    // 24 minimum stages, rounded up to 3 frames = 30 stages.
+    EXPECT_EQ(c.totalStages(), 30u);
+    EXPECT_EQ(c.framesOnRing(), 3u);
+    EXPECT_EQ(c.totalSlots(), 9u);
+    EXPECT_DOUBLE_EQ(ticksToNs(c.roundTripTime()), 60.0);
+}
+
+TEST(RingConfig, LargerRings)
+{
+    RingConfig c;
+    c.nodes = 16;
+    EXPECT_EQ(c.totalStages(), 50u);
+    c.nodes = 32;
+    EXPECT_EQ(c.totalStages(), 100u);
+    c.nodes = 64;
+    EXPECT_EQ(c.totalStages(), 200u);
+    EXPECT_DOUBLE_EQ(ticksToNs(c.roundTripTime()), 400.0);
+}
+
+TEST(RingConfig, FrameTime)
+{
+    RingConfig c;
+    EXPECT_DOUBLE_EQ(ticksToNs(c.frameTime()), 20.0);
+    c.clockPeriod = 4000; // 250 MHz
+    EXPECT_DOUBLE_EQ(ticksToNs(c.frameTime()), 40.0);
+}
+
+TEST(RingConfig, NodePositionsSpreadAndOrdered)
+{
+    RingConfig c;
+    c.nodes = 8;
+    unsigned prev = 0;
+    for (NodeId n = 0; n < 8; ++n) {
+        unsigned pos = c.nodePosition(n);
+        EXPECT_LT(pos, c.totalStages());
+        if (n > 0) {
+            EXPECT_GT(pos, prev);
+        }
+        prev = pos;
+    }
+}
+
+TEST(RingConfig, StageDistanceWraps)
+{
+    RingConfig c;
+    c.nodes = 8;
+    unsigned s = c.totalStages();
+    for (NodeId a = 0; a < 8; ++a) {
+        EXPECT_EQ(c.stageDistance(a, a), 0u);
+        for (NodeId b = 0; b < 8; ++b) {
+            if (a == b)
+                continue;
+            EXPECT_EQ(c.stageDistance(a, b) + c.stageDistance(b, a), s);
+        }
+    }
+}
+
+TEST(RingConfig, SlotsOfTypePerFrame)
+{
+    RingConfig c;
+    c.nodes = 16;
+    EXPECT_EQ(c.slotsOfType(SlotType::ProbeEven), c.framesOnRing());
+    EXPECT_EQ(c.slotsOfType(SlotType::Block), c.framesOnRing());
+}
+
+TEST(RingConfigDeathTest, Validation)
+{
+    RingConfig c;
+    c.nodes = 0;
+    EXPECT_EXIT(c.validate(), testing::ExitedWithCode(1), "node");
+    c = RingConfig{};
+    c.clockPeriod = 0;
+    EXPECT_EXIT(c.validate(), testing::ExitedWithCode(1), "clock");
+}
+
+} // namespace
+} // namespace ringsim::ring

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Unit tests for frame geometry, including the full Table 3 matrix.
+ */
+
+#include <gtest/gtest.h>
+
+#include "src/ring/frame_layout.hpp"
+
+namespace ringsim::ring {
+namespace {
+
+TEST(FrameLayout, PaperDefaultIsTenStages)
+{
+    FrameLayout f; // 32-bit, 16-byte blocks
+    f.validate();
+    EXPECT_EQ(f.probeStages(), 2u);
+    EXPECT_EQ(f.blockSlotStages(), 6u); // 2 header + 4 data
+    EXPECT_EQ(f.frameStages(), 10u);
+}
+
+TEST(FrameLayout, SlotOffsets)
+{
+    FrameLayout f;
+    EXPECT_EQ(f.slotOffset(0), 0u);
+    EXPECT_EQ(f.slotOffset(1), 2u);
+    EXPECT_EQ(f.slotOffset(2), 4u);
+}
+
+TEST(FrameLayout, SlotTypes)
+{
+    EXPECT_EQ(FrameLayout::slotTypeAt(0), SlotType::ProbeEven);
+    EXPECT_EQ(FrameLayout::slotTypeAt(1), SlotType::ProbeOdd);
+    EXPECT_EQ(FrameLayout::slotTypeAt(2), SlotType::Block);
+}
+
+TEST(FrameLayout, SlotStagesByType)
+{
+    FrameLayout f;
+    EXPECT_EQ(f.slotStages(SlotType::ProbeEven), 2u);
+    EXPECT_EQ(f.slotStages(SlotType::ProbeOdd), 2u);
+    EXPECT_EQ(f.slotStages(SlotType::Block), 6u);
+}
+
+TEST(FrameLayout, WiderLinksShrinkFrames)
+{
+    FrameLayout f;
+    f.linkBits = 64;
+    EXPECT_EQ(f.probeStages(), 1u);
+    EXPECT_EQ(f.blockSlotStages(), 3u);
+    EXPECT_EQ(f.frameStages(), 5u);
+}
+
+struct Table3Case
+{
+    unsigned linkBits;
+    size_t blockBytes;
+    double paperNs;
+};
+
+class Table3 : public ::testing::TestWithParam<Table3Case>
+{
+};
+
+TEST_P(Table3, SnoopInterArrivalMatchesPaper)
+{
+    const Table3Case &c = GetParam();
+    Tick t = snoopInterArrival(c.linkBits, c.blockBytes, 2000);
+    EXPECT_DOUBLE_EQ(ticksToNs(t), c.paperNs);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PaperMatrix, Table3,
+    ::testing::Values(Table3Case{16, 16, 40}, Table3Case{32, 16, 20},
+                      Table3Case{64, 16, 10}, Table3Case{16, 32, 56},
+                      Table3Case{32, 32, 28}, Table3Case{64, 32, 14},
+                      Table3Case{16, 64, 88}, Table3Case{32, 64, 44},
+                      Table3Case{64, 64, 22}, Table3Case{16, 128, 152},
+                      Table3Case{32, 128, 76},
+                      Table3Case{64, 128, 38}));
+
+TEST(FrameLayoutDeathTest, BadWidthFatal)
+{
+    FrameLayout f;
+    f.linkBits = 12;
+    EXPECT_EXIT(f.validate(), testing::ExitedWithCode(1), "multiple");
+}
+
+TEST(FrameLayout, SlotTypeNames)
+{
+    EXPECT_STREQ(slotTypeName(SlotType::ProbeEven), "probe-even");
+    EXPECT_STREQ(slotTypeName(SlotType::Block), "block");
+}
+
+} // namespace
+} // namespace ringsim::ring

@@ -1,0 +1,226 @@
+/**
+ * @file
+ * Unit tests for the discrete-event kernel.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/sim/kernel.hpp"
+
+namespace ringsim::sim {
+namespace {
+
+class RecordingEvent : public Event
+{
+  public:
+    explicit RecordingEvent(std::vector<int> &log, int id)
+        : log_(log), id_(id)
+    {}
+
+    void process() override { log_.push_back(id_); }
+
+  private:
+    std::vector<int> &log_;
+    int id_;
+};
+
+TEST(Kernel, StartsAtTimeZero)
+{
+    Kernel k;
+    EXPECT_EQ(k.now(), 0u);
+    EXPECT_TRUE(k.empty());
+}
+
+TEST(Kernel, PostsRunInTimeOrder)
+{
+    Kernel k;
+    std::vector<int> log;
+    k.post(30, [&]() { log.push_back(3); });
+    k.post(10, [&]() { log.push_back(1); });
+    k.post(20, [&]() { log.push_back(2); });
+    k.run();
+    EXPECT_EQ(log, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(k.now(), 30u);
+}
+
+TEST(Kernel, SameTickFifoOrder)
+{
+    Kernel k;
+    std::vector<int> log;
+    for (int i = 0; i < 5; ++i)
+        k.post(100, [&, i]() { log.push_back(i); });
+    k.run();
+    EXPECT_EQ(log, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Kernel, RunUntilStopsEarly)
+{
+    Kernel k;
+    int fired = 0;
+    k.post(10, [&]() { ++fired; });
+    k.post(20, [&]() { ++fired; });
+    k.run(15);
+    EXPECT_EQ(fired, 1);
+    EXPECT_EQ(k.pending(), 1u);
+    k.run();
+    EXPECT_EQ(fired, 2);
+}
+
+TEST(Kernel, RunUntilInclusive)
+{
+    Kernel k;
+    int fired = 0;
+    k.post(10, [&]() { ++fired; });
+    k.run(10);
+    EXPECT_EQ(fired, 1);
+}
+
+TEST(Kernel, StopFromInsideEvent)
+{
+    Kernel k;
+    int fired = 0;
+    k.post(1, [&]() {
+        ++fired;
+        k.stop();
+    });
+    k.post(2, [&]() { ++fired; });
+    k.run();
+    EXPECT_EQ(fired, 1);
+    EXPECT_EQ(k.pending(), 1u);
+}
+
+TEST(Kernel, ScheduleEventObject)
+{
+    Kernel k;
+    std::vector<int> log;
+    RecordingEvent e(log, 7);
+    k.schedule(e, 5);
+    EXPECT_TRUE(e.scheduled());
+    EXPECT_EQ(e.when(), 5u);
+    k.run();
+    EXPECT_FALSE(e.scheduled());
+    EXPECT_EQ(log, std::vector<int>{7});
+}
+
+TEST(Kernel, RescheduleAfterFiring)
+{
+    Kernel k;
+    std::vector<int> log;
+    RecordingEvent e(log, 1);
+    k.schedule(e, 1);
+    k.run();
+    k.schedule(e, 2);
+    k.run();
+    EXPECT_EQ(log.size(), 2u);
+}
+
+TEST(Kernel, DescheduleCancels)
+{
+    Kernel k;
+    std::vector<int> log;
+    RecordingEvent e(log, 1);
+    k.schedule(e, 5);
+    k.deschedule(e);
+    EXPECT_FALSE(e.scheduled());
+    k.post(6, []() {});
+    k.run();
+    EXPECT_TRUE(log.empty());
+}
+
+TEST(Kernel, DescheduleThenRescheduleFiresOnce)
+{
+    Kernel k;
+    std::vector<int> log;
+    RecordingEvent e(log, 1);
+    k.schedule(e, 5);
+    k.deschedule(e);
+    k.schedule(e, 9);
+    k.run();
+    EXPECT_EQ(log.size(), 1u);
+    EXPECT_EQ(k.now(), 9u);
+}
+
+TEST(Kernel, ProcessedCounter)
+{
+    Kernel k;
+    for (int i = 0; i < 10; ++i)
+        k.post(i, []() {});
+    k.run();
+    EXPECT_EQ(k.processed(), 10u);
+}
+
+TEST(Kernel, RunOneSteps)
+{
+    Kernel k;
+    int fired = 0;
+    k.post(1, [&]() { ++fired; });
+    k.post(2, [&]() { ++fired; });
+    EXPECT_TRUE(k.runOne());
+    EXPECT_EQ(fired, 1);
+    EXPECT_TRUE(k.runOne());
+    EXPECT_FALSE(k.runOne());
+}
+
+TEST(KernelDeathTest, PastSchedulingPanics)
+{
+    Kernel k;
+    k.post(100, []() {});
+    k.run();
+    EXPECT_DEATH(k.post(50, []() {}), "past");
+}
+
+TEST(KernelDeathTest, DoubleSchedulePanics)
+{
+    Kernel k;
+    std::vector<int> log;
+    RecordingEvent e(log, 1);
+    k.schedule(e, 5);
+    EXPECT_DEATH(k.schedule(e, 6), "twice");
+    k.deschedule(e);
+}
+
+TEST(Ticker, FiresPeriodically)
+{
+    Kernel k;
+    std::vector<Count> cycles;
+    Ticker t(k, 10, [&](Count c) { cycles.push_back(c); });
+    t.start(0);
+    k.run(35);
+    t.stop();
+    EXPECT_EQ(cycles, (std::vector<Count>{0, 1, 2, 3}));
+    EXPECT_EQ(k.now(), 30u);
+}
+
+TEST(Ticker, StopInsideHandler)
+{
+    Kernel k;
+    Count fired = 0;
+    Ticker t(k, 5, [&](Count) {
+        if (++fired == 3)
+            k.stop();
+    });
+    t.start(0);
+    k.run();
+    t.stop();
+    EXPECT_EQ(fired, 3u);
+}
+
+TEST(Ticker, StartOffset)
+{
+    Kernel k;
+    Tick first = 0;
+    Ticker t(k, 10, [&](Count) {
+        if (first == 0)
+            first = k.now();
+        k.stop();
+    });
+    t.start(42);
+    k.run();
+    t.stop();
+    EXPECT_EQ(first, 42u);
+}
+
+} // namespace
+} // namespace ringsim::sim

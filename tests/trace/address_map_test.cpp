@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Unit tests for the address map and home assignment.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "src/trace/address_map.hpp"
+
+namespace ringsim::trace {
+namespace {
+
+TEST(AddressMap, RegionsDisjoint)
+{
+    AddressMap map(8, 16, 1);
+    Addr shared = map.sharedBlock(5);
+    Addr priv = map.privateBlock(3, 5);
+    Addr code = map.codeBlock(3, 5);
+    EXPECT_TRUE(map.isShared(shared));
+    EXPECT_FALSE(map.isShared(priv));
+    EXPECT_FALSE(map.isShared(code));
+    EXPECT_TRUE(map.isPrivate(priv));
+    EXPECT_FALSE(map.isPrivate(shared));
+    EXPECT_FALSE(map.isPrivate(code));
+}
+
+TEST(AddressMap, BlockSpacing)
+{
+    AddressMap map(4, 16, 1);
+    EXPECT_EQ(map.sharedBlock(1) - map.sharedBlock(0), 16u);
+    EXPECT_EQ(map.privateBlock(0, 1) - map.privateBlock(0, 0), 16u);
+}
+
+TEST(AddressMap, PrivateHomeIsOwner)
+{
+    AddressMap map(8, 16, 99);
+    for (NodeId p = 0; p < 8; ++p) {
+        EXPECT_EQ(map.home(map.privateBlock(p, 123)), p);
+        EXPECT_EQ(map.home(map.codeBlock(p, 7)), p);
+    }
+}
+
+TEST(AddressMap, SharedHomesCoverAllNodes)
+{
+    AddressMap map(8, 16, 5);
+    std::map<NodeId, int> counts;
+    for (std::uint64_t i = 0; i < 4096; ++i)
+        counts[map.home(map.sharedBlock(i))]++;
+    EXPECT_EQ(counts.size(), 8u);
+    // Random page placement: roughly balanced (within 3x of fair).
+    for (const auto &[node, count] : counts) {
+        EXPECT_GT(count, 4096 / 8 / 3) << "node " << node;
+        EXPECT_LT(count, 4096 * 3 / 8) << "node " << node;
+    }
+}
+
+TEST(AddressMap, SharedHomeIsBlockGranularAndStable)
+{
+    // Shared homes hash at block granularity (emulating random page
+    // placement over a large heap — see address_map.cpp); all bytes
+    // of one block share a home, and neighbors spread out.
+    AddressMap map(8, 16, 5);
+    Addr a = map.sharedBlock(100);
+    EXPECT_EQ(map.home(a), map.home(a + 15));
+    int moved = 0;
+    for (std::uint64_t i = 0; i < 64; ++i)
+        if (map.home(map.sharedBlock(i)) !=
+            map.home(map.sharedBlock(i + 1)))
+            ++moved;
+    EXPECT_GT(moved, 32) << "consecutive blocks spread across homes";
+}
+
+TEST(AddressMap, SeedChangesPlacement)
+{
+    AddressMap m1(8, 16, 1);
+    AddressMap m2(8, 16, 2);
+    int moved = 0;
+    for (std::uint64_t i = 0; i < 256; ++i) {
+        Addr a = m1.sharedBlock(i * 256); // distinct pages
+        if (m1.home(a) != m2.home(a))
+            ++moved;
+    }
+    EXPECT_GT(moved, 100);
+}
+
+TEST(AddressMap, PrivateRegionSetOffset)
+{
+    // The private region intentionally starts half a cache's index
+    // space above a set boundary (see header).
+    AddressMap map(8, 16, 1);
+    Addr first = map.privateBlock(0, 0);
+    EXPECT_EQ((first / 16) % 8192, 4096u);
+}
+
+TEST(AddressMapDeathTest, OutOfRangeProc)
+{
+    AddressMap map(4, 16, 1);
+    EXPECT_DEATH(map.privateBlock(4, 0), "range");
+}
+
+} // namespace
+} // namespace ringsim::trace

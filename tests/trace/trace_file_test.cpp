@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Unit tests for binary trace file I/O.
+ */
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <string>
+
+#include "src/trace/generator.hpp"
+#include "src/trace/trace_file.hpp"
+
+namespace ringsim::trace {
+namespace {
+
+std::string
+tempPath(const char *name)
+{
+    return testing::TempDir() + "/" + name;
+}
+
+TEST(TraceFile, RoundTripsRecords)
+{
+    MaterializedTrace trace(2);
+    trace[0] = {{Op::Read, 0x100}, {Op::Write, 0x2000}};
+    trace[1] = {{Op::Instr, 0x80'0000'0000ULL}};
+
+    std::string path = tempPath("roundtrip.trc");
+    ASSERT_TRUE(writeTraceFile(path, trace));
+    MaterializedTrace back = readTraceFile(path);
+    ASSERT_EQ(back.size(), 2u);
+    ASSERT_EQ(back[0].size(), 2u);
+    ASSERT_EQ(back[1].size(), 1u);
+    EXPECT_EQ(back[0][0].op, Op::Read);
+    EXPECT_EQ(back[0][0].addr, 0x100u);
+    EXPECT_EQ(back[0][1].op, Op::Write);
+    EXPECT_EQ(back[1][0].op, Op::Instr);
+    std::remove(path.c_str());
+}
+
+TEST(TraceFile, RoundTripsGeneratedTrace)
+{
+    auto cfg = workloadPreset(Benchmark::MP3D, 8);
+    cfg.dataRefsPerProc = 500;
+    AddressMap map = makeAddressMap(cfg);
+    TraceSet set = makeTraceSet(cfg, map);
+    MaterializedTrace trace = materialize(set);
+
+    std::string path = tempPath("generated.trc");
+    ASSERT_TRUE(writeTraceFile(path, trace));
+    MaterializedTrace back = readTraceFile(path);
+    ASSERT_EQ(back.size(), trace.size());
+    for (size_t p = 0; p < trace.size(); ++p) {
+        ASSERT_EQ(back[p].size(), trace[p].size());
+        for (size_t i = 0; i < trace[p].size(); ++i) {
+            EXPECT_EQ(back[p][i].addr, trace[p][i].addr);
+            EXPECT_EQ(back[p][i].op, trace[p][i].op);
+        }
+    }
+    std::remove(path.c_str());
+}
+
+TEST(TraceFile, EmptyTrace)
+{
+    std::string path = tempPath("empty.trc");
+    ASSERT_TRUE(writeTraceFile(path, MaterializedTrace{}));
+    EXPECT_TRUE(readTraceFile(path).empty());
+    std::remove(path.c_str());
+}
+
+TEST(TraceFile, ToStreamsReplays)
+{
+    MaterializedTrace trace(1);
+    trace[0] = {{Op::Read, 1}, {Op::Write, 2}};
+    TraceSet set = toStreams(std::move(trace));
+    TraceRecord rec;
+    ASSERT_TRUE(set[0]->next(rec));
+    EXPECT_EQ(rec.addr, 1u);
+    ASSERT_TRUE(set[0]->next(rec));
+    EXPECT_EQ(rec.addr, 2u);
+    EXPECT_FALSE(set[0]->next(rec));
+}
+
+TEST(TraceFile, MaterializeRespectsLimit)
+{
+    auto cfg = workloadPreset(Benchmark::WATER, 8);
+    cfg.dataRefsPerProc = 1000;
+    AddressMap map = makeAddressMap(cfg);
+    TraceSet set = makeTraceSet(cfg, map);
+    MaterializedTrace trace = materialize(set, 50);
+    for (const auto &stream : trace)
+        EXPECT_EQ(stream.size(), 50u);
+}
+
+TEST(TraceFile, MissingFileIsFatal)
+{
+    EXPECT_EXIT(readTraceFile("/nonexistent/nowhere.trc"),
+                testing::ExitedWithCode(1), "cannot open");
+}
+
+TEST(TraceFile, CorruptMagicIsFatal)
+{
+    std::string path = tempPath("corrupt.trc");
+    std::FILE *f = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    std::fwrite("JUNKJUNKJUNKJUNK", 1, 16, f);
+    std::fclose(f);
+    EXPECT_EXIT(readTraceFile(path), testing::ExitedWithCode(1),
+                "bad magic");
+    std::remove(path.c_str());
+}
+
+TEST(TraceFile, TruncatedIsFatal)
+{
+    MaterializedTrace trace(1);
+    trace[0] = {{Op::Read, 1}, {Op::Read, 2}, {Op::Read, 3}};
+    std::string path = tempPath("trunc.trc");
+    ASSERT_TRUE(writeTraceFile(path, trace));
+    // Chop the last few bytes off.
+    std::FILE *f = std::fopen(path.c_str(), "rb+");
+    ASSERT_NE(f, nullptr);
+    std::fseek(f, 0, SEEK_END);
+    long size = std::ftell(f);
+    std::fclose(f);
+    ASSERT_EQ(truncate(path.c_str(), size - 5), 0);
+    EXPECT_EXIT(readTraceFile(path), testing::ExitedWithCode(1),
+                "truncated");
+    std::remove(path.c_str());
+}
+
+TEST(Record, Helpers)
+{
+    TraceRecord r{Op::Write, 0x10};
+    EXPECT_TRUE(r.isData());
+    EXPECT_TRUE(r.isWrite());
+    TraceRecord i{Op::Instr, 0x10};
+    EXPECT_FALSE(i.isData());
+    EXPECT_FALSE(i.isWrite());
+    EXPECT_STREQ(opName(Op::Read), "R");
+    EXPECT_STREQ(opName(Op::Write), "W");
+    EXPECT_STREQ(opName(Op::Instr), "I");
+}
+
+} // namespace
+} // namespace ringsim::trace

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Unit tests for the workload presets.
+ */
+
+#include <gtest/gtest.h>
+
+#include "src/trace/workload.hpp"
+
+namespace ringsim::trace {
+namespace {
+
+TEST(Workload, AllTwelvePresetsExist)
+{
+    auto all = allWorkloadPresets();
+    ASSERT_EQ(all.size(), 12u);
+    // Table 2 order: MP3D, WATER, CHOLESKY at 8/16/32, then the
+    // 64-CPU programs.
+    EXPECT_EQ(all[0].displayName(), "MP3D 8");
+    EXPECT_EQ(all[5].displayName(), "WATER 32");
+    EXPECT_EQ(all[9].displayName(), "FFT 64");
+    EXPECT_EQ(all[11].displayName(), "SIMPLE 64");
+}
+
+TEST(Workload, PresetsCarryPaperTargets)
+{
+    auto cfg = workloadPreset(Benchmark::MP3D, 16);
+    EXPECT_NEAR(cfg.targets.totalMissRate, 0.0454, 1e-9);
+    EXPECT_NEAR(cfg.targets.sharedMissRate, 0.1217, 1e-9);
+    EXPECT_NEAR(cfg.targets.sharedWriteFrac, 0.30, 1e-9);
+}
+
+TEST(Workload, FractionsAreSane)
+{
+    for (const auto &cfg : allWorkloadPresets()) {
+        EXPECT_GT(cfg.sharedFrac, 0.0) << cfg.displayName();
+        EXPECT_LT(cfg.sharedFrac, 1.0) << cfg.displayName();
+        EXPECT_GT(cfg.instrPerData, 0.0) << cfg.displayName();
+        EXPECT_GT(cfg.knobs.poolBlocks, 0u) << cfg.displayName();
+        EXPECT_GT(cfg.dataRefsPerProc, 0u) << cfg.displayName();
+    }
+}
+
+TEST(Workload, SplashSizesOnly)
+{
+    EXPECT_EXIT(workloadPreset(Benchmark::MP3D, 64),
+                testing::ExitedWithCode(1), "8/16/32");
+    EXPECT_EXIT(workloadPreset(Benchmark::FFT, 8),
+                testing::ExitedWithCode(1), "64");
+}
+
+TEST(Workload, ScaleAdjustsRefs)
+{
+    auto cfg = workloadPreset(Benchmark::WATER, 8);
+    Count before = cfg.dataRefsPerProc;
+    cfg.scale(0.5);
+    EXPECT_EQ(cfg.dataRefsPerProc, before / 2);
+    cfg.scale(1e-12);
+    EXPECT_EQ(cfg.dataRefsPerProc, 1u) << "clamped to at least one";
+}
+
+TEST(Workload, ScaleRejectsNonPositive)
+{
+    auto cfg = workloadPreset(Benchmark::WATER, 8);
+    EXPECT_EXIT(cfg.scale(0.0), testing::ExitedWithCode(1), "positive");
+}
+
+TEST(Workload, NameParsing)
+{
+    EXPECT_EQ(benchmarkFromName("mp3d"), Benchmark::MP3D);
+    EXPECT_EQ(benchmarkFromName("MP3D"), Benchmark::MP3D);
+    EXPECT_EQ(benchmarkFromName("Water"), Benchmark::WATER);
+    EXPECT_EQ(benchmarkFromName("cholesky"), Benchmark::CHOLESKY);
+    EXPECT_EQ(benchmarkFromName("fft"), Benchmark::FFT);
+    EXPECT_EQ(benchmarkFromName("weather"), Benchmark::WEATHER);
+    EXPECT_EQ(benchmarkFromName("simple"), Benchmark::SIMPLE);
+    EXPECT_EXIT(benchmarkFromName("nope"), testing::ExitedWithCode(1),
+                "unknown benchmark");
+}
+
+TEST(Workload, BenchmarkNames)
+{
+    EXPECT_STREQ(benchmarkName(Benchmark::MP3D), "MP3D");
+    EXPECT_STREQ(benchmarkName(Benchmark::SIMPLE), "SIMPLE");
+}
+
+TEST(Workload, PatternAssignment)
+{
+    EXPECT_EQ(workloadPreset(Benchmark::MP3D, 8).pattern,
+              SharingPattern::ObjectEpisode);
+    EXPECT_EQ(workloadPreset(Benchmark::WATER, 8).pattern,
+              SharingPattern::ObjectEpisode);
+    EXPECT_EQ(workloadPreset(Benchmark::CHOLESKY, 8).pattern,
+              SharingPattern::ProducerConsumer);
+    EXPECT_EQ(workloadPreset(Benchmark::FFT, 64).pattern,
+              SharingPattern::AllToAll);
+    EXPECT_EQ(workloadPreset(Benchmark::WEATHER, 64).pattern,
+              SharingPattern::SweepNeighbor);
+    EXPECT_EQ(workloadPreset(Benchmark::SIMPLE, 64).pattern,
+              SharingPattern::SweepNeighbor);
+}
+
+} // namespace
+} // namespace ringsim::trace

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Unit tests for logging helpers (the fatal/panic paths use death
+ * tests).
+ */
+
+#include <gtest/gtest.h>
+
+#include "src/util/logging.hpp"
+
+namespace ringsim {
+namespace {
+
+TEST(Logging, StrprintfFormats)
+{
+    EXPECT_EQ(strprintf("x=%d", 42), "x=42");
+    EXPECT_EQ(strprintf("%s-%s", "a", "b"), "a-b");
+    EXPECT_EQ(strprintf("%.2f", 1.2345), "1.23");
+}
+
+TEST(Logging, StrprintfEmpty)
+{
+    EXPECT_EQ(strprintf("%s", ""), "");
+}
+
+TEST(Logging, StrprintfLong)
+{
+    std::string big(5000, 'x');
+    EXPECT_EQ(strprintf("%s", big.c_str()).size(), 5000u);
+}
+
+TEST(Logging, LevelRoundTrip)
+{
+    LogLevel before = logLevel();
+    setLogLevel(LogLevel::Debug);
+    EXPECT_EQ(logLevel(), LogLevel::Debug);
+    setLogLevel(before);
+}
+
+TEST(LoggingDeathTest, PanicAborts)
+{
+    EXPECT_DEATH(panic("boom %d", 7), "boom 7");
+}
+
+TEST(LoggingDeathTest, FatalExits)
+{
+    EXPECT_EXIT(fatal("bad config"), testing::ExitedWithCode(1),
+                "bad config");
+}
+
+} // namespace
+} // namespace ringsim

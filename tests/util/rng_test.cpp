@@ -1,0 +1,165 @@
+/**
+ * @file
+ * Unit tests for the deterministic RNG.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/util/rng.hpp"
+
+namespace ringsim {
+namespace {
+
+TEST(Rng, DeterministicAcrossInstances)
+{
+    Rng a(42);
+    Rng b(42);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1);
+    Rng b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        if (a.next() == b.next())
+            ++same;
+    EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, BoundedStaysInRange)
+{
+    Rng rng(7);
+    for (int i = 0; i < 10000; ++i)
+        EXPECT_LT(rng.nextBounded(17), 17u);
+}
+
+TEST(Rng, BoundedCoversRange)
+{
+    Rng rng(9);
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 2000; ++i)
+        seen.insert(rng.nextBounded(10));
+    EXPECT_EQ(seen.size(), 10u);
+}
+
+TEST(Rng, DoubleInUnitInterval)
+{
+    Rng rng(11);
+    for (int i = 0; i < 10000; ++i) {
+        double d = rng.nextDouble();
+        EXPECT_GE(d, 0.0);
+        EXPECT_LT(d, 1.0);
+    }
+}
+
+TEST(Rng, DoubleMeanNearHalf)
+{
+    Rng rng(13);
+    double sum = 0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        sum += rng.nextDouble();
+    EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, ChanceExtremes)
+{
+    Rng rng(17);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_FALSE(rng.chance(0.0));
+        EXPECT_TRUE(rng.chance(1.0));
+    }
+}
+
+TEST(Rng, ChanceFrequency)
+{
+    Rng rng(19);
+    int hits = 0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        if (rng.chance(0.3))
+            ++hits;
+    EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(Rng, RangeInclusive)
+{
+    Rng rng(23);
+    bool saw_lo = false;
+    bool saw_hi = false;
+    for (int i = 0; i < 5000; ++i) {
+        std::uint64_t v = rng.nextRange(5, 8);
+        EXPECT_GE(v, 5u);
+        EXPECT_LE(v, 8u);
+        saw_lo = saw_lo || v == 5;
+        saw_hi = saw_hi || v == 8;
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, ZipfSkewsLow)
+{
+    Rng rng(29);
+    std::uint64_t low = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i)
+        if (rng.nextZipf(1000, 1.2) < 10)
+            ++low;
+    // With alpha=1.2 the first ten ranks should take a large share.
+    EXPECT_GT(low, n / 4);
+}
+
+TEST(Rng, ZipfInRange)
+{
+    Rng rng(31);
+    for (int i = 0; i < 10000; ++i)
+        EXPECT_LT(rng.nextZipf(64, 0.8), 64u);
+}
+
+TEST(Rng, ZipfSingleton)
+{
+    Rng rng(37);
+    for (int i = 0; i < 10; ++i)
+        EXPECT_EQ(rng.nextZipf(1, 1.0), 0u);
+}
+
+TEST(Rng, GeometricMean)
+{
+    Rng rng(41);
+    double sum = 0;
+    const int n = 50000;
+    for (int i = 0; i < n; ++i)
+        sum += static_cast<double>(rng.nextGeometric(0.25));
+    // E[failures before success] = (1-p)/p = 3.
+    EXPECT_NEAR(sum / n, 3.0, 0.15);
+}
+
+TEST(Rng, ForkIndependentButDeterministic)
+{
+    Rng parent(5);
+    Rng c1 = parent.fork(1);
+    Rng c2 = parent.fork(2);
+    Rng c1_again = Rng(5).fork(1);
+    EXPECT_NE(c1.next(), c2.next());
+    Rng c1_ref = Rng(5).fork(1);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(c1_again.next(), c1_ref.next());
+}
+
+TEST(Rng, ForkDoesNotDisturbParent)
+{
+    Rng a(77);
+    Rng b(77);
+    (void)a.fork(3);
+    for (int i = 0; i < 10; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+} // namespace
+} // namespace ringsim

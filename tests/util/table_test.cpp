@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Unit tests for the text-table renderer.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "src/util/table.hpp"
+
+namespace ringsim {
+namespace {
+
+TEST(TextTable, CountsRowsAndColumns)
+{
+    TextTable t({"a", "b"});
+    EXPECT_EQ(t.columns(), 2u);
+    EXPECT_EQ(t.rows(), 0u);
+    t.addRow({"1", "2"});
+    EXPECT_EQ(t.rows(), 1u);
+}
+
+TEST(TextTable, PrintAligns)
+{
+    TextTable t({"name", "v"});
+    t.addRow({"x", "1234"});
+    t.addRow({"longer", "5"});
+    std::ostringstream os;
+    t.print(os);
+    std::string out = os.str();
+    EXPECT_NE(out.find("| name   | v    |"), std::string::npos);
+    EXPECT_NE(out.find("| longer | 5    |"), std::string::npos);
+}
+
+TEST(TextTable, CsvBasic)
+{
+    TextTable t({"a", "b"});
+    t.addRow({"1", "2"});
+    std::ostringstream os;
+    t.printCsv(os);
+    EXPECT_EQ(os.str(), "a,b\n1,2\n");
+}
+
+TEST(TextTable, CsvQuotesSpecials)
+{
+    TextTable t({"a"});
+    t.addRow({"has,comma"});
+    t.addRow({"has\"quote"});
+    std::ostringstream os;
+    t.printCsv(os);
+    EXPECT_NE(os.str().find("\"has,comma\""), std::string::npos);
+    EXPECT_NE(os.str().find("\"has\"\"quote\""), std::string::npos);
+}
+
+TEST(TextTableDeathTest, WrongArityPanics)
+{
+    TextTable t({"a", "b"});
+    EXPECT_DEATH(t.addRow({"only one"}), "cells");
+}
+
+TEST(Format, FmtDouble)
+{
+    EXPECT_EQ(fmtDouble(3.14159, 2), "3.14");
+    EXPECT_EQ(fmtDouble(2.0, 0), "2");
+}
+
+TEST(Format, FmtPercent)
+{
+    EXPECT_EQ(fmtPercent(0.5, 1), "50.0");
+    EXPECT_EQ(fmtPercent(1.0, 0), "100");
+}
+
+} // namespace
+} // namespace ringsim
