@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_insertion_ring.dir/ablation_insertion_ring.cpp.o"
+  "CMakeFiles/ablation_insertion_ring.dir/ablation_insertion_ring.cpp.o.d"
+  "ablation_insertion_ring"
+  "ablation_insertion_ring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_insertion_ring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_snoop_vs_dir.dir/fig3_snoop_vs_dir.cpp.o"
+  "CMakeFiles/fig3_snoop_vs_dir.dir/fig3_snoop_vs_dir.cpp.o.d"
+  "fig3_snoop_vs_dir"
+  "fig3_snoop_vs_dir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_snoop_vs_dir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_snoop_vs_dir_64.dir/fig4_snoop_vs_dir_64.cpp.o"
+  "CMakeFiles/fig4_snoop_vs_dir_64.dir/fig4_snoop_vs_dir_64.cpp.o.d"
+  "fig4_snoop_vs_dir_64"
+  "fig4_snoop_vs_dir_64.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_snoop_vs_dir_64.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_ring_vs_bus.dir/fig6_ring_vs_bus.cpp.o"
+  "CMakeFiles/fig6_ring_vs_bus.dir/fig6_ring_vs_bus.cpp.o.d"
+  "fig6_ring_vs_bus"
+  "fig6_ring_vs_bus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_ring_vs_bus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_traversals.dir/table1_traversals.cpp.o"
+  "CMakeFiles/table1_traversals.dir/table1_traversals.cpp.o.d"
+  "table1_traversals"
+  "table1_traversals.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_traversals.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/table3_snoop_rate.cpp" "bench/CMakeFiles/table3_snoop_rate.dir/table3_snoop_rate.cpp.o" "gcc" "bench/CMakeFiles/table3_snoop_rate.dir/table3_snoop_rate.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/bench_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/ringsim_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/ringsim_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/coherence/CMakeFiles/ringsim_coherence.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/ringsim_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/ring/CMakeFiles/ringsim_ring.dir/DependInfo.cmake"
+  "/root/repo/build/src/bus/CMakeFiles/ringsim_bus.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ringsim_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/ringsim_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/ringsim_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ringsim_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_bus_match.dir/table4_bus_match.cpp.o"
+  "CMakeFiles/table4_bus_match.dir/table4_bus_match.cpp.o.d"
+  "table4_bus_match"
+  "table4_bus_match.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_bus_match.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

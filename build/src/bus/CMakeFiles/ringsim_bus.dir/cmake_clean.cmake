@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ringsim_bus.dir/split_bus.cpp.o"
+  "CMakeFiles/ringsim_bus.dir/split_bus.cpp.o.d"
+  "libringsim_bus.a"
+  "libringsim_bus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ringsim_bus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

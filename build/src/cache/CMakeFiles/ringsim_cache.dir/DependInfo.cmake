@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cache/checker.cpp" "src/cache/CMakeFiles/ringsim_cache.dir/checker.cpp.o" "gcc" "src/cache/CMakeFiles/ringsim_cache.dir/checker.cpp.o.d"
+  "/root/repo/src/cache/coherent_cache.cpp" "src/cache/CMakeFiles/ringsim_cache.dir/coherent_cache.cpp.o" "gcc" "src/cache/CMakeFiles/ringsim_cache.dir/coherent_cache.cpp.o.d"
+  "/root/repo/src/cache/dual_directory.cpp" "src/cache/CMakeFiles/ringsim_cache.dir/dual_directory.cpp.o" "gcc" "src/cache/CMakeFiles/ringsim_cache.dir/dual_directory.cpp.o.d"
+  "/root/repo/src/cache/geometry.cpp" "src/cache/CMakeFiles/ringsim_cache.dir/geometry.cpp.o" "gcc" "src/cache/CMakeFiles/ringsim_cache.dir/geometry.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/ringsim_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/ringsim_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ringsim_cache.dir/checker.cpp.o"
+  "CMakeFiles/ringsim_cache.dir/checker.cpp.o.d"
+  "CMakeFiles/ringsim_cache.dir/coherent_cache.cpp.o"
+  "CMakeFiles/ringsim_cache.dir/coherent_cache.cpp.o.d"
+  "CMakeFiles/ringsim_cache.dir/dual_directory.cpp.o"
+  "CMakeFiles/ringsim_cache.dir/dual_directory.cpp.o.d"
+  "CMakeFiles/ringsim_cache.dir/geometry.cpp.o"
+  "CMakeFiles/ringsim_cache.dir/geometry.cpp.o.d"
+  "libringsim_cache.a"
+  "libringsim_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ringsim_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libringsim_cache.a"
+)

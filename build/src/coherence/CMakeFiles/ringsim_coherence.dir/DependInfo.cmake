@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/coherence/classify.cpp" "src/coherence/CMakeFiles/ringsim_coherence.dir/classify.cpp.o" "gcc" "src/coherence/CMakeFiles/ringsim_coherence.dir/classify.cpp.o.d"
+  "/root/repo/src/coherence/driver.cpp" "src/coherence/CMakeFiles/ringsim_coherence.dir/driver.cpp.o" "gcc" "src/coherence/CMakeFiles/ringsim_coherence.dir/driver.cpp.o.d"
+  "/root/repo/src/coherence/engine.cpp" "src/coherence/CMakeFiles/ringsim_coherence.dir/engine.cpp.o" "gcc" "src/coherence/CMakeFiles/ringsim_coherence.dir/engine.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/ringsim_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/ringsim_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/ringsim_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/ringsim_trace.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ringsim_coherence.dir/classify.cpp.o"
+  "CMakeFiles/ringsim_coherence.dir/classify.cpp.o.d"
+  "CMakeFiles/ringsim_coherence.dir/driver.cpp.o"
+  "CMakeFiles/ringsim_coherence.dir/driver.cpp.o.d"
+  "CMakeFiles/ringsim_coherence.dir/engine.cpp.o"
+  "CMakeFiles/ringsim_coherence.dir/engine.cpp.o.d"
+  "libringsim_coherence.a"
+  "libringsim_coherence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ringsim_coherence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

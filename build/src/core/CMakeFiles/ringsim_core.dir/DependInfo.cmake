@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/bus_snoop.cpp" "src/core/CMakeFiles/ringsim_core.dir/bus_snoop.cpp.o" "gcc" "src/core/CMakeFiles/ringsim_core.dir/bus_snoop.cpp.o.d"
+  "/root/repo/src/core/config.cpp" "src/core/CMakeFiles/ringsim_core.dir/config.cpp.o" "gcc" "src/core/CMakeFiles/ringsim_core.dir/config.cpp.o.d"
+  "/root/repo/src/core/metrics.cpp" "src/core/CMakeFiles/ringsim_core.dir/metrics.cpp.o" "gcc" "src/core/CMakeFiles/ringsim_core.dir/metrics.cpp.o.d"
+  "/root/repo/src/core/processor.cpp" "src/core/CMakeFiles/ringsim_core.dir/processor.cpp.o" "gcc" "src/core/CMakeFiles/ringsim_core.dir/processor.cpp.o.d"
+  "/root/repo/src/core/ring_directory.cpp" "src/core/CMakeFiles/ringsim_core.dir/ring_directory.cpp.o" "gcc" "src/core/CMakeFiles/ringsim_core.dir/ring_directory.cpp.o.d"
+  "/root/repo/src/core/ring_protocol.cpp" "src/core/CMakeFiles/ringsim_core.dir/ring_protocol.cpp.o" "gcc" "src/core/CMakeFiles/ringsim_core.dir/ring_protocol.cpp.o.d"
+  "/root/repo/src/core/ring_snoop.cpp" "src/core/CMakeFiles/ringsim_core.dir/ring_snoop.cpp.o" "gcc" "src/core/CMakeFiles/ringsim_core.dir/ring_snoop.cpp.o.d"
+  "/root/repo/src/core/system.cpp" "src/core/CMakeFiles/ringsim_core.dir/system.cpp.o" "gcc" "src/core/CMakeFiles/ringsim_core.dir/system.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/ringsim_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/ringsim_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ringsim_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/ringsim_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/ringsim_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/coherence/CMakeFiles/ringsim_coherence.dir/DependInfo.cmake"
+  "/root/repo/build/src/ring/CMakeFiles/ringsim_ring.dir/DependInfo.cmake"
+  "/root/repo/build/src/bus/CMakeFiles/ringsim_bus.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

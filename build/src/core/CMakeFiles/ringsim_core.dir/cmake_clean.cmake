@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ringsim_core.dir/bus_snoop.cpp.o"
+  "CMakeFiles/ringsim_core.dir/bus_snoop.cpp.o.d"
+  "CMakeFiles/ringsim_core.dir/config.cpp.o"
+  "CMakeFiles/ringsim_core.dir/config.cpp.o.d"
+  "CMakeFiles/ringsim_core.dir/metrics.cpp.o"
+  "CMakeFiles/ringsim_core.dir/metrics.cpp.o.d"
+  "CMakeFiles/ringsim_core.dir/processor.cpp.o"
+  "CMakeFiles/ringsim_core.dir/processor.cpp.o.d"
+  "CMakeFiles/ringsim_core.dir/ring_directory.cpp.o"
+  "CMakeFiles/ringsim_core.dir/ring_directory.cpp.o.d"
+  "CMakeFiles/ringsim_core.dir/ring_protocol.cpp.o"
+  "CMakeFiles/ringsim_core.dir/ring_protocol.cpp.o.d"
+  "CMakeFiles/ringsim_core.dir/ring_snoop.cpp.o"
+  "CMakeFiles/ringsim_core.dir/ring_snoop.cpp.o.d"
+  "CMakeFiles/ringsim_core.dir/system.cpp.o"
+  "CMakeFiles/ringsim_core.dir/system.cpp.o.d"
+  "libringsim_core.a"
+  "libringsim_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ringsim_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ringsim_model.dir/bus_model.cpp.o"
+  "CMakeFiles/ringsim_model.dir/bus_model.cpp.o.d"
+  "CMakeFiles/ringsim_model.dir/calibration.cpp.o"
+  "CMakeFiles/ringsim_model.dir/calibration.cpp.o.d"
+  "CMakeFiles/ringsim_model.dir/insertion_model.cpp.o"
+  "CMakeFiles/ringsim_model.dir/insertion_model.cpp.o.d"
+  "CMakeFiles/ringsim_model.dir/matcher.cpp.o"
+  "CMakeFiles/ringsim_model.dir/matcher.cpp.o.d"
+  "CMakeFiles/ringsim_model.dir/ring_model.cpp.o"
+  "CMakeFiles/ringsim_model.dir/ring_model.cpp.o.d"
+  "libringsim_model.a"
+  "libringsim_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ringsim_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

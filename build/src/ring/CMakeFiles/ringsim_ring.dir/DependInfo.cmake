@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ring/config.cpp" "src/ring/CMakeFiles/ringsim_ring.dir/config.cpp.o" "gcc" "src/ring/CMakeFiles/ringsim_ring.dir/config.cpp.o.d"
+  "/root/repo/src/ring/frame_layout.cpp" "src/ring/CMakeFiles/ringsim_ring.dir/frame_layout.cpp.o" "gcc" "src/ring/CMakeFiles/ringsim_ring.dir/frame_layout.cpp.o.d"
+  "/root/repo/src/ring/network.cpp" "src/ring/CMakeFiles/ringsim_ring.dir/network.cpp.o" "gcc" "src/ring/CMakeFiles/ringsim_ring.dir/network.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/ringsim_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/ringsim_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ringsim_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

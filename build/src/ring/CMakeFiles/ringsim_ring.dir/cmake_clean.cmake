@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ringsim_ring.dir/config.cpp.o"
+  "CMakeFiles/ringsim_ring.dir/config.cpp.o.d"
+  "CMakeFiles/ringsim_ring.dir/frame_layout.cpp.o"
+  "CMakeFiles/ringsim_ring.dir/frame_layout.cpp.o.d"
+  "CMakeFiles/ringsim_ring.dir/network.cpp.o"
+  "CMakeFiles/ringsim_ring.dir/network.cpp.o.d"
+  "libringsim_ring.a"
+  "libringsim_ring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ringsim_ring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ringsim_sim.dir/kernel.cpp.o"
+  "CMakeFiles/ringsim_sim.dir/kernel.cpp.o.d"
+  "libringsim_sim.a"
+  "libringsim_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ringsim_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

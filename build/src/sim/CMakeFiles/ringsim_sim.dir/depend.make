@@ -1,0 +1,2 @@
+# Empty dependencies file for ringsim_sim.
+# This may be replaced when dependencies are built.

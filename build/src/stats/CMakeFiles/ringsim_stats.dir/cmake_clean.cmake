@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ringsim_stats.dir/stats.cpp.o"
+  "CMakeFiles/ringsim_stats.dir/stats.cpp.o.d"
+  "libringsim_stats.a"
+  "libringsim_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ringsim_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

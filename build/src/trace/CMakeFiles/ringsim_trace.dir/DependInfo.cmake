@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/address_map.cpp" "src/trace/CMakeFiles/ringsim_trace.dir/address_map.cpp.o" "gcc" "src/trace/CMakeFiles/ringsim_trace.dir/address_map.cpp.o.d"
+  "/root/repo/src/trace/generator.cpp" "src/trace/CMakeFiles/ringsim_trace.dir/generator.cpp.o" "gcc" "src/trace/CMakeFiles/ringsim_trace.dir/generator.cpp.o.d"
+  "/root/repo/src/trace/patterns.cpp" "src/trace/CMakeFiles/ringsim_trace.dir/patterns.cpp.o" "gcc" "src/trace/CMakeFiles/ringsim_trace.dir/patterns.cpp.o.d"
+  "/root/repo/src/trace/stream.cpp" "src/trace/CMakeFiles/ringsim_trace.dir/stream.cpp.o" "gcc" "src/trace/CMakeFiles/ringsim_trace.dir/stream.cpp.o.d"
+  "/root/repo/src/trace/trace_file.cpp" "src/trace/CMakeFiles/ringsim_trace.dir/trace_file.cpp.o" "gcc" "src/trace/CMakeFiles/ringsim_trace.dir/trace_file.cpp.o.d"
+  "/root/repo/src/trace/workload.cpp" "src/trace/CMakeFiles/ringsim_trace.dir/workload.cpp.o" "gcc" "src/trace/CMakeFiles/ringsim_trace.dir/workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/ringsim_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/ringsim_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ringsim_trace.dir/address_map.cpp.o"
+  "CMakeFiles/ringsim_trace.dir/address_map.cpp.o.d"
+  "CMakeFiles/ringsim_trace.dir/generator.cpp.o"
+  "CMakeFiles/ringsim_trace.dir/generator.cpp.o.d"
+  "CMakeFiles/ringsim_trace.dir/patterns.cpp.o"
+  "CMakeFiles/ringsim_trace.dir/patterns.cpp.o.d"
+  "CMakeFiles/ringsim_trace.dir/stream.cpp.o"
+  "CMakeFiles/ringsim_trace.dir/stream.cpp.o.d"
+  "CMakeFiles/ringsim_trace.dir/trace_file.cpp.o"
+  "CMakeFiles/ringsim_trace.dir/trace_file.cpp.o.d"
+  "CMakeFiles/ringsim_trace.dir/workload.cpp.o"
+  "CMakeFiles/ringsim_trace.dir/workload.cpp.o.d"
+  "libringsim_trace.a"
+  "libringsim_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ringsim_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ringsim_util.dir/logging.cpp.o"
+  "CMakeFiles/ringsim_util.dir/logging.cpp.o.d"
+  "CMakeFiles/ringsim_util.dir/rng.cpp.o"
+  "CMakeFiles/ringsim_util.dir/rng.cpp.o.d"
+  "CMakeFiles/ringsim_util.dir/table.cpp.o"
+  "CMakeFiles/ringsim_util.dir/table.cpp.o.d"
+  "libringsim_util.a"
+  "libringsim_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ringsim_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coherence_test.dir/coherence/classify_test.cpp.o"
+  "CMakeFiles/coherence_test.dir/coherence/classify_test.cpp.o.d"
+  "CMakeFiles/coherence_test.dir/coherence/driver_test.cpp.o"
+  "CMakeFiles/coherence_test.dir/coherence/driver_test.cpp.o.d"
+  "CMakeFiles/coherence_test.dir/coherence/engine_test.cpp.o"
+  "CMakeFiles/coherence_test.dir/coherence/engine_test.cpp.o.d"
+  "coherence_test"
+  "coherence_test.pdb"
+  "coherence_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coherence_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

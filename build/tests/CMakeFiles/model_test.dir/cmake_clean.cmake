@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/model_test.dir/model/bus_model_test.cpp.o"
+  "CMakeFiles/model_test.dir/model/bus_model_test.cpp.o.d"
+  "CMakeFiles/model_test.dir/model/insertion_model_test.cpp.o"
+  "CMakeFiles/model_test.dir/model/insertion_model_test.cpp.o.d"
+  "CMakeFiles/model_test.dir/model/matcher_test.cpp.o"
+  "CMakeFiles/model_test.dir/model/matcher_test.cpp.o.d"
+  "CMakeFiles/model_test.dir/model/ring_model_test.cpp.o"
+  "CMakeFiles/model_test.dir/model/ring_model_test.cpp.o.d"
+  "model_test"
+  "model_test.pdb"
+  "model_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

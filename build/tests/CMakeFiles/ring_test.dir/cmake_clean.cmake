@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ring_test.dir/ring/config_test.cpp.o"
+  "CMakeFiles/ring_test.dir/ring/config_test.cpp.o.d"
+  "CMakeFiles/ring_test.dir/ring/frame_layout_test.cpp.o"
+  "CMakeFiles/ring_test.dir/ring/frame_layout_test.cpp.o.d"
+  "CMakeFiles/ring_test.dir/ring/network_test.cpp.o"
+  "CMakeFiles/ring_test.dir/ring/network_test.cpp.o.d"
+  "ring_test"
+  "ring_test.pdb"
+  "ring_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ring_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
