@@ -14,11 +14,13 @@
  * starvation-avoidance throughput tax, so it is an optimistic bound.
  */
 
+#include <functional>
 #include <iostream>
 
 #include "bench/common.hpp"
 #include "model/calibration.hpp"
 #include "model/insertion_model.hpp"
+#include "runner/experiment_runner.hpp"
 #include "util/table.hpp"
 
 using namespace ringsim;
@@ -32,34 +34,46 @@ main(int argc, char **argv)
                      "insertion lat (ns)", "slotted util %",
                      "insertion link util %"});
 
+    // One job per (benchmark, procs): the calibration dominates, the
+    // three MIPS points reuse its census.
+    using Rows = std::vector<std::vector<std::string>>;
+    std::vector<std::function<Rows()>> tasks;
     for (trace::Benchmark b : {trace::Benchmark::MP3D,
                                trace::Benchmark::WATER}) {
         for (unsigned procs : {16u, 32u}) {
             trace::WorkloadConfig wl = trace::workloadPreset(b, procs);
             opt.apply(wl);
-            coherence::Census census = model::calibrate(wl);
 
-            for (double mips : {50.0, 200.0, 1000.0}) {
-                model::RingModelInput in;
-                in.census = census;
-                in.ring =
-                    core::RingSystemConfig::forProcs(procs).ring;
-                in.system.procCycle = nsToTicks(1e3 / mips);
-                in.protocol = model::RingProtocol::Directory;
+            tasks.push_back([wl, procs]() -> Rows {
+                coherence::Census census = model::calibrate(wl);
+                Rows rows;
+                for (double mips : {50.0, 200.0, 1000.0}) {
+                    model::RingModelInput in;
+                    in.census = census;
+                    in.ring =
+                        core::RingSystemConfig::forProcs(procs).ring;
+                    in.system.procCycle = nsToTicks(1e3 / mips);
+                    in.protocol = model::RingProtocol::Directory;
 
-                model::ModelResult slotted = model::solveRing(in);
-                model::ModelResult inserted =
-                    model::solveInsertionRing(in);
+                    model::ModelResult slotted = model::solveRing(in);
+                    model::ModelResult inserted =
+                        model::solveInsertionRing(in);
 
-                table.addRow({wl.displayName(), fmtDouble(mips, 0),
-                              fmtDouble(slotted.missLatencyNs, 0),
-                              fmtDouble(inserted.missLatencyNs, 0),
-                              fmtPercent(slotted.networkUtilization, 1),
-                              fmtPercent(inserted.networkUtilization,
-                                         1)});
-            }
+                    rows.push_back(
+                        {wl.displayName(), fmtDouble(mips, 0),
+                         fmtDouble(slotted.missLatencyNs, 0),
+                         fmtDouble(inserted.missLatencyNs, 0),
+                         fmtPercent(slotted.networkUtilization, 1),
+                         fmtPercent(inserted.networkUtilization, 1)});
+                }
+                return rows;
+            });
         }
     }
+
+    for (const Rows &rows : runner::runAll(std::move(tasks), opt.jobs))
+        for (const std::vector<std::string> &cells : rows)
+            table.addRow(cells);
 
     bench::emit(opt,
                 "Slotted vs register-insertion ring (directory "

@@ -17,10 +17,12 @@
  * bus, while the bus's utilization is pinned at ~100 %.
  */
 
+#include <functional>
 #include <iostream>
 
 #include "bench/common.hpp"
 #include "core/system.hpp"
+#include "runner/experiment_runner.hpp"
 #include "util/table.hpp"
 
 using namespace ringsim;
@@ -55,21 +57,43 @@ main(int argc, char **argv)
     TextTable table({"system", "store buffer", "proc util %",
                      "net util %", "miss lat (ns)", "inv lat (ns)"});
 
-    for (unsigned depth : {0u, 2u, 8u}) {
-        core::RingSystemConfig cfg = core::RingSystemConfig::forProcs(16);
-        cfg.common.procCycle = cycle;
-        cfg.common.storeBufferDepth = depth;
-        addRow(table, "ring 500MHz / snoop", depth,
-               core::runRingSystem(cfg, wl,
-                                   core::ProtocolKind::RingSnoop));
+    // Each (system, depth) point is one timed simulation; fan them
+    // out as runner jobs and emit rows in registration order.
+    struct Point
+    {
+        const char *system;
+        bool bus;
+        unsigned depth;
+    };
+    std::vector<Point> points;
+    for (unsigned depth : {0u, 2u, 8u})
+        points.push_back({"ring 500MHz / snoop", false, depth});
+    for (unsigned depth : {0u, 2u, 8u})
+        points.push_back({"bus 50MHz / snoop", true, depth});
+
+    std::vector<std::function<core::RunResult()>> tasks;
+    for (const Point &p : points) {
+        tasks.push_back([&p, &wl, cycle]() {
+            if (p.bus) {
+                core::BusSystemConfig cfg =
+                    core::BusSystemConfig::forProcs(16);
+                cfg.common.procCycle = cycle;
+                cfg.common.storeBufferDepth = p.depth;
+                return core::runBusSystem(cfg, wl);
+            }
+            core::RingSystemConfig cfg =
+                core::RingSystemConfig::forProcs(16);
+            cfg.common.procCycle = cycle;
+            cfg.common.storeBufferDepth = p.depth;
+            return core::runRingSystem(cfg, wl,
+                                       core::ProtocolKind::RingSnoop);
+        });
     }
-    for (unsigned depth : {0u, 2u, 8u}) {
-        core::BusSystemConfig cfg = core::BusSystemConfig::forProcs(16);
-        cfg.common.procCycle = cycle;
-        cfg.common.storeBufferDepth = depth;
-        addRow(table, "bus 50MHz / snoop", depth,
-               core::runBusSystem(cfg, wl));
-    }
+    std::vector<core::RunResult> results =
+        runner::runAll(std::move(tasks), opt.jobs);
+
+    for (std::size_t i = 0; i < points.size(); ++i)
+        addRow(table, points[i].system, points[i].depth, results[i]);
 
     bench::emit(opt,
                 "Latency tolerance (non-blocking stores) on ring vs "

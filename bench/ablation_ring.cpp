@@ -19,32 +19,44 @@
  *     under snooping, the design-space axis of Figure 6's ring pair.
  */
 
+#include <functional>
 #include <iostream>
 
 #include "bench/common.hpp"
 #include "core/system.hpp"
+#include "runner/experiment_runner.hpp"
 #include "util/table.hpp"
 
 using namespace ringsim;
 
 namespace {
 
+/** One timed simulation variant; results are assembled in
+ *  registration order, independent of --jobs. */
+struct Variant
+{
+    trace::WorkloadConfig wl;
+    std::string label;
+    Tick period;
+    unsigned linkBits;
+    bool antiStarvation;
+    core::ProtocolKind kind;
+};
+
 core::RunResult
-runRing(const trace::WorkloadConfig &wl, Tick period, unsigned link_bits,
-        bool anti_starvation, core::ProtocolKind kind)
+runRing(const Variant &v)
 {
     core::RingSystemConfig cfg =
-        core::RingSystemConfig::forProcs(wl.procs, period);
-    cfg.ring.frame.linkBits = link_bits;
-    cfg.ring.antiStarvation = anti_starvation;
-    return core::runRingSystem(cfg, wl, kind);
+        core::RingSystemConfig::forProcs(v.wl.procs, v.period);
+    cfg.ring.frame.linkBits = v.linkBits;
+    cfg.ring.antiStarvation = v.antiStarvation;
+    return core::runRingSystem(cfg, v.wl, v.kind);
 }
 
 void
-addRow(TextTable &table, const trace::WorkloadConfig &wl,
-       const std::string &variant, const core::RunResult &r)
+addRow(TextTable &table, const Variant &v, const core::RunResult &r)
 {
-    table.addRow({wl.displayName(), variant,
+    table.addRow({v.wl.displayName(), v.label,
                   fmtPercent(r.procUtilization, 1),
                   fmtPercent(r.networkUtilization, 1),
                   fmtDouble(r.missLatencyNs, 0),
@@ -61,18 +73,18 @@ main(int argc, char **argv)
     TextTable table({"workload", "variant", "proc util %", "net util %",
                      "miss lat (ns)", "slot wait (ns)"});
 
+    std::vector<Variant> variants;
+
     // --- Ablation 1: anti-starvation rule on the busiest SPLASH
     // configuration (MP3D 32, fast ring).
     {
         trace::WorkloadConfig wl =
             trace::workloadPreset(trace::Benchmark::MP3D, 32);
         opt.apply(wl);
-        addRow(table, wl, "snoop, anti-starvation ON",
-               runRing(wl, 2000, 32, true,
-                       core::ProtocolKind::RingSnoop));
-        addRow(table, wl, "snoop, anti-starvation OFF",
-               runRing(wl, 2000, 32, false,
-                       core::ProtocolKind::RingSnoop));
+        variants.push_back({wl, "snoop, anti-starvation ON", 2000, 32,
+                            true, core::ProtocolKind::RingSnoop});
+        variants.push_back({wl, "snoop, anti-starvation OFF", 2000, 32,
+                            false, core::ProtocolKind::RingSnoop});
     }
 
     // --- Ablation 2: 64-bit parallel ring, snoop vs directory.
@@ -80,15 +92,12 @@ main(int argc, char **argv)
         trace::WorkloadConfig wl =
             trace::workloadPreset(trace::Benchmark::MP3D, procs);
         opt.apply(wl);
-        addRow(table, wl, "snoop, 32-bit ring",
-               runRing(wl, 2000, 32, true,
-                       core::ProtocolKind::RingSnoop));
-        addRow(table, wl, "snoop, 64-bit ring",
-               runRing(wl, 2000, 64, true,
-                       core::ProtocolKind::RingSnoop));
-        addRow(table, wl, "directory, 64-bit ring",
-               runRing(wl, 2000, 64, true,
-                       core::ProtocolKind::RingDirectory));
+        variants.push_back({wl, "snoop, 32-bit ring", 2000, 32, true,
+                            core::ProtocolKind::RingSnoop});
+        variants.push_back({wl, "snoop, 64-bit ring", 2000, 64, true,
+                            core::ProtocolKind::RingSnoop});
+        variants.push_back({wl, "directory, 64-bit ring", 2000, 64,
+                            true, core::ProtocolKind::RingDirectory});
     }
 
     // --- Ablation 3: ring clock (the Figure 6 ring pair).
@@ -96,13 +105,20 @@ main(int argc, char **argv)
         trace::WorkloadConfig wl =
             trace::workloadPreset(trace::Benchmark::MP3D, 16);
         opt.apply(wl);
-        addRow(table, wl, "snoop, 500 MHz",
-               runRing(wl, 2000, 32, true,
-                       core::ProtocolKind::RingSnoop));
-        addRow(table, wl, "snoop, 250 MHz",
-               runRing(wl, 4000, 32, true,
-                       core::ProtocolKind::RingSnoop));
+        variants.push_back({wl, "snoop, 500 MHz", 2000, 32, true,
+                            core::ProtocolKind::RingSnoop});
+        variants.push_back({wl, "snoop, 250 MHz", 4000, 32, true,
+                            core::ProtocolKind::RingSnoop});
     }
+
+    std::vector<std::function<core::RunResult()>> tasks;
+    for (const Variant &v : variants)
+        tasks.push_back([&v]() { return runRing(v); });
+    std::vector<core::RunResult> results =
+        runner::runAll(std::move(tasks), opt.jobs);
+
+    for (std::size_t i = 0; i < variants.size(); ++i)
+        addRow(table, variants[i], results[i]);
 
     bench::emit(opt,
                 "Ring design ablations (anti-starvation, link width, "

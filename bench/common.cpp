@@ -37,8 +37,14 @@ parseOptions(int argc, char **argv)
             opt.csv = true;
         } else if (arg == "--fast") {
             opt.fast = true;
+        } else if (arg == "--jobs") {
+            opt.jobs = static_cast<unsigned>(
+                std::strtoul(need_value("--jobs").c_str(), nullptr, 10));
+            if (opt.jobs == 0)
+                fatal("--jobs must be positive");
         } else if (arg == "--help" || arg == "-h") {
-            std::cout << "flags: --refs N  --seed S  --csv  --fast\n";
+            std::cout << "flags: --refs N  --seed S  --csv  --fast  "
+                         "--jobs N\n";
             std::exit(0);
         } else {
             fatal("unknown flag '%s' (try --help)", arg.c_str());

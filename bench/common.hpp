@@ -10,6 +10,12 @@
  *   --seed S    master workload seed
  *   --csv       emit CSV instead of the text table
  *   --fast      quarter-length traces (quick shape check)
+ *   --jobs N    worker threads for the experiment sweep (default:
+ *               $RINGSIM_JOBS, else all hardware threads; 1 = serial)
+ *
+ * Results are independent of --jobs: every job is self-contained and
+ * result slots are ordered by submission, so parallel and serial runs
+ * emit byte-identical tables.
  */
 
 #ifndef RINGSIM_BENCH_COMMON_HPP
@@ -30,6 +36,7 @@ struct Options
     std::uint64_t seed = 12345;
     bool csv = false;
     bool fast = false;
+    unsigned jobs = 0; //!< sweep worker threads; 0 = auto
 
     /** Apply refs/seed to a workload preset. */
     void apply(trace::WorkloadConfig &cfg) const;

@@ -19,7 +19,7 @@ int
 main(int argc, char **argv)
 {
     bench::Options opt = bench::parseOptions(argc, argv);
-    TextTable table = bench::makeFigureTable();
+    bench::FigureSweep sweep(opt);
 
     for (trace::Benchmark b : {trace::Benchmark::MP3D,
                                trace::Benchmark::WATER,
@@ -27,23 +27,22 @@ main(int argc, char **argv)
         for (unsigned procs : {8u, 16u, 32u}) {
             trace::WorkloadConfig wl = trace::workloadPreset(b, procs);
             opt.apply(wl);
-            coherence::Census census = model::calibrate(wl);
 
-            bench::addRingSeries(table, wl, census, 2000,
-                                 model::RingProtocol::Snoop,
-                                 "snooping");
-            bench::addRingSeries(table, wl, census, 2000,
-                                 model::RingProtocol::Directory,
-                                 "directory");
-            bench::addRingSimPoint(table, wl, 2000,
-                                   core::ProtocolKind::RingSnoop,
-                                   "snooping");
-            bench::addRingSimPoint(table, wl, 2000,
-                                   core::ProtocolKind::RingDirectory,
-                                   "directory");
+            sweep.addRingSeries(wl, 2000, model::RingProtocol::Snoop,
+                                "snooping");
+            sweep.addRingSeries(wl, 2000,
+                                model::RingProtocol::Directory,
+                                "directory");
+            sweep.addRingSimPoint(wl, 2000,
+                                  core::ProtocolKind::RingSnoop,
+                                  "snooping");
+            sweep.addRingSimPoint(wl, 2000,
+                                  core::ProtocolKind::RingDirectory,
+                                  "directory");
         }
     }
 
+    TextTable table = sweep.run();
     bench::emit(opt,
                 "Figure 3: snooping vs directory, 500 MHz 32-bit "
                 "rings (SPLASH, 8/16/32 CPUs)",

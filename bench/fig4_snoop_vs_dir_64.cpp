@@ -15,28 +15,27 @@ int
 main(int argc, char **argv)
 {
     bench::Options opt = bench::parseOptions(argc, argv);
-    TextTable table = bench::makeFigureTable();
+    bench::FigureSweep sweep(opt);
 
     for (trace::Benchmark b : {trace::Benchmark::FFT,
                                trace::Benchmark::WEATHER,
                                trace::Benchmark::SIMPLE}) {
         trace::WorkloadConfig wl = trace::workloadPreset(b, 64);
         opt.apply(wl);
-        coherence::Census census = model::calibrate(wl);
 
-        bench::addRingSeries(table, wl, census, 2000,
-                             model::RingProtocol::Snoop, "snooping");
-        bench::addRingSeries(table, wl, census, 2000,
-                             model::RingProtocol::Directory,
-                             "directory");
-        bench::addRingSimPoint(table, wl, 2000,
-                               core::ProtocolKind::RingSnoop,
-                               "snooping");
-        bench::addRingSimPoint(table, wl, 2000,
-                               core::ProtocolKind::RingDirectory,
-                               "directory");
+        sweep.addRingSeries(wl, 2000, model::RingProtocol::Snoop,
+                            "snooping");
+        sweep.addRingSeries(wl, 2000, model::RingProtocol::Directory,
+                            "directory");
+        sweep.addRingSimPoint(wl, 2000,
+                              core::ProtocolKind::RingSnoop,
+                              "snooping");
+        sweep.addRingSimPoint(wl, 2000,
+                              core::ProtocolKind::RingDirectory,
+                              "directory");
     }
 
+    TextTable table = sweep.run();
     bench::emit(opt,
                 "Figure 4: snooping vs directory, 500 MHz 32-bit "
                 "ring (FFT/WEATHER/SIMPLE, 64 CPUs)",

@@ -10,10 +10,12 @@
  * fractions; WEATHER and SIMPLE are almost entirely 1-cycle clean.
  */
 
+#include <functional>
 #include <iostream>
 
 #include "bench/common.hpp"
 #include "coherence/driver.hpp"
+#include "runner/experiment_runner.hpp"
 #include "util/table.hpp"
 
 using namespace ringsim;
@@ -26,9 +28,21 @@ main(int argc, char **argv)
     TextTable table({"workload", "1-cycle clean %", "1-cycle dirty %",
                      "2-cycle %"});
 
+    // One functional-coherence job per workload; rows are assembled
+    // in preset order, so the table is identical at any --jobs.
+    std::vector<trace::WorkloadConfig> workloads;
+    std::vector<std::function<coherence::Census()>> tasks;
     for (trace::WorkloadConfig cfg : trace::allWorkloadPresets()) {
         opt.apply(cfg);
-        coherence::Census c = coherence::runFunctional(cfg);
+        workloads.push_back(cfg);
+        tasks.push_back(
+            [cfg]() { return coherence::runFunctional(cfg); });
+    }
+    std::vector<coherence::Census> censuses =
+        runner::runAll(std::move(tasks), opt.jobs);
+
+    for (std::size_t i = 0; i < workloads.size(); ++i) {
+        const coherence::Census &c = censuses[i];
         Count remote = c.fullMap.cleanMiss1 + c.fullMap.dirtyMiss1 +
                        c.fullMap.miss2;
         auto pct = [remote](Count n) {
@@ -36,7 +50,7 @@ main(int argc, char **argv)
                                 static_cast<double>(remote)
                           : 0.0;
         };
-        table.addRow({cfg.displayName(),
+        table.addRow({workloads[i].displayName(),
                       fmtDouble(pct(c.fullMap.cleanMiss1), 1),
                       fmtDouble(pct(c.fullMap.dirtyMiss1), 1),
                       fmtDouble(pct(c.fullMap.miss2), 1)});

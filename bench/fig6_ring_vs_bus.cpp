@@ -36,7 +36,7 @@ main(int argc, char **argv)
     bench::Options opt =
         bench::parseOptions(static_cast<int>(args.size()), args.data());
 
-    TextTable table = bench::makeFigureTable();
+    bench::FigureSweep sweep(opt);
 
     std::vector<trace::Benchmark> benchmarks = {trace::Benchmark::MP3D,
                                                 trace::Benchmark::WATER};
@@ -47,25 +47,21 @@ main(int argc, char **argv)
         for (unsigned procs : {8u, 16u, 32u}) {
             trace::WorkloadConfig wl = trace::workloadPreset(b, procs);
             opt.apply(wl);
-            coherence::Census census = model::calibrate(wl);
 
-            bench::addRingSeries(table, wl, census, 2000,
-                                 model::RingProtocol::Snoop,
-                                 "ring 500MHz");
-            bench::addRingSeries(table, wl, census, 4000,
-                                 model::RingProtocol::Snoop,
-                                 "ring 250MHz");
-            bench::addBusSeries(table, wl, census, 10000,
-                                "bus 100MHz");
-            bench::addBusSeries(table, wl, census, 20000,
-                                "bus 50MHz");
-            bench::addRingSimPoint(table, wl, 2000,
-                                   core::ProtocolKind::RingSnoop,
-                                   "ring 500MHz");
-            bench::addBusSimPoint(table, wl, 20000, "bus 50MHz");
+            sweep.addRingSeries(wl, 2000, model::RingProtocol::Snoop,
+                                "ring 500MHz");
+            sweep.addRingSeries(wl, 4000, model::RingProtocol::Snoop,
+                                "ring 250MHz");
+            sweep.addBusSeries(wl, 10000, "bus 100MHz");
+            sweep.addBusSeries(wl, 20000, "bus 50MHz");
+            sweep.addRingSimPoint(wl, 2000,
+                                  core::ProtocolKind::RingSnoop,
+                                  "ring 500MHz");
+            sweep.addBusSimPoint(wl, 20000, "bus 50MHz");
         }
     }
 
+    TextTable table = sweep.run();
     bench::emit(opt,
                 "Figure 6: 32-bit slotted ring vs 64-bit split "
                 "transaction bus (snooping)",

@@ -1,5 +1,8 @@
 #include "fig_common.hpp"
 
+#include "runner/experiment_runner.hpp"
+#include "util/logging.hpp"
+
 namespace ringsim::bench {
 
 const std::vector<double> &
@@ -19,23 +22,24 @@ makeFigureTable()
 
 namespace {
 
-void
-addRow(TextTable &table, const trace::WorkloadConfig &wl,
-       const std::string &label, const char *source, double cycle_ns,
-       double putil, double netutil, double lat)
+using Row = std::vector<std::string>;
+
+Row
+makeRow(const trace::WorkloadConfig &wl, const std::string &label,
+        const char *source, double cycle_ns, double putil,
+        double netutil, double lat)
 {
-    table.addRow({wl.displayName(), label, source,
-                  fmtDouble(cycle_ns, 0), fmtPercent(putil, 1),
-                  fmtPercent(netutil, 1), fmtDouble(lat, 0)});
+    return {wl.displayName(), label, source, fmtDouble(cycle_ns, 0),
+            fmtPercent(putil, 1), fmtPercent(netutil, 1),
+            fmtDouble(lat, 0)};
 }
 
-} // namespace
-
-void
-addRingSeries(TextTable &table, const trace::WorkloadConfig &wl,
-              const coherence::Census &census, Tick ring_period,
-              model::RingProtocol protocol, const std::string &label)
+std::vector<Row>
+ringSeriesRows(const trace::WorkloadConfig &wl,
+               const coherence::Census &census, Tick ring_period,
+               model::RingProtocol protocol, const std::string &label)
 {
+    std::vector<Row> rows;
     for (double cycle_ns : cycleSweepNs()) {
         model::RingModelInput in;
         in.census = census;
@@ -45,17 +49,19 @@ addRingSeries(TextTable &table, const trace::WorkloadConfig &wl,
         in.system.procCycle = nsToTicks(cycle_ns);
         in.protocol = protocol;
         model::ModelResult r = model::solveRing(in);
-        addRow(table, wl, label, "model", cycle_ns,
-               r.procUtilization, r.networkUtilization,
-               r.missLatencyNs);
+        rows.push_back(makeRow(wl, label, "model", cycle_ns,
+                               r.procUtilization, r.networkUtilization,
+                               r.missLatencyNs));
     }
+    return rows;
 }
 
-void
-addBusSeries(TextTable &table, const trace::WorkloadConfig &wl,
-             const coherence::Census &census, Tick bus_period,
-             const std::string &label)
+std::vector<Row>
+busSeriesRows(const trace::WorkloadConfig &wl,
+              const coherence::Census &census, Tick bus_period,
+              const std::string &label)
 {
+    std::vector<Row> rows;
     for (double cycle_ns : cycleSweepNs()) {
         model::BusModelInput in;
         in.census = census;
@@ -63,33 +69,163 @@ addBusSeries(TextTable &table, const trace::WorkloadConfig &wl,
                      .bus;
         in.system.procCycle = nsToTicks(cycle_ns);
         model::ModelResult r = model::solveBus(in);
-        addRow(table, wl, label, "model", cycle_ns,
-               r.procUtilization, r.networkUtilization,
-               r.missLatencyNs);
+        rows.push_back(makeRow(wl, label, "model", cycle_ns,
+                               r.procUtilization, r.networkUtilization,
+                               r.missLatencyNs));
     }
+    return rows;
 }
 
-void
-addRingSimPoint(TextTable &table, const trace::WorkloadConfig &wl,
-                Tick ring_period, core::ProtocolKind kind,
-                const std::string &label)
+std::vector<Row>
+ringSimRows(const trace::WorkloadConfig &wl, Tick ring_period,
+            core::ProtocolKind kind, const std::string &label)
 {
     core::RingSystemConfig cfg =
         core::RingSystemConfig::forProcs(wl.procs, ring_period);
     core::RunResult r = core::runRingSystem(cfg, wl, kind);
-    addRow(table, wl, label, "sim", 20, r.procUtilization,
-           r.networkUtilization, r.missLatencyNs);
+    return {makeRow(wl, label, "sim", 20, r.procUtilization,
+                    r.networkUtilization, r.missLatencyNs)};
 }
 
-void
-addBusSimPoint(TextTable &table, const trace::WorkloadConfig &wl,
-               Tick bus_period, const std::string &label)
+std::vector<Row>
+busSimRows(const trace::WorkloadConfig &wl, Tick bus_period,
+           const std::string &label)
 {
     core::BusSystemConfig cfg =
         core::BusSystemConfig::forProcs(wl.procs, bus_period);
     core::RunResult r = core::runBusSystem(cfg, wl);
-    addRow(table, wl, label, "sim", 20, r.procUtilization,
-           r.networkUtilization, r.missLatencyNs);
+    return {makeRow(wl, label, "sim", 20, r.procUtilization,
+                    r.networkUtilization, r.missLatencyNs)};
+}
+
+std::string
+workloadKey(const trace::WorkloadConfig &wl)
+{
+    return wl.displayName() + "/" + std::to_string(wl.seed) + "/" +
+           std::to_string(wl.dataRefsPerProc);
+}
+
+} // namespace
+
+std::size_t
+FigureSweep::censusSlotFor(const trace::WorkloadConfig &wl)
+{
+    std::string key = workloadKey(wl);
+    for (std::size_t i = 0; i < calibrationKeys_.size(); ++i) {
+        if (calibrationKeys_[i] == key)
+            return i;
+    }
+    calibrationKeys_.push_back(std::move(key));
+    calibrations_.push_back(wl);
+    return calibrations_.size() - 1;
+}
+
+void
+FigureSweep::addRingSeries(const trace::WorkloadConfig &wl,
+                           Tick ring_period,
+                           model::RingProtocol protocol,
+                           const std::string &label)
+{
+    Block block;
+    block.kind = BlockKind::RingSeries;
+    block.wl = wl;
+    block.period = ring_period;
+    block.protocol = protocol;
+    block.label = label;
+    block.needsCensus = true;
+    block.censusSlot = censusSlotFor(wl);
+    blocks_.push_back(std::move(block));
+}
+
+void
+FigureSweep::addBusSeries(const trace::WorkloadConfig &wl,
+                          Tick bus_period, const std::string &label)
+{
+    Block block;
+    block.kind = BlockKind::BusSeries;
+    block.wl = wl;
+    block.period = bus_period;
+    block.label = label;
+    block.needsCensus = true;
+    block.censusSlot = censusSlotFor(wl);
+    blocks_.push_back(std::move(block));
+}
+
+void
+FigureSweep::addRingSimPoint(const trace::WorkloadConfig &wl,
+                             Tick ring_period, core::ProtocolKind kind,
+                             const std::string &label)
+{
+    Block block;
+    block.kind = BlockKind::RingSim;
+    block.wl = wl;
+    block.period = ring_period;
+    block.simKind = kind;
+    block.label = label;
+    blocks_.push_back(std::move(block));
+}
+
+void
+FigureSweep::addBusSimPoint(const trace::WorkloadConfig &wl,
+                            Tick bus_period, const std::string &label)
+{
+    Block block;
+    block.kind = BlockKind::BusSim;
+    block.wl = wl;
+    block.period = bus_period;
+    block.label = label;
+    blocks_.push_back(std::move(block));
+}
+
+TextTable
+FigureSweep::run() const
+{
+    // Phase 1: one calibration job per distinct workload. Sim points
+    // do not consume a census, so they are not held up by this phase
+    // in principle; in practice calibrations are the cheaper half and
+    // the two-phase structure keeps result wiring trivial.
+    std::vector<std::function<coherence::Census()>> calib_tasks;
+    calib_tasks.reserve(calibrations_.size());
+    for (const trace::WorkloadConfig &wl : calibrations_) {
+        calib_tasks.push_back(
+            [wl]() { return model::calibrate(wl); });
+    }
+    std::vector<coherence::Census> censuses =
+        runner::runAll(std::move(calib_tasks), opt_.jobs);
+
+    // Phase 2: every registered block is one job producing its rows.
+    std::vector<std::function<std::vector<Row>()>> block_tasks;
+    block_tasks.reserve(blocks_.size());
+    for (const Block &block : blocks_) {
+        const coherence::Census *census =
+            block.needsCensus ? &censuses[block.censusSlot] : nullptr;
+        block_tasks.push_back([&block, census]() -> std::vector<Row> {
+            switch (block.kind) {
+              case BlockKind::RingSeries:
+                return ringSeriesRows(block.wl, *census, block.period,
+                                      block.protocol, block.label);
+              case BlockKind::BusSeries:
+                return busSeriesRows(block.wl, *census, block.period,
+                                     block.label);
+              case BlockKind::RingSim:
+                return ringSimRows(block.wl, block.period,
+                                   block.simKind, block.label);
+              case BlockKind::BusSim:
+                return busSimRows(block.wl, block.period, block.label);
+            }
+            panic("unreachable figure block kind");
+        });
+    }
+    std::vector<std::vector<Row>> results =
+        runner::runAll(std::move(block_tasks), opt_.jobs);
+
+    // Assemble in registration order: bit-identical to a serial run.
+    TextTable table = makeFigureTable();
+    for (const std::vector<Row> &rows : results) {
+        for (const Row &row : rows)
+            table.addRow(row);
+    }
+    return table;
 }
 
 } // namespace ringsim::bench

@@ -8,11 +8,18 @@
  * prints one row per (configuration, cycle) with processor
  * utilization, network utilization and mean remote-miss latency, and
  * a "sim" row for the validation point.
+ *
+ * The sweep is built declaratively: benches register series and
+ * validation points against a FigureSweep, then run() executes every
+ * calibration and every registered block as an independent job on the
+ * ExperimentRunner and assembles the rows in registration order — so
+ * the emitted table is byte-identical whatever the worker count.
  */
 
 #ifndef RINGSIM_BENCH_FIG_COMMON_HPP
 #define RINGSIM_BENCH_FIG_COMMON_HPP
 
+#include <string>
 #include <vector>
 
 #include "bench/common.hpp"
@@ -30,25 +37,62 @@ const std::vector<double> &cycleSweepNs();
 /** Columns of a figure table. */
 TextTable makeFigureTable();
 
-/** Add the model-swept series of one ring configuration. */
-void addRingSeries(TextTable &table, const trace::WorkloadConfig &wl,
-                   const coherence::Census &census, Tick ring_period,
-                   model::RingProtocol protocol,
-                   const std::string &label);
+/**
+ * Declarative figure sweep: register model series and sim validation
+ * points, then run() them as parallel jobs.
+ */
+class FigureSweep
+{
+  public:
+    explicit FigureSweep(const Options &opt) : opt_(opt) {}
 
-/** Add the model-swept series of one bus configuration. */
-void addBusSeries(TextTable &table, const trace::WorkloadConfig &wl,
-                  const coherence::Census &census, Tick bus_period,
-                  const std::string &label);
+    /** Register the model-swept series of one ring configuration. */
+    void addRingSeries(const trace::WorkloadConfig &wl, Tick ring_period,
+                       model::RingProtocol protocol,
+                       const std::string &label);
 
-/** Add the timed-simulation validation row (50 MIPS point). */
-void addRingSimPoint(TextTable &table, const trace::WorkloadConfig &wl,
-                     Tick ring_period, core::ProtocolKind kind,
-                     const std::string &label);
+    /** Register the model-swept series of one bus configuration. */
+    void addBusSeries(const trace::WorkloadConfig &wl, Tick bus_period,
+                      const std::string &label);
 
-/** Add the timed bus validation row (50 MIPS point). */
-void addBusSimPoint(TextTable &table, const trace::WorkloadConfig &wl,
-                    Tick bus_period, const std::string &label);
+    /** Register the timed ring validation row (50 MIPS point). */
+    void addRingSimPoint(const trace::WorkloadConfig &wl,
+                         Tick ring_period, core::ProtocolKind kind,
+                         const std::string &label);
+
+    /** Register the timed bus validation row (50 MIPS point). */
+    void addBusSimPoint(const trace::WorkloadConfig &wl, Tick bus_period,
+                        const std::string &label);
+
+    /**
+     * Execute all registered blocks — calibrations first (one job per
+     * distinct workload), then every series/sim block as its own job —
+     * and return the assembled table. Uses opt.jobs workers.
+     */
+    TextTable run() const;
+
+  private:
+    enum class BlockKind { RingSeries, BusSeries, RingSim, BusSim };
+
+    struct Block
+    {
+        BlockKind kind;
+        trace::WorkloadConfig wl;
+        Tick period = 0;
+        model::RingProtocol protocol = model::RingProtocol::Snoop;
+        core::ProtocolKind simKind = core::ProtocolKind::RingSnoop;
+        std::string label;
+        std::size_t censusSlot = 0; //!< calibration index (series only)
+        bool needsCensus = false;
+    };
+
+    std::size_t censusSlotFor(const trace::WorkloadConfig &wl);
+
+    Options opt_;
+    std::vector<Block> blocks_;
+    std::vector<trace::WorkloadConfig> calibrations_;
+    std::vector<std::string> calibrationKeys_;
+};
 
 } // namespace ringsim::bench
 

@@ -7,10 +7,12 @@
  * Paper reference values are printed beside the measured ones.
  */
 
+#include <functional>
 #include <iostream>
 
 #include "bench/common.hpp"
 #include "coherence/driver.hpp"
+#include "runner/experiment_runner.hpp"
 #include "util/table.hpp"
 
 using namespace ringsim;
@@ -58,11 +60,23 @@ main(int argc, char **argv)
     const trace::Benchmark benchmarks[] = {trace::Benchmark::MP3D,
                                            trace::Benchmark::WATER,
                                            trace::Benchmark::CHOLESKY};
+    // One functional pass per benchmark, fanned out as runner jobs.
+    std::vector<trace::WorkloadConfig> workloads;
+    std::vector<std::function<coherence::Census()>> tasks;
     for (unsigned bi = 0; bi < 3; ++bi) {
         trace::WorkloadConfig cfg =
             trace::workloadPreset(benchmarks[bi], 16);
         opt.apply(cfg);
-        coherence::Census census = coherence::runFunctional(cfg);
+        workloads.push_back(cfg);
+        tasks.push_back(
+            [cfg]() { return coherence::runFunctional(cfg); });
+    }
+    std::vector<coherence::Census> censuses =
+        runner::runAll(std::move(tasks), opt.jobs);
+
+    for (unsigned bi = 0; bi < 3; ++bi) {
+        const trace::WorkloadConfig &cfg = workloads[bi];
+        const coherence::Census &census = censuses[bi];
         const PaperRow &paper = paperRows[bi];
 
         struct Line

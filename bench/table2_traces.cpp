@@ -9,10 +9,12 @@
  * rates, which are printed against the paper's values.
  */
 
+#include <functional>
 #include <iostream>
 
 #include "bench/common.hpp"
 #include "coherence/driver.hpp"
+#include "runner/experiment_runner.hpp"
 #include "util/table.hpp"
 
 using namespace ringsim;
@@ -28,9 +30,21 @@ main(int argc, char **argv)
                      "total mr% (paper)", "total mr% (ours)",
                      "shared mr% (paper)", "shared mr% (ours)"});
 
+    // One functional pass per workload, fanned out as runner jobs.
+    std::vector<trace::WorkloadConfig> workloads;
+    std::vector<std::function<coherence::Census()>> tasks;
     for (trace::WorkloadConfig cfg : trace::allWorkloadPresets()) {
         opt.apply(cfg);
-        coherence::Census c = coherence::runFunctional(cfg);
+        workloads.push_back(cfg);
+        tasks.push_back(
+            [cfg]() { return coherence::runFunctional(cfg); });
+    }
+    std::vector<coherence::Census> censuses =
+        runner::runAll(std::move(tasks), opt.jobs);
+
+    for (std::size_t i = 0; i < workloads.size(); ++i) {
+        const trace::WorkloadConfig &cfg = workloads[i];
+        const coherence::Census &c = censuses[i];
         table.addRow({
             trace::benchmarkName(cfg.benchmark),
             std::to_string(cfg.procs),

@@ -10,11 +10,13 @@
  * bisect the bus model's clock to the same utilization.
  */
 
+#include <functional>
 #include <iostream>
 
 #include "bench/common.hpp"
 #include "model/calibration.hpp"
 #include "model/matcher.hpp"
+#include "runner/experiment_runner.hpp"
 #include "util/table.hpp"
 
 using namespace ringsim;
@@ -56,46 +58,59 @@ main(int argc, char **argv)
                      "200 MIPS (paper/ours)",
                      "400 MIPS (paper/ours)"});
 
+    // One job per paper row: calibrate the workload, then bisect the
+    // matching bus clock at every (ring speed, MIPS) point.
+    using Rows = std::vector<std::vector<std::string>>;
+    std::vector<std::function<Rows()>> tasks;
     for (const PaperRow &row : paperRows) {
         trace::WorkloadConfig cfg = trace::workloadPreset(
             trace::benchmarkFromName(row.name), row.procs);
         opt.apply(cfg);
-        coherence::Census census = model::calibrate(cfg);
 
-        for (unsigned ring_idx = 0; ring_idx < 2; ++ring_idx) {
-            Tick ring_period = ring_idx == 0 ? 4000 : 2000;
-            const double *paper =
-                ring_idx == 0 ? row.ring250 : row.ring500;
+        tasks.push_back([cfg, &row]() -> Rows {
+            coherence::Census census = model::calibrate(cfg);
+            Rows rows;
+            for (unsigned ring_idx = 0; ring_idx < 2; ++ring_idx) {
+                Tick ring_period = ring_idx == 0 ? 4000 : 2000;
+                const double *paper =
+                    ring_idx == 0 ? row.ring250 : row.ring500;
 
-            std::vector<std::string> cells;
-            cells.push_back(cfg.displayName());
-            cells.push_back(ring_idx == 0 ? "250" : "500");
-            for (unsigned m = 0; m < 3; ++m) {
-                Tick cycle = nsToTicks(1e3 / mipsPoints[m]);
+                std::vector<std::string> cells;
+                cells.push_back(cfg.displayName());
+                cells.push_back(ring_idx == 0 ? "250" : "500");
+                for (unsigned m = 0; m < 3; ++m) {
+                    Tick cycle = nsToTicks(1e3 / mipsPoints[m]);
 
-                model::RingModelInput rin;
-                rin.census = census;
-                rin.ring = core::RingSystemConfig::forProcs(
-                               row.procs, ring_period)
-                               .ring;
-                rin.system.procCycle = cycle;
-                rin.protocol = model::RingProtocol::Snoop;
-                double target = model::solveRing(rin).procUtilization;
+                    model::RingModelInput rin;
+                    rin.census = census;
+                    rin.ring = core::RingSystemConfig::forProcs(
+                                   row.procs, ring_period)
+                                   .ring;
+                    rin.system.procCycle = cycle;
+                    rin.protocol = model::RingProtocol::Snoop;
+                    double target =
+                        model::solveRing(rin).procUtilization;
 
-                model::BusModelInput bin;
-                bin.census = census;
-                bin.bus =
-                    core::BusSystemConfig::forProcs(row.procs).bus;
-                bin.system.procCycle = cycle;
-                double period_ns =
-                    model::matchBusClock(bin, target);
+                    model::BusModelInput bin;
+                    bin.census = census;
+                    bin.bus =
+                        core::BusSystemConfig::forProcs(row.procs).bus;
+                    bin.system.procCycle = cycle;
+                    double period_ns =
+                        model::matchBusClock(bin, target);
 
-                cells.push_back(fmtDouble(paper[m], 1) + " / " +
-                                fmtDouble(period_ns, 1));
+                    cells.push_back(fmtDouble(paper[m], 1) + " / " +
+                                    fmtDouble(period_ns, 1));
+                }
+                rows.push_back(std::move(cells));
             }
-            table.addRow(cells);
-        }
+            return rows;
+        });
     }
+
+    for (const Rows &rows : runner::runAll(std::move(tasks), opt.jobs))
+        for (const std::vector<std::string> &cells : rows)
+            table.addRow(cells);
 
     bench::emit(opt,
                 "Table 4: bus clock cycle (ns) matching slotted-ring "

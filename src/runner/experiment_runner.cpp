@@ -1,0 +1,143 @@
+#include "experiment_runner.hpp"
+
+#include <cstdlib>
+
+#include "util/logging.hpp"
+
+namespace ringsim::runner {
+
+unsigned
+defaultJobs()
+{
+    if (const char *env = std::getenv("RINGSIM_JOBS")) {
+        char *end = nullptr;
+        unsigned long v = std::strtoul(env, &end, 10);
+        if (end && *end == '\0' && v >= 1)
+            return static_cast<unsigned>(v);
+        warn("ignoring invalid RINGSIM_JOBS='%s'", env);
+    }
+    unsigned hw = std::thread::hardware_concurrency();
+    return hw ? hw : 1;
+}
+
+unsigned
+resolveJobs(unsigned requested)
+{
+    return requested ? requested : defaultJobs();
+}
+
+std::uint64_t
+jobSeed(std::uint64_t master_seed, std::uint64_t job_key)
+{
+    // splitmix64 over the combined words; bit-stable everywhere.
+    std::uint64_t z = master_seed + 0x9e3779b97f4a7c15ULL * (job_key + 1);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+ExperimentRunner::ExperimentRunner(unsigned jobs)
+    : jobs_(resolveJobs(jobs))
+{
+    if (jobs_ > 1) {
+        workers_.reserve(jobs_);
+        for (unsigned i = 0; i < jobs_; ++i)
+            workers_.emplace_back([this]() { workerLoop(); });
+    }
+}
+
+ExperimentRunner::~ExperimentRunner()
+{
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        allDone_.wait(lock,
+                      [this]() { return completed_ == submitted_; });
+        shutdown_ = true;
+    }
+    workReady_.notify_all();
+    for (std::thread &worker : workers_)
+        worker.join();
+}
+
+std::size_t
+ExperimentRunner::submit(std::function<void()> job)
+{
+    std::size_t index;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        index = submitted_++;
+        errors_.emplace_back();
+    }
+    if (workers_.empty()) {
+        // Serial fallback: run inline, deterministically, right now.
+        runJob(job, index);
+        return index;
+    }
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        queue_.emplace_back(std::move(job), index);
+    }
+    workReady_.notify_one();
+    return index;
+}
+
+void
+ExperimentRunner::runJob(std::function<void()> &job, std::size_t index)
+{
+    std::exception_ptr error;
+    try {
+        job();
+    } catch (...) {
+        error = std::current_exception();
+    }
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (error)
+            errors_[index] = error;
+        ++completed_;
+    }
+    allDone_.notify_all();
+}
+
+void
+ExperimentRunner::workerLoop()
+{
+    for (;;) {
+        std::pair<std::function<void()>, std::size_t> item;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            workReady_.wait(lock, [this]() {
+                return shutdown_ || !queue_.empty();
+            });
+            if (queue_.empty())
+                return; // shutdown with drained queue
+            item = std::move(queue_.front());
+            queue_.pop_front();
+        }
+        runJob(item.first, item.second);
+    }
+}
+
+void
+ExperimentRunner::rethrowFirstError()
+{
+    for (std::exception_ptr &error : errors_) {
+        if (error) {
+            std::exception_ptr e = error;
+            error = nullptr;
+            std::rethrow_exception(e);
+        }
+    }
+}
+
+void
+ExperimentRunner::wait()
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    allDone_.wait(lock, [this]() { return completed_ == submitted_; });
+    lock.unlock();
+    // All workers are idle now; errors_ is stable without the lock.
+    rethrowFirstError();
+}
+
+} // namespace ringsim::runner

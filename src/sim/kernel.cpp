@@ -1,8 +1,18 @@
 #include "kernel.hpp"
 
+#include <algorithm>
+#include <chrono>
+
 #include "util/logging.hpp"
 
 namespace ringsim::sim {
+
+namespace {
+
+/** Pooled one-shot nodes are allocated in blocks of this many. */
+constexpr std::size_t kShotBlockSize = 64;
+
+} // namespace
 
 Event::~Event()
 {
@@ -13,7 +23,56 @@ Event::~Event()
         panic("Event destroyed while still scheduled");
 }
 
-Kernel::~Kernel() = default;
+Kernel::Kernel() = default;
+
+Kernel::~Kernel()
+{
+    // Destroy the payloads of any one-shots still pending; the pool
+    // blocks themselves are owned by shotBlocks_.
+    for (Bucket &bucket : wheel_) {
+        for (std::size_t i = bucket.head; i < bucket.entries.size(); ++i) {
+            Entry &e = bucket.entries[i];
+            if (e.shot)
+                e.shot->destroy(*e.shot);
+        }
+    }
+    while (!far_.empty()) {
+        const Entry &e = far_.top();
+        if (e.shot)
+            e.shot->destroy(*e.shot);
+        far_.pop();
+    }
+}
+
+void
+Kernel::enqueue(Entry entry)
+{
+    std::uint64_t idx = bucketIndex(entry.when);
+    if (idx < bucketIndex(now_) + kWheelBuckets) {
+        Bucket &bucket = wheel_[idx & kWheelMask];
+        // Appends arrive in (when, seq) order almost always (periodic
+        // reschedules with monotone seq), so the bucket usually stays
+        // sorted without ever calling sort.
+        if (bucket.entries.empty()) {
+            bucket.head = 0;
+            bucket.sorted = true;
+        } else if (bucket.sorted) {
+            const Entry &back = bucket.entries.back();
+            if (back > entry)
+                bucket.sorted = false;
+        }
+        bucket.entries.push_back(entry);
+        ++nearSize_;
+        if (idx < hintBucket_)
+            hintBucket_ = idx;
+        ++stats_.nearScheduled;
+    } else {
+        far_.push(entry);
+        ++stats_.farScheduled;
+    }
+    ++live_;
+    stats_.maxPending = std::max(stats_.maxPending, live_);
+}
 
 void
 Kernel::schedule(Event &event, Tick when)
@@ -28,8 +87,7 @@ Kernel::schedule(Event &event, Tick when)
     event.scheduled_ = true;
     event.when_ = when;
     ++event.generation_;
-    queue_.push(Entry{when, nextSeq_++, &event, event.generation_, {}});
-    ++live_;
+    enqueue(Entry{when, nextSeq_++, &event, event.generation_, nullptr});
 }
 
 void
@@ -38,47 +96,146 @@ Kernel::deschedule(Event &event)
     if (!event.scheduled_)
         panic("deschedule of an unscheduled event");
     // Lazy removal: bump the generation so the stale queue entry is
-    // skipped when popped.
+    // skipped when reached.
     event.scheduled_ = false;
     ++event.generation_;
     --live_;
 }
 
 void
-Kernel::post(Tick when, std::function<void()> fn)
+Kernel::postShot(Tick when, OneShot &shot)
 {
-    if (when < now_)
+    if (when < now_) {
+        shot.destroy(shot);
+        releaseShot(shot);
         panic("Callback posted in the past (%llu < %llu)",
               static_cast<unsigned long long>(when),
               static_cast<unsigned long long>(now_));
-    queue_.push(Entry{when, nextSeq_++, nullptr, 0, std::move(fn)});
-    ++live_;
+    }
+    enqueue(Entry{when, nextSeq_++, nullptr, 0, &shot});
+}
+
+Kernel::OneShot &
+Kernel::acquireShot()
+{
+    if (!freeShots_) {
+        auto block = std::make_unique<OneShot[]>(kShotBlockSize);
+        for (std::size_t i = 0; i < kShotBlockSize; ++i) {
+            block[i].next = freeShots_;
+            freeShots_ = &block[i];
+        }
+        shotBlocks_.push_back(std::move(block));
+    }
+    OneShot &shot = *freeShots_;
+    freeShots_ = shot.next;
+    return shot;
 }
 
 void
-Kernel::fireNext()
+Kernel::releaseShot(OneShot &shot)
 {
-    for (;;) {
-        Entry entry = queue_.top();
-        queue_.pop();
-        if (entry.event) {
-            // Skip entries invalidated by deschedule()/reschedule.
-            if (!entry.event->scheduled_ ||
-                entry.event->generation_ != entry.generation) {
+    shot.next = freeShots_;
+    freeShots_ = &shot;
+}
+
+Kernel::NextRef
+Kernel::peekNear()
+{
+    if (nearSize_ == 0)
+        return {};
+    // Scan forward from the lowest possibly-populated bucket. The loop
+    // is bounded: nearSize_ > 0 guarantees an entry within the window
+    // [hintBucket_, bucketIndex(now_) + kWheelBuckets).
+    std::uint64_t b = hintBucket_;
+    std::uint64_t limit = bucketIndex(now_) + kWheelBuckets;
+    for (; b < limit; ++b) {
+        Bucket &bucket = wheel_[b & kWheelMask];
+        for (;;) {
+            if (bucket.head >= bucket.entries.size()) {
+                // Fully drained; recycle the storage for the next lap.
+                bucket.entries.clear();
+                bucket.head = 0;
+                bucket.sorted = false;
+                break;
+            }
+            if (!bucket.sorted) {
+                bucket.entries.erase(
+                    bucket.entries.begin(),
+                    bucket.entries.begin() +
+                        static_cast<std::ptrdiff_t>(bucket.head));
+                bucket.head = 0;
+                std::sort(bucket.entries.begin(), bucket.entries.end(),
+                          [](const Entry &a, const Entry &b2) {
+                              return b2 > a;
+                          });
+                bucket.sorted = true;
+            }
+            const Entry &e = bucket.entries[bucket.head];
+            // A slot can also hold entries one wheel revolution ahead;
+            // they sort to the tail, so the whole remainder belongs to
+            // a later lap and this bucket is empty for now.
+            if (bucketIndex(e.when) != b)
+                break;
+            if (stale(e)) {
+                ++bucket.head;
+                --nearSize_;
                 continue;
             }
-            now_ = entry.when;
-            entry.event->scheduled_ = false;
-            --live_;
-            ++processed_;
-            entry.event->process();
-            return;
+            hintBucket_ = b;
+            return {&e, &bucket};
         }
-        now_ = entry.when;
-        --live_;
-        ++processed_;
-        entry.fn();
-        return;
+        if (nearSize_ == 0) {
+            hintBucket_ = b + 1;
+            return {};
+        }
+    }
+    panic("event wheel scan found no entry (nearSize=%llu)",
+          static_cast<unsigned long long>(nearSize_));
+}
+
+Kernel::NextRef
+Kernel::peekNext()
+{
+    NextRef near = peekNear();
+    // Purge stale far-heap tops so the comparison sees a live entry.
+    while (!far_.empty() && stale(far_.top()))
+        far_.pop();
+    if (far_.empty())
+        return near;
+    const Entry &far_top = far_.top();
+    if (!near.entry || far_top.when < near.entry->when ||
+        (far_top.when == near.entry->when &&
+         far_top.seq < near.entry->seq)) {
+        return {&far_top, nullptr};
+    }
+    return near;
+}
+
+void
+Kernel::fire(const NextRef &next)
+{
+    Entry entry = *next.entry;
+    if (next.bucket) {
+        Bucket &bucket = *next.bucket;
+        if (++bucket.head == bucket.entries.size()) {
+            // Drained: recycle the storage (capacity is retained).
+            bucket.entries.clear();
+            bucket.head = 0;
+            bucket.sorted = true;
+        }
+        --nearSize_;
+    } else {
+        far_.pop();
+    }
+    now_ = entry.when;
+    --live_;
+    ++stats_.processed;
+    if (entry.event) {
+        entry.event->scheduled_ = false;
+        entry.event->process();
+    } else {
+        ++stats_.oneShots;
+        entry.shot->invoke(*entry.shot, *this);
     }
 }
 
@@ -87,43 +244,31 @@ Kernel::run(Tick until)
 {
     stopping_ = false;
     Count fired = 0;
+    auto start = std::chrono::steady_clock::now();
     while (live_ > 0 && !stopping_) {
-        // Peek past stale entries to find the next live firing time.
-        while (!queue_.empty()) {
-            const Entry &top = queue_.top();
-            if (top.event &&
-                (!top.event->scheduled_ ||
-                 top.event->generation_ != top.generation)) {
-                queue_.pop();
-                continue;
-            }
+        NextRef next = peekNext();
+        if (!next.entry || next.entry->when > until)
             break;
-        }
-        if (queue_.empty())
-            break;
-        if (queue_.top().when > until)
-            break;
-        fireNext();
+        fire(next);
         ++fired;
     }
+    stats_.runSeconds +=
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start)
+            .count();
     return fired;
 }
 
 bool
 Kernel::runOne()
 {
-    while (!queue_.empty()) {
-        const Entry &top = queue_.top();
-        if (top.event &&
-            (!top.event->scheduled_ ||
-             top.event->generation_ != top.generation)) {
-            queue_.pop();
-            continue;
-        }
-        fireNext();
-        return true;
-    }
-    return false;
+    if (live_ == 0)
+        return false;
+    NextRef next = peekNext();
+    if (!next.entry)
+        return false;
+    fire(next);
+    return true;
 }
 
 Ticker::Ticker(Kernel &kernel, Tick period,

@@ -11,14 +11,33 @@
  * Determinism: events that fire at the same tick are processed in the
  * order they were scheduled (a monotone sequence number breaks ties),
  * so a given configuration and seed always reproduces the same run.
+ *
+ * The pending set is a two-tier structure tuned for the dominant
+ * schedule pattern (per-cycle reschedules a few ring/bus/processor
+ * periods ahead):
+ *
+ *  - a timing wheel of power-of-two tick buckets covering a near
+ *    horizon past now(); insertion is an O(1) append, and a bucket is
+ *    sorted once when the clock reaches it;
+ *  - a binary heap for the rare far-future events beyond the horizon.
+ *
+ * One-shot callables are stored in pooled nodes with inline storage
+ * (falling back to one heap allocation only for oversized captures),
+ * so the steady-state hot path performs no allocation at all.
  */
 
 #ifndef RINGSIM_SIM_KERNEL_HPP
 #define RINGSIM_SIM_KERNEL_HPP
 
+#include <array>
+#include <cstddef>
 #include <cstdint>
 #include <functional>
+#include <memory>
+#include <new>
 #include <queue>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "util/units.hpp"
@@ -59,13 +78,41 @@ class Event
     std::uint64_t generation_ = 0;
 };
 
+/** Counters the kernel keeps about its own operation. */
+struct KernelStats
+{
+    /** Events processed since construction. */
+    Count processed = 0;
+
+    /** One-shot callbacks among @ref processed. */
+    Count oneShots = 0;
+
+    /** Entries that took the near-horizon wheel path. */
+    Count nearScheduled = 0;
+
+    /** Entries that took the far-future heap path. */
+    Count farScheduled = 0;
+
+    /** High-water mark of simultaneously pending events. */
+    Count maxPending = 0;
+
+    /** Wall-clock seconds spent inside run(). */
+    double runSeconds = 0;
+
+    /** Events fired per wall-clock second inside run() (0 if unknown). */
+    double eventsPerSecond() const {
+        return runSeconds > 0 ? static_cast<double>(processed) / runSeconds
+                              : 0.0;
+    }
+};
+
 /**
  * The event queue and simulated clock.
  */
 class Kernel
 {
   public:
-    Kernel() = default;
+    Kernel();
     ~Kernel();
 
     Kernel(const Kernel &) = delete;
@@ -85,16 +132,52 @@ class Kernel
         schedule(event, now_ + delta);
     }
 
-    /** Remove a scheduled event from the queue. */
-    void deschedule(Event &event);
+    /** Post a one-shot callable at absolute time @p when (>= now). */
+    template <typename F>
+    void post(Tick when, F fn) {
+        static_assert(std::is_invocable_v<F &>,
+                      "one-shot callables take no arguments");
+        OneShot &shot = acquireShot();
+        if constexpr (sizeof(F) <= kShotInlineBytes &&
+                      alignof(F) <= alignof(std::max_align_t)) {
+            ::new (static_cast<void *>(shot.storage)) F(std::move(fn));
+            shot.invoke = [](OneShot &s, Kernel &k) {
+                F *f = std::launder(
+                    reinterpret_cast<F *>(s.storage));
+                (*f)();
+                f->~F();
+                k.releaseShot(s);
+            };
+            shot.destroy = [](OneShot &s) {
+                std::launder(reinterpret_cast<F *>(s.storage))->~F();
+            };
+        } else {
+            // Oversized capture: one heap allocation, pointer inline.
+            F *heap = new F(std::move(fn));
+            ::new (static_cast<void *>(shot.storage)) (F *)(heap);
+            shot.invoke = [](OneShot &s, Kernel &k) {
+                F *f = *std::launder(
+                    reinterpret_cast<F **>(s.storage));
+                (*f)();
+                delete f;
+                k.releaseShot(s);
+            };
+            shot.destroy = [](OneShot &s) {
+                delete *std::launder(
+                    reinterpret_cast<F **>(s.storage));
+            };
+        }
+        postShot(when, shot);
+    }
 
-    /** Post a one-shot callback at absolute time @p when (>= now). */
-    void post(Tick when, std::function<void()> fn);
-
-    /** Post a one-shot callback @p delta ticks from now. */
-    void postIn(Tick delta, std::function<void()> fn) {
+    /** Post a one-shot callable @p delta ticks from now. */
+    template <typename F>
+    void postIn(Tick delta, F fn) {
         post(now_ + delta, std::move(fn));
     }
+
+    /** Remove a scheduled event from the queue. */
+    void deschedule(Event &event);
 
     /**
      * Run until the queue drains, @p until is reached, or stop() is
@@ -117,16 +200,39 @@ class Kernel
     Count pending() const { return live_; }
 
     /** Total events processed since construction. */
-    Count processed() const { return processed_; }
+    Count processed() const { return stats_.processed; }
+
+    /** Operation counters (throughput, queue depth, tier usage). */
+    const KernelStats &stats() const { return stats_; }
 
   private:
+    /** Near-horizon wheel geometry: 512 buckets of 2048 ticks each
+     *  (~1 µs horizon) — several ring, bus and processor periods. */
+    static constexpr unsigned kBucketBits = 11;
+    static constexpr std::size_t kWheelBuckets = 512;
+    static constexpr std::size_t kWheelMask = kWheelBuckets - 1;
+
+    /** Inline payload bytes of a pooled one-shot node. */
+    static constexpr std::size_t kShotInlineBytes = 48;
+
+    struct OneShot
+    {
+        OneShot *next = nullptr;
+        /** Move the payload out, destroy it, recycle the node, run. */
+        void (*invoke)(OneShot &, Kernel &) = nullptr;
+        /** Destroy the payload without running it (kernel teardown). */
+        void (*destroy)(OneShot &) = nullptr;
+        alignas(std::max_align_t) unsigned char storage[kShotInlineBytes];
+    };
+
+    /** A pending firing: either a reusable Event or a one-shot. */
     struct Entry
     {
         Tick when;
         std::uint64_t seq;
-        Event *event;          // null for one-shot lambdas
+        Event *event;          // null for one-shots
         std::uint64_t generation;
-        std::function<void()> fn;
+        OneShot *shot;         // null for reusable events
 
         bool operator>(const Entry &other) const {
             if (when != other.when)
@@ -135,15 +241,59 @@ class Kernel
         }
     };
 
-    /** Pop entries until one is live; fire it. Queue must be nonempty. */
-    void fireNext();
+    struct Bucket
+    {
+        std::vector<Entry> entries;
+        std::size_t head = 0;   // consumed prefix while active
+        bool sorted = false;
+    };
 
-    std::priority_queue<Entry, std::vector<Entry>, std::greater<>> queue_;
+    /** Where peekNext() found the next firing. */
+    struct NextRef
+    {
+        const Entry *entry = nullptr;
+        Bucket *bucket = nullptr;   // null → far heap top
+    };
+
+    static std::uint64_t bucketIndex(Tick when) {
+        return when >> kBucketBits;
+    }
+
+    /** True if the entry was invalidated by deschedule()/reschedule. */
+    static bool stale(const Entry &e) {
+        return e.event &&
+               (!e.event->scheduled_ ||
+                e.event->generation_ != e.generation);
+    }
+
+    void enqueue(Entry entry);
+    void postShot(Tick when, OneShot &shot);
+
+    /** Next live near-tier entry (purging stale ones), or null. */
+    NextRef peekNear();
+
+    /** Next live entry across both tiers, or {null,null}. */
+    NextRef peekNext();
+
+    /** Remove @p next from its tier and fire it. */
+    void fire(const NextRef &next);
+
+    OneShot &acquireShot();
+    void releaseShot(OneShot &shot);
+
+    std::array<Bucket, kWheelBuckets> wheel_;
+    std::size_t nearSize_ = 0;      // physical wheel entries (incl. stale)
+    std::uint64_t hintBucket_ = 0;  // no wheel entry below this index
+    std::priority_queue<Entry, std::vector<Entry>, std::greater<>> far_;
+
     Tick now_ = 0;
     std::uint64_t nextSeq_ = 0;
     Count live_ = 0;
-    Count processed_ = 0;
     bool stopping_ = false;
+    KernelStats stats_;
+
+    OneShot *freeShots_ = nullptr;
+    std::vector<std::unique_ptr<OneShot[]>> shotBlocks_;
 };
 
 /**

@@ -5,6 +5,13 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <random>
+#include <utility>
 #include <vector>
 
 #include "src/sim/kernel.hpp"
@@ -179,6 +186,171 @@ TEST(KernelDeathTest, DoubleSchedulePanics)
     k.schedule(e, 5);
     EXPECT_DEATH(k.schedule(e, 6), "twice");
     k.deschedule(e);
+}
+
+// The wheel covers roughly 1 µs of near-future time; anything past it
+// lands in the far-future heap. Distances chosen comfortably past it.
+constexpr Tick kPastHorizon = 8u * 1024u * 1024u;
+
+TEST(TwoTierQueue, FarFutureEventsFire)
+{
+    Kernel k;
+    std::vector<int> log;
+    k.post(kPastHorizon + 30, [&]() { log.push_back(3); });
+    k.post(kPastHorizon + 10, [&]() { log.push_back(1); });
+    k.post(5, [&]() { log.push_back(0); });
+    k.post(kPastHorizon + 20, [&]() { log.push_back(2); });
+    k.run();
+    EXPECT_EQ(log, (std::vector<int>{0, 1, 2, 3}));
+    EXPECT_EQ(k.now(), kPastHorizon + 30);
+}
+
+TEST(TwoTierQueue, SameTickFifoAcrossTiers)
+{
+    // An event posted far in advance must still fire before a
+    // same-tick event posted later from close range: FIFO order is
+    // defined by posting order, not by which tier held the event.
+    Kernel k;
+    const Tick target = kPastHorizon + 100;
+    std::vector<int> log;
+    k.post(target, [&]() { log.push_back(1); }); // far tier
+    k.post(target - 50, [&, target]() {
+        k.post(target, [&]() { log.push_back(2); }); // near tier
+    });
+    k.run();
+    EXPECT_EQ(log, (std::vector<int>{1, 2}));
+}
+
+TEST(TwoTierQueue, CancelFarTierEvent)
+{
+    Kernel k;
+    std::vector<int> log;
+    RecordingEvent cancelled(log, 1);
+    RecordingEvent kept(log, 2);
+    k.schedule(cancelled, kPastHorizon + 10);
+    k.schedule(kept, kPastHorizon + 20);
+    k.deschedule(cancelled);
+    EXPECT_FALSE(cancelled.scheduled());
+    k.run();
+    EXPECT_EQ(log, std::vector<int>{2});
+    EXPECT_TRUE(k.empty());
+}
+
+TEST(TwoTierQueue, RescheduleFarToNear)
+{
+    Kernel k;
+    std::vector<int> log;
+    RecordingEvent e(log, 9);
+    k.schedule(e, kPastHorizon + 10);
+    k.deschedule(e);
+    k.schedule(e, 40); // near tier this time
+    k.run();
+    EXPECT_EQ(log, std::vector<int>{9});
+    EXPECT_EQ(k.now(), 40u);
+    EXPECT_TRUE(k.empty());
+}
+
+TEST(TwoTierQueue, RandomizedMixMatchesReferenceOrder)
+{
+    // Fire 500 one-shots at random offsets straddling the wheel
+    // horizon and check the observed order against a stable sort by
+    // (when, posting order) — the kernel's documented total order.
+    std::mt19937_64 rng(12345);
+    std::uniform_int_distribution<Tick> dist(0, 4 * kPastHorizon);
+
+    Kernel k;
+    std::vector<std::pair<Tick, int>> expected;
+    std::vector<int> fired;
+    for (int i = 0; i < 500; ++i) {
+        Tick when = dist(rng);
+        expected.emplace_back(when, i);
+        k.post(when, [&fired, i]() { fired.push_back(i); });
+    }
+    std::stable_sort(expected.begin(), expected.end(),
+                     [](const auto &a, const auto &b) {
+                         return a.first < b.first;
+                     });
+    k.run();
+    ASSERT_EQ(fired.size(), expected.size());
+    for (std::size_t i = 0; i < expected.size(); ++i)
+        EXPECT_EQ(fired[i], expected[i].second) << "position " << i;
+}
+
+TEST(TwoTierQueue, WheelWrapsAcrossRevolutions)
+{
+    // A self-rearming chain whose period forces many full wheel
+    // revolutions; ordering must survive bucket-slot reuse.
+    Kernel k;
+    const Tick step = kPastHorizon / 3 + 17;
+    Count fired = 0;
+    std::function<void()> rearm = [&]() {
+        if (++fired < 50)
+            k.post(k.now() + step, rearm);
+    };
+    k.post(step, rearm);
+    k.run();
+    EXPECT_EQ(fired, 50u);
+    EXPECT_EQ(k.now(), 50 * step);
+}
+
+TEST(KernelStatsTest, CountersTrackActivity)
+{
+    Kernel k;
+    for (int i = 0; i < 10; ++i)
+        k.post(10 + i, []() {});
+    k.post(kPastHorizon + 5, []() {});
+    EXPECT_EQ(k.stats().maxPending, 11u);
+    EXPECT_EQ(k.stats().nearScheduled, 10u);
+    EXPECT_EQ(k.stats().farScheduled, 1u);
+    k.run();
+    EXPECT_EQ(k.stats().processed, 11u);
+    EXPECT_EQ(k.stats().oneShots, 11u);
+    EXPECT_GE(k.stats().runSeconds, 0.0);
+}
+
+TEST(KernelStatsTest, EventObjectsAreNotOneShots)
+{
+    Kernel k;
+    std::vector<int> log;
+    RecordingEvent e(log, 1);
+    k.schedule(e, 5);
+    k.run();
+    EXPECT_EQ(k.stats().processed, 1u);
+    EXPECT_EQ(k.stats().oneShots, 0u);
+}
+
+TEST(OneShotStorage, OversizedCaptureFallsBackToHeap)
+{
+    // Payload larger than the inline small-buffer: must still fire
+    // and destroy correctly through the heap path.
+    Kernel k;
+    std::array<std::uint64_t, 16> big{};
+    for (std::size_t i = 0; i < big.size(); ++i)
+        big[i] = i * 3 + 1;
+    std::uint64_t sum = 0;
+    k.post(10, [big, &sum]() {
+        for (std::uint64_t v : big)
+            sum += v;
+    });
+    k.run();
+    std::uint64_t want = 0;
+    for (std::size_t i = 0; i < big.size(); ++i)
+        want += i * 3 + 1;
+    EXPECT_EQ(sum, want);
+}
+
+TEST(OneShotStorage, PendingPayloadsDestroyedWithKernel)
+{
+    // A shared_ptr captured by never-fired one-shots (near and far)
+    // must be released when the kernel is destroyed.
+    auto token = std::make_shared<int>(42);
+    {
+        Kernel k;
+        k.post(100, [token]() {});
+        k.post(kPastHorizon + 100, [token]() {});
+        EXPECT_EQ(token.use_count(), 3);
+    }
+    EXPECT_EQ(token.use_count(), 1);
 }
 
 TEST(Ticker, FiresPeriodically)
