@@ -42,14 +42,27 @@ parseOptions(int argc, char **argv)
                 std::strtoul(need_value("--jobs").c_str(), nullptr, 10));
             if (opt.jobs == 0)
                 fatal("--jobs must be positive");
+        } else if (arg == "--fault-rate") {
+            double rate =
+                std::strtod(need_value("--fault-rate").c_str(), nullptr);
+            opt.faults.corruptRate = rate;
+            opt.faults.dropRate = rate;
+        } else if (arg == "--fault-stalls") {
+            opt.faults.stallRate = std::strtod(
+                need_value("--fault-stalls").c_str(), nullptr);
+        } else if (arg == "--fault-seed") {
+            opt.faults.seed = std::strtoull(
+                need_value("--fault-seed").c_str(), nullptr, 10);
         } else if (arg == "--help" || arg == "-h") {
             std::cout << "flags: --refs N  --seed S  --csv  --fast  "
-                         "--jobs N\n";
+                         "--jobs N  --fault-rate R  --fault-stalls R  "
+                         "--fault-seed S\n";
             std::exit(0);
         } else {
             fatal("unknown flag '%s' (try --help)", arg.c_str());
         }
     }
+    opt.faults.validate();
     return opt;
 }
 

@@ -24,6 +24,7 @@
 #include <string>
 #include <vector>
 
+#include "fault/fault.hpp"
 #include "trace/workload.hpp"
 #include "util/table.hpp"
 
@@ -37,6 +38,14 @@ struct Options
     bool csv = false;
     bool fast = false;
     unsigned jobs = 0; //!< sweep worker threads; 0 = auto
+
+    /**
+     * Fault injection (--fault-rate R --fault-seed S --fault-stalls R):
+     * rate R applies to both corruption and drops. All zero (the
+     * default) leaves every bench fault-free and byte-identical to
+     * builds without the fault subsystem.
+     */
+    fault::FaultConfig faults;
 
     /** Apply refs/seed to a workload preset. */
     void apply(trace::WorkloadConfig &cfg) const;

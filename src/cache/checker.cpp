@@ -12,14 +12,33 @@ CoherenceChecker::CoherenceChecker(unsigned nodes)
 }
 
 void
+CoherenceChecker::fail(Violation::Kind kind, Addr block, NodeId node,
+                       NodeId other, std::string detail) const
+{
+    if (!monitor_)
+        panic("%s", detail.c_str());
+    Violation v;
+    v.kind = kind;
+    v.block = block;
+    v.node = node;
+    v.other = other;
+    v.detail = std::move(detail);
+    monitor_->report(std::move(v));
+}
+
+void
 CoherenceChecker::checkEntry(const Entry &e, Addr block) const
 {
     ++checks_;
+    if (monitor_)
+        monitor_->noteCheck();
     if (e.writer != invalidNode && e.readers != 0) {
-        panic("block %llx: WE copy at node %u coexists with RS copies "
-              "(mask %llx)",
-              static_cast<unsigned long long>(block), e.writer,
-              static_cast<unsigned long long>(e.readers));
+        fail(Violation::Kind::MultipleWriters, block, e.writer,
+             invalidNode,
+             strprintf("block %llx: WE copy at node %u coexists with "
+                       "RS copies (mask %llx)",
+                       static_cast<unsigned long long>(block), e.writer,
+                       static_cast<unsigned long long>(e.readers)));
     }
 }
 
@@ -29,26 +48,34 @@ CoherenceChecker::readFill(NodeId node, Addr block, bool from_memory)
     Entry &e = entry(block);
     if (node >= nodes_)
         panic("readFill from out-of-range node %u", node);
-    if (e.writer == node)
-        panic("block %llx: node %u read-fills while holding WE",
-              static_cast<unsigned long long>(block), node);
+    if (e.writer == node) {
+        fail(Violation::Kind::BadTransition, block, node, invalidNode,
+             strprintf("block %llx: node %u read-fills while holding WE",
+                       static_cast<unsigned long long>(block), node));
+    }
     if (from_memory) {
-        if (e.writer != invalidNode) {
-            panic("block %llx: clean fill at node %u while node %u "
-                  "holds a dirty copy",
-                  static_cast<unsigned long long>(block), node, e.writer);
+        if (e.writer != invalidNode && e.writer != node) {
+            fail(Violation::Kind::StaleRead, block, node, e.writer,
+                 strprintf("block %llx: clean fill at node %u while "
+                           "node %u holds a dirty copy",
+                           static_cast<unsigned long long>(block), node,
+                           e.writer));
         }
         if (e.memVersion != e.version) {
-            panic("block %llx: clean fill at node %u reads version %u "
-                  "but latest is %u (stale memory)",
-                  static_cast<unsigned long long>(block), node,
-                  e.memVersion, e.version);
+            fail(Violation::Kind::StaleRead, block, node, invalidNode,
+                 strprintf("block %llx: clean fill at node %u reads "
+                           "version %u but latest is %u (stale memory)",
+                           static_cast<unsigned long long>(block), node,
+                           e.memVersion, e.version));
         }
     } else {
         if (e.writer == invalidNode) {
-            panic("block %llx: cache-supplied fill at node %u but no "
-                  "dirty copy exists",
-                  static_cast<unsigned long long>(block), node);
+            fail(Violation::Kind::BadTransition, block, node,
+                 invalidNode,
+                 strprintf("block %llx: cache-supplied fill at node %u "
+                           "but no dirty copy exists",
+                           static_cast<unsigned long long>(block),
+                           node));
         }
     }
     e.readers |= (std::uint64_t(1) << node);
@@ -63,14 +90,18 @@ CoherenceChecker::writeFill(NodeId node, Addr block)
         panic("writeFill from out-of-range node %u", node);
     std::uint64_t others = e.readers & ~(std::uint64_t(1) << node);
     if (others != 0) {
-        panic("block %llx: node %u gains WE while RS copies remain "
-              "(mask %llx)",
-              static_cast<unsigned long long>(block), node,
-              static_cast<unsigned long long>(others));
+        fail(Violation::Kind::MultipleWriters, block, node, invalidNode,
+             strprintf("block %llx: node %u gains WE while RS copies "
+                       "remain (mask %llx)",
+                       static_cast<unsigned long long>(block), node,
+                       static_cast<unsigned long long>(others)));
     }
     if (e.writer != invalidNode && e.writer != node) {
-        panic("block %llx: node %u gains WE while node %u holds WE",
-              static_cast<unsigned long long>(block), node, e.writer);
+        fail(Violation::Kind::MultipleWriters, block, node, e.writer,
+             strprintf("block %llx: node %u gains WE while node %u "
+                       "holds WE",
+                       static_cast<unsigned long long>(block), node,
+                       e.writer));
     }
     e.readers = 0;
     e.writer = node;
@@ -84,9 +115,13 @@ CoherenceChecker::writeHit(NodeId node, Addr block)
 {
     Entry &e = entry(block);
     if (e.writer != node) {
-        panic("block %llx: write hit at node %u but WE holder is %d",
-              static_cast<unsigned long long>(block), node,
-              e.writer == invalidNode ? -1 : static_cast<int>(e.writer));
+        fail(Violation::Kind::BadTransition, block, node, e.writer,
+             strprintf("block %llx: write hit at node %u but WE holder "
+                       "is %d",
+                       static_cast<unsigned long long>(block), node,
+                       e.writer == invalidNode
+                           ? -1
+                           : static_cast<int>(e.writer)));
     }
     ++e.version;
     ++totalWrites_;
@@ -98,9 +133,11 @@ CoherenceChecker::drop(NodeId node, Addr block)
 {
     Entry &e = entry(block);
     if (e.writer == node) {
-        panic("block %llx: WE copy at node %u dropped without "
-              "write-back",
-              static_cast<unsigned long long>(block), node);
+        fail(Violation::Kind::BadTransition, block, node, invalidNode,
+             strprintf("block %llx: WE copy at node %u dropped without "
+                       "write-back",
+                       static_cast<unsigned long long>(block), node));
+        e.writer = invalidNode;
     }
     e.readers &= ~(std::uint64_t(1) << node);
     checkEntry(e, block);
@@ -111,9 +148,13 @@ CoherenceChecker::downgrade(NodeId node, Addr block)
 {
     Entry &e = entry(block);
     if (e.writer != node) {
-        panic("block %llx: downgrade at node %u but WE holder is %d",
-              static_cast<unsigned long long>(block), node,
-              e.writer == invalidNode ? -1 : static_cast<int>(e.writer));
+        fail(Violation::Kind::BadTransition, block, node, e.writer,
+             strprintf("block %llx: downgrade at node %u but WE holder "
+                       "is %d",
+                       static_cast<unsigned long long>(block), node,
+                       e.writer == invalidNode
+                           ? -1
+                           : static_cast<int>(e.writer)));
     }
     e.writer = invalidNode;
     e.readers |= (std::uint64_t(1) << node);
@@ -126,9 +167,13 @@ CoherenceChecker::writeback(NodeId node, Addr block)
 {
     Entry &e = entry(block);
     if (e.writer != node) {
-        panic("block %llx: write-back from node %u but WE holder is %d",
-              static_cast<unsigned long long>(block), node,
-              e.writer == invalidNode ? -1 : static_cast<int>(e.writer));
+        fail(Violation::Kind::BadTransition, block, node, e.writer,
+             strprintf("block %llx: write-back from node %u but WE "
+                       "holder is %d",
+                       static_cast<unsigned long long>(block), node,
+                       e.writer == invalidNode
+                           ? -1
+                           : static_cast<int>(e.writer)));
     }
     e.writer = invalidNode;
     e.memVersion = e.version;

@@ -23,6 +23,7 @@
 #include <cstdint>
 #include <unordered_map>
 
+#include "cache/invariant_monitor.hpp"
 #include "util/units.hpp"
 
 namespace ringsim::cache {
@@ -39,6 +40,16 @@ class CoherenceChecker
 
     /** Number of nodes being tracked. */
     unsigned nodes() const { return nodes_; }
+
+    /**
+     * Route violations to @p monitor instead of panicking directly
+     * (null restores the panic-on-violation default). Borrowed; must
+     * outlive the checker.
+     */
+    void setMonitor(InvariantMonitor *monitor) { monitor_ = monitor; }
+
+    /** The attached monitor, or null. */
+    InvariantMonitor *monitor() const { return monitor_; }
 
     /**
      * Node @p node obtained an RS copy of @p block.
@@ -89,6 +100,11 @@ class CoherenceChecker
     Entry &entry(Addr block) { return blocks_[block]; }
     void checkEntry(const Entry &e, Addr block) const;
 
+    /** Panic with @p detail, or hand it to the monitor when attached. */
+    void fail(Violation::Kind kind, Addr block, NodeId node,
+              NodeId other, std::string detail) const;
+
+    InvariantMonitor *monitor_ = nullptr;
     unsigned nodes_;
     std::unordered_map<Addr, Entry> blocks_;
     std::uint64_t totalWrites_ = 0;

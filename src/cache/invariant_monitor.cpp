@@ -1,0 +1,69 @@
+#include "invariant_monitor.hpp"
+
+#include "util/logging.hpp"
+
+namespace ringsim::cache {
+
+const char *
+violationKindName(Violation::Kind k)
+{
+    switch (k) {
+      case Violation::Kind::MultipleWriters:
+        return "multiple-writers";
+      case Violation::Kind::StaleRead:
+        return "stale-read";
+      case Violation::Kind::BadTransition:
+        return "bad-transition";
+      case Violation::Kind::DirectoryMismatch:
+        return "directory-mismatch";
+      case Violation::Kind::TraversalOverrun:
+        return "traversal-overrun";
+    }
+    return "?";
+}
+
+void
+InvariantMonitor::report(Violation v)
+{
+    if (mode_ == Mode::Abort)
+        panic("%s", v.detail.c_str());
+    violations_.push_back(std::move(v));
+}
+
+std::size_t
+InvariantMonitor::countOf(Violation::Kind k) const
+{
+    std::size_t n = 0;
+    for (const Violation &v : violations_)
+        if (v.kind == k)
+            ++n;
+    return n;
+}
+
+std::string
+InvariantMonitor::summary() const
+{
+    if (violations_.empty())
+        return "invariants: clean\n";
+    std::string out = strprintf("invariants: %zu violation(s)\n",
+                                violations_.size());
+    for (std::size_t i = 0; i < violations_.size(); ++i) {
+        const Violation &v = violations_[i];
+        out += strprintf("  [%zu] %s block=%llx node=%d", i,
+                         violationKindName(v.kind),
+                         static_cast<unsigned long long>(v.block),
+                         v.node == invalidNode ? -1
+                                               : static_cast<int>(v.node));
+        if (v.other != invalidNode)
+            out += strprintf(" other=%d", static_cast<int>(v.other));
+        if (v.txn != 0)
+            out += strprintf(" txn=%llu",
+                             static_cast<unsigned long long>(v.txn));
+        if (v.slot >= 0)
+            out += strprintf(" slot=%d", v.slot);
+        out += strprintf(": %s\n", v.detail.c_str());
+    }
+    return out;
+}
+
+} // namespace ringsim::cache

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Continuous coherence invariant monitor.
+ *
+ * The CoherenceChecker knows *what* the protocol invariants are
+ * (single writer, no stale reads); this class decides what happens
+ * when one breaks. Without a monitor the checker panics on the first
+ * violation — right for tests on an ideal ring. Under fault injection,
+ * or when a run wants a post-mortem instead of an abort, components
+ * route violations here: each is captured as a structured record
+ * naming the invariant, the block, the nodes and (when known) the
+ * transaction and ring slot involved.
+ *
+ * Modes:
+ *  - Abort: panic on the first violation (the checker's historical
+ *    behavior, with the same message text);
+ *  - Record: accumulate violations and keep running, so a test can
+ *    assert that a deliberately broken protocol is caught, or a
+ *    faulted run can report every consequence of an injected fault.
+ */
+
+#ifndef RINGSIM_CACHE_INVARIANT_MONITOR_HPP
+#define RINGSIM_CACHE_INVARIANT_MONITOR_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/units.hpp"
+
+namespace ringsim::cache {
+
+/** One observed invariant violation. */
+struct Violation
+{
+    /** Which invariant broke. */
+    enum class Kind {
+        MultipleWriters,   //!< SWMR: WE copy alongside other copies
+        StaleRead,         //!< a fill observed out-of-date memory
+        BadTransition,     //!< an impossible protocol state change
+        DirectoryMismatch, //!< directory and cache state disagree
+        TraversalOverrun,  //!< a message circled the ring > once
+    };
+
+    Kind kind = Kind::BadTransition;
+    Addr block = 0;               //!< block involved
+    NodeId node = invalidNode;    //!< primary node
+    NodeId other = invalidNode;   //!< secondary node, if any
+    std::uint64_t txn = 0;        //!< transaction id, 0 if unknown
+    int slot = -1;                //!< ring slot index, -1 if n/a
+    std::string detail;           //!< human-readable description
+};
+
+/** Printable violation-kind name. */
+const char *violationKindName(Violation::Kind k);
+
+/** The violation sink. */
+class InvariantMonitor
+{
+  public:
+    /** What report() does with a violation. */
+    enum class Mode {
+        Abort,  //!< panic with the violation's detail text
+        Record, //!< keep the record, keep running
+    };
+
+    explicit InvariantMonitor(Mode mode = Mode::Abort) : mode_(mode) {}
+
+    /** Submit one violation; panics in Abort mode. */
+    void report(Violation v);
+
+    /** Count one passed invariant check (cheap, for coverage stats). */
+    void noteCheck() { ++checks_; }
+
+    /** True when no violation has been reported. */
+    bool clean() const { return violations_.empty(); }
+
+    /** Every recorded violation, in observation order. */
+    const std::vector<Violation> &violations() const {
+        return violations_;
+    }
+
+    /** Checks counted via noteCheck(). */
+    std::uint64_t checksPerformed() const { return checks_; }
+
+    /** Violations of a specific kind. */
+    std::size_t countOf(Violation::Kind k) const;
+
+    /** Multi-line structured report of all recorded violations. */
+    std::string summary() const;
+
+    Mode mode() const { return mode_; }
+
+  private:
+    Mode mode_;
+    std::vector<Violation> violations_;
+    std::uint64_t checks_ = 0;
+};
+
+} // namespace ringsim::cache
+
+#endif // RINGSIM_CACHE_INVARIANT_MONITOR_HPP

@@ -26,8 +26,10 @@ FunctionalEngine::FunctionalEngine(const trace::AddressMap &map,
     caches_.reserve(procs_);
     for (unsigned p = 0; p < procs_; ++p)
         caches_.emplace_back(geom_);
-    if (options.check)
+    if (options.check || options.monitor) {
         checker_ = std::make_unique<cache::CoherenceChecker>(procs_);
+        checker_->setMonitor(options.monitor);
+    }
     census_.procs = procs_;
 }
 

@@ -76,6 +76,13 @@ struct EngineOptions
 
     /** Run the coherence invariant checker (slower; on in tests). */
     bool check = false;
+
+    /**
+     * Continuous invariant monitoring: when non-null, the checker runs
+     * (as if check were set) and routes violations to this sink
+     * instead of panicking. Borrowed; must outlive the engine.
+     */
+    cache::InvariantMonitor *monitor = nullptr;
 };
 
 /** The engine proper. */

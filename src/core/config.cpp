@@ -18,15 +18,33 @@ protocolName(ProtocolKind k)
     return "?";
 }
 
+std::vector<std::string>
+SystemConfig::checkConfig() const
+{
+    std::vector<std::string> errors;
+    if (procCycle == 0) {
+        errors.push_back("processor cycle time must be nonzero");
+    } else if (procCycle > 1'000'000) {
+        errors.push_back(strprintf(
+            "processor cycle time %llu ps is below 1 MIPS; the paper "
+            "sweeps 1-20 ns cycles",
+            static_cast<unsigned long long>(procCycle)));
+    }
+    if (memoryLatency == 0)
+        errors.push_back("memory latency must be nonzero");
+    if (!(warmupFrac >= 0.0) || warmupFrac >= 1.0)
+        errors.push_back("warmup fraction must be in [0, 1)");
+    for (std::string &e : faults.check())
+        errors.push_back(std::move(e));
+    return errors;
+}
+
 void
 SystemConfig::validate() const
 {
-    if (procCycle == 0)
-        fatal("processor cycle time must be nonzero");
-    if (memoryLatency == 0)
-        fatal("memory latency must be nonzero");
-    if (warmupFrac < 0.0 || warmupFrac >= 1.0)
-        fatal("warmup fraction must be in [0, 1)");
+    std::vector<std::string> errors = checkConfig();
+    if (!errors.empty())
+        fatal("%s", errors.front().c_str());
     cacheGeometry.validate();
 }
 

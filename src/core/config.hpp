@@ -12,8 +12,13 @@
 #ifndef RINGSIM_CORE_CONFIG_HPP
 #define RINGSIM_CORE_CONFIG_HPP
 
+#include <string>
+#include <vector>
+
 #include "bus/split_bus.hpp"
 #include "cache/geometry.hpp"
+#include "cache/invariant_monitor.hpp"
+#include "fault/fault.hpp"
 #include "ring/config.hpp"
 #include "util/units.hpp"
 
@@ -67,6 +72,21 @@ struct SystemConfig
 
     /** Run the coherence invariant checker during the simulation. */
     bool check = false;
+
+    /**
+     * Continuous invariant monitoring: when non-null, the run drives
+     * the checker (as if check were set) and routes every violation —
+     * plus ring traversal audits and directory/cache agreement audits
+     * — to this sink instead of panicking. Borrowed; must outlive the
+     * run.
+     */
+    cache::InvariantMonitor *monitor = nullptr;
+
+    /** Fault injection and recovery parameters (disabled by default). */
+    fault::FaultConfig faults;
+
+    /** All misconfigurations, as human-readable messages. */
+    std::vector<std::string> checkConfig() const;
 
     /** Validate; fatal() on misconfiguration. */
     void validate() const;

@@ -45,11 +45,11 @@ RingDirectoryProtocol::launch(Txn &txn)
         }
     }
 
+    std::uint64_t tag = tagOf(txn);
     if (txn.requester == o.home) {
         // The home is local: run the directory actions directly.
-        std::uint64_t id = txn.id;
         kernel_.post(kernel_.now() + config_.dirLookup,
-                     [this, id]() { homeActions(id); });
+                     [this, tag]() { homeActions(tag); });
         return;
     }
 
@@ -58,20 +58,22 @@ RingDirectoryProtocol::launch(Txn &txn)
     req.src = txn.requester;
     req.dst = o.home;
     req.addr = o.block;
-    req.payload = txn.id;
+    req.payload = tag;
     enqueue(txn.requester, req, /*is_block=*/false);
 }
 
 void
-RingDirectoryProtocol::respond(std::uint64_t id, NodeId from, Tick when)
+RingDirectoryProtocol::respond(std::uint64_t tag, NodeId from,
+                               Tick when)
 {
-    Txn *txn = findTxn(id);
+    Txn *txn =
+        requireTxn(tag, "directory respond for finished transaction");
     if (!txn)
-        panic("directory respond for finished transaction");
+        return;
 
     if (txn->requester == from) {
         // Requester is the responder (local home): no message needed.
-        kernel_.post(when, [this, id]() { legDone(id); });
+        kernel_.post(when, [this, tag]() { legDone(tag); });
         return;
     }
 
@@ -81,18 +83,19 @@ RingDirectoryProtocol::respond(std::uint64_t id, NodeId from, Tick when)
     msg.src = from;
     msg.dst = txn->requester;
     msg.addr = txn->outcome.block;
-    msg.payload = id;
+    msg.payload = tag;
     kernel_.post(when, [this, from, msg]() {
         enqueue(from, msg, msg.kind == MsgBlockData);
     });
 }
 
 void
-RingDirectoryProtocol::homeActions(std::uint64_t id)
+RingDirectoryProtocol::homeActions(std::uint64_t tag)
 {
-    Txn *txn = findTxn(id);
+    Txn *txn = requireTxn(
+        tag, "directory homeActions for finished transaction");
     if (!txn)
-        panic("directory homeActions for finished transaction");
+        return;
     const AccessOutcome &o = txn->outcome;
     NodeId home = o.home;
     Tick now = kernel_.now();
@@ -104,7 +107,7 @@ RingDirectoryProtocol::homeActions(std::uint64_t id)
         fwd.src = home;
         fwd.dst = o.owner;
         fwd.addr = o.block;
-        fwd.payload = id;
+        fwd.payload = tag;
         enqueue(home, fwd, /*is_block=*/false);
         return;
     }
@@ -123,20 +126,20 @@ RingDirectoryProtocol::homeActions(std::uint64_t id)
         inv.src = home;
         inv.dst = ring::broadcastNode;
         inv.addr = o.block;
-        inv.payload = id;
+        inv.payload = tag;
         enqueue(home, inv, /*is_block=*/false);
         return;
     }
 
     if (o.type == AccessOutcome::Type::Upgrade) {
         // No sharers: acknowledge immediately.
-        respond(id, home, now);
+        respond(tag, home, now);
         return;
     }
 
     // Clean data from the home memory.
     Tick ready = bankDone(home, now, config_.memoryLatency);
-    respond(id, home, ready);
+    respond(tag, home, ready);
 }
 
 void
@@ -148,23 +151,24 @@ RingDirectoryProtocol::handleMessage(NodeId n, ring::SlotHandle &slot)
         if (msg.dst != n)
             return;
         ring::RingMessage req = slot.remove();
-        std::uint64_t id = req.payload;
+        std::uint64_t tag = req.payload;
         Tick tail = ring_.slotTailTime(slot.type());
         kernel_.post(kernel_.now() + tail + config_.dirLookup,
-                     [this, id]() { homeActions(id); });
+                     [this, tag]() { homeActions(tag); });
         return;
       }
       case MsgDirForward: {
         if (msg.dst != n)
             return;
         ring::RingMessage fwd = slot.remove();
-        std::uint64_t id = fwd.payload;
-        Txn *txn = findTxn(id);
+        std::uint64_t tag = fwd.payload;
+        Txn *txn = requireTxn(
+            tag, "directory forward for finished transaction");
         if (!txn)
-            panic("directory forward for finished transaction");
+            return;
         Tick tail = ring_.slotTailTime(slot.type());
         Tick ready = kernel_.now() + tail + config_.cacheSupply;
-        respond(id, n, ready);
+        respond(tag, n, ready);
 
         // A read of a dirty block also refreshes the home memory; if
         // the home is not on the owner->requester path the owner
@@ -193,12 +197,13 @@ RingDirectoryProtocol::handleMessage(NodeId n, ring::SlotHandle &slot)
         if (msg.src != n)
             return; // invalidations were applied at issue; pass on
         ring::RingMessage inv = slot.remove();
-        std::uint64_t id = inv.payload;
-        Txn *txn = findTxn(id);
+        std::uint64_t tag = inv.payload;
+        Txn *txn = requireTxn(
+            tag, "directory multicast for finished transaction");
         if (!txn)
-            panic("directory multicast for finished transaction");
+            return;
         Tick when = std::max(kernel_.now(), txn->dataReadyAt);
-        respond(id, n, when);
+        respond(tag, n, when);
         return;
       }
       case MsgDirAck: {
@@ -206,9 +211,9 @@ RingDirectoryProtocol::handleMessage(NodeId n, ring::SlotHandle &slot)
             return;
         ring::RingMessage ack = slot.remove();
         Tick tail = ring_.slotTailTime(slot.type());
-        std::uint64_t id = ack.payload;
+        std::uint64_t tag = ack.payload;
         kernel_.post(kernel_.now() + tail,
-                     [this, id]() { legDone(id); });
+                     [this, tag]() { legDone(tag); });
         return;
       }
       case MsgBlockData: {
@@ -216,9 +221,9 @@ RingDirectoryProtocol::handleMessage(NodeId n, ring::SlotHandle &slot)
             return;
         ring::RingMessage data = slot.remove();
         Tick tail = ring_.slotTailTime(ring::SlotType::Block);
-        std::uint64_t id = data.payload;
+        std::uint64_t tag = data.payload;
         kernel_.post(kernel_.now() + tail,
-                     [this, id]() { legDone(id); });
+                     [this, tag]() { legDone(tag); });
         return;
       }
       default:

@@ -31,10 +31,10 @@ class RingDirectoryProtocol : public RingProtocolBase
 
   private:
     /** Directory actions at the home node (after the lookup delay). */
-    void homeActions(std::uint64_t id);
+    void homeActions(std::uint64_t tag);
 
     /** Send the block (or ack) that completes the transaction. */
-    void respond(std::uint64_t id, NodeId from, Tick when);
+    void respond(std::uint64_t tag, NodeId from, Tick when);
 
     /** True when this transaction needs a multicast invalidation. */
     static bool needsMulticast(const Txn &txn);

@@ -27,6 +27,28 @@ RingProtocolBase::RingProtocolBase(sim::Kernel &kernel,
 
 RingProtocolBase::~RingProtocolBase() = default;
 
+void
+RingProtocolBase::setFaultRecovery(fault::FaultInjector *injector)
+{
+    faultInjector_ = injector;
+    recovery_ = injector != nullptr;
+    if (!recovery_)
+        return;
+    const fault::FaultConfig &fc = injector->config();
+    Tick rtt = ring_.config().roundTripTime();
+    // Auto timeout: generous upper bound on a fault-free transaction
+    // (a few traversals plus every service the legs can incur), so
+    // spurious timeouts are rare even under queueing. A spurious
+    // retry is safe regardless — the superseded attempt's events are
+    // recognized as stale — it only wastes bandwidth.
+    retryTimeout_ = fc.retryTimeout
+                        ? fc.retryTimeout
+                        : 4 * rtt + 4 * (config_.memoryLatency +
+                                         config_.cacheSupply +
+                                         config_.dirLookup);
+    backoffBase_ = fc.backoffBase ? fc.backoffBase : rtt;
+}
+
 bool
 RingProtocolBase::tryAccess(NodeId p, const trace::TraceRecord &ref)
 {
@@ -67,23 +89,39 @@ RingProtocolBase::startTransaction(NodeId p,
     }
     sendVictimWriteback(txn);
     launch(txn);
+    armWatchdog(id);
 }
 
 void
-RingProtocolBase::legDone(std::uint64_t id)
+RingProtocolBase::legDone(std::uint64_t tag)
 {
+    std::uint64_t id = tagTxn(tag);
     auto it = txns_.find(id);
-    if (it == txns_.end())
+    if (it == txns_.end() ||
+        tagAttempt(tag) != tagAttempt(tagOf(it->second))) {
+        if (recovery_) {
+            faultInjector_->stats().staleEvents.inc();
+            return;
+        }
         panic("legDone for unknown transaction %llu",
               static_cast<unsigned long long>(id));
+    }
     Txn &txn = it->second;
     if (txn.remainingLegs == 0)
         panic("legDone underflow");
     if (--txn.remainingLegs > 0)
         return;
+    completeTxn(txn);
+}
+
+void
+RingProtocolBase::completeTxn(Txn &txn, bool succeeded)
+{
+    if (recovery_ && succeeded && txn.attempt > 1)
+        faultInjector_->stats().recovered.inc();
     metrics_.addLatency(txn.cls, kernel_.now() - txn.issueTime);
     auto cb = std::move(txn.onComplete);
-    txns_.erase(it);
+    txns_.erase(txn.id);
     cb();
 }
 
@@ -92,6 +130,103 @@ RingProtocolBase::findTxn(std::uint64_t id)
 {
     auto it = txns_.find(id);
     return it == txns_.end() ? nullptr : &it->second;
+}
+
+RingProtocolBase::Txn *
+RingProtocolBase::activeTxn(std::uint64_t tag)
+{
+    Txn *txn = findTxn(tagTxn(tag));
+    if (!txn || tagAttempt(tag) != tagAttempt(tagOf(*txn)))
+        return nullptr;
+    return txn;
+}
+
+RingProtocolBase::Txn *
+RingProtocolBase::requireTxn(std::uint64_t tag, const char *what)
+{
+    Txn *txn = findTxn(tagTxn(tag));
+    if (txn && tagAttempt(tag) == tagAttempt(tagOf(*txn)))
+        return txn;
+    if (!recovery_)
+        panic("%s", what);
+    faultInjector_->stats().staleEvents.inc();
+    return nullptr;
+}
+
+void
+RingProtocolBase::armWatchdog(std::uint64_t id)
+{
+    if (!recovery_)
+        return;
+    Txn *txn = findTxn(id);
+    if (!txn)
+        return;
+    unsigned attempt = txn->attempt;
+    // Exponential: each attempt waits twice as long before giving up
+    // on the wire (capped to keep the shift sane).
+    Tick delay = retryTimeout_ << std::min(attempt - 1, 8u);
+    kernel_.post(kernel_.now() + delay, [this, id, attempt]() {
+        onWatchdog(id, attempt);
+    });
+}
+
+void
+RingProtocolBase::onWatchdog(std::uint64_t id, unsigned attempt)
+{
+    Txn *txn = findTxn(id);
+    if (!txn || txn->attempt != attempt)
+        return; // completed, or a NACK already triggered the retry
+    faultInjector_->stats().timeouts.inc();
+    retryTxn(*txn);
+}
+
+void
+RingProtocolBase::onNack(std::uint64_t tag)
+{
+    Txn *txn = activeTxn(tag);
+    if (!txn) {
+        faultInjector_->stats().staleEvents.inc();
+        return;
+    }
+    retryTxn(*txn);
+}
+
+void
+RingProtocolBase::retryTxn(Txn &txn)
+{
+    const fault::FaultConfig &fc = faultInjector_->config();
+    if (txn.attempt > fc.maxRetries) {
+        // Retries exhausted: graceful degradation. The functional
+        // state was applied at issue, so the access itself is not
+        // lost — record the fault and let the processor continue
+        // rather than hanging the system.
+        faultInjector_->stats().fatals.inc();
+        completeTxn(txn, /*succeeded=*/false);
+        return;
+    }
+    faultInjector_->stats().retries.inc();
+    unsigned next = txn.attempt + 1;
+    // Bump the attempt immediately: everything the old attempt left
+    // on the wire is stale from this point on.
+    txn.attempt = next;
+    Tick backoff = backoffBase_ << std::min(next - 2, 8u);
+    std::uint64_t id = txn.id;
+    kernel_.post(kernel_.now() + backoff, [this, id, next]() {
+        relaunch(id, next);
+    });
+}
+
+void
+RingProtocolBase::relaunch(std::uint64_t id, unsigned attempt)
+{
+    Txn *txn = findTxn(id);
+    if (!txn || txn->attempt != attempt)
+        return; // superseded again, or declared fatal meanwhile
+    txn->remainingLegs = 1;
+    txn->probeReturnLeg = false;
+    txn->dataReadyAt = 0;
+    launch(*txn);
+    armWatchdog(id);
 }
 
 std::deque<RingProtocolBase::QueuedMsg> &
@@ -142,9 +277,39 @@ RingProtocolBase::sendVictimWriteback(const Txn &txn)
 }
 
 void
+RingProtocolBase::discardCorrupt(NodeId n, ring::SlotHandle &slot)
+{
+    // The payload CRC failed at this interface; the ECC-protected
+    // header still identifies the sender, so anything that belongs to
+    // a waiting transaction is NACKed back for a fast retry. Traffic
+    // messages (write-backs) and NACKs themselves have nobody
+    // waiting; their loss is absorbed (memory refresh is lost, the
+    // NACKed sender falls back to its timeout).
+    ring::RingMessage bad = slot.remove();
+    if (!recovery_)
+        return;
+    if (bad.kind == MsgBlockTraffic) {
+        faultInjector_->stats().lostWritebacks.inc();
+        return;
+    }
+    if (bad.kind == MsgNack)
+        return;
+    faultInjector_->stats().nacks.inc();
+    ring::RingMessage nack;
+    nack.kind = MsgNack;
+    nack.src = n;
+    nack.dst = bad.src;
+    nack.addr = bad.addr;
+    nack.payload = bad.payload;
+    enqueue(n, nack, /*is_block=*/false);
+}
+
+void
 RingProtocolBase::onSlot(NodeId n, ring::SlotHandle &slot)
 {
-    if (slot.occupied()) {
+    if (slot.occupied() && slot.corrupted()) {
+        discardCorrupt(n, slot);
+    } else if (slot.occupied()) {
         const ring::RingMessage &msg = slot.message();
         if (msg.kind == MsgBlockTraffic) {
             if (msg.dst == n) {
@@ -155,6 +320,11 @@ RingProtocolBase::onSlot(NodeId n, ring::SlotHandle &slot)
                                  ring::SlotType::Block),
                          config_.memoryLatency);
                 (void)taken;
+            }
+        } else if (msg.kind == MsgNack) {
+            if (msg.dst == n) {
+                ring::RingMessage nack = slot.remove();
+                onNack(nack.payload);
             }
         } else {
             handleMessage(n, slot);

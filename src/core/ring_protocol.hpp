@@ -23,6 +23,7 @@
 #include "core/config.hpp"
 #include "core/metrics.hpp"
 #include "core/protocol.hpp"
+#include "fault/fault.hpp"
 #include "ring/network.hpp"
 #include "sim/kernel.hpp"
 
@@ -38,6 +39,8 @@ enum RingMsgKind : std::uint32_t {
     MsgBlockData,      //!< block message completing a transaction
     MsgBlockTraffic,   //!< block message with no waiting transaction
                        //!< (write-backs, memory refresh copies)
+    MsgNack,           //!< negative ack: a node discarded a corrupt
+                       //!< message and asks its sender to retry
 };
 
 /** Base class of the timed ring protocols. */
@@ -61,6 +64,16 @@ class RingProtocolBase : public Protocol
     /** Outstanding transactions (tests/assertions). */
     size_t inFlight() const { return txns_.size(); }
 
+    /**
+     * Enable fault recovery: NACK handling, per-transaction retry
+     * watchdogs with exponential backoff, and graceful degradation
+     * when retries are exhausted. @p injector is borrowed (it supplies
+     * the recovery knobs and receives the recovery statistics); null
+     * disables recovery. Resolves auto (zero) timeout/backoff values
+     * from the ring geometry and service times.
+     */
+    void setFaultRecovery(fault::FaultInjector *injector);
+
   protected:
     /** One outstanding transaction. */
     struct Txn
@@ -75,8 +88,36 @@ class RingProtocolBase : public Protocol
         bool probeReturnLeg = false;
         /** Directory: memory data ready time (overlapped fetch). */
         Tick dataReadyAt = 0;
+        /** Launch attempt, starting at 1; bumped by every retry. */
+        unsigned attempt = 1;
         std::function<void()> onComplete;
     };
+
+    /**
+     * On-wire transaction identity. Message payloads carry a *tag* —
+     * the transaction id combined with its launch attempt — so that
+     * events raised by a superseded attempt (a probe still circulating
+     * when the watchdog already relaunched the transaction) are
+     * recognizably stale and ignored rather than double-completing.
+     */
+    static constexpr unsigned tagAttemptBits = 8;
+
+    static std::uint64_t makeTag(std::uint64_t id, unsigned attempt) {
+        return (id << tagAttemptBits) |
+               (attempt & ((1u << tagAttemptBits) - 1));
+    }
+    static std::uint64_t tagTxn(std::uint64_t tag) {
+        return tag >> tagAttemptBits;
+    }
+    static unsigned tagAttempt(std::uint64_t tag) {
+        return static_cast<unsigned>(tag &
+                                     ((1u << tagAttemptBits) - 1));
+    }
+
+    /** The current on-wire tag of @p txn. */
+    static std::uint64_t tagOf(const Txn &txn) {
+        return makeTag(txn.id, txn.attempt);
+    }
 
     /**
      * Protocol script: called once per transaction, after the state
@@ -88,8 +129,10 @@ class RingProtocolBase : public Protocol
     /** A slot carrying a message reached node @p n. */
     virtual void handleMessage(NodeId n, ring::SlotHandle &slot) = 0;
 
-    /** One leg of transaction @p id finished; completes at zero. */
-    void legDone(std::uint64_t id);
+    /** One leg of the transaction tagged @p tag finished; completes
+     *  at zero. Stale tags (superseded attempts) are ignored when
+     *  recovery is enabled. */
+    void legDone(std::uint64_t tag);
 
     /** Queue @p msg for insertion at node @p n (type by message). */
     void enqueue(NodeId n, const ring::RingMessage &msg,
@@ -104,6 +147,25 @@ class RingProtocolBase : public Protocol
 
     /** Look up an outstanding transaction; null if finished. */
     Txn *findTxn(std::uint64_t id);
+
+    /**
+     * Resolve a tag to its live transaction: null when the
+     * transaction finished or the tag belongs to a superseded
+     * attempt. Never panics and keeps no statistics — for passive
+     * observers (snoop suppliers, probe returns).
+     */
+    Txn *activeTxn(std::uint64_t tag);
+
+    /**
+     * Like activeTxn(), but for events that *must* find their
+     * transaction on an ideal ring: with recovery disabled a missing
+     * transaction panics with @p what; with recovery enabled the
+     * event counts as stale and null is returned.
+     */
+    Txn *requireTxn(std::uint64_t tag, const char *what);
+
+    /** True when fault recovery is active. */
+    bool recoveryEnabled() const { return recovery_; }
 
     sim::Kernel &kernel_;
     SystemConfig config_;
@@ -139,6 +201,27 @@ class RingProtocolBase : public Protocol
     void onSlot(NodeId n, ring::SlotHandle &slot);
     void tryInsert(NodeId n, ring::SlotHandle &slot);
 
+    /** Discard a corrupt message at node @p n; NACK its sender. */
+    void discardCorrupt(NodeId n, ring::SlotHandle &slot);
+
+    /** Arm the retry watchdog for @p id's current attempt. */
+    void armWatchdog(std::uint64_t id);
+    /** Watchdog expiry for (@p id, @p attempt). */
+    void onWatchdog(std::uint64_t id, unsigned attempt);
+    /** A NACK for @p tag reached its sender. */
+    void onNack(std::uint64_t tag);
+    /** Begin a retry (or declare a fatal fault) for @p txn. */
+    void retryTxn(Txn &txn);
+    /** Re-run the launch script for (@p id, @p attempt). */
+    void relaunch(std::uint64_t id, unsigned attempt);
+    /**
+     * Complete @p txn now (shared by legDone and fatal faults).
+     * @p succeeded distinguishes a real completion — which counts as
+     * recovered when it took more than one attempt — from a fatal
+     * give-up, which must not.
+     */
+    void completeTxn(Txn &txn, bool succeeded = true);
+
     std::deque<QueuedMsg> &queueFor(NodeId n, ring::SlotType t);
 
     std::vector<std::unique_ptr<NodeClient>> clients_;
@@ -147,6 +230,12 @@ class RingProtocolBase : public Protocol
     std::vector<Tick> bankFreeAt_;
     std::unordered_map<std::uint64_t, Txn> txns_;
     std::uint64_t nextTxnId_ = 1;
+
+    /** Fault recovery state (inactive unless setFaultRecovery ran). */
+    fault::FaultInjector *faultInjector_ = nullptr;
+    bool recovery_ = false;
+    Tick retryTimeout_ = 0;
+    Tick backoffBase_ = 0;
 };
 
 } // namespace ringsim::core

@@ -16,6 +16,7 @@ void
 RingSnoopProtocol::launch(Txn &txn)
 {
     const AccessOutcome &o = txn.outcome;
+    std::uint64_t tag = tagOf(txn);
 
     if (o.type == AccessOutcome::Type::Upgrade) {
         // Invalidation: one broadcast probe; done when it returns.
@@ -27,7 +28,7 @@ RingSnoopProtocol::launch(Txn &txn)
         probe.src = txn.requester;
         probe.dst = ring::broadcastNode;
         probe.addr = o.block;
-        probe.payload = txn.id;
+        probe.payload = tag;
         enqueue(txn.requester, probe, /*is_block=*/false);
         return;
     }
@@ -39,7 +40,7 @@ RingSnoopProtocol::launch(Txn &txn)
     probe.src = txn.requester;
     probe.dst = ring::broadcastNode;
     probe.addr = o.block;
-    probe.payload = txn.id;
+    probe.payload = tag;
 
     bool local_data = !o.wasDirty && o.home == txn.requester;
     if (local_data) {
@@ -50,8 +51,7 @@ RingSnoopProtocol::launch(Txn &txn)
         txn.probeReturnLeg = true;
         Tick done = bankDone(txn.requester, kernel_.now(),
                              config_.memoryLatency);
-        std::uint64_t id = txn.id;
-        kernel_.post(done, [this, id]() { legDone(id); });
+        kernel_.post(done, [this, tag]() { legDone(tag); });
     } else {
         // Remote data: completion is the block's arrival.
         txn.cls = o.wasDirty ? LatClass::DirtyMiss1
@@ -74,18 +74,19 @@ RingSnoopProtocol::supply(Txn &txn, NodeId supplier)
         ready = bankDone(supplier, kernel_.now(),
                          config_.memoryLatency);
     }
-    std::uint64_t id = txn.id;
+    std::uint64_t tag = tagOf(txn);
     NodeId requester = txn.requester;
     Addr block = txn.outcome.block;
-    kernel_.post(ready, [this, id, supplier, requester, block]() {
-        if (!findTxn(id))
-            panic("snoop supplier fired for finished transaction");
+    kernel_.post(ready, [this, tag, supplier, requester, block]() {
+        if (!requireTxn(tag,
+                        "snoop supplier fired for finished transaction"))
+            return;
         ring::RingMessage data;
         data.kind = MsgBlockData;
         data.src = supplier;
         data.dst = requester;
         data.addr = block;
-        data.payload = id;
+        data.payload = tag;
         enqueue(supplier, data, /*is_block=*/true);
     });
 }
@@ -99,14 +100,14 @@ RingSnoopProtocol::handleMessage(NodeId n, ring::SlotHandle &slot)
         if (msg.src == n) {
             // Our own probe came back: remove it; one traversal total.
             ring::RingMessage probe = slot.remove();
-            Txn *txn = findTxn(probe.payload);
+            Txn *txn = activeTxn(probe.payload);
             if (txn && txn->probeReturnLeg)
                 legDone(probe.payload);
             return;
         }
         // Snoop: the owner answers a *data* probe as it passes
         // (invalidation probes need no reply beyond their return).
-        Txn *txn = findTxn(msg.payload);
+        Txn *txn = activeTxn(msg.payload);
         if (txn &&
             txn->outcome.type == AccessOutcome::Type::Miss &&
             supplierOf(*txn) == n &&
@@ -120,9 +121,9 @@ RingSnoopProtocol::handleMessage(NodeId n, ring::SlotHandle &slot)
             return;
         ring::RingMessage data = slot.remove();
         Tick tail = ring_.slotTailTime(ring::SlotType::Block);
-        std::uint64_t id = data.payload;
+        std::uint64_t tag = data.payload;
         kernel_.post(kernel_.now() + tail,
-                     [this, id]() { legDone(id); });
+                     [this, tag]() { legDone(tag); });
         return;
       }
       default:

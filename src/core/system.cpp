@@ -45,6 +45,7 @@ struct Harness
         opt.geometry = common.cacheGeometry;
         opt.geometry.blockBytes = workload.blockBytes;
         opt.check = common.check;
+        opt.monitor = common.monitor;
         return opt;
     }
 
@@ -152,6 +153,7 @@ runRingSystem(const RingSystemConfig &config,
 
     Harness h(config.common, workload);
     ring::SlotRing ring_net(h.kernel, config.ring);
+    ring_net.setMonitor(config.common.monitor);
 
     std::unique_ptr<RingProtocolBase> protocol;
     if (kind == ProtocolKind::RingSnoop) {
@@ -160,6 +162,18 @@ runRingSystem(const RingSystemConfig &config,
     } else {
         protocol = std::make_unique<RingDirectoryProtocol>(
             h.kernel, config.common, h.engine, ring_net, h.metrics);
+    }
+
+    // Fault injection: the injector hooks the ring (where faults land)
+    // and the protocol (which owns recovery). Absent when disabled so
+    // the fault-free fast path is untouched.
+    std::unique_ptr<fault::FaultInjector> injector;
+    if (config.common.faults.enabled()) {
+        config.common.faults.validate();
+        injector =
+            std::make_unique<fault::FaultInjector>(config.common.faults);
+        ring_net.setFaultInjector(injector.get());
+        protocol->setFaultRecovery(injector.get());
     }
 
     h.buildProcessors(config.common, workload, *protocol,
@@ -175,6 +189,15 @@ runRingSystem(const RingSystemConfig &config,
     result.protocol = kind;
     h.fillResult(result);
     result.networkUtilization = ring_net.totalOccupancy();
+    if (injector) {
+        const fault::FaultStats &fs = injector->stats();
+        result.faultsInjected = injector->faultsInjected();
+        result.retries = fs.retries.value();
+        result.recovered = fs.recovered.value();
+        result.fatalTxns = fs.fatals.value();
+        result.nacks = fs.nacks.value();
+        result.timeouts = fs.timeouts.value();
+    }
     return result;
 }
 

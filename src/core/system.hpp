@@ -60,6 +60,17 @@ struct RunResult
     /** Post-warmup coherence census (for model calibration checks). */
     coherence::Census census;
 
+    /**
+     * Fault-injection outcome (all zero when injection is disabled, so
+     * fault-free results stay identical to runs without the subsystem).
+     */
+    Count faultsInjected = 0; //!< corruptions + drops applied
+    Count retries = 0;        //!< transaction relaunches
+    Count recovered = 0;      //!< transactions completed after retries
+    Count fatalTxns = 0;      //!< transactions that exhausted retries
+    Count nacks = 0;          //!< NACKs sent for corrupt messages
+    Count timeouts = 0;       //!< watchdog expirations
+
     /** Fraction of remote misses in class (clean1, dirty1, two). */
     double cleanMiss1Frac() const;
     double dirtyMiss1Frac() const;

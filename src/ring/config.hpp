@@ -12,6 +12,9 @@
 #ifndef RINGSIM_RING_CONFIG_HPP
 #define RINGSIM_RING_CONFIG_HPP
 
+#include <string>
+#include <vector>
+
 #include "ring/frame_layout.hpp"
 #include "util/units.hpp"
 
@@ -36,6 +39,12 @@ struct RingConfig
      * verifies that claim by toggling this.
      */
     bool antiStarvation = true;
+
+    /**
+     * Permit node counts outside the paper's 8–64 evaluation range
+     * (tests exploring degenerate geometries set this).
+     */
+    bool allowNonPaperScale = false;
 
     /** Slot/frame geometry. */
     FrameLayout frame;
@@ -75,6 +84,13 @@ struct RingConfig
     Tick hopTime(NodeId from, NodeId to) const {
         return static_cast<Tick>(stageDistance(from, to)) * clockPeriod;
     }
+
+    /**
+     * All misconfigurations, as human-readable messages (empty when
+     * the config is sound). Callers that can recover use this;
+     * validate() is the fail-fast wrapper.
+     */
+    std::vector<std::string> check() const;
 
     /** Validate all parameters; fatal() on misconfiguration. */
     void validate() const;

@@ -81,13 +81,25 @@ FrameLayout::slotTypeAt(unsigned s)
     panic("slot index %u out of range", s);
 }
 
+std::vector<std::string>
+FrameLayout::check() const
+{
+    std::vector<std::string> errors;
+    if (linkBits == 0 || linkBits % 8 != 0) {
+        errors.push_back(strprintf(
+            "ring link width %u bits is not a multiple of 8", linkBits));
+    }
+    if (blockBytes == 0)
+        errors.push_back("ring block size must be nonzero");
+    return errors;
+}
+
 void
 FrameLayout::validate() const
 {
-    if (linkBits == 0 || linkBits % 8 != 0)
-        fatal("ring link width %u bits is not a multiple of 8", linkBits);
-    if (blockBytes == 0)
-        fatal("ring block size must be nonzero");
+    std::vector<std::string> errors = check();
+    if (!errors.empty())
+        fatal("%s", errors.front().c_str());
 }
 
 Tick

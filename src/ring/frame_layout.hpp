@@ -18,6 +18,8 @@
 #define RINGSIM_RING_FRAME_LAYOUT_HPP
 
 #include <cstddef>
+#include <string>
+#include <vector>
 
 #include "util/units.hpp"
 
@@ -71,6 +73,9 @@ struct FrameLayout
 
     /** Type of the @p s -th slot in a frame (even probe, odd, block). */
     static SlotType slotTypeAt(unsigned s);
+
+    /** All layout misconfigurations, as human-readable messages. */
+    std::vector<std::string> check() const;
 
     /** Sanity-check the layout (width divides sizes and is nonzero). */
     void validate() const;

@@ -1,5 +1,7 @@
 #include "network.hpp"
 
+#include "cache/invariant_monitor.hpp"
+#include "fault/fault.hpp"
 #include "util/logging.hpp"
 
 namespace ringsim::ring {
@@ -14,6 +16,13 @@ bool
 SlotHandle::occupied() const
 {
     return ring_.slots_[slot_].occupied;
+}
+
+bool
+SlotHandle::corrupted() const
+{
+    const SlotRing::Slot &s = ring_.slots_[slot_];
+    return s.occupied && s.corrupt;
 }
 
 const RingMessage &
@@ -31,7 +40,34 @@ SlotHandle::remove()
     SlotRing::Slot &s = ring_.slots_[slot_];
     if (!s.occupied)
         panic("remove() on an empty slot");
+    if (ring_.monitor_) {
+        // One-traversal completion: a message inserted at absolute
+        // rotation R moves one stage per rotation, so by removal it
+        // has traveled rotations - R stages. Self-removal (a probe
+        // returning to its source) is exactly one full loop; anything
+        // longer means a destination let its message pass.
+        Count traveled = ring_.rotations_ - s.insertedAtRot;
+        if (traveled > ring_.config_.totalStages()) {
+            cache::Violation v;
+            v.kind = cache::Violation::Kind::TraversalOverrun;
+            v.block = s.msg.addr;
+            v.node = node_;
+            v.other = s.insertedBy;
+            v.txn = s.msg.payload;
+            v.slot = static_cast<int>(slot_);
+            v.detail = strprintf(
+                "slot %u: message from node %u removed at node %u "
+                "after %llu stages (one traversal is %u)",
+                slot_, s.insertedBy, node_,
+                static_cast<unsigned long long>(traveled),
+                ring_.config_.totalStages());
+            ring_.monitor_->report(std::move(v));
+        } else {
+            ring_.monitor_->noteCheck();
+        }
+    }
     s.occupied = false;
+    s.corrupt = false;
     freedHere_ = true;
     unsigned t = SlotRing::typeIndex(s.type);
     --ring_.occupiedCount_[t];
@@ -59,7 +95,10 @@ SlotHandle::insert(const RingMessage &msg)
         panic("insert() into an unavailable slot (node %u)", node_);
     SlotRing::Slot &s = ring_.slots_[slot_];
     s.occupied = true;
+    s.corrupt = false;
     s.msg = msg;
+    s.insertedAtRot = ring_.rotations_;
+    s.insertedBy = node_;
     unsigned t = SlotRing::typeIndex(s.type);
     ++ring_.occupiedCount_[t];
     ++ring_.inserted_[t];
@@ -121,29 +160,63 @@ SlotRing::stop()
 }
 
 void
+SlotRing::injectFaults(Count cycle)
+{
+    for (unsigned s = 0; s < slots_.size(); ++s) {
+        Slot &slot = slots_[s];
+        if (!slot.occupied)
+            continue;
+        if (injector_->dropAt(cycle, s)) {
+            // Latch upset: the message vanishes; only the sender's
+            // retry timeout can recover it. Not counted as removed.
+            slot.occupied = false;
+            slot.corrupt = false;
+            --occupiedCount_[typeIndex(slot.type)];
+        } else if (!slot.corrupt && injector_->corruptAt(cycle, s)) {
+            slot.corrupt = true;
+        }
+    }
+}
+
+void
 SlotRing::tick(Count cycle)
 {
     unsigned stages = config_.totalStages();
-    unsigned rot = static_cast<unsigned>(cycle % stages);
 
     // Accumulate slot occupancy before this cycle's changes; the
     // integral divided by (cycles * slots-of-type) is the utilization.
+    // Time passes during a stall, so this accrues there too.
     for (unsigned t = 0; t < 3; ++t)
         occupancyIntegral_[t] += occupiedCount_[t];
     ++cycles_;
 
-    // The pattern has advanced `rot` stages, so the pattern offset now
-    // at physical position p is (p - rot) mod stages. A node sees a
-    // slot when that offset is the slot's header stage.
+    if (injector_) {
+        if (stallRemaining_ == 0)
+            stallRemaining_ = injector_->stallFor(cycle);
+        if (stallRemaining_ > 0) {
+            // The pipeline holds: nothing moves, nobody is visited.
+            --stallRemaining_;
+            return;
+        }
+        injectFaults(cycle);
+    }
+
+    // The pattern has advanced rot_ stages, so the pattern offset now
+    // at physical position p is (p - rot_) mod stages. A node sees a
+    // slot when that offset is the slot's header stage. Without
+    // stalls, rot_ == cycle % stages.
     for (NodeId n = 0; n < config_.nodes; ++n) {
         unsigned pos = nodePos_[n];
-        unsigned off = (pos + stages - rot) % stages;
+        unsigned off = (pos + stages - rot_) % stages;
         int slot_idx = headerSlot_[off];
         if (slot_idx < 0)
             continue;
         SlotHandle handle(*this, static_cast<unsigned>(slot_idx), n);
         clients_[n]->onSlot(handle);
     }
+
+    rot_ = (rot_ + 1) % stages;
+    ++rotations_;
 }
 
 Count

@@ -28,6 +28,14 @@
 #include "stats/stats.hpp"
 #include "util/units.hpp"
 
+namespace ringsim::fault {
+class FaultInjector;
+} // namespace ringsim::fault
+
+namespace ringsim::cache {
+class InvariantMonitor;
+} // namespace ringsim::cache
+
 namespace ringsim::ring {
 
 /** Destination value meaning "snooped by everyone" (broadcast probes). */
@@ -57,6 +65,12 @@ class SlotHandle
 
     /** True if the slot carries a message. */
     bool occupied() const;
+
+    /**
+     * True if the carried message's payload was corrupted by fault
+     * injection (detected via its CRC; the header survives).
+     */
+    bool corrupted() const;
 
     /** The carried message; panics when empty. */
     const RingMessage &message() const;
@@ -120,6 +134,23 @@ class SlotRing
     /** Attach the protocol controller for node @p n (required). */
     void setClient(NodeId n, RingClient &client);
 
+    /**
+     * Attach a fault injector (null detaches). Borrowed; must outlive
+     * the ring. With no injector the ring is the paper's ideal ring.
+     */
+    void setFaultInjector(fault::FaultInjector *injector) {
+        injector_ = injector;
+    }
+
+    /**
+     * Attach an invariant monitor (null detaches). Borrowed. When set,
+     * the ring reports messages that overrun one full traversal
+     * without being removed by their destination.
+     */
+    void setMonitor(cache::InvariantMonitor *monitor) {
+        monitor_ = monitor;
+    }
+
     /** Begin rotating at time @p start_at. */
     void start(Tick start_at = 0);
 
@@ -169,10 +200,15 @@ class SlotRing
     {
         SlotType type;
         bool occupied = false;
+        bool corrupt = false;
         RingMessage msg;
+        /** Absolute rotation count at insertion (traversal audit). */
+        Count insertedAtRot = 0;
+        NodeId insertedBy = invalidNode;
     };
 
     void tick(Count cycle);
+    void injectFaults(Count cycle);
 
     static unsigned typeIndex(SlotType t) {
         return static_cast<unsigned>(t);
@@ -190,7 +226,16 @@ class SlotRing
     std::vector<NodeId> nodePos_;
     std::vector<RingClient *> clients_;
 
+    fault::FaultInjector *injector_ = nullptr;
+    cache::InvariantMonitor *monitor_ = nullptr;
+
     Count cycles_ = 0;
+    /** Current pattern rotation (== cycle % stages with no stalls). */
+    unsigned rot_ = 0;
+    /** Absolute rotations performed (monotone; stalls pause it). */
+    Count rotations_ = 0;
+    /** Remaining cycles of an injected stall. */
+    unsigned stallRemaining_ = 0;
     unsigned occupiedCount_[3] = {0, 0, 0};
     std::uint64_t occupancyIntegral_[3] = {0, 0, 0};
     Count inserted_[3] = {0, 0, 0};

@@ -1,6 +1,12 @@
 #include "experiment_runner.hpp"
 
+#include <condition_variable>
 #include <cstdlib>
+#include <deque>
+#include <exception>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
 
 #include "util/logging.hpp"
 
@@ -36,108 +42,370 @@ jobSeed(std::uint64_t master_seed, std::uint64_t job_key)
     return z ^ (z >> 31);
 }
 
-ExperimentRunner::ExperimentRunner(unsigned jobs)
-    : jobs_(resolveJobs(jobs))
+const char *
+jobStatusName(JobReport::Status s)
 {
-    if (jobs_ > 1) {
-        workers_.reserve(jobs_);
-        for (unsigned i = 0; i < jobs_; ++i)
-            workers_.emplace_back([this]() { workerLoop(); });
+    switch (s) {
+      case JobReport::Status::Ok:
+        return "ok";
+      case JobReport::Status::Failed:
+        return "failed";
+      case JobReport::Status::TimedOut:
+        return "timed_out";
     }
+    return "?";
+}
+
+namespace {
+
+/** Minimal JSON string escaping (quotes, backslashes, control). */
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20)
+                out += strprintf("\\u%04x", c);
+            else
+                out += c;
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+std::string
+failureSummaryJson(const std::vector<JobReport> &reports)
+{
+    std::size_t failed = 0;
+    for (const JobReport &r : reports)
+        if (r.status != JobReport::Status::Ok)
+            ++failed;
+    std::string out = strprintf(
+        "{\"jobs\": %zu, \"failed\": %zu, \"failures\": [",
+        reports.size(), failed);
+    bool first = true;
+    for (const JobReport &r : reports) {
+        if (r.status == JobReport::Status::Ok)
+            continue;
+        if (!first)
+            out += ", ";
+        first = false;
+        out += strprintf(
+            "{\"index\": %zu, \"status\": \"%s\", \"attempts\": %u, "
+            "\"seconds\": %.3f, \"error\": \"%s\"}",
+            r.index, jobStatusName(r.status), r.attempts, r.seconds,
+            jsonEscape(r.error).c_str());
+    }
+    out += "]}";
+    return out;
+}
+
+/**
+ * Pool state shared by the runner facade, its workers and the
+ * watchdog. Held by shared_ptr everywhere so a doomed worker that is
+ * stuck inside a job can outlive the pool and still shut down cleanly
+ * whenever its job finally returns.
+ */
+struct ExperimentRunner::Impl
+    : std::enable_shared_from_this<ExperimentRunner::Impl>
+{
+    static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+
+    /** One worker thread's bookkeeping (guarded by mutex). */
+    struct WorkerCell
+    {
+        std::thread thread;
+        /** Index of the running job; npos when idle. */
+        std::size_t jobIndex = npos;
+        std::chrono::steady_clock::time_point jobStart;
+        /** Set by the watchdog: the worker must exit, unaccounted. */
+        bool doomed = false;
+    };
+
+    unsigned jobs;
+    RunPolicy policy;
+
+    mutable std::mutex mutex;
+    std::condition_variable workReady;
+    std::condition_variable allDone;
+    std::deque<std::pair<std::function<void()>, std::size_t>> queue;
+    std::vector<std::exception_ptr> errors; // slot per submission
+    std::vector<JobReport> reports;         // slot per submission
+    std::size_t submitted = 0;
+    std::size_t completed = 0;
+    bool shutdown = false;
+
+    std::vector<std::shared_ptr<WorkerCell>> workers;
+    std::thread watchdog;
+    bool watchdogStop = false;
+    std::condition_variable watchdogWake;
+
+    void
+    start()
+    {
+        if (jobs <= 1)
+            return;
+        std::lock_guard<std::mutex> lock(mutex);
+        for (unsigned i = 0; i < jobs; ++i)
+            spawnWorker();
+        if (policy.jobTimeout.count() > 0) {
+            auto self = shared_from_this();
+            watchdog = std::thread([self]() { self->watchdogLoop(); });
+        }
+    }
+
+    /** Spawn one worker (mutex held). */
+    void
+    spawnWorker()
+    {
+        auto cell = std::make_shared<WorkerCell>();
+        auto self = shared_from_this();
+        cell->thread =
+            std::thread([self, cell]() { self->workerLoop(*cell); });
+        workers.push_back(std::move(cell));
+    }
+
+    void
+    workerLoop(WorkerCell &cell)
+    {
+        for (;;) {
+            std::pair<std::function<void()>, std::size_t> item;
+            {
+                std::unique_lock<std::mutex> lock(mutex);
+                workReady.wait(lock, [this]() {
+                    return shutdown || !queue.empty();
+                });
+                if (queue.empty() || cell.doomed)
+                    return; // shutdown with drained queue
+                item = std::move(queue.front());
+                queue.pop_front();
+                cell.jobIndex = item.second;
+                cell.jobStart = std::chrono::steady_clock::now();
+            }
+            runJob(item.first, item.second, &cell);
+            {
+                std::lock_guard<std::mutex> lock(mutex);
+                bool was_doomed = cell.doomed;
+                cell.jobIndex = npos;
+                if (was_doomed) {
+                    // The watchdog already declared this job timed out
+                    // and replaced this worker; exit without touching
+                    // the pool accounting again.
+                    return;
+                }
+            }
+        }
+    }
+
+    void
+    runJob(std::function<void()> &job, std::size_t index,
+           WorkerCell *cell)
+    {
+        auto t0 = std::chrono::steady_clock::now();
+        std::exception_ptr error;
+        std::string what;
+        try {
+            job();
+        } catch (const std::exception &e) {
+            error = std::current_exception();
+            what = e.what();
+        } catch (...) {
+            error = std::current_exception();
+            what = "unknown exception";
+        }
+        double secs = std::chrono::duration<double>(
+                          std::chrono::steady_clock::now() - t0)
+                          .count();
+        {
+            std::lock_guard<std::mutex> lock(mutex);
+            if (cell && cell->doomed)
+                return; // abandoned attempt; already accounted
+            JobReport &rep = reports[index];
+            rep.seconds = secs;
+            if (error) {
+                errors[index] = error;
+                rep.status = JobReport::Status::Failed;
+                rep.error = what;
+            }
+            ++completed;
+        }
+        allDone.notify_all();
+    }
+
+    void
+    watchdogLoop()
+    {
+        // Poll at a fraction of the budget: detection latency stays a
+        // small multiple of the timeout without busy-waiting.
+        auto poll = policy.jobTimeout / 8;
+        if (poll < std::chrono::milliseconds(1))
+            poll = std::chrono::milliseconds(1);
+        std::unique_lock<std::mutex> lock(mutex);
+        while (!watchdogStop) {
+            watchdogWake.wait_for(lock, poll);
+            if (watchdogStop)
+                return;
+            auto now = std::chrono::steady_clock::now();
+            for (std::size_t w = 0; w < workers.size(); ++w) {
+                WorkerCell &cell = *workers[w];
+                if (cell.doomed || cell.jobIndex == npos)
+                    continue;
+                if (now - cell.jobStart < policy.jobTimeout)
+                    continue;
+                doomWorker(cell, now);
+            }
+        }
+    }
+
+    /** Declare @p cell's job timed out; replace the worker (mutex
+     *  held). The stuck thread is detached — it cannot be interrupted,
+     *  only abandoned — and exits on its own if the job ever returns. */
+    void
+    doomWorker(WorkerCell &cell,
+               std::chrono::steady_clock::time_point now)
+    {
+        std::size_t index = cell.jobIndex;
+        double secs =
+            std::chrono::duration<double>(now - cell.jobStart).count();
+        std::string msg = strprintf(
+            "job %zu timed out after %.3f s (budget %lld ms)", index,
+            secs,
+            static_cast<long long>(policy.jobTimeout.count()));
+        JobReport &rep = reports[index];
+        rep.status = JobReport::Status::TimedOut;
+        rep.error = msg;
+        rep.seconds = secs;
+        errors[index] =
+            std::make_exception_ptr(std::runtime_error(msg));
+        ++completed;
+        cell.doomed = true;
+        cell.thread.detach();
+        spawnWorker();
+        allDone.notify_all();
+    }
+
+    /** Wait for all accounted jobs (mutex NOT held). */
+    void
+    waitDrained()
+    {
+        std::unique_lock<std::mutex> lock(mutex);
+        allDone.wait(lock,
+                     [this]() { return completed == submitted; });
+    }
+
+    void
+    stop()
+    {
+        waitDrained();
+        {
+            std::lock_guard<std::mutex> lock(mutex);
+            shutdown = true;
+            watchdogStop = true;
+        }
+        workReady.notify_all();
+        watchdogWake.notify_all();
+        // Joinable = never doomed (doomed threads were detached).
+        for (auto &cell : workers)
+            if (cell->thread.joinable())
+                cell->thread.join();
+        if (watchdog.joinable())
+            watchdog.join();
+    }
+};
+
+ExperimentRunner::ExperimentRunner(unsigned jobs)
+    : ExperimentRunner(jobs, RunPolicy{})
+{
+}
+
+ExperimentRunner::ExperimentRunner(unsigned jobs,
+                                   const RunPolicy &policy)
+    : impl_(std::make_shared<Impl>())
+{
+    impl_->jobs = resolveJobs(jobs);
+    impl_->policy = policy;
+    impl_->start();
 }
 
 ExperimentRunner::~ExperimentRunner()
 {
-    {
-        std::unique_lock<std::mutex> lock(mutex_);
-        allDone_.wait(lock,
-                      [this]() { return completed_ == submitted_; });
-        shutdown_ = true;
-    }
-    workReady_.notify_all();
-    for (std::thread &worker : workers_)
-        worker.join();
+    impl_->stop();
+}
+
+unsigned
+ExperimentRunner::jobs() const
+{
+    return impl_->jobs;
 }
 
 std::size_t
 ExperimentRunner::submit(std::function<void()> job)
 {
+    Impl &s = *impl_;
     std::size_t index;
     {
-        std::lock_guard<std::mutex> lock(mutex_);
-        index = submitted_++;
-        errors_.emplace_back();
+        std::lock_guard<std::mutex> lock(s.mutex);
+        index = s.submitted++;
+        s.errors.emplace_back();
+        s.reports.emplace_back();
+        s.reports.back().index = index;
     }
-    if (workers_.empty()) {
+    if (s.jobs <= 1) {
         // Serial fallback: run inline, deterministically, right now.
-        runJob(job, index);
+        s.runJob(job, index, nullptr);
         return index;
     }
     {
-        std::lock_guard<std::mutex> lock(mutex_);
-        queue_.emplace_back(std::move(job), index);
+        std::lock_guard<std::mutex> lock(s.mutex);
+        s.queue.emplace_back(std::move(job), index);
     }
-    workReady_.notify_one();
+    s.workReady.notify_one();
     return index;
 }
 
 void
-ExperimentRunner::runJob(std::function<void()> &job, std::size_t index)
+ExperimentRunner::waitAll()
 {
-    std::exception_ptr error;
-    try {
-        job();
-    } catch (...) {
-        error = std::current_exception();
-    }
-    {
-        std::lock_guard<std::mutex> lock(mutex_);
-        if (error)
-            errors_[index] = error;
-        ++completed_;
-    }
-    allDone_.notify_all();
+    impl_->waitDrained();
+}
+
+std::vector<JobReport>
+ExperimentRunner::reports() const
+{
+    std::lock_guard<std::mutex> lock(impl_->mutex);
+    return impl_->reports;
 }
 
 void
-ExperimentRunner::workerLoop()
+ExperimentRunner::wait()
 {
-    for (;;) {
-        std::pair<std::function<void()>, std::size_t> item;
-        {
-            std::unique_lock<std::mutex> lock(mutex_);
-            workReady_.wait(lock, [this]() {
-                return shutdown_ || !queue_.empty();
-            });
-            if (queue_.empty())
-                return; // shutdown with drained queue
-            item = std::move(queue_.front());
-            queue_.pop_front();
-        }
-        runJob(item.first, item.second);
-    }
-}
-
-void
-ExperimentRunner::rethrowFirstError()
-{
-    for (std::exception_ptr &error : errors_) {
+    impl_->waitDrained();
+    // All workers are idle now; errors is stable without the lock
+    // (doomed stragglers never touch accounted slots).
+    for (std::exception_ptr &error : impl_->errors) {
         if (error) {
             std::exception_ptr e = error;
             error = nullptr;
             std::rethrow_exception(e);
         }
     }
-}
-
-void
-ExperimentRunner::wait()
-{
-    std::unique_lock<std::mutex> lock(mutex_);
-    allDone_.wait(lock, [this]() { return completed_ == submitted_; });
-    lock.unlock();
-    // All workers are idle now; errors_ is stable without the lock.
-    rethrowFirstError();
 }
 
 } // namespace ringsim::runner

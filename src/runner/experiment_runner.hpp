@@ -17,18 +17,23 @@
  * the hardware concurrency. A count of 1 is a true serial fallback —
  * jobs execute inline on the caller's thread, no worker threads are
  * created.
+ *
+ * Hardened sweeps: runSweep() adds per-job wall-clock watchdogs,
+ * failure isolation (a throwing or hung job marks its own slot failed
+ * instead of killing the sweep), deterministic retry passes, and a
+ * machine-readable failure summary. The legacy runAll()/wait() path
+ * keeps its fail-fast rethrow semantics.
  */
 
 #ifndef RINGSIM_RUNNER_EXPERIMENT_RUNNER_HPP
 #define RINGSIM_RUNNER_EXPERIMENT_RUNNER_HPP
 
-#include <condition_variable>
+#include <chrono>
 #include <cstdint>
-#include <deque>
-#include <exception>
 #include <functional>
-#include <mutex>
-#include <thread>
+#include <memory>
+#include <string>
+#include <utility>
 #include <vector>
 
 namespace ringsim::runner {
@@ -51,15 +56,61 @@ unsigned resolveJobs(unsigned requested);
  */
 std::uint64_t jobSeed(std::uint64_t master_seed, std::uint64_t job_key);
 
+/** Failure-handling policy of a hardened run. */
+struct RunPolicy
+{
+    /**
+     * Wall-clock budget of one job attempt; zero disables the
+     * watchdog. Only enforced when worker threads exist (a serial
+     * jobs=1 run executes inline and cannot be interrupted).
+     */
+    std::chrono::milliseconds jobTimeout{0};
+
+    /** Total attempts per job (>= 1); retries run in later passes. */
+    unsigned maxAttempts = 1;
+};
+
+/** Outcome of one job slot. */
+struct JobReport
+{
+    enum class Status {
+        Ok,       //!< finished normally
+        Failed,   //!< threw an exception
+        TimedOut, //!< exceeded the per-job wall-clock budget
+    };
+
+    std::size_t index = 0; //!< submission index
+    Status status = Status::Ok;
+    std::string error;     //!< exception text / timeout note
+    unsigned attempts = 1; //!< attempts consumed across retry passes
+    double seconds = 0;    //!< wall clock of the last attempt
+};
+
+/** Printable status name ("ok", "failed", "timed_out"). */
+const char *jobStatusName(JobReport::Status s);
+
 /**
- * A fixed-size thread pool that runs void() jobs and remembers the
- * first exception in submission order.
+ * Render the failed slots of @p reports as a machine-readable JSON
+ * object: {"jobs": N, "failed": K, "failures": [{"index": ...,
+ * "status": ..., "attempts": ..., "seconds": ..., "error": ...}]}.
+ */
+std::string failureSummaryJson(const std::vector<JobReport> &reports);
+
+/**
+ * A fixed-size thread pool that runs void() jobs, remembers the first
+ * exception in submission order, and — when a RunPolicy with a
+ * timeout is supplied — dooms workers whose job exceeds its budget
+ * (the stuck thread is detached and replaced; its slot reports
+ * TimedOut and the pool keeps draining the queue).
  */
 class ExperimentRunner
 {
   public:
     /** @param jobs worker threads; 0 → defaultJobs(), 1 → inline. */
     explicit ExperimentRunner(unsigned jobs = 0);
+
+    /** Hardened pool with the given failure policy. */
+    ExperimentRunner(unsigned jobs, const RunPolicy &policy);
 
     /** Waits for all submitted jobs, then joins the workers. */
     ~ExperimentRunner();
@@ -68,7 +119,7 @@ class ExperimentRunner
     ExperimentRunner &operator=(const ExperimentRunner &) = delete;
 
     /** Resolved worker count (>= 1). */
-    unsigned jobs() const { return jobs_; }
+    unsigned jobs() const;
 
     /**
      * Enqueue a job; returns its submission index. With jobs() == 1
@@ -77,27 +128,25 @@ class ExperimentRunner
     std::size_t submit(std::function<void()> job);
 
     /**
-     * Block until every submitted job has finished. If any job threw,
-     * rethrows the exception of the earliest-submitted failing job.
+     * Block until every submitted job has finished. If any job threw
+     * or timed out, rethrows the exception of the earliest-submitted
+     * failing job (fail-fast legacy semantics).
      */
     void wait();
 
+    /**
+     * Block until every submitted job has finished (or was declared
+     * timed out). Never throws on job failure — inspect reports().
+     */
+    void waitAll();
+
+    /** Per-job outcomes, indexed by submission order (after waitAll). */
+    std::vector<JobReport> reports() const;
+
   private:
-    void workerLoop();
-    void runJob(std::function<void()> &job, std::size_t index);
-    void rethrowFirstError();
-
-    unsigned jobs_;
-    std::vector<std::thread> workers_;
-
-    std::mutex mutex_;
-    std::condition_variable workReady_;
-    std::condition_variable allDone_;
-    std::deque<std::pair<std::function<void()>, std::size_t>> queue_;
-    std::vector<std::exception_ptr> errors_; // slot per submission
-    std::size_t submitted_ = 0;
-    std::size_t completed_ = 0;
-    bool shutdown_ = false;
+    struct Impl;
+    /** Shared so doomed (detached) workers can outlive the pool. */
+    std::shared_ptr<Impl> impl_;
 };
 
 /**
@@ -121,6 +170,97 @@ runAll(std::vector<std::function<R()>> tasks, unsigned jobs = 0)
     }
     pool.wait();
     return results;
+}
+
+/** What a hardened sweep produced. */
+template <typename R>
+struct SweepResult
+{
+    /** Results in task order; failed slots keep a default R. */
+    std::vector<R> results;
+
+    /** Per-slot outcomes in task order. */
+    std::vector<JobReport> reports;
+
+    std::size_t failures() const
+    {
+        std::size_t n = 0;
+        for (const JobReport &r : reports)
+            if (r.status != JobReport::Status::Ok)
+                ++n;
+        return n;
+    }
+
+    bool allOk() const { return failures() == 0; }
+
+    /** Machine-readable summary of the failed slots. */
+    std::string failureSummaryJson() const
+    {
+        return runner::failureSummaryJson(reports);
+    }
+};
+
+/**
+ * Hardened fan-out: run every task under @p policy, isolating
+ * failures to their own slot and retrying failed/timed-out slots in
+ * deterministic later passes (each retry pass uses a fresh pool, so a
+ * pass that doomed workers leaves no stale threads behind).
+ *
+ * Tasks must be safe to call again on retry, and — because a doomed
+ * attempt's thread cannot be interrupted, only abandoned — safe to
+ * run concurrently with their own earlier hung attempt. Each attempt
+ * writes into its own heap-allocated cell; only the successful
+ * attempt's cell is moved into the result slot, so a hung attempt
+ * that eventually finishes mutates nothing the caller sees.
+ */
+template <typename R>
+SweepResult<R>
+runSweep(std::vector<std::function<R()>> tasks, unsigned jobs = 0,
+         const RunPolicy &policy = {})
+{
+    const std::size_t n = tasks.size();
+    SweepResult<R> sweep;
+    sweep.results.resize(n);
+    sweep.reports.resize(n);
+    for (std::size_t i = 0; i < n; ++i)
+        sweep.reports[i].index = i;
+
+    std::vector<std::size_t> pending(n);
+    for (std::size_t i = 0; i < n; ++i)
+        pending[i] = i;
+
+    const unsigned max_attempts = policy.maxAttempts ? policy.maxAttempts
+                                                     : 1;
+    for (unsigned attempt = 1;
+         attempt <= max_attempts && !pending.empty(); ++attempt) {
+        ExperimentRunner pool(jobs, policy);
+        std::vector<std::shared_ptr<R>> cells;
+        cells.reserve(pending.size());
+        for (std::size_t i : pending) {
+            auto cell = std::make_shared<R>();
+            cells.push_back(cell);
+            std::function<R()> &task = tasks[i];
+            pool.submit([cell, &task]() { *cell = task(); });
+        }
+        pool.waitAll();
+        std::vector<JobReport> pass = pool.reports();
+
+        std::vector<std::size_t> still_failing;
+        for (std::size_t k = 0; k < pending.size(); ++k) {
+            std::size_t i = pending[k];
+            JobReport &rep = sweep.reports[i];
+            rep.status = pass[k].status;
+            rep.error = pass[k].error;
+            rep.seconds = pass[k].seconds;
+            rep.attempts = attempt;
+            if (pass[k].status == JobReport::Status::Ok)
+                sweep.results[i] = std::move(*cells[k]);
+            else
+                still_failing.push_back(i);
+        }
+        pending = std::move(still_failing);
+    }
+    return sweep;
 }
 
 } // namespace ringsim::runner

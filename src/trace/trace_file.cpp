@@ -74,35 +74,111 @@ writeTraceFile(const std::string &path, const MaterializedTrace &trace)
     return true;
 }
 
-MaterializedTrace
-readTraceFile(const std::string &path)
+bool
+tryReadTraceFile(const std::string &path, MaterializedTrace *out,
+                 std::string *error)
 {
+    auto fail = [&](std::string msg) {
+        if (error)
+            *error = std::move(msg);
+        return false;
+    };
+
     FilePtr f(std::fopen(path.c_str(), "rb"));
     if (!f)
-        fatal("cannot open trace file '%s'", path.c_str());
+        return fail(strprintf("cannot open trace file '%s'",
+                              path.c_str()));
+
+    // File size first: every later length check compares against it.
+    if (std::fseek(f.get(), 0, SEEK_END) != 0)
+        return fail(strprintf("trace file '%s': cannot seek",
+                              path.c_str()));
+    long end = std::ftell(f.get());
+    if (end < 0)
+        return fail(strprintf("trace file '%s': cannot tell",
+                              path.c_str()));
+    std::rewind(f.get());
+    auto file_bytes = static_cast<std::uint64_t>(end);
 
     char got_magic[4];
     std::uint32_t got_version = 0;
     std::uint32_t procs = 0;
+    constexpr std::uint64_t header_bytes =
+        sizeof(magic) + sizeof(version) + sizeof(procs);
     if (!readAll(f.get(), got_magic, sizeof(got_magic)) ||
         !readAll(f.get(), &got_version, sizeof(got_version)) ||
         !readAll(f.get(), &procs, sizeof(procs))) {
-        fatal("trace file '%s': truncated header", path.c_str());
+        return fail(strprintf(
+            "trace file '%s': truncated header (expected %llu bytes, "
+            "file has %llu)",
+            path.c_str(),
+            static_cast<unsigned long long>(header_bytes),
+            static_cast<unsigned long long>(file_bytes)));
     }
     if (std::memcmp(got_magic, magic, sizeof(magic)) != 0)
-        fatal("trace file '%s': bad magic", path.c_str());
+        return fail(strprintf("trace file '%s': bad magic at offset 0",
+                              path.c_str()));
     if (got_version != version) {
-        fatal("trace file '%s': version %u, expected %u", path.c_str(),
-              got_version, version);
+        return fail(strprintf(
+            "trace file '%s': version %u, expected %u", path.c_str(),
+            got_version, version));
     }
 
+    // Count table, with an up-front length check so a corrupt
+    // processor count fails here instead of in a giant allocation.
+    std::uint64_t counts_bytes =
+        static_cast<std::uint64_t>(procs) * sizeof(std::uint64_t);
+    if (file_bytes < header_bytes + counts_bytes) {
+        return fail(strprintf(
+            "trace file '%s': truncated counts (header promises %u "
+            "processors needing %llu bytes at offset %llu, file has "
+            "%llu bytes)",
+            path.c_str(), procs,
+            static_cast<unsigned long long>(counts_bytes),
+            static_cast<unsigned long long>(header_bytes),
+            static_cast<unsigned long long>(file_bytes)));
+    }
     std::vector<std::uint64_t> counts(procs);
     for (std::uint32_t p = 0; p < procs; ++p) {
         if (!readAll(f.get(), &counts[p], sizeof(counts[p])))
-            fatal("trace file '%s': truncated counts", path.c_str());
+            return fail(strprintf("trace file '%s': truncated counts",
+                                  path.c_str()));
+    }
+
+    // Cross-check the promised record payload against the file size
+    // BEFORE reserving anything: a corrupt count can promise 2^60
+    // records, and the only safe response is a structured error.
+    constexpr std::uint64_t record_bytes =
+        sizeof(std::uint64_t) + sizeof(std::uint8_t);
+    std::uint64_t total_records = 0;
+    for (std::uint32_t p = 0; p < procs; ++p) {
+        if (counts[p] > file_bytes / record_bytes ||
+            total_records > file_bytes) {
+            return fail(strprintf(
+                "trace file '%s': corrupt count for processor %u "
+                "(%llu records cannot fit in a %llu-byte file)",
+                path.c_str(), p,
+                static_cast<unsigned long long>(counts[p]),
+                static_cast<unsigned long long>(file_bytes)));
+        }
+        total_records += counts[p];
+    }
+    std::uint64_t expected_bytes =
+        header_bytes + counts_bytes + total_records * record_bytes;
+    if (file_bytes != expected_bytes) {
+        return fail(strprintf(
+            "trace file '%s': %s (header promises %llu records = %llu "
+            "bytes total, file has %llu bytes)",
+            path.c_str(),
+            file_bytes < expected_bytes ? "truncated records"
+                                        : "trailing garbage",
+            static_cast<unsigned long long>(total_records),
+            static_cast<unsigned long long>(expected_bytes),
+            static_cast<unsigned long long>(file_bytes)));
     }
 
     MaterializedTrace trace(procs);
+    std::uint64_t offset = header_bytes + counts_bytes;
     for (std::uint32_t p = 0; p < procs; ++p) {
         trace[p].reserve(counts[p]);
         for (std::uint64_t i = 0; i < counts[p]; ++i) {
@@ -110,14 +186,37 @@ readTraceFile(const std::string &path)
             std::uint8_t op = 0;
             if (!readAll(f.get(), &addr, sizeof(addr)) ||
                 !readAll(f.get(), &op, sizeof(op))) {
-                fatal("trace file '%s': truncated records", path.c_str());
+                return fail(strprintf(
+                    "trace file '%s': truncated records (processor %u "
+                    "record %llu at offset %llu)",
+                    path.c_str(), p,
+                    static_cast<unsigned long long>(i),
+                    static_cast<unsigned long long>(offset)));
             }
-            if (op > static_cast<std::uint8_t>(Op::Instr))
-                fatal("trace file '%s': bad op %u", path.c_str(), op);
+            if (op > static_cast<std::uint8_t>(Op::Instr)) {
+                return fail(strprintf(
+                    "trace file '%s': bad op %u (processor %u record "
+                    "%llu at offset %llu)",
+                    path.c_str(), op, p,
+                    static_cast<unsigned long long>(i),
+                    static_cast<unsigned long long>(offset)));
+            }
             trace[p].push_back(
                 TraceRecord{static_cast<Op>(op), addr});
+            offset += record_bytes;
         }
     }
+    *out = std::move(trace);
+    return true;
+}
+
+MaterializedTrace
+readTraceFile(const std::string &path)
+{
+    MaterializedTrace trace;
+    std::string error;
+    if (!tryReadTraceFile(path, &trace, &error))
+        fatal("%s", error.c_str());
     return trace;
 }
 

@@ -37,6 +37,17 @@ bool writeTraceFile(const std::string &path,
  */
 MaterializedTrace readTraceFile(const std::string &path);
 
+/**
+ * Non-fatal variant of readTraceFile(): on success fills @p out and
+ * returns true; on malformed or truncated input returns false and
+ * fills @p error with a diagnostic naming the byte offset and the
+ * expected vs. actual sizes. The header's record counts are
+ * cross-checked against the file size *before* any allocation, so a
+ * corrupt count cannot trigger a huge reserve or a read past the end.
+ */
+bool tryReadTraceFile(const std::string &path, MaterializedTrace *out,
+                      std::string *error);
+
 /** Wrap a materialized trace as a TraceSet of VectorStreams. */
 TraceSet toStreams(MaterializedTrace trace);
 

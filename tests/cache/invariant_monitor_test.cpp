@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Continuous invariant monitoring: the checker detects deliberately
+ * broken protocol action sequences, and the monitor either aborts
+ * (historical behavior) or records structured violations.
+ */
+
+#include <gtest/gtest.h>
+
+#include "src/cache/checker.hpp"
+#include "src/cache/invariant_monitor.hpp"
+
+namespace ringsim::cache {
+namespace {
+
+TEST(InvariantMonitor, RecordsMultipleWriters)
+{
+    InvariantMonitor monitor(InvariantMonitor::Mode::Record);
+    CoherenceChecker checker(4);
+    checker.setMonitor(&monitor);
+
+    // A broken protocol: grants a second WE copy without invalidating
+    // the first. The checker must flag it and keep running.
+    checker.writeFill(0, 0x100);
+    checker.writeFill(1, 0x100);
+
+    ASSERT_FALSE(monitor.clean());
+    EXPECT_GE(monitor.countOf(Violation::Kind::MultipleWriters), 1u);
+    const Violation &v = monitor.violations().front();
+    EXPECT_EQ(v.block, 0x100u);
+    EXPECT_FALSE(v.detail.empty());
+}
+
+TEST(InvariantMonitor, RecordsStaleCleanFill)
+{
+    InvariantMonitor monitor(InvariantMonitor::Mode::Record);
+    CoherenceChecker checker(4);
+    checker.setMonitor(&monitor);
+
+    // Node 0 dirties the block; a clean fill from memory at node 1
+    // without a preceding write-back reads stale data.
+    checker.writeFill(0, 0x200);
+    checker.readFill(1, 0x200, /*from_memory=*/true);
+
+    ASSERT_FALSE(monitor.clean());
+    EXPECT_FALSE(monitor.violations().empty());
+}
+
+TEST(InvariantMonitor, CleanSequencesStayClean)
+{
+    InvariantMonitor monitor(InvariantMonitor::Mode::Record);
+    CoherenceChecker checker(4);
+    checker.setMonitor(&monitor);
+
+    checker.writeFill(0, 0x300);
+    checker.writeHit(0, 0x300);
+    checker.writeback(0, 0x300);
+    checker.readFill(1, 0x300, /*from_memory=*/true);
+    checker.readFill(2, 0x300, /*from_memory=*/true);
+    checker.drop(1, 0x300);
+    checker.drop(2, 0x300);
+
+    EXPECT_TRUE(monitor.clean()) << monitor.summary();
+    EXPECT_GT(monitor.checksPerformed(), 0u);
+}
+
+TEST(InvariantMonitor, SummaryNamesKindBlockAndNodes)
+{
+    InvariantMonitor monitor(InvariantMonitor::Mode::Record);
+    CoherenceChecker checker(4);
+    checker.setMonitor(&monitor);
+
+    checker.writeFill(0, 0x100);
+    checker.writeFill(1, 0x100);
+
+    std::string summary = monitor.summary();
+    EXPECT_NE(summary.find("violation"), std::string::npos);
+    EXPECT_NE(summary.find("100"), std::string::npos) << summary;
+}
+
+TEST(InvariantMonitor, CountOfFiltersByKind)
+{
+    InvariantMonitor monitor(InvariantMonitor::Mode::Record);
+    Violation v;
+    v.kind = Violation::Kind::TraversalOverrun;
+    monitor.report(v);
+    v.kind = Violation::Kind::StaleRead;
+    monitor.report(v);
+    EXPECT_EQ(monitor.countOf(Violation::Kind::TraversalOverrun), 1u);
+    EXPECT_EQ(monitor.countOf(Violation::Kind::StaleRead), 1u);
+    EXPECT_EQ(monitor.countOf(Violation::Kind::MultipleWriters), 0u);
+    EXPECT_EQ(monitor.violations().size(), 2u);
+}
+
+TEST(InvariantMonitor, KindNamesArePrintable)
+{
+    EXPECT_STREQ(violationKindName(Violation::Kind::MultipleWriters),
+                 "multiple-writers");
+    EXPECT_STREQ(violationKindName(Violation::Kind::TraversalOverrun),
+                 "traversal-overrun");
+}
+
+TEST(InvariantMonitorDeathTest, AbortModeKeepsHistoricalPanic)
+{
+    InvariantMonitor monitor(InvariantMonitor::Mode::Abort);
+    CoherenceChecker checker(4);
+    checker.setMonitor(&monitor);
+    checker.writeFill(0, 0x100);
+    EXPECT_DEATH(checker.writeFill(1, 0x100), "coexists|WE");
+}
+
+TEST(InvariantMonitorDeathTest, NoMonitorPanicsAsBefore)
+{
+    CoherenceChecker checker(4);
+    checker.writeFill(0, 0x100);
+    EXPECT_DEATH(checker.writeFill(1, 0x100), "coexists|WE");
+}
+
+} // namespace
+} // namespace ringsim::cache

@@ -209,5 +209,37 @@ TEST(Config, ForProcsWiresBlockSizes)
     EXPECT_EQ(bc.bus.blockBytes, bc.common.cacheGeometry.blockBytes);
 }
 
+TEST(Config, CheckConfigReportsEveryProblemAtOnce)
+{
+    SystemConfig c;
+    c.procCycle = 0;
+    c.warmupFrac = 2.0;
+    c.faults.corruptRate = 7.0; // not a probability
+    std::vector<std::string> errors = c.checkConfig();
+    EXPECT_GE(errors.size(), 3u);
+    bool saw_cycle = false, saw_warmup = false, saw_fault = false;
+    for (const std::string &e : errors) {
+        saw_cycle |= e.find("cycle") != std::string::npos;
+        saw_warmup |= e.find("warmup") != std::string::npos;
+        saw_fault |= e.find("fault") != std::string::npos;
+    }
+    EXPECT_TRUE(saw_cycle);
+    EXPECT_TRUE(saw_warmup);
+    EXPECT_TRUE(saw_fault);
+}
+
+TEST(Config, DefaultSystemConfigIsValid)
+{
+    SystemConfig c;
+    EXPECT_TRUE(c.checkConfig().empty());
+}
+
+TEST(ConfigDeathTest, ValidateIsFatalOnFirstError)
+{
+    SystemConfig c;
+    c.memoryLatency = 0;
+    EXPECT_EXIT(c.validate(), testing::ExitedWithCode(1), "memory");
+}
+
 } // namespace
 } // namespace ringsim::core

@@ -81,6 +81,56 @@ TEST(RingConfig, SlotsOfTypePerFrame)
     EXPECT_EQ(c.slotsOfType(SlotType::Block), c.framesOnRing());
 }
 
+TEST(RingConfig, CheckReturnsStructuredErrorsWithoutExiting)
+{
+    RingConfig c;
+    c.nodes = 0;
+    c.clockPeriod = 0;
+    c.minStagesPerNode = 0;
+    std::vector<std::string> errors = c.check();
+    // All three problems reported at once, not just the first.
+    EXPECT_GE(errors.size(), 3u);
+    bool saw_node = false, saw_clock = false, saw_stage = false;
+    for (const std::string &e : errors) {
+        saw_node |= e.find("node") != std::string::npos;
+        saw_clock |= e.find("clock") != std::string::npos;
+        saw_stage |= e.find("stage") != std::string::npos;
+    }
+    EXPECT_TRUE(saw_node);
+    EXPECT_TRUE(saw_clock);
+    EXPECT_TRUE(saw_stage);
+}
+
+TEST(RingConfig, PaperScaleRangeIsEnforced)
+{
+    RingConfig c;
+    c.nodes = 4; // below the paper's 8..64 evaluation range
+    std::vector<std::string> errors = c.check();
+    ASSERT_EQ(errors.size(), 1u);
+    EXPECT_NE(errors[0].find("8-64"), std::string::npos) << errors[0];
+    EXPECT_NE(errors[0].find("allowNonPaperScale"), std::string::npos);
+
+    c.allowNonPaperScale = true;
+    EXPECT_TRUE(c.check().empty());
+
+    c.allowNonPaperScale = false;
+    c.nodes = 128;
+    EXPECT_EQ(c.check().size(), 1u);
+    for (unsigned nodes : {8u, 16u, 32u, 64u}) {
+        c.nodes = nodes;
+        EXPECT_TRUE(c.check().empty()) << nodes << " nodes";
+    }
+}
+
+TEST(RingConfig, ImplausibleClockRejected)
+{
+    RingConfig c;
+    c.clockPeriod = 2'000'000; // 0.5 MHz: three orders off the paper
+    std::vector<std::string> errors = c.check();
+    ASSERT_EQ(errors.size(), 1u);
+    EXPECT_NE(errors[0].find("MHz"), std::string::npos) << errors[0];
+}
+
 TEST(RingConfigDeathTest, Validation)
 {
     RingConfig c;
@@ -89,6 +139,9 @@ TEST(RingConfigDeathTest, Validation)
     c = RingConfig{};
     c.clockPeriod = 0;
     EXPECT_EXIT(c.validate(), testing::ExitedWithCode(1), "clock");
+    c = RingConfig{};
+    c.nodes = 4;
+    EXPECT_EXIT(c.validate(), testing::ExitedWithCode(1), "8-64");
 }
 
 } // namespace

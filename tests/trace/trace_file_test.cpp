@@ -131,6 +131,139 @@ TEST(TraceFile, TruncatedIsFatal)
     std::remove(path.c_str());
 }
 
+/** Overwrite @p bytes at @p offset in an existing file. */
+void
+patchFile(const std::string &path, long offset, const void *bytes,
+          size_t n)
+{
+    std::FILE *f = std::fopen(path.c_str(), "rb+");
+    ASSERT_NE(f, nullptr);
+    ASSERT_EQ(std::fseek(f, offset, SEEK_SET), 0);
+    ASSERT_EQ(std::fwrite(bytes, 1, n, f), n);
+    std::fclose(f);
+}
+
+TEST(TraceFileTryRead, MissingFileReturnsFalseWithError)
+{
+    MaterializedTrace out;
+    std::string error;
+    EXPECT_FALSE(
+        tryReadTraceFile("/nonexistent/nowhere.trc", &out, &error));
+    EXPECT_NE(error.find("cannot open"), std::string::npos) << error;
+}
+
+TEST(TraceFileTryRead, TruncatedHeaderNamesExpectedAndActualBytes)
+{
+    std::string path = tempPath("shortheader.trc");
+    std::FILE *f = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    std::fwrite("RNGT\x01", 1, 5, f); // magic + 1 byte of version
+    std::fclose(f);
+
+    MaterializedTrace out;
+    std::string error;
+    EXPECT_FALSE(tryReadTraceFile(path, &out, &error));
+    EXPECT_NE(error.find("truncated header"), std::string::npos);
+    EXPECT_NE(error.find("expected 12 bytes"), std::string::npos)
+        << error;
+    EXPECT_NE(error.find("file has 5"), std::string::npos) << error;
+    std::remove(path.c_str());
+}
+
+TEST(TraceFileTryRead, CorruptCountRejectedBeforeAllocation)
+{
+    MaterializedTrace trace(1);
+    trace[0] = {{Op::Read, 1}, {Op::Read, 2}};
+    std::string path = tempPath("hugecount.trc");
+    ASSERT_TRUE(writeTraceFile(path, trace));
+    // The per-processor count table starts right after the 12-byte
+    // header; promise 2^60 records in a 38-byte file.
+    std::uint64_t huge = 1ULL << 60;
+    patchFile(path, 12, &huge, sizeof(huge));
+
+    MaterializedTrace out;
+    std::string error;
+    EXPECT_FALSE(tryReadTraceFile(path, &out, &error));
+    EXPECT_NE(error.find("corrupt count for processor 0"),
+              std::string::npos)
+        << error;
+    EXPECT_NE(error.find("cannot fit"), std::string::npos) << error;
+    std::remove(path.c_str());
+}
+
+TEST(TraceFileTryRead, TruncationDiagnosesPromisedVsActual)
+{
+    MaterializedTrace trace(1);
+    trace[0] = {{Op::Read, 1}, {Op::Write, 2}, {Op::Instr, 3}};
+    std::string path = tempPath("trunc2.trc");
+    ASSERT_TRUE(writeTraceFile(path, trace));
+    // 12 header + 8 count + 3*9 records = 47 bytes; cut to 40.
+    ASSERT_EQ(truncate(path.c_str(), 40), 0);
+
+    MaterializedTrace out;
+    std::string error;
+    EXPECT_FALSE(tryReadTraceFile(path, &out, &error));
+    EXPECT_NE(error.find("truncated records"), std::string::npos);
+    EXPECT_NE(error.find("47 bytes total"), std::string::npos) << error;
+    EXPECT_NE(error.find("file has 40"), std::string::npos) << error;
+    std::remove(path.c_str());
+}
+
+TEST(TraceFileTryRead, TrailingGarbageRejected)
+{
+    MaterializedTrace trace(1);
+    trace[0] = {{Op::Read, 1}};
+    std::string path = tempPath("garbage.trc");
+    ASSERT_TRUE(writeTraceFile(path, trace));
+    std::FILE *f = std::fopen(path.c_str(), "ab");
+    ASSERT_NE(f, nullptr);
+    std::fwrite("xtra", 1, 4, f);
+    std::fclose(f);
+
+    MaterializedTrace out;
+    std::string error;
+    EXPECT_FALSE(tryReadTraceFile(path, &out, &error));
+    EXPECT_NE(error.find("trailing garbage"), std::string::npos)
+        << error;
+    std::remove(path.c_str());
+}
+
+TEST(TraceFileTryRead, BadOpNamesRecordAndOffset)
+{
+    MaterializedTrace trace(1);
+    trace[0] = {{Op::Read, 1}, {Op::Read, 2}};
+    std::string path = tempPath("badop.trc");
+    ASSERT_TRUE(writeTraceFile(path, trace));
+    // Record 0's op byte: 12 header + 8 count + 8 addr = offset 28.
+    std::uint8_t bad = 0xff;
+    patchFile(path, 28, &bad, sizeof(bad));
+
+    MaterializedTrace out;
+    std::string error;
+    EXPECT_FALSE(tryReadTraceFile(path, &out, &error));
+    EXPECT_NE(error.find("bad op 255"), std::string::npos) << error;
+    EXPECT_NE(error.find("processor 0 record 0 at offset 20"),
+              std::string::npos)
+        << error;
+    std::remove(path.c_str());
+}
+
+TEST(TraceFileTryRead, GoodFileStillReads)
+{
+    MaterializedTrace trace(2);
+    trace[0] = {{Op::Read, 0x10}};
+    trace[1] = {{Op::Write, 0x20}, {Op::Instr, 0x30}};
+    std::string path = tempPath("good.trc");
+    ASSERT_TRUE(writeTraceFile(path, trace));
+
+    MaterializedTrace out;
+    std::string error;
+    EXPECT_TRUE(tryReadTraceFile(path, &out, &error)) << error;
+    ASSERT_EQ(out.size(), 2u);
+    EXPECT_EQ(out[1][1].addr, 0x30u);
+    std::remove(path.c_str());
+}
+
 TEST(Record, Helpers)
 {
     TraceRecord r{Op::Write, 0x10};
