@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Machine-readable perf trajectory for the ring tick path.
+ *
+ * Runs the ring-tick microbenchmarks (this binary links only
+ * ring_ticks.cpp, so no filter is needed) and writes a flat JSON map
+ * of benchmark name → items_per_second to BENCH_ring.json (or the
+ * path given as the first argument). The CI perf-smoke job uploads
+ * the file as an artifact; no thresholds are enforced yet —
+ * trajectory first.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <map>
+#include <string>
+
+namespace {
+
+/** Console output for humans, plus a name → rate capture for JSON. */
+class RateCapturingReporter : public benchmark::ConsoleReporter
+{
+  public:
+    std::map<std::string, double> rates;
+
+    void ReportRuns(const std::vector<Run> &runs) override
+    {
+        for (const Run &run : runs) {
+            if (run.run_type != Run::RT_Iteration ||
+                run.error_occurred)
+                continue;
+            auto it = run.counters.find("items_per_second");
+            if (it != run.counters.end())
+                rates[run.benchmark_name()] = it->second.value;
+        }
+        ConsoleReporter::ReportRuns(runs);
+    }
+};
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    benchmark::Initialize(&argc, argv);
+    const char *out_path = argc > 1 ? argv[1] : "BENCH_ring.json";
+
+    RateCapturingReporter reporter;
+    benchmark::RunSpecifiedBenchmarks(&reporter);
+
+    std::FILE *out = std::fopen(out_path, "w");
+    if (!out) {
+        std::fprintf(stderr, "cannot write %s\n", out_path);
+        return 1;
+    }
+    std::fprintf(out, "{\n");
+    size_t i = 0;
+    for (const auto &[name, rate] : reporter.rates) {
+        std::fprintf(out, "  \"%s\": %.6g%s\n", name.c_str(), rate,
+                     ++i < reporter.rates.size() ? "," : "");
+    }
+    std::fprintf(out, "}\n");
+    std::fclose(out);
+    std::fprintf(stderr, "wrote %zu rates to %s\n", reporter.rates.size(),
+                 out_path);
+    return 0;
+}

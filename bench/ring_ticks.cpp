@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Ring-tick microbenchmarks: the schedule-driven hot path against the
+ * reference scan, across the paper's node counts and three occupancy
+ * regimes. Registered benchmarks only (no main): linked both into
+ * micro_kernel (interactive runs) and into ring_bench_json (the
+ * BENCH_ring.json writer the CI perf-smoke job uploads).
+ *
+ * items_per_second counts simulated node-visits (cycles × nodes) per
+ * wall second — the unit of work the scan-driven tick performed — so
+ * the two paths are directly comparable and the idle-ring fast
+ * forward shows up as a rate gain rather than a mysteriously short
+ * run.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "ring/network.hpp"
+#include "sim/kernel.hpp"
+
+using namespace ringsim;
+
+namespace {
+
+/**
+ * Steady-state client: reacts to whatever the slot carries and never
+ * queues work of its own — the protocol engines' no-op empty visit,
+ * minus the protocol.
+ */
+class ReactorClient : public ring::RingClient
+{
+  public:
+    void onSlot(ring::SlotHandle &slot) override
+    {
+        bool occupied = slot.occupied();
+        benchmark::DoNotOptimize(occupied);
+    }
+};
+
+/**
+ * Fill client for node 0: inserts circulating messages (destination
+ * nobody, so they are never removed) until the requested occupancy is
+ * reached, then degenerates to a reactor.
+ */
+class FillClient : public ring::RingClient
+{
+  public:
+    ring::SlotRing *ring = nullptr;
+    unsigned target = 0;
+    unsigned placed = 0;
+
+    void onSlot(ring::SlotHandle &slot) override
+    {
+        if (placed >= target || slot.occupied())
+            return;
+        ring::RingMessage msg;
+        msg.src = slot.node();
+        msg.dst = invalidNode; // circulates forever
+        // Match the probe-slot parity rule (block slots take any).
+        msg.addr = slot.type() == ring::SlotType::ProbeOdd ? 0x10 : 0x0;
+        slot.insert(msg);
+        if (++placed >= target)
+            ring->clearPending(slot.node());
+    }
+};
+
+/**
+ * Arguments: nodes / occupancy percent of all slots / 1 = reference
+ * scan path, 0 = schedule-driven path.
+ */
+void
+BM_RingTick(benchmark::State &state)
+{
+    const unsigned nodes = static_cast<unsigned>(state.range(0));
+    const unsigned occ_pct = static_cast<unsigned>(state.range(1));
+    const bool reference = state.range(2) != 0;
+
+    sim::Kernel kernel;
+    ring::RingConfig config;
+    config.nodes = nodes;
+    config.referenceTickPath = reference;
+    ring::SlotRing ring_net(kernel, config);
+
+    FillClient filler;
+    filler.ring = &ring_net;
+    filler.target = config.totalSlots() * occ_pct / 100;
+    std::vector<ReactorClient> reactors(nodes);
+    ring_net.setClient(0, filler);
+    for (NodeId n = 1; n < nodes; ++n)
+        ring_net.setClient(n, reactors[n]);
+
+    ring_net.start(0);
+    if (filler.target > 0) {
+        ring_net.notifyPending(0);
+        while (filler.placed < filler.target)
+            kernel.run(kernel.now() + config.roundTripTime());
+    }
+    // Steady state from here on: every client is a pure reactor, so
+    // all may opt into idle skipping (ignored by the reference path).
+    for (NodeId n = 0; n < nodes; ++n)
+        ring_net.enableIdleSkip(n);
+
+    // Advance simulated time in fixed chunks; each iteration covers
+    // the same number of ring cycles on either path.
+    constexpr Tick kCyclesPerIter = 512;
+    Tick until = kernel.now();
+    for (auto _ : state) {
+        until += kCyclesPerIter * config.clockPeriod;
+        kernel.run(until);
+    }
+    ring_net.stop();
+
+    state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                            kCyclesPerIter * nodes);
+    state.counters["kernel_events"] =
+        static_cast<double>(kernel.stats().processed);
+}
+
+BENCHMARK(BM_RingTick)
+    ->ArgsProduct({{8, 16, 32, 64}, {0, 50, 100}, {0, 1}})
+    ->ArgNames({"nodes", "occ", "ref"});
+
+} // namespace

@@ -27,6 +27,11 @@ class RingDirectoryProtocol : public RingProtocolBase
 
   protected:
     void launch(Txn &txn) override;
+
+    /**
+     * Only reached for occupied slots (see RingProtocolBase: the ring
+     * skips empty-slot visits to nodes with nothing queued).
+     */
     void handleMessage(NodeId n, ring::SlotHandle &slot) override;
 
   private:

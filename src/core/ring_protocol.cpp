@@ -17,11 +17,16 @@ RingProtocolBase::RingProtocolBase(sim::Kernel &kernel,
 {
     config_.validate();
     queues_.resize(static_cast<size_t>(nodes_) * 3);
+    queuedMsgs_.assign(nodes_, 0);
     bankFreeAt_.assign(nodes_, 0);
     clients_.reserve(nodes_);
     for (NodeId n = 0; n < nodes_; ++n) {
         clients_.push_back(std::make_unique<NodeClient>(*this, n));
         ring_.setClient(n, *clients_.back());
+        // onSlot on an empty slot with empty queues does nothing, so
+        // the ring may skip those visits (and fast-forward when every
+        // node is idle).
+        ring_.enableIdleSkip(n);
     }
 }
 
@@ -243,6 +248,8 @@ RingProtocolBase::enqueue(NodeId n, const ring::RingMessage &msg,
     ring::SlotType t = is_block ? ring::SlotType::Block
                                 : ring_.probeTypeFor(msg.addr);
     queueFor(n, t).push_back(QueuedMsg{msg, kernel_.now()});
+    if (++queuedMsgs_[n] == 1)
+        ring_.notifyPending(n);
 }
 
 Tick
@@ -345,6 +352,8 @@ RingProtocolBase::tryInsert(NodeId n, ring::SlotHandle &slot)
     metrics_.addAcquireWait(kernel_.now() - q.front().enqueued);
     slot.insert(q.front().msg);
     q.pop_front();
+    if (--queuedMsgs_[n] == 0)
+        ring_.clearPending(n);
 }
 
 } // namespace ringsim::core

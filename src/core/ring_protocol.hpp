@@ -175,7 +175,12 @@ class RingProtocolBase : public Protocol
     unsigned nodes_;
 
   private:
-    /** RingClient adapter for one node. */
+    /**
+     * RingClient adapter for one node. onSlot() on an empty slot with
+     * nothing queued is a pure no-op (no state change, no statistics),
+     * so the constructor opts every node into the ring's idle
+     * skipping; enqueue()/tryInsert() keep the pending flags honest.
+     */
     class NodeClient : public ring::RingClient
     {
       public:
@@ -227,6 +232,9 @@ class RingProtocolBase : public Protocol
     std::vector<std::unique_ptr<NodeClient>> clients_;
     /** queues_[node * 3 + slot type] */
     std::vector<std::deque<QueuedMsg>> queues_;
+    /** Messages queued across all three of node n's queues; drives
+     *  SlotRing::notifyPending / clearPending on 0↔1 transitions. */
+    std::vector<unsigned> queuedMsgs_;
     std::vector<Tick> bankFreeAt_;
     std::unordered_map<std::uint64_t, Txn> txns_;
     std::uint64_t nextTxnId_ = 1;

@@ -26,6 +26,13 @@ class RingSnoopProtocol : public RingProtocolBase
 
   protected:
     void launch(Txn &txn) override;
+
+    /**
+     * Only reached for occupied slots: the base class opted every
+     * node into the ring's idle skipping, so empty slots are offered
+     * solely to nodes whose queues are non-empty (via tryInsert), and
+     * never get here.
+     */
     void handleMessage(NodeId n, ring::SlotHandle &slot) override;
 
   private:

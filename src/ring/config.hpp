@@ -46,6 +46,16 @@ struct RingConfig
      */
     bool allowNonPaperScale = false;
 
+    /**
+     * Use the original scan-driven tick (walk every node, modulo per
+     * node, visit even empty slots) instead of the schedule-driven
+     * fast path. The two must produce byte-identical statistics; the
+     * golden-equivalence test runs both and compares. Keep this off
+     * outside that test — it exists as the executable specification
+     * the fast path is checked against.
+     */
+    bool referenceTickPath = false;
+
     /** Slot/frame geometry. */
     FrameLayout frame;
 

@@ -6,34 +6,6 @@
 
 namespace ringsim::ring {
 
-SlotType
-SlotHandle::type() const
-{
-    return ring_.slots_[slot_].type;
-}
-
-bool
-SlotHandle::occupied() const
-{
-    return ring_.slots_[slot_].occupied;
-}
-
-bool
-SlotHandle::corrupted() const
-{
-    const SlotRing::Slot &s = ring_.slots_[slot_];
-    return s.occupied && s.corrupt;
-}
-
-const RingMessage &
-SlotHandle::message() const
-{
-    const SlotRing::Slot &s = ring_.slots_[slot_];
-    if (!s.occupied)
-        panic("message() on an empty slot");
-    return s.msg;
-}
-
 RingMessage
 SlotHandle::remove()
 {
@@ -73,19 +45,6 @@ SlotHandle::remove()
     --ring_.occupiedCount_[t];
     ++ring_.removed_[t];
     return s.msg;
-}
-
-bool
-SlotHandle::canInsert(Addr addr) const
-{
-    const SlotRing::Slot &s = ring_.slots_[slot_];
-    if (s.occupied)
-        return false;
-    if (freedHere_ && ring_.config_.antiStarvation)
-        return false;
-    if (s.type == SlotType::Block)
-        return true;
-    return ring_.probeTypeFor(addr) == s.type;
 }
 
 void
@@ -134,6 +93,29 @@ SlotRing::SlotRing(sim::Kernel &kernel, const RingConfig &config)
         nodePos_[n] = config_.nodePosition(n);
 
     clients_.assign(config_.nodes, nullptr);
+
+    // Precompute the visitation schedule: for each rotation offset r,
+    // the (node, slot) pairs whose header lands on a node, in the same
+    // ascending-node order the reference scan dispatches. Each node
+    // anchors one stage, so the table holds at most nodes entries per
+    // rotation and exactly nodes * slots entries overall.
+    visitHead_.assign(stages + 1, 0);
+    visits_.clear();
+    for (unsigned r = 0; r < stages; ++r) {
+        visitHead_[r] = static_cast<std::uint32_t>(visits_.size());
+        for (NodeId n = 0; n < config_.nodes; ++n) {
+            unsigned off = (nodePos_[n] + stages - r) % stages;
+            int slot_idx = headerSlot_[off];
+            if (slot_idx < 0)
+                continue;
+            visits_.push_back(
+                Visit{n, static_cast<std::uint32_t>(slot_idx)});
+        }
+    }
+    visitHead_[stages] = static_cast<std::uint32_t>(visits_.size());
+
+    tracked_.assign(config_.nodes, 0);
+    pending_.assign(config_.nodes, 0);
 }
 
 void
@@ -142,6 +124,49 @@ SlotRing::setClient(NodeId n, RingClient &client)
     if (n >= clients_.size())
         panic("setClient: node %u out of range", n);
     clients_[n] = &client;
+    // The new client has not promised no-op empty visits; revoke any
+    // opt-in the previous one made.
+    if (tracked_[n]) {
+        tracked_[n] = 0;
+        --trackedCount_;
+    }
+    if (pending_[n]) {
+        pending_[n] = 0;
+        --pendingCount_;
+    }
+}
+
+void
+SlotRing::enableIdleSkip(NodeId n)
+{
+    if (n >= tracked_.size())
+        panic("enableIdleSkip: node %u out of range", n);
+    if (!tracked_[n]) {
+        tracked_[n] = 1;
+        ++trackedCount_;
+    }
+}
+
+void
+SlotRing::notifyPending(NodeId n)
+{
+    if (n >= pending_.size())
+        panic("notifyPending: node %u out of range", n);
+    if (!pending_[n]) {
+        pending_[n] = 1;
+        ++pendingCount_;
+    }
+}
+
+void
+SlotRing::clearPending(NodeId n)
+{
+    if (n >= pending_.size())
+        panic("clearPending: node %u out of range", n);
+    if (pending_[n]) {
+        pending_[n] = 0;
+        --pendingCount_;
+    }
 }
 
 void
@@ -181,8 +206,6 @@ SlotRing::injectFaults(Count cycle)
 void
 SlotRing::tick(Count cycle)
 {
-    unsigned stages = config_.totalStages();
-
     // Accumulate slot occupancy before this cycle's changes; the
     // integral divided by (cycles * slots-of-type) is the utilization.
     // Time passes during a stall, so this accrues there too.
@@ -201,6 +224,17 @@ SlotRing::tick(Count cycle)
         injectFaults(cycle);
     }
 
+    if (config_.referenceTickPath)
+        referenceTick();
+    else
+        scheduledTick();
+}
+
+void
+SlotRing::referenceTick()
+{
+    unsigned stages = config_.totalStages();
+
     // The pattern has advanced rot_ stages, so the pattern offset now
     // at physical position p is (p - rot_) mod stages. A node sees a
     // slot when that offset is the slot's header stage. Without
@@ -217,6 +251,81 @@ SlotRing::tick(Count cycle)
 
     rot_ = (rot_ + 1) % stages;
     ++rotations_;
+}
+
+void
+SlotRing::scheduledTick()
+{
+    unsigned stages = config_.totalStages();
+    unsigned occupied =
+        occupiedCount_[0] + occupiedCount_[1] + occupiedCount_[2];
+
+    if (occupied == 0 && pendingCount_ == 0 &&
+        trackedCount_ == config_.nodes) {
+        // Fully quiescent: no message on the ring and every node both
+        // opted into idle skipping and reports nothing to insert. No
+        // onSlot call this cycle could do anything.
+        rot_ = (rot_ + 1) % stages;
+        ++rotations_;
+        // With a fault injector attached the seeded schedule is a
+        // function of (cycle, slot), so every cycle must still be
+        // presented to it — no jumping.
+        if (!injector_)
+            maybeFastForward();
+        return;
+    }
+
+    const Visit *v = visits_.data() + visitHead_[rot_];
+    const Visit *end = visits_.data() + visitHead_[rot_ + 1];
+    for (; v != end; ++v) {
+        // A tracked node with nothing pending only reacts to occupied
+        // slots; untracked nodes are always visited.
+        if (!slots_[v->slot].occupied && tracked_[v->node] &&
+            !pending_[v->node])
+            continue;
+        SlotHandle handle(*this, v->slot, v->node);
+        clients_[v->node]->onSlot(handle);
+    }
+
+    rot_ = (rot_ + 1) % stages;
+    ++rotations_;
+}
+
+void
+SlotRing::maybeFastForward()
+{
+    // Land the next real tick on the last grid point strictly before
+    // the earliest foreign event (or on the last one not beyond the
+    // run bound when the queue is otherwise empty). Ticker::process
+    // assigned the pending firing's sequence number before this
+    // handler ran and the quiescent path schedules nothing, so sliding
+    // that firing forward keeps every (when, seq) ordering against the
+    // rest of the system exactly as the cycle-by-cycle path would —
+    // the event streams, and therefore the statistics, are identical.
+    Tick horizon = kernel_.nextEventTimeExcluding(ticker_);
+    Tick bound;
+    if (horizon != sim::Kernel::kNoEvent) {
+        bound = horizon;
+    } else {
+        Tick limit = kernel_.runLimit();
+        if (limit == sim::Kernel::kNoEvent)
+            return;
+        // Events scheduled exactly at the bound still fire.
+        bound = limit + 1;
+    }
+    Tick pend = ticker_.when();
+    if (bound <= pend)
+        return;
+    Count skip =
+        static_cast<Count>((bound - 1 - pend) / config_.clockPeriod);
+    if (skip == 0)
+        return;
+    ticker_.fastForward(skip);
+    // Account for the skipped cycles as the idle ticks they replace.
+    // The occupancy integrals gain nothing: every count is zero.
+    cycles_ += skip;
+    rotations_ += skip;
+    rot_ = static_cast<unsigned>((rot_ + skip) % config_.totalStages());
 }
 
 Count
@@ -267,13 +376,6 @@ SlotRing::resetStats()
         inserted_[t] = 0;
         removed_[t] = 0;
     }
-}
-
-SlotType
-SlotRing::probeTypeFor(Addr addr) const
-{
-    Addr block = addr / config_.frame.blockBytes;
-    return (block % 2 == 0) ? SlotType::ProbeEven : SlotType::ProbeOdd;
 }
 
 } // namespace ringsim::ring

@@ -15,6 +15,15 @@
  *    matches (probe parity must match the block address);
  *  - anti-starvation: a node may not reuse a slot in the same visit in
  *    which it removed a message from it.
+ *
+ * The steady-state tick is schedule-driven (DESIGN.md section 11): a
+ * visitation table precomputed per rotation offset replaces the
+ * per-node modulo scan, nodes that opted in via enableIdleSkip() are
+ * only visited when the arriving slot is occupied or the node flagged
+ * pending work via notifyPending(), and a fully quiescent ring
+ * fast-forwards across idle cycles in O(1). The original scan loop is
+ * retained behind RingConfig::referenceTickPath and the two are held
+ * byte-identical by tests/ring/golden_equivalence_test.cpp.
  */
 
 #ifndef RINGSIM_RING_NETWORK_HPP
@@ -26,6 +35,7 @@
 #include "ring/config.hpp"
 #include "sim/kernel.hpp"
 #include "stats/stats.hpp"
+#include "util/logging.hpp"
 #include "util/units.hpp"
 
 namespace ringsim::fault {
@@ -135,6 +145,31 @@ class SlotRing
     void setClient(NodeId n, RingClient &client);
 
     /**
+     * Declare that node @p n's client is a pure reactor: its onSlot()
+     * has no effect when the slot is empty and the node has no pending
+     * work (it neither mutates state nor gathers statistics on such
+     * visits). The ring then skips those calls, and once every node
+     * has opted in it may fast-forward across fully idle stretches.
+     *
+     * A client that opts in MUST call notifyPending()/clearPending()
+     * as work to insert appears and drains; otherwise it would never
+     * be offered an empty slot. setClient() revokes the opt-in for
+     * that node (the new client has not promised anything).
+     */
+    void enableIdleSkip(NodeId n);
+
+    /**
+     * Node @p n has work it wants to put on the ring: visit it on
+     * every slot (so it can be offered empty ones) until
+     * clearPending(). Idempotent; meaningful only after
+     * enableIdleSkip(n).
+     */
+    void notifyPending(NodeId n);
+
+    /** Node @p n no longer has anything to insert. Idempotent. */
+    void clearPending(NodeId n);
+
+    /**
      * Attach a fault injector (null detaches). Borrowed; must outlive
      * the ring. With no injector the ring is the paper's ideal ring.
      */
@@ -188,8 +223,21 @@ class SlotRing
     SlotType probeTypeFor(Addr addr) const;
 
     /**
-     * Zero the occupancy/throughput statistics (slots in flight are
-     * untouched). Used at the end of the warmup window.
+     * Zero the occupancy/throughput statistics. Used at the end of the
+     * warmup window so reported figures cover only the measured phase.
+     *
+     * Warm-up-reset semantics — what is and is not cleared:
+     *  - cleared: cycles_ (the denominator of every occupancy figure),
+     *    the per-type occupancy integrals, and the inserted/removed
+     *    message counts. After a mid-run reset, occupancy(t) is the
+     *    average over post-reset cycles only.
+     *  - untouched: slots in flight (messages keep circulating and the
+     *    occupancy integral immediately re-accrues from the live
+     *    occupied counts), rot_ (physical pipeline position — resetting
+     *    it would teleport the slot pattern), and rotations_ (feeds the
+     *    one-traversal audit of messages inserted before the reset).
+     *
+     * Pinned by RingNetwork.ResetStatsMidRunOccupancy.
      */
     void resetStats();
 
@@ -207,8 +255,26 @@ class SlotRing
         NodeId insertedBy = invalidNode;
     };
 
+    /** One (node, slot) dispatch in the precomputed schedule. */
+    struct Visit
+    {
+        NodeId node;
+        std::uint32_t slot;
+    };
+
     void tick(Count cycle);
+    void referenceTick();
+    void scheduledTick();
     void injectFaults(Count cycle);
+
+    /**
+     * From a fully quiescent tick (no occupied slot, no pending node,
+     * every node tracked, no injector), jump the ticker, rot_, cycles_
+     * and rotations_ across the idle gap up to — but never onto — the
+     * next foreign kernel event, in O(1). The occupancy integrals need
+     * no adjustment: every maintained count is zero across the gap.
+     */
+    void maybeFastForward();
 
     static unsigned typeIndex(SlotType t) {
         return static_cast<unsigned>(t);
@@ -226,6 +292,22 @@ class SlotRing
     std::vector<NodeId> nodePos_;
     std::vector<RingClient *> clients_;
 
+    /**
+     * Visitation schedule: visits_[visitHead_[r] .. visitHead_[r+1])
+     * are the (node, slot) pairs whose header reaches the node at
+     * rotation offset r, in ascending node order — the same dispatch
+     * order the reference scan produces.
+     */
+    std::vector<Visit> visits_;
+    std::vector<std::uint32_t> visitHead_;
+
+    /** tracked_[n]: node n opted into idle skipping (enableIdleSkip). */
+    std::vector<std::uint8_t> tracked_;
+    /** pending_[n]: tracked node n wants to insert (notifyPending). */
+    std::vector<std::uint8_t> pending_;
+    unsigned trackedCount_ = 0;
+    unsigned pendingCount_ = 0;
+
     fault::FaultInjector *injector_ = nullptr;
     cache::InvariantMonitor *monitor_ = nullptr;
 
@@ -241,6 +323,59 @@ class SlotRing
     Count inserted_[3] = {0, 0, 0};
     Count removed_[3] = {0, 0, 0};
 };
+
+// SlotHandle accessors are on the per-slot hot path of every protocol
+// engine; defining them here (after SlotRing is complete) lets the
+// compiler fold them into the onSlot bodies instead of paying a call
+// per query.
+
+inline SlotType
+SlotHandle::type() const
+{
+    return ring_.slots_[slot_].type;
+}
+
+inline bool
+SlotHandle::occupied() const
+{
+    return ring_.slots_[slot_].occupied;
+}
+
+inline bool
+SlotHandle::corrupted() const
+{
+    const SlotRing::Slot &s = ring_.slots_[slot_];
+    return s.occupied && s.corrupt;
+}
+
+inline const RingMessage &
+SlotHandle::message() const
+{
+    const SlotRing::Slot &s = ring_.slots_[slot_];
+    if (!s.occupied)
+        panic("message() on an empty slot");
+    return s.msg;
+}
+
+inline SlotType
+SlotRing::probeTypeFor(Addr addr) const
+{
+    Addr block = addr / config_.frame.blockBytes;
+    return (block % 2 == 0) ? SlotType::ProbeEven : SlotType::ProbeOdd;
+}
+
+inline bool
+SlotHandle::canInsert(Addr addr) const
+{
+    const SlotRing::Slot &s = ring_.slots_[slot_];
+    if (s.occupied)
+        return false;
+    if (freedHere_ && ring_.config_.antiStarvation)
+        return false;
+    if (s.type == SlotType::Block)
+        return true;
+    return ring_.probeTypeFor(addr) == s.type;
+}
 
 } // namespace ringsim::ring
 

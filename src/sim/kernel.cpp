@@ -239,11 +239,32 @@ Kernel::fire(const NextRef &next)
     }
 }
 
+Tick
+Kernel::nextEventTime()
+{
+    NextRef next = peekNext();
+    return next.entry ? next.entry->when : kNoEvent;
+}
+
+Tick
+Kernel::nextEventTimeExcluding(Event &event)
+{
+    if (!event.scheduled_)
+        return nextEventTime();
+    Tick saved = event.when_;
+    deschedule(event);
+    Tick next = nextEventTime();
+    schedule(event, saved);
+    return next;
+}
+
 Count
 Kernel::run(Tick until)
 {
     stopping_ = false;
     Count fired = 0;
+    Tick saved_limit = runUntil_;
+    runUntil_ = until == ~Tick(0) ? kNoEvent : until;
     auto start = std::chrono::steady_clock::now();
     while (live_ > 0 && !stopping_) {
         NextRef next = peekNext();
@@ -252,6 +273,7 @@ Kernel::run(Tick until)
         fire(next);
         ++fired;
     }
+    runUntil_ = saved_limit;
     stats_.runSeconds +=
         std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                       start)
@@ -292,6 +314,19 @@ Ticker::stop()
 {
     if (scheduled())
         kernel_.deschedule(*this);
+}
+
+void
+Ticker::fastForward(Count skip)
+{
+    if (!scheduled())
+        panic("fastForward on a stopped ticker");
+    if (skip == 0)
+        return;
+    Tick at = when() + static_cast<Tick>(skip) * period_;
+    kernel_.deschedule(*this);
+    cycle_ += skip;
+    kernel_.schedule(*this, at);
 }
 
 void

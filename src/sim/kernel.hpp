@@ -112,6 +112,9 @@ struct KernelStats
 class Kernel
 {
   public:
+    /** Sentinel returned when no event (or no run limit) exists. */
+    static constexpr Tick kNoEvent = ~Tick(0);
+
     Kernel();
     ~Kernel();
 
@@ -120,6 +123,27 @@ class Kernel
 
     /** Current simulated time. */
     Tick now() const { return now_; }
+
+    /** Fire time of the earliest pending event, or kNoEvent. */
+    Tick nextEventTime();
+
+    /**
+     * Fire time of the earliest pending event other than @p event, or
+     * kNoEvent. Used by self-rescheduling components (the ring ticker)
+     * to see how far away the rest of the system is. If @p event is
+     * scheduled it is briefly removed and re-added at its original
+     * tick; this refreshes its tie-break order among same-tick events,
+     * so callers must invoke this only from contexts where no other
+     * event was scheduled since @p event was (e.g. from within the
+     * event's own process()).
+     */
+    Tick nextEventTimeExcluding(Event &event);
+
+    /**
+     * The @c until bound of the run() currently executing, or kNoEvent
+     * outside run() / when run() was called without a bound.
+     */
+    Tick runLimit() const { return runUntil_; }
 
     /**
      * Schedule a reusable event at absolute time @p when (>= now).
@@ -287,6 +311,7 @@ class Kernel
     std::priority_queue<Entry, std::vector<Entry>, std::greater<>> far_;
 
     Tick now_ = 0;
+    Tick runUntil_ = kNoEvent;
     std::uint64_t nextSeq_ = 0;
     Count live_ = 0;
     bool stopping_ = false;
@@ -317,6 +342,19 @@ class Ticker : public Event
 
     /** Stop ticking (idempotent). */
     void stop();
+
+    /**
+     * Skip the next @p skip firings in O(1): the pending firing moves
+     * @p skip periods later and the cycle index advances past the
+     * skipped cycles, without the handler running for any of them.
+     * The ticker must be running. A no-op when @p skip is zero.
+     *
+     * This is the quiescence primitive: a cycle-level model whose
+     * skipped cycles are provably free of side effects (an empty ring
+     * with no pending work) jumps over them instead of paying one
+     * kernel dispatch per cycle.
+     */
+    void fastForward(Count skip);
 
     /** Ticks between firings. */
     Tick period() const { return period_; }

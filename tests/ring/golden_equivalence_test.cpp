@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Golden equivalence between the ring's tick paths.
+ *
+ * The schedule-driven tick (visitation table, idle-visit skipping,
+ * quiescence fast-forward) must be observationally indistinguishable
+ * from the original scan-driven tick, which is retained behind
+ * RingConfig::referenceTickPath as the executable specification. Every
+ * full-system measurement a paper figure plots is compared EXACTLY
+ * (doubles included — the arithmetic must be the same, not merely
+ * close), across both ring protocols, the paper's node counts, and
+ * fault injection on/off.
+ */
+
+#include <gtest/gtest.h>
+
+#include <ostream>
+#include <string>
+
+#include "src/core/system.hpp"
+#include "src/trace/workload.hpp"
+
+namespace ringsim {
+namespace {
+
+struct GoldenCase
+{
+    core::ProtocolKind kind;
+    unsigned procs;
+    bool faults;
+};
+
+std::string
+caseName(const ::testing::TestParamInfo<GoldenCase> &info)
+{
+    const GoldenCase &c = info.param;
+    const char *proto =
+        c.kind == core::ProtocolKind::RingSnoop ? "Snoop" : "Directory";
+    return proto + std::to_string(c.procs) +
+           (c.faults ? "FaultsOn" : "FaultsOff");
+}
+
+class GoldenEquivalence : public ::testing::TestWithParam<GoldenCase>
+{
+};
+
+core::RunResult
+runWith(const GoldenCase &c, bool reference)
+{
+    auto cfg = core::RingSystemConfig::forProcs(c.procs);
+    cfg.ring.referenceTickPath = reference;
+    if (c.faults) {
+        cfg.common.faults.corruptRate = 1e-4;
+        cfg.common.faults.dropRate = 5e-5;
+        cfg.common.faults.stallRate = 1e-5;
+        cfg.common.faults.seed = 11;
+    }
+    // MP3D presets cover the 8–32 processor points; the paper's
+    // 64-processor workloads are FFT/WEATHER/SIMPLE.
+    trace::Benchmark b = c.procs == 64 ? trace::Benchmark::FFT
+                                       : trace::Benchmark::MP3D;
+    auto wl = trace::workloadPreset(b, c.procs);
+    wl.dataRefsPerProc = c.procs <= 16 ? 2000 : c.procs == 32 ? 1200
+                                                              : 800;
+    return core::runRingSystem(cfg, wl, c.kind);
+}
+
+TEST_P(GoldenEquivalence, FastPathMatchesReferenceExactly)
+{
+    core::RunResult ref = runWith(GetParam(), /*reference=*/true);
+    core::RunResult fast = runWith(GetParam(), /*reference=*/false);
+
+    EXPECT_EQ(ref.procUtilization, fast.procUtilization);
+    EXPECT_EQ(ref.networkUtilization, fast.networkUtilization);
+    EXPECT_EQ(ref.missLatencyNs, fast.missLatencyNs);
+    EXPECT_EQ(ref.missLatencyAllNs, fast.missLatencyAllNs);
+    EXPECT_EQ(ref.upgradeLatencyNs, fast.upgradeLatencyNs);
+    EXPECT_EQ(ref.acquireWaitNs, fast.acquireWaitNs);
+    EXPECT_EQ(ref.window, fast.window);
+    EXPECT_EQ(ref.localMisses, fast.localMisses);
+    EXPECT_EQ(ref.cleanMiss1, fast.cleanMiss1);
+    EXPECT_EQ(ref.dirtyMiss1, fast.dirtyMiss1);
+    EXPECT_EQ(ref.miss2, fast.miss2);
+    EXPECT_EQ(ref.upgrades, fast.upgrades);
+    EXPECT_EQ(ref.faultsInjected, fast.faultsInjected);
+    EXPECT_EQ(ref.retries, fast.retries);
+    EXPECT_EQ(ref.recovered, fast.recovered);
+    EXPECT_EQ(ref.fatalTxns, fast.fatalTxns);
+    EXPECT_EQ(ref.nacks, fast.nacks);
+    EXPECT_EQ(ref.timeouts, fast.timeouts);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SnoopAndDirectory, GoldenEquivalence,
+    ::testing::Values(
+        GoldenCase{core::ProtocolKind::RingSnoop, 8, false},
+        GoldenCase{core::ProtocolKind::RingSnoop, 16, false},
+        GoldenCase{core::ProtocolKind::RingSnoop, 32, false},
+        GoldenCase{core::ProtocolKind::RingSnoop, 64, false},
+        GoldenCase{core::ProtocolKind::RingSnoop, 8, true},
+        GoldenCase{core::ProtocolKind::RingSnoop, 16, true},
+        GoldenCase{core::ProtocolKind::RingSnoop, 32, true},
+        GoldenCase{core::ProtocolKind::RingSnoop, 64, true},
+        GoldenCase{core::ProtocolKind::RingDirectory, 8, false},
+        GoldenCase{core::ProtocolKind::RingDirectory, 16, false},
+        GoldenCase{core::ProtocolKind::RingDirectory, 32, false},
+        GoldenCase{core::ProtocolKind::RingDirectory, 64, false},
+        GoldenCase{core::ProtocolKind::RingDirectory, 8, true},
+        GoldenCase{core::ProtocolKind::RingDirectory, 16, true},
+        GoldenCase{core::ProtocolKind::RingDirectory, 32, true},
+        GoldenCase{core::ProtocolKind::RingDirectory, 64, true}),
+    caseName);
+
+} // namespace
+} // namespace ringsim

@@ -6,7 +6,9 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
 #include <functional>
+#include <tuple>
 #include <vector>
 
 #include "src/ring/network.hpp"
@@ -238,6 +240,254 @@ TEST_F(RingNetworkTest, SlotTailTimes)
               1u * config_.clockPeriod);
     EXPECT_EQ(ring_->slotTailTime(SlotType::Block),
               5u * config_.clockPeriod);
+}
+
+TEST(RingNetwork, AntiStarvationOffAllowsImmediateReuse)
+{
+    sim::Kernel kernel;
+    RingConfig config;
+    config.nodes = 8;
+    config.antiStarvation = false;
+    SlotRing ring_net(kernel, config);
+    std::vector<ScriptClient> clients(8);
+    for (NodeId n = 0; n < 8; ++n)
+        ring_net.setClient(n, clients[n]);
+
+    bool checked = false;
+    clients[3].hook = [&](SlotHandle &slot) {
+        if (slot.type() != SlotType::Block)
+            return;
+        if (!slot.occupied()) {
+            if (checked)
+                return;
+            RingMessage msg;
+            msg.src = 3;
+            msg.dst = 3;
+            msg.addr = 0x100;
+            if (slot.canInsert(msg.addr))
+                slot.insert(msg);
+            return;
+        }
+        if (slot.message().dst == 3 && !checked) {
+            slot.remove();
+            EXPECT_TRUE(slot.canInsert(0x100))
+                << "rule off: freed slot reusable in the same visit";
+            checked = true;
+        }
+    };
+    ring_net.start(0);
+    kernel.run(nsToTicks(1000));
+    ring_net.stop();
+    EXPECT_TRUE(checked);
+}
+
+TEST_F(RingNetworkTest, ResetStatsMidRunOccupancy)
+{
+    // Pin the warm-up-reset semantics: after a mid-run resetStats()
+    // the occupancy denominators restart, so a block slot that stays
+    // occupied across the reset accounts for EXACTLY one slot's worth
+    // of occupancy over the post-reset window.
+    bool inserted = false;
+    clients_[0].hook = [&](SlotHandle &slot) {
+        if (!inserted && slot.type() == SlotType::Block) {
+            RingMessage msg;
+            msg.src = 0;
+            msg.dst = invalidNode; // never removed
+            msg.addr = 0;
+            slot.insert(msg);
+            inserted = true;
+        }
+    };
+    ring_->start(0);
+    kernel_.run(nsToTicks(100));
+    ASSERT_TRUE(inserted);
+    ASSERT_GT(ring_->inserted(SlotType::Block), 0u);
+    ring_->resetStats();
+    EXPECT_EQ(ring_->cycles(), 0u);
+    EXPECT_EQ(ring_->inserted(SlotType::Block), 0u);
+
+    // Run exactly 200 more ring cycles; the message keeps circulating
+    // so every post-reset cycle sees exactly one occupied block slot.
+    kernel_.run(kernel_.now() + 200 * config_.clockPeriod);
+    ring_->stop();
+    EXPECT_EQ(ring_->cycles(), 200u);
+    EXPECT_DOUBLE_EQ(ring_->occupancy(SlotType::Block),
+                     1.0 / config_.framesOnRing());
+    EXPECT_DOUBLE_EQ(ring_->totalOccupancy(),
+                     1.0 / (3.0 * config_.framesOnRing()));
+    EXPECT_EQ(ring_->inserted(SlotType::Block), 0u)
+        << "pre-reset insertion must not leak into the new window";
+}
+
+TEST_F(RingNetworkTest, IdleSkipSuppressesEmptyVisitsUntilPending)
+{
+    // Track node 6's visits: once it opts into idle skipping it is
+    // only visited for occupied slots, until notifyPending restores
+    // empty-slot offers (so it can insert).
+    Count visits = 0;
+    Count empty_visits = 0;
+    clients_[6].hook = [&](SlotHandle &slot) {
+        ++visits;
+        if (!slot.occupied())
+            ++empty_visits;
+    };
+    ring_->enableIdleSkip(6);
+    ring_->start(0);
+    kernel_.run(nsToTicks(100));
+    EXPECT_EQ(visits, 0u) << "empty ring, no pending: never visited";
+
+    ring_->notifyPending(6);
+    kernel_.run(kernel_.now() + 10 * config_.clockPeriod);
+    EXPECT_GT(empty_visits, 0u) << "pending node is offered empty slots";
+
+    Count at_clear = visits;
+    ring_->clearPending(6);
+    kernel_.run(kernel_.now() + 10 * config_.clockPeriod);
+    ring_->stop();
+    EXPECT_EQ(visits, at_clear) << "clearPending stops the offers";
+}
+
+TEST_F(RingNetworkTest, SetClientRevokesIdleSkip)
+{
+    ring_->enableIdleSkip(4);
+    ring_->setClient(4, clients_[4]);
+    Count visits = 0;
+    clients_[4].hook = [&](SlotHandle &) { ++visits; };
+    ring_->start(0);
+    kernel_.run(nsToTicks(100));
+    ring_->stop();
+    EXPECT_GT(visits, 0u)
+        << "a freshly attached client has not opted in";
+}
+
+TEST_F(RingNetworkTest, QuiescentRingFastForwardsInsideRunBound)
+{
+    // Every node tracked + empty ring: the run degenerates to O(1)
+    // kernel events while the cycle count still covers the full span.
+    for (NodeId n = 0; n < 8; ++n)
+        ring_->enableIdleSkip(n);
+    ring_->start(0);
+    Count before = kernel_.stats().processed;
+    kernel_.run(2000 * config_.clockPeriod);
+    ring_->stop();
+    EXPECT_EQ(ring_->cycles(), 2001u)
+        << "ticks at 0..2000 periods inclusive, fast-forwarded or not";
+    EXPECT_LT(kernel_.stats().processed - before, 10u)
+        << "the idle span must cost O(1) events, not one per cycle";
+}
+
+TEST_F(RingNetworkTest, FastForwardWakesExactlyForPostedWork)
+{
+    // A quiescent ring fast-forwards toward a foreign event, then
+    // resumes cycle-by-cycle so the woken node can insert at exactly
+    // the time the cycle-accurate path would have given it.
+    for (NodeId n = 0; n < 8; ++n)
+        ring_->enableIdleSkip(n);
+    bool want_insert = false;
+    Tick inserted = 0;
+    Tick delivered = 0;
+    clients_[2].hook = [&](SlotHandle &slot) {
+        if (slot.occupied() && slot.message().dst == 2) {
+            slot.remove();
+            delivered = kernel_.now();
+            return;
+        }
+        if (want_insert && !slot.occupied() &&
+            slot.type() == SlotType::Block) {
+            RingMessage msg;
+            msg.src = 2;
+            msg.dst = 2; // full loop back to the sender
+            msg.addr = 0x100;
+            slot.insert(msg);
+            inserted = kernel_.now();
+            want_insert = false;
+            ring_->clearPending(2);
+        }
+    };
+    Tick wake = 51'000; // off the tick grid on purpose
+    kernel_.post(wake, [&]() {
+        want_insert = true;
+        ring_->notifyPending(2);
+    });
+    ring_->start(0);
+    kernel_.run(nsToTicks(2000));
+    ring_->stop();
+    ASSERT_GT(inserted, 0u);
+    ASSERT_GT(delivered, 0u);
+    EXPECT_GE(inserted, wake);
+    // The cycle-accurate ring would offer node 2 the next block slot
+    // within one frame time of the wake.
+    EXPECT_LE(inserted, wake + config_.frameTime());
+    EXPECT_EQ(delivered - inserted,
+              static_cast<Tick>(config_.totalStages()) *
+                  config_.clockPeriod)
+        << "self-removal after exactly one traversal";
+}
+
+TEST_F(RingNetworkTest, ReferencePathMatchesFastPathCycleForCycle)
+{
+    // Ring-level golden check (the full-system one lives in
+    // golden_equivalence_test.cpp): a scripted bounce between two
+    // pending-tracked nodes produces identical timing and statistics
+    // under both tick paths.
+    auto run_one = [](bool reference) {
+        sim::Kernel kernel;
+        RingConfig config;
+        config.nodes = 8;
+        config.referenceTickPath = reference;
+        SlotRing ring_net(kernel, config);
+        std::vector<ScriptClient> clients(8);
+        // Nodes 1 and 5 volley a block message back and forth with an
+        // off-grid think time between volleys; everyone idle-skips, so
+        // the fast path interleaves skipped visits and fast-forwards
+        // with real work.
+        std::vector<Tick> deliveries;
+        std::array<bool, 8> want_insert{};
+        int volleys = 5;
+        for (NodeId n = 0; n < 8; ++n) {
+            ring_net.setClient(n, clients[n]);
+            ring_net.enableIdleSkip(n);
+            clients[n].hook = [&, n](SlotHandle &slot) {
+                if (slot.occupied()) {
+                    if (slot.message().dst != n)
+                        return;
+                    slot.remove();
+                    deliveries.push_back(kernel.now());
+                    if (--volleys > 0) {
+                        kernel.postIn(7'777, [&, n]() {
+                            want_insert[n] = true;
+                            ring_net.notifyPending(n);
+                        });
+                    }
+                    return;
+                }
+                if (want_insert[n] &&
+                    slot.type() == SlotType::Block &&
+                    slot.canInsert(0x100)) {
+                    RingMessage msg;
+                    msg.src = n;
+                    msg.dst = n == 5 ? NodeId(1) : NodeId(5);
+                    msg.addr = 0x100;
+                    slot.insert(msg);
+                    want_insert[n] = false;
+                    ring_net.clearPending(n);
+                }
+            };
+        }
+        want_insert[1] = true;
+        ring_net.notifyPending(1);
+        ring_net.start(0);
+        kernel.run(nsToTicks(20'000));
+        ring_net.stop();
+        return std::tuple<std::vector<Tick>, Count, double>(
+            deliveries, ring_net.cycles(), ring_net.totalOccupancy());
+    };
+    auto ref = run_one(true);
+    auto fast = run_one(false);
+    EXPECT_EQ(std::get<0>(ref), std::get<0>(fast));
+    EXPECT_EQ(std::get<1>(ref), std::get<1>(fast));
+    EXPECT_EQ(std::get<2>(ref), std::get<2>(fast));
+    EXPECT_EQ(std::get<0>(ref).size(), 5u);
 }
 
 TEST(RingNetworkDeathTest, StartWithoutClientsPanics)

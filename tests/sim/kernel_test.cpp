@@ -394,5 +394,86 @@ TEST(Ticker, StartOffset)
     EXPECT_EQ(first, 42u);
 }
 
+TEST(Ticker, FastForwardSkipsCyclesInOneJump)
+{
+    Kernel k;
+    std::vector<std::pair<Count, Tick>> fired;
+    Ticker t(k, 10, [&](Count cycle) {
+        fired.emplace_back(cycle, k.now());
+        if (cycle == 0)
+            t.fastForward(3); // skip cycles 1, 2, 3
+    });
+    t.start(0);
+    k.run(60);
+    t.stop();
+    ASSERT_EQ(fired.size(), 4u);
+    EXPECT_EQ(fired[0], (std::pair<Count, Tick>{0, 0}));
+    EXPECT_EQ(fired[1], (std::pair<Count, Tick>{4, 40}));
+    EXPECT_EQ(fired[2], (std::pair<Count, Tick>{5, 50}));
+    EXPECT_EQ(fired[3], (std::pair<Count, Tick>{6, 60}));
+}
+
+TEST(Ticker, FastForwardZeroIsANoop)
+{
+    Kernel k;
+    Count fires = 0;
+    Ticker t(k, 10, [&](Count) {
+        ++fires;
+        t.fastForward(0);
+    });
+    t.start(0);
+    k.run(30);
+    t.stop();
+    EXPECT_EQ(fires, 4u);
+}
+
+TEST(Kernel, NextEventTime)
+{
+    Kernel k;
+    EXPECT_EQ(k.nextEventTime(), Kernel::kNoEvent);
+    std::vector<int> log;
+    RecordingEvent a(log, 1), b(log, 2);
+    k.schedule(a, 50);
+    k.schedule(b, 20);
+    EXPECT_EQ(k.nextEventTime(), 20u);
+    k.deschedule(b);
+    EXPECT_EQ(k.nextEventTime(), 50u);
+    k.deschedule(a);
+    EXPECT_EQ(k.nextEventTime(), Kernel::kNoEvent);
+}
+
+TEST(Kernel, NextEventTimeExcluding)
+{
+    Kernel k;
+    std::vector<int> log;
+    RecordingEvent a(log, 1), b(log, 2);
+    k.schedule(a, 20);
+    // Only `a` pending: excluding it, the queue is empty.
+    EXPECT_EQ(k.nextEventTimeExcluding(a), Kernel::kNoEvent);
+    EXPECT_TRUE(a.scheduled());
+    EXPECT_EQ(a.when(), 20u);
+    k.schedule(b, 70);
+    EXPECT_EQ(k.nextEventTimeExcluding(a), 70u);
+    // Excluding an event that is not scheduled sees everything.
+    k.deschedule(a);
+    EXPECT_EQ(k.nextEventTimeExcluding(a), 70u);
+    k.deschedule(b);
+}
+
+TEST(Kernel, RunLimitVisibleInsideRun)
+{
+    Kernel k;
+    EXPECT_EQ(k.runLimit(), Kernel::kNoEvent);
+    Tick seen_bounded = 0;
+    Tick seen_unbounded = 0;
+    k.post(10, [&]() { seen_bounded = k.runLimit(); });
+    k.run(100);
+    EXPECT_EQ(seen_bounded, 100u);
+    EXPECT_EQ(k.runLimit(), Kernel::kNoEvent);
+    k.post(20, [&]() { seen_unbounded = k.runLimit(); });
+    k.run();
+    EXPECT_EQ(seen_unbounded, Kernel::kNoEvent);
+}
+
 } // namespace
 } // namespace ringsim::sim
