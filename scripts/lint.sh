@@ -1,0 +1,61 @@
+#!/usr/bin/env bash
+# ringsim lint driver: custom rules (always) + clang-tidy (when
+# available — the dev container may not ship it; CI installs it).
+#
+# usage: scripts/lint.sh [file.cpp ...]
+#   With no arguments, lints all of src/. With arguments (e.g. the
+#   files changed on a branch), restricts both layers to those files.
+#
+# environment:
+#   LINT_TIDY_WERROR=1   promote clang-tidy warnings to errors (CI)
+#   LINT_BUILD_DIR       build dir with compile_commands.json
+#                        (default: build)
+set -u
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${LINT_BUILD_DIR:-build}"
+status=0
+
+# ---- custom rules (raw-new, unordered-iteration, nodiscard) ----
+if ! python3 scripts/lint_rules.py "$@"; then
+    status=1
+fi
+
+# ---- clang-tidy ----
+if ! command -v clang-tidy >/dev/null 2>&1; then
+    echo "lint.sh: clang-tidy not installed; skipped (custom rules" \
+         "still enforced)"
+    exit "$status"
+fi
+
+if [ ! -f "$BUILD_DIR/compile_commands.json" ]; then
+    echo "lint.sh: generating $BUILD_DIR/compile_commands.json"
+    cmake -B "$BUILD_DIR" -S . >/dev/null || exit 1
+fi
+
+tidy_args=(-p "$BUILD_DIR" --quiet)
+if [ "${LINT_TIDY_WERROR:-0}" = "1" ]; then
+    tidy_args+=(--warnings-as-errors='*')
+fi
+
+if [ "$#" -gt 0 ]; then
+    files=()
+    for f in "$@"; do
+        case "$f" in
+          *.cpp) [ -f "$f" ] && files+=("$f") ;;
+        esac
+    done
+else
+    # Sources in the compilation database (headers ride along via
+    # HeaderFilterRegex).
+    mapfile -t files < <(git ls-files 'src/*.cpp' 'src/**/*.cpp')
+fi
+
+if [ "${#files[@]}" -eq 0 ]; then
+    exit "$status"
+fi
+
+if ! clang-tidy "${tidy_args[@]}" "${files[@]}"; then
+    status=1
+fi
+exit "$status"

@@ -1,0 +1,189 @@
+#!/usr/bin/env python3
+"""Custom lint rules for ringsim, run by scripts/lint.sh.
+
+Rules (suppress a finding with a trailing `// lint: allow(<rule>)`):
+
+  raw-new
+      No raw `new` outside the event kernel's pooled allocator
+      (src/sim/kernel.hpp). Everything else uses containers,
+      std::make_unique, or the kernel pools, so leaks cannot hide.
+
+  unordered-iteration
+      No iteration over std::unordered_{map,set,multimap,multiset}.
+      Hash iteration order is implementation-defined; iterating one in
+      a result-affecting path makes runs nondeterministic across
+      libstdc++ versions. Keyed lookup is fine; anything that must be
+      walked belongs in an ordered container (stats::Registry keeps an
+      insertion-ordered vector for exactly this reason).
+
+  nodiscard
+      Header declarations of result-returning validators and fallible
+      operations (check*/try[A-Z]*) must be [[nodiscard]]: silently
+      dropping a config-error list or a try-result is always a bug.
+"""
+
+import re
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+SCAN_DIRS = ["src"]
+ALLOW_RE = re.compile(r"//\s*lint:\s*allow\(([a-z-]+)\)")
+
+# The event kernel's free-list allocator is the one sanctioned use of
+# raw allocation (placement new into pooled storage).
+RAW_NEW_ALLOWED_FILES = {"src/sim/kernel.hpp"}
+
+findings = []
+
+
+def flag(rule, path, lineno, message):
+    findings.append(f"{path}:{lineno}: [{rule}] {message}")
+
+
+def strip_comments_and_strings(text):
+    """Blank out comments and string/char literals, preserving line
+    structure so line numbers keep working."""
+    out = []
+    i, n = 0, len(text)
+    state = None  # None, '//', '/*', '"', "'"
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if state is None:
+            if c == "/" and nxt == "/":
+                state = "//"
+                out.append("  ")
+                i += 2
+                continue
+            if c == "/" and nxt == "*":
+                state = "/*"
+                out.append("  ")
+                i += 2
+                continue
+            if c in "\"'":
+                state = c
+                out.append(c)
+                i += 1
+                continue
+            out.append(c)
+        else:
+            if c == "\n":
+                if state == "//":
+                    state = None
+                out.append("\n")
+            elif state == "/*" and c == "*" and nxt == "/":
+                state = None
+                out.append("  ")
+                i += 2
+                continue
+            elif state in "\"'":
+                if c == "\\":
+                    out.append("  ")
+                    i += 2
+                    continue
+                if c == state:
+                    state = None
+                    out.append(c)
+                else:
+                    out.append(" ")
+            else:
+                out.append(" ")
+        i += 1
+    return "".join(out)
+
+
+def allowed(raw_lines, lineno, rule):
+    line = raw_lines[lineno - 1]
+    m = ALLOW_RE.search(line)
+    return bool(m and m.group(1) == rule)
+
+
+NEW_RE = re.compile(r"\bnew\b(?!\s*\()|\bnew\s*\(")
+UNORDERED_DECL_RE = re.compile(
+    r"std::unordered_(?:map|set|multimap|multiset)\s*<[^;{]*>\s*&?\s*"
+    r"(\w+)\s*[;{=(,)]"
+)
+RANGE_FOR_RE = re.compile(r"for\s*\([^;)]*:\s*&?(\w+(?:\.\w+|->\w+)*)\s*\)")
+ITER_CALL_RE = re.compile(r"\b(\w+)\s*\.\s*(?:begin|cbegin|rbegin)\s*\(")
+
+DECL_NAME = r"(?:check\w*|try[A-Z]\w*)"
+NODISCARD_DECL_RE = re.compile(
+    r"(?:virtual\s+)?"
+    r"(bool|std::vector<std::string>|[A-Za-z_][\w:]*Result|"
+    r"[A-Za-z_][\w:]*Report)\s+\n?\s*"
+    rf"({DECL_NAME})\s*\("
+)
+
+
+def check_file(path):
+    rel = path.relative_to(ROOT).as_posix()
+    raw = path.read_text()
+    raw_lines = raw.splitlines()
+    clean = strip_comments_and_strings(raw)
+    clean_lines = clean.splitlines()
+
+    # raw-new
+    if rel not in RAW_NEW_ALLOWED_FILES:
+        for lineno, line in enumerate(clean_lines, 1):
+            if NEW_RE.search(line) and not allowed(raw_lines, lineno,
+                                                   "raw-new"):
+                flag("raw-new", rel, lineno,
+                     "raw `new`: use containers, std::make_unique, or "
+                     "the kernel pools")
+
+    # unordered-iteration
+    unordered_names = set(UNORDERED_DECL_RE.findall(clean))
+    if unordered_names:
+        for lineno, line in enumerate(clean_lines, 1):
+            names = set()
+            for m in RANGE_FOR_RE.finditer(line):
+                names.add(m.group(1).split(".")[-1].split("->")[-1])
+            for m in ITER_CALL_RE.finditer(line):
+                names.add(m.group(1))
+            hits = names & unordered_names
+            if hits and not allowed(raw_lines, lineno,
+                                    "unordered-iteration"):
+                flag("unordered-iteration", rel, lineno,
+                     f"iterating unordered container "
+                     f"'{sorted(hits)[0]}': order is nondeterministic; "
+                     f"use an ordered structure or collect-and-sort")
+
+    # nodiscard (headers only; declarations carry the contract)
+    if path.suffix == ".hpp":
+        for m in NODISCARD_DECL_RE.finditer(clean):
+            lineno = clean.count("\n", 0, m.start()) + 1
+            window_start = max(0, m.start() - 120)
+            window = clean[window_start:m.start()]
+            if "[[nodiscard]]" in window:
+                continue
+            if allowed(raw_lines, lineno, "nodiscard"):
+                continue
+            flag("nodiscard", rel, lineno,
+                 f"'{m.group(2)}' returns {m.group(1)} but is not "
+                 f"[[nodiscard]]")
+
+
+def main():
+    targets = sys.argv[1:]
+    if targets:
+        files = [Path(t).resolve() for t in targets]
+        files = [f for f in files if f.suffix in (".hpp", ".cpp")]
+    else:
+        files = []
+        for d in SCAN_DIRS:
+            files.extend(sorted((ROOT / d).rglob("*.hpp")))
+            files.extend(sorted((ROOT / d).rglob("*.cpp")))
+    for f in files:
+        if f.exists():
+            check_file(f)
+    for msg in findings:
+        print(msg)
+    if findings:
+        print(f"{len(findings)} lint finding(s)", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -65,7 +65,7 @@ class CoherentCache
      * @param addr byte address accessed.
      * @param is_write true for stores.
      */
-    AccessResult classify(Addr addr, bool is_write) const;
+    [[nodiscard]] AccessResult classify(Addr addr, bool is_write) const;
 
     /** Current state of the block containing @p addr. */
     State state(Addr addr) const;

@@ -118,6 +118,14 @@ llistInvalidateHops(unsigned n, NodeId requester, NodeId home,
     return hops;
 }
 
+bool
+dirRefreshCopy(unsigned n, NodeId owner, NodeId requester, NodeId home)
+{
+    if (home == owner || home == requester)
+        return false;
+    return hopDist(n, owner, home) > hopDist(n, owner, requester);
+}
+
 unsigned
 llistInvalidateTraversals(unsigned n, NodeId requester, NodeId home,
                           unsigned sharers)

@@ -98,6 +98,16 @@ unsigned llistInvalidateTraversals(unsigned n, NodeId requester,
 unsigned llistInvalidateHops(unsigned n, NodeId requester, NodeId home,
                              unsigned sharers);
 
+/**
+ * A directory read of a dirty block refreshes the home memory. The
+ * owner's block message covers the home for free when the home sits on
+ * the owner -> requester arc; past it, the owner must send a separate
+ * copy. Shared by the functional census and the timed directory
+ * controller so the two cannot disagree.
+ */
+bool dirRefreshCopy(unsigned n, NodeId owner, NodeId requester,
+                    NodeId home);
+
 } // namespace ringsim::coherence
 
 #endif // RINGSIM_COHERENCE_CLASSIFY_HPP

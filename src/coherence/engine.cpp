@@ -20,7 +20,8 @@ bucketOf(unsigned traversals)
 
 FunctionalEngine::FunctionalEngine(const trace::AddressMap &map,
                                    const EngineOptions &options)
-    : map_(map), geom_(options.geometry), procs_(map.nodes())
+    : map_(map), geom_(options.geometry), hooks_(options.hooks),
+      procs_(map.nodes())
 {
     geom_.validate();
     caches_.reserve(procs_);
@@ -119,9 +120,22 @@ FunctionalEngine::access(NodeId p, const trace::TraceRecord &ref,
 unsigned
 FunctionalEngine::invalidateOthers(NodeId p, Addr block, MemState &ms)
 {
+    // Test hook: drop the invalidation aimed at the highest-numbered
+    // holder, so the copy (and its checker bookkeeping) survives.
+    NodeId spare = invalidNode;
+    if (hooks_.dropOneInvalidation) {
+        for (NodeId q = procs_; q-- > 0;) {
+            if (q != p &&
+                caches_[q].state(block) != cache::State::Invalid) {
+                spare = q;
+                break;
+            }
+        }
+    }
+
     unsigned holders = 0;
     for (NodeId q = 0; q < procs_; ++q) {
-        if (q == p)
+        if (q == p || q == spare)
             continue;
         cache::State st = caches_[q].state(block);
         if (st == cache::State::Invalid)

@@ -83,6 +83,22 @@ struct EngineOptions
      * instead of panicking. Borrowed; must outlive the engine.
      */
     cache::InvariantMonitor *monitor = nullptr;
+
+    /**
+     * Test-only protocol fault seeds. Production code leaves these
+     * off; tests use them to prove the invariant monitor and the
+     * static model checker both catch a broken transition.
+     */
+    struct TestHooks
+    {
+        /**
+         * Every invalidation sweep skips its highest-numbered holder,
+         * leaving a recognizably stale copy behind (the functional
+         * twin of ptable::Mutation::DropInvalidation).
+         */
+        bool dropOneInvalidation = false;
+    };
+    TestHooks hooks;
 };
 
 /** The engine proper. */
@@ -136,6 +152,7 @@ class FunctionalEngine
 
     const trace::AddressMap &map_;
     cache::Geometry geom_;
+    EngineOptions::TestHooks hooks_;
     unsigned procs_;
     std::vector<cache::CoherentCache> caches_;
     std::unordered_map<Addr, MemState> mem_;

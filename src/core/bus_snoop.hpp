@@ -34,7 +34,8 @@ class BusSnoopProtocol : public Protocol
                      coherence::FunctionalEngine &engine,
                      bus::SplitBus &bus_res, Metrics &metrics);
 
-    bool tryAccess(NodeId p, const trace::TraceRecord &ref) override;
+    [[nodiscard]] bool
+    tryAccess(NodeId p, const trace::TraceRecord &ref) override;
 
     void startTransaction(NodeId p, const trace::TraceRecord &ref,
                           std::function<void()> on_complete) override;

@@ -23,17 +23,22 @@ SystemConfig::checkConfig() const
 {
     std::vector<std::string> errors;
     if (procCycle == 0) {
-        errors.push_back("processor cycle time must be nonzero");
+        errors.push_back(
+            "procCycle = 0: processor cycle time must be nonzero");
     } else if (procCycle > 1'000'000) {
         errors.push_back(strprintf(
-            "processor cycle time %llu ps is below 1 MIPS; the paper "
-            "sweeps 1-20 ns cycles",
+            "procCycle = %llu ps: processor cycle time is below "
+            "1 MIPS; the paper sweeps 1-20 ns cycles",
             static_cast<unsigned long long>(procCycle)));
     }
     if (memoryLatency == 0)
-        errors.push_back("memory latency must be nonzero");
+        errors.push_back(
+            "memoryLatency = 0: memory bank access time must be "
+            "nonzero");
     if (!(warmupFrac >= 0.0) || warmupFrac >= 1.0)
-        errors.push_back("warmup fraction must be in [0, 1)");
+        errors.push_back(strprintf(
+            "warmupFrac = %g: warmup fraction must be in [0, 1)",
+            warmupFrac));
     for (std::string &e : faults.check())
         errors.push_back(std::move(e));
     return errors;

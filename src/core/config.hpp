@@ -85,8 +85,19 @@ struct SystemConfig
     /** Fault injection and recovery parameters (disabled by default). */
     fault::FaultConfig faults;
 
-    /** All misconfigurations, as human-readable messages. */
-    std::vector<std::string> checkConfig() const;
+    /**
+     * Test-only: drop one invalidation per sweep in the functional
+     * engine (see coherence::EngineOptions::TestHooks). Used by the
+     * monitor/model-checker cross-check tests; never set in
+     * production configurations.
+     */
+    bool testDropOneInvalidation = false;
+
+    /**
+     * All misconfigurations, as human-readable messages. Each message
+     * names the offending field and its value.
+     */
+    [[nodiscard]] std::vector<std::string> checkConfig() const;
 
     /** Validate; fatal() on misconfiguration. */
     void validate() const;

@@ -32,7 +32,8 @@ class Protocol
      * already updated) and the processor may keep executing; false
      * when a transaction is needed (no state touched yet).
      */
-    virtual bool tryAccess(NodeId p, const trace::TraceRecord &ref) = 0;
+    [[nodiscard]] virtual bool
+    tryAccess(NodeId p, const trace::TraceRecord &ref) = 0;
 
     /**
      * Start the transaction for a reference that missed. State is

@@ -1,0 +1,240 @@
+#include "protocol_table.hpp"
+
+#include "coherence/classify.hpp"
+#include "util/logging.hpp"
+
+namespace ringsim::core::ptable {
+
+const char *
+mutationName(Mutation m)
+{
+    switch (m) {
+      case Mutation::None:
+        return "none";
+      case Mutation::DropInvalidation:
+        return "drop-invalidation";
+      case Mutation::KeepDirtyOnRead:
+        return "keep-dirty-on-read";
+      case Mutation::SnoopExtraTraversal:
+        return "snoop-extra-traversal";
+      case Mutation::SnoopMemorySupplier:
+        return "snoop-memory-supplier";
+      case Mutation::DirSkipForward:
+        return "dir-skip-forward";
+      case Mutation::DirSkipMulticast:
+        return "dir-skip-multicast";
+      case Mutation::AcceptStaleAttempt:
+        return "accept-stale-attempt";
+    }
+    return "?";
+}
+
+bool
+mutationFromName(const std::string &name, Mutation *out)
+{
+    if (name == "none") {
+        *out = Mutation::None;
+        return true;
+    }
+    for (Mutation m : allMutations) {
+        if (name == mutationName(m)) {
+            *out = m;
+            return true;
+        }
+    }
+    return false;
+}
+
+RequestView
+viewOf(const coherence::AccessOutcome &outcome, NodeId requester)
+{
+    RequestView rv;
+    rv.isUpgrade =
+        outcome.type == coherence::AccessOutcome::Type::Upgrade;
+    rv.isWrite = outcome.isWrite;
+    rv.homeIsLocal = outcome.home == requester;
+    rv.wasDirty = outcome.wasDirty;
+    rv.mapSharers = outcome.mapSharers;
+    return rv;
+}
+
+SnoopPlan
+snoopPlan(const RequestView &rv, Mutation m)
+{
+    SnoopPlan p;
+    p.probeLoops = m == Mutation::SnoopExtraTraversal ? 2 : 1;
+    p.supplier = rv.wasDirty ? SnoopSupplier::OwnerCache
+                             : SnoopSupplier::HomeMemory;
+    if (m == Mutation::SnoopMemorySupplier)
+        p.supplier = SnoopSupplier::HomeMemory;
+
+    if (rv.isUpgrade) {
+        // Invalidation: one broadcast probe; done when it returns.
+        p.cls = LatClass::Upgrade;
+        p.legs = 1;
+        p.probeReturnLeg = true;
+        return p;
+    }
+    if (!rv.wasDirty && rv.homeIsLocal) {
+        // The local bank answers, but the transaction commits when
+        // the probe returns: both legs must finish.
+        p.cls = LatClass::LocalMiss;
+        p.legs = 2;
+        p.probeReturnLeg = true;
+        p.localBankLeg = true;
+        return p;
+    }
+    // Remote data: completion is the block's arrival.
+    p.cls = rv.wasDirty ? LatClass::DirtyMiss1 : LatClass::CleanMiss1;
+    p.legs = 1;
+    p.remoteData = true;
+    return p;
+}
+
+bool
+dirNeedsMulticast(const RequestView &rv)
+{
+    if (rv.isUpgrade)
+        return rv.mapSharers;
+    return rv.isWrite && !rv.wasDirty && rv.mapSharers;
+}
+
+DirPlan
+dirPlan(unsigned nodes, NodeId requester, NodeId home, NodeId owner,
+        const RequestView &rv, Mutation m)
+{
+    DirPlan p;
+    p.requestLeg = !rv.homeIsLocal;
+    p.forwardToOwner = rv.wasDirty && m != Mutation::DirSkipForward;
+    p.multicast =
+        dirNeedsMulticast(rv) && m != Mutation::DirSkipMulticast;
+    p.respondData = !rv.isUpgrade;
+    p.homeBankFetch = !rv.isUpgrade && !rv.wasDirty;
+
+    if (rv.isUpgrade) {
+        p.cls = LatClass::Upgrade;
+        p.traversals = coherence::dirUpgradeTraversals(
+            nodes, requester, home, dirNeedsMulticast(rv));
+        return p;
+    }
+    coherence::DirMiss dm = coherence::classifyDirMiss(
+        nodes, requester, home, rv.wasDirty, owner,
+        dirNeedsMulticast(rv));
+    switch (dm.cls) {
+      case coherence::DirMissClass::Local:
+        p.cls = LatClass::LocalMiss;
+        break;
+      case coherence::DirMissClass::Clean1:
+        p.cls = LatClass::CleanMiss1;
+        break;
+      case coherence::DirMissClass::Dirty1:
+        p.cls = LatClass::DirtyMiss1;
+        break;
+      case coherence::DirMissClass::Two:
+        p.cls = LatClass::Miss2;
+        break;
+    }
+    p.traversals = dm.traversals;
+    return p;
+}
+
+cache::AccessResult
+classifyAccess(cache::State line, bool is_write)
+{
+    switch (line) {
+      case cache::State::Invalid:
+        return cache::AccessResult::Miss;
+      case cache::State::ReadShared:
+        return is_write ? cache::AccessResult::UpgradeMiss
+                        : cache::AccessResult::Hit;
+      case cache::State::WriteExcl:
+        return cache::AccessResult::Hit;
+    }
+    return cache::AccessResult::Miss;
+}
+
+namespace {
+
+/**
+ * Invalidate every other cached copy (the shared half of the upgrade
+ * and write-miss actions). DropInvalidation skips the highest-numbered
+ * holder, leaving a recognizably stale copy for the checker to find.
+ */
+void
+invalidateOthers(BlockState &bs, unsigned nodes, NodeId p, Mutation m)
+{
+    NodeId spare = invalidNode;
+    if (m == Mutation::DropInvalidation) {
+        for (unsigned q = nodes; q-- > 0;) {
+            if (q != p && bs.line[q] != cache::State::Invalid) {
+                spare = static_cast<NodeId>(q);
+                break;
+            }
+        }
+    }
+    for (NodeId q = 0; q < nodes; ++q) {
+        if (q == p || q == spare)
+            continue;
+        bs.line[q] = cache::State::Invalid;
+    }
+}
+
+void
+makeExclusive(BlockState &bs, NodeId p)
+{
+    bs.dirty = true;
+    bs.owner = p;
+    bs.presence = std::uint32_t(1) << p;
+}
+
+} // namespace
+
+void
+applyAccess(BlockState &bs, unsigned nodes, NodeId p, bool is_write,
+            Mutation m)
+{
+    if (p >= nodes || nodes > maxTableNodes)
+        panic("applyAccess: node %u out of range (%u nodes)", p, nodes);
+
+    cache::AccessResult res = classifyAccess(bs.line[p], is_write);
+    if (res == cache::AccessResult::Hit)
+        return;
+
+    if (res == cache::AccessResult::UpgradeMiss || is_write) {
+        // Upgrade or write miss: sole WE holder, everyone else out.
+        invalidateOthers(bs, nodes, p, m);
+        bs.line[p] = cache::State::WriteExcl;
+        makeExclusive(bs, p);
+        return;
+    }
+
+    // Read miss: a dirty owner downgrades (its data refreshes the
+    // home memory); the requester joins the sharers.
+    if (bs.dirty && bs.owner != p) {
+        bs.line[bs.owner] = cache::State::ReadShared;
+        bs.presence |= std::uint32_t(1) << bs.owner;
+        if (m != Mutation::KeepDirtyOnRead) {
+            bs.dirty = false;
+            bs.owner = invalidNode;
+        }
+    }
+    bs.line[p] = cache::State::ReadShared;
+    bs.presence |= std::uint32_t(1) << p;
+}
+
+void
+applyEvict(BlockState &bs, NodeId p)
+{
+    if (bs.line[p] == cache::State::Invalid)
+        return;
+    if (bs.line[p] == cache::State::WriteExcl) {
+        // Write back: memory is fresh again, presence bit drops.
+        bs.dirty = false;
+        bs.owner = invalidNode;
+        bs.presence &= ~(std::uint32_t(1) << p);
+    }
+    // RS replacement is silent: the sticky presence bit stays set.
+    bs.line[p] = cache::State::Invalid;
+}
+
+} // namespace ringsim::core::ptable

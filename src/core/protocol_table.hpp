@@ -1,0 +1,182 @@
+/**
+ * @file
+ * Shared guarded-action protocol tables.
+ *
+ * The snoop and directory controllers (ring_snoop.*, ring_directory.*)
+ * and the static model checker (src/verify/) must agree on what each
+ * transaction does: which latency class it lands in, how many
+ * completion legs it has, who supplies the data, and which wire
+ * actions it launches. This header declares those transitions ONCE, as
+ * pure functions of a protocol-relevant request view:
+ *
+ *  - snoopPlan()  — the snooping transaction script (Section 3.1);
+ *  - dirPlan()    — the full-map directory script (Section 3.2);
+ *  - applyAccess()/applyEvict() — the functional (state) layer's
+ *    guarded actions on an abstract per-block view, mirroring
+ *    coherence::FunctionalEngine (tests/verify cross-checks the two
+ *    exhaustively, so drift fails the build).
+ *
+ * The production controllers consume the plans directly; the model
+ * checker enumerates them over every reachable state and placement.
+ * Because both sides read the same table, the checker audits the
+ * production protocol rather than a parallel specification.
+ *
+ * Mutation is a test-only fault seed: each value perturbs exactly one
+ * guarded action so tests can prove the checker (and the runtime
+ * InvariantMonitor) actually catch a broken transition. Production
+ * code always passes Mutation::None.
+ */
+
+#ifndef RINGSIM_CORE_PROTOCOL_TABLE_HPP
+#define RINGSIM_CORE_PROTOCOL_TABLE_HPP
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "cache/coherent_cache.hpp"
+#include "coherence/engine.hpp"
+#include "core/metrics.hpp"
+#include "util/units.hpp"
+
+namespace ringsim::core::ptable {
+
+/** Deliberately broken transitions, for checker self-tests. */
+enum class Mutation : unsigned {
+    None = 0,
+    DropInvalidation,    //!< a write leaves one stale sharer behind
+    KeepDirtyOnRead,     //!< a read of a dirty block leaves dirty set
+    SnoopExtraTraversal, //!< the snoop probe circulates twice
+    SnoopMemorySupplier, //!< a dirty snoop miss answered by home memory
+    DirSkipForward,      //!< a dirty directory miss served as if clean
+    DirSkipMulticast,    //!< a write to a shared block skips the
+                         //!< invalidation multicast
+    AcceptStaleAttempt,  //!< a superseded attempt's leg completes the
+                         //!< transaction (tag guard disabled)
+};
+
+/** Printable mutation name (CLI spelling). */
+const char *mutationName(Mutation m);
+
+/** Parse a CLI mutation name; false when unknown. */
+[[nodiscard]] bool mutationFromName(const std::string &name,
+                                    Mutation *out);
+
+/** Every mutation, for CLI listings and exhaustive tests. */
+constexpr std::array<Mutation, 7> allMutations = {
+    Mutation::DropInvalidation,    Mutation::KeepDirtyOnRead,
+    Mutation::SnoopExtraTraversal, Mutation::SnoopMemorySupplier,
+    Mutation::DirSkipForward,      Mutation::DirSkipMulticast,
+    Mutation::AcceptStaleAttempt,
+};
+
+/** Protocol-relevant view of one issued request. */
+struct RequestView
+{
+    bool isUpgrade = false;   //!< write to an RS copy (no data fetch)
+    bool isWrite = false;     //!< the access is a store
+    bool homeIsLocal = false; //!< the block's home is the requester
+    bool wasDirty = false;    //!< a remote cache owned the block
+    bool mapSharers = false;  //!< presence bits beyond the requester
+};
+
+/** The view the controllers derive from a functional outcome. */
+RequestView viewOf(const coherence::AccessOutcome &outcome,
+                   NodeId requester);
+
+/** Who answers a snoop data probe (Section 3.1). */
+enum class SnoopSupplier : std::uint8_t {
+    HomeMemory, //!< dirty bit clear: the home's memory bank
+    OwnerCache, //!< dirty bit set: the owning cache
+};
+
+/**
+ * Declarative script of one snooping transaction. Guards:
+ * isUpgrade selects the invalidation row; homeIsLocal && !wasDirty
+ * selects the local-miss row; everything else is a remote miss.
+ */
+struct SnoopPlan
+{
+    LatClass cls = LatClass::LocalMiss;
+    unsigned legs = 1;           //!< completion legs to wait for
+    bool probeReturnLeg = false; //!< the probe's own return is a leg
+    bool localBankLeg = false;   //!< the requester's bank is a leg
+    bool remoteData = false;     //!< a remote block message is the leg
+    SnoopSupplier supplier = SnoopSupplier::HomeMemory;
+    unsigned probeLoops = 1;     //!< ring traversals the probe makes
+};
+
+/** The snooping transition table row for @p rv. */
+SnoopPlan snoopPlan(const RequestView &rv,
+                    Mutation m = Mutation::None);
+
+/**
+ * Declarative script of one directory transaction. Wire actions in
+ * order: optional request leg to a remote home, then either a forward
+ * to the dirty owner (who answers the requester), or an optional
+ * full-ring multicast followed by the home's response.
+ */
+struct DirPlan
+{
+    LatClass cls = LatClass::LocalMiss;
+    bool requestLeg = false;     //!< point-to-point request to the home
+    bool forwardToOwner = false; //!< home forwards to the dirty owner
+    bool multicast = false;      //!< invalidation gates the response
+    bool respondData = false;    //!< response carries the block
+    bool homeBankFetch = false;  //!< home memory fetch feeds the reply
+    unsigned traversals = 0;     //!< exact traversals, this placement
+};
+
+/** True when @p rv requires a full-ring invalidation multicast. */
+bool dirNeedsMulticast(const RequestView &rv);
+
+/** The directory transition table row for @p rv at this placement. */
+DirPlan dirPlan(unsigned nodes, NodeId requester, NodeId home,
+                NodeId owner, const RequestView &rv,
+                Mutation m = Mutation::None);
+
+/**
+ * Functional layer: abstract global state of ONE block across up to
+ * @ref maxTableNodes caches plus its home (dirty bit, owner, sticky
+ * full-map presence bits). This is the state the guarded actions below
+ * transform; coherence::FunctionalEngine implements the same
+ * transitions on its concrete structures.
+ */
+constexpr unsigned maxTableNodes = 8;
+
+struct BlockState
+{
+    std::array<cache::State, maxTableNodes> line{};
+    bool dirty = false;
+    NodeId owner = invalidNode;
+    std::uint32_t presence = 0;
+
+    bool operator==(const BlockState &) const = default;
+};
+
+/**
+ * Access classification guard: what a (line state, op) pair needs.
+ * Mirrors cache::CoherentCache::classify for a resident/absent block.
+ */
+cache::AccessResult classifyAccess(cache::State line, bool is_write);
+
+/**
+ * Apply one access's guarded actions to @p bs (requester @p p):
+ * hits touch nothing; upgrades and write misses invalidate every other
+ * copy and make @p p the exclusive owner; read misses downgrade a
+ * dirty owner (refreshing memory) and add @p p as a sharer. Mirrors
+ * FunctionalEngine::access minus statistics and capacity victims.
+ */
+void applyAccess(BlockState &bs, unsigned nodes, NodeId p,
+                 bool is_write, Mutation m = Mutation::None);
+
+/**
+ * Apply a replacement: WE victims write back (dirty cleared, presence
+ * bit dropped); RS victims are silent (presence bit stays — the
+ * full map's sticky superset). Mirrors FunctionalEngine::handleVictim.
+ */
+void applyEvict(BlockState &bs, NodeId p);
+
+} // namespace ringsim::core::ptable
+
+#endif // RINGSIM_CORE_PROTOCOL_TABLE_HPP

@@ -6,47 +6,25 @@
 namespace ringsim::core {
 
 using coherence::AccessOutcome;
-using coherence::DirMissClass;
 
-bool
-RingDirectoryProtocol::needsMulticast(const Txn &txn)
+ptable::DirPlan
+RingDirectoryProtocol::planOf(const Txn &txn) const
 {
     const AccessOutcome &o = txn.outcome;
-    if (o.type == AccessOutcome::Type::Upgrade)
-        return o.mapSharers;
-    return o.isWrite && !o.wasDirty && o.mapSharers;
+    return ptable::dirPlan(nodes_, txn.requester, o.home, o.owner,
+                           ptable::viewOf(o, txn.requester));
 }
 
 void
 RingDirectoryProtocol::launch(Txn &txn)
 {
     const AccessOutcome &o = txn.outcome;
+    const ptable::DirPlan plan = planOf(txn);
+    txn.cls = plan.cls;
     txn.remainingLegs = 1;
 
-    if (o.type == AccessOutcome::Type::Upgrade) {
-        txn.cls = LatClass::Upgrade;
-    } else {
-        coherence::DirMiss dm = coherence::classifyDirMiss(
-            nodes_, txn.requester, o.home, o.wasDirty, o.owner,
-            needsMulticast(txn));
-        switch (dm.cls) {
-          case DirMissClass::Local:
-            txn.cls = LatClass::LocalMiss;
-            break;
-          case DirMissClass::Clean1:
-            txn.cls = LatClass::CleanMiss1;
-            break;
-          case DirMissClass::Dirty1:
-            txn.cls = LatClass::DirtyMiss1;
-            break;
-          case DirMissClass::Two:
-            txn.cls = LatClass::Miss2;
-            break;
-        }
-    }
-
     std::uint64_t tag = tagOf(txn);
-    if (txn.requester == o.home) {
+    if (!plan.requestLeg) {
         // The home is local: run the directory actions directly.
         kernel_.post(kernel_.now() + config_.dirLookup,
                      [this, tag]() { homeActions(tag); });
@@ -77,7 +55,7 @@ RingDirectoryProtocol::respond(std::uint64_t tag, NodeId from,
         return;
     }
 
-    bool data = txn->outcome.type == AccessOutcome::Type::Miss;
+    bool data = planOf(*txn).respondData;
     ring::RingMessage msg;
     msg.kind = data ? MsgBlockData : MsgDirAck;
     msg.src = from;
@@ -97,10 +75,11 @@ RingDirectoryProtocol::homeActions(std::uint64_t tag)
     if (!txn)
         return;
     const AccessOutcome &o = txn->outcome;
+    const ptable::DirPlan plan = planOf(*txn);
     NodeId home = o.home;
     Tick now = kernel_.now();
 
-    if (o.wasDirty) {
+    if (plan.forwardToOwner) {
         // Forward to the owning cache; it answers the requester.
         ring::RingMessage fwd;
         fwd.kind = MsgDirForward;
@@ -112,10 +91,10 @@ RingDirectoryProtocol::homeActions(std::uint64_t tag)
         return;
     }
 
-    if (needsMulticast(*txn)) {
+    if (plan.multicast) {
         // Launch the full-ring invalidation; overlap the memory fetch
         // (the response still waits for the multicast's return).
-        if (o.type == AccessOutcome::Type::Miss) {
+        if (plan.homeBankFetch) {
             txn->dataReadyAt =
                 bankDone(home, now, config_.memoryLatency);
         } else {
@@ -131,8 +110,8 @@ RingDirectoryProtocol::homeActions(std::uint64_t tag)
         return;
     }
 
-    if (o.type == AccessOutcome::Type::Upgrade) {
-        // No sharers: acknowledge immediately.
+    if (!plan.homeBankFetch) {
+        // Upgrade with no sharers: acknowledge immediately.
         respond(tag, home, now);
         return;
     }
@@ -174,22 +153,19 @@ RingDirectoryProtocol::handleMessage(NodeId n, ring::SlotHandle &slot)
         // the home is not on the owner->requester path the owner
         // sends a separate copy.
         const AccessOutcome &o = txn->outcome;
-        if (!o.isWrite && o.home != n && o.home != txn->requester) {
-            unsigned to_req =
-                coherence::hopDist(nodes_, n, txn->requester);
-            unsigned to_home = coherence::hopDist(nodes_, n, o.home);
-            if (to_home > to_req) {
-                ring::RingMessage copy;
-                copy.kind = MsgBlockTraffic;
-                copy.src = n;
-                copy.dst = o.home;
-                copy.addr = o.block;
-                copy.payload = 0;
-                NodeId owner = n;
-                kernel_.post(ready, [this, owner, copy]() {
-                    enqueue(owner, copy, /*is_block=*/true);
-                });
-            }
+        if (!o.isWrite &&
+            coherence::dirRefreshCopy(nodes_, n, txn->requester,
+                                      o.home)) {
+            ring::RingMessage copy;
+            copy.kind = MsgBlockTraffic;
+            copy.src = n;
+            copy.dst = o.home;
+            copy.addr = o.block;
+            copy.payload = 0;
+            NodeId owner = n;
+            kernel_.post(ready, [this, owner, copy]() {
+                enqueue(owner, copy, /*is_block=*/true);
+            });
         }
         return;
       }

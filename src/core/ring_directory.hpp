@@ -15,6 +15,7 @@
 #ifndef RINGSIM_CORE_RING_DIRECTORY_HPP
 #define RINGSIM_CORE_RING_DIRECTORY_HPP
 
+#include "core/protocol_table.hpp"
 #include "core/ring_protocol.hpp"
 
 namespace ringsim::core {
@@ -35,14 +36,14 @@ class RingDirectoryProtocol : public RingProtocolBase
     void handleMessage(NodeId n, ring::SlotHandle &slot) override;
 
   private:
+    /** This transaction's row of the shared directory table. */
+    ptable::DirPlan planOf(const Txn &txn) const;
+
     /** Directory actions at the home node (after the lookup delay). */
     void homeActions(std::uint64_t tag);
 
     /** Send the block (or ack) that completes the transaction. */
     void respond(std::uint64_t tag, NodeId from, Tick when);
-
-    /** True when this transaction needs a multicast invalidation. */
-    static bool needsMulticast(const Txn &txn);
 };
 
 } // namespace ringsim::core

@@ -56,7 +56,8 @@ class RingProtocolBase : public Protocol
 
     ~RingProtocolBase() override;
 
-    bool tryAccess(NodeId p, const trace::TraceRecord &ref) override;
+    [[nodiscard]] bool
+    tryAccess(NodeId p, const trace::TraceRecord &ref) override;
 
     void startTransaction(NodeId p, const trace::TraceRecord &ref,
                           std::function<void()> on_complete) override;

@@ -6,59 +6,47 @@ namespace ringsim::core {
 
 using coherence::AccessOutcome;
 
+ptable::SnoopPlan
+RingSnoopProtocol::planOf(const Txn &txn)
+{
+    return ptable::snoopPlan(ptable::viewOf(txn.outcome,
+                                            txn.requester));
+}
+
 NodeId
 RingSnoopProtocol::supplierOf(const Txn &txn) const
 {
-    return txn.outcome.wasDirty ? txn.outcome.owner : txn.outcome.home;
+    return planOf(txn).supplier == ptable::SnoopSupplier::OwnerCache
+               ? txn.outcome.owner
+               : txn.outcome.home;
 }
 
 void
 RingSnoopProtocol::launch(Txn &txn)
 {
-    const AccessOutcome &o = txn.outcome;
+    const ptable::SnoopPlan plan = planOf(txn);
     std::uint64_t tag = tagOf(txn);
 
-    if (o.type == AccessOutcome::Type::Upgrade) {
-        // Invalidation: one broadcast probe; done when it returns.
-        txn.cls = LatClass::Upgrade;
-        txn.remainingLegs = 1;
-        txn.probeReturnLeg = true;
-        ring::RingMessage probe;
-        probe.kind = MsgSnoopProbe;
-        probe.src = txn.requester;
-        probe.dst = ring::broadcastNode;
-        probe.addr = o.block;
-        probe.payload = tag;
-        enqueue(txn.requester, probe, /*is_block=*/false);
-        return;
+    txn.cls = plan.cls;
+    txn.remainingLegs = plan.legs;
+    txn.probeReturnLeg = plan.probeReturnLeg;
+
+    if (plan.localBankLeg) {
+        // The local bank answers, but the transaction commits when
+        // the probe returns: both legs must finish.
+        Tick done = bankDone(txn.requester, kernel_.now(),
+                             config_.memoryLatency);
+        kernel_.post(done, [this, tag]() { legDone(tag); });
     }
 
-    // Every miss broadcasts a probe; the dirty bit only decides who
-    // responds (Section 3.1).
+    // Every transaction broadcasts a probe — misses and invalidations
+    // alike; the dirty bit only decides who responds (Section 3.1).
     ring::RingMessage probe;
     probe.kind = MsgSnoopProbe;
     probe.src = txn.requester;
     probe.dst = ring::broadcastNode;
-    probe.addr = o.block;
+    probe.addr = txn.outcome.block;
     probe.payload = tag;
-
-    bool local_data = !o.wasDirty && o.home == txn.requester;
-    if (local_data) {
-        // The local bank answers, but the transaction commits when
-        // the probe returns: both legs must finish.
-        txn.cls = LatClass::LocalMiss;
-        txn.remainingLegs = 2;
-        txn.probeReturnLeg = true;
-        Tick done = bankDone(txn.requester, kernel_.now(),
-                             config_.memoryLatency);
-        kernel_.post(done, [this, tag]() { legDone(tag); });
-    } else {
-        // Remote data: completion is the block's arrival.
-        txn.cls = o.wasDirty ? LatClass::DirtyMiss1
-                             : LatClass::CleanMiss1;
-        txn.remainingLegs = 1;
-        txn.probeReturnLeg = false;
-    }
     enqueue(txn.requester, probe, /*is_block=*/false);
 }
 
@@ -68,7 +56,7 @@ RingSnoopProtocol::supply(Txn &txn, NodeId supplier)
     // Home memory access goes through the FCFS bank; a dirty cache
     // supplies after a fixed cache-array access.
     Tick ready;
-    if (txn.outcome.wasDirty) {
+    if (planOf(txn).supplier == ptable::SnoopSupplier::OwnerCache) {
         ready = kernel_.now() + config_.cacheSupply;
     } else {
         ready = bankDone(supplier, kernel_.now(),
@@ -105,15 +93,12 @@ RingSnoopProtocol::handleMessage(NodeId n, ring::SlotHandle &slot)
                 legDone(probe.payload);
             return;
         }
-        // Snoop: the owner answers a *data* probe as it passes
-        // (invalidation probes need no reply beyond their return).
+        // Snoop: the planned supplier answers a *data* probe as it
+        // passes (invalidation probes need no reply beyond their
+        // return).
         Txn *txn = activeTxn(msg.payload);
-        if (txn &&
-            txn->outcome.type == AccessOutcome::Type::Miss &&
-            supplierOf(*txn) == n &&
-            supplierOf(*txn) != txn->requester) {
+        if (txn && planOf(*txn).remoteData && supplierOf(*txn) == n)
             supply(*txn, n);
-        }
         return;
       }
       case MsgBlockData: {

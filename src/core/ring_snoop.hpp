@@ -14,6 +14,7 @@
 #ifndef RINGSIM_CORE_RING_SNOOP_HPP
 #define RINGSIM_CORE_RING_SNOOP_HPP
 
+#include "core/protocol_table.hpp"
 #include "core/ring_protocol.hpp"
 
 namespace ringsim::core {
@@ -36,6 +37,9 @@ class RingSnoopProtocol : public RingProtocolBase
     void handleMessage(NodeId n, ring::SlotHandle &slot) override;
 
   private:
+    /** This transaction's row of the shared snoop transition table. */
+    static ptable::SnoopPlan planOf(const Txn &txn);
+
     /** The node that must answer this transaction's probe. */
     NodeId supplierOf(const Txn &txn) const;
 

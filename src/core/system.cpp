@@ -46,6 +46,7 @@ struct Harness
         opt.geometry.blockBytes = workload.blockBytes;
         opt.check = common.check;
         opt.monitor = common.monitor;
+        opt.hooks.dropOneInvalidation = common.testDropOneInvalidation;
         return opt;
     }
 

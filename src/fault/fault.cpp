@@ -39,7 +39,8 @@ FaultConfig::check() const
     auto rate_ok = [&](double rate, const char *name) {
         if (rate < 0.0 || rate > 1.0 || rate != rate) {
             errors.push_back(strprintf(
-                "fault %s rate %g is not a probability in [0, 1]",
+                "%sRate = %g: fault rate is not a probability in "
+                "[0, 1]",
                 name, rate));
         }
     };
@@ -47,9 +48,13 @@ FaultConfig::check() const
     rate_ok(dropRate, "drop");
     rate_ok(stallRate, "stall");
     if (stallRate > 0.0 && stallCycles == 0)
-        errors.push_back("fault stall length must be nonzero");
+        errors.push_back(strprintf(
+            "stallCycles = 0: fault stalls (stallRate = %g) need a "
+            "nonzero length",
+            stallRate));
     if (maxRetries == 0)
-        errors.push_back("fault recovery needs at least one retry");
+        errors.push_back(
+            "maxRetries = 0: fault recovery needs at least one retry");
     return errors;
 }
 

@@ -85,7 +85,7 @@ struct FaultConfig
     }
 
     /** All misconfigurations, as human-readable messages. */
-    std::vector<std::string> check() const;
+    [[nodiscard]] std::vector<std::string> check() const;
 
     /** fatal() with the first check() error, if any. */
     void validate() const;

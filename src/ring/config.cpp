@@ -51,23 +51,26 @@ RingConfig::check() const
 {
     std::vector<std::string> errors;
     if (nodes == 0) {
-        errors.push_back("ring must have at least one node");
+        errors.push_back(
+            "nodes = 0: ring must have at least one node");
     } else if (!allowNonPaperScale && (nodes < 8 || nodes > 64)) {
         errors.push_back(strprintf(
-            "ring has %u nodes, outside the paper's 8-64 evaluation "
+            "nodes = %u: outside the paper's 8-64 evaluation "
             "range (set allowNonPaperScale to override)",
             nodes));
     }
     if (clockPeriod == 0) {
-        errors.push_back("ring clock period must be nonzero");
+        errors.push_back(
+            "clockPeriod = 0: ring clock period must be nonzero");
     } else if (clockPeriod > 1'000'000) {
         errors.push_back(strprintf(
-            "ring clock period %llu ps is below 1 MHz; the paper "
-            "evaluates 250 and 500 MHz rings",
+            "clockPeriod = %llu ps: ring clock is below 1 MHz; the "
+            "paper evaluates 250 and 500 MHz rings",
             static_cast<unsigned long long>(clockPeriod)));
     }
     if (minStagesPerNode == 0)
-        errors.push_back("ring interfaces contribute at least one stage");
+        errors.push_back("minStagesPerNode = 0: ring interfaces "
+                         "contribute at least one stage");
     for (std::string &e : frame.check())
         errors.push_back(std::move(e));
     return errors;

@@ -100,7 +100,7 @@ struct RingConfig
      * the config is sound). Callers that can recover use this;
      * validate() is the fail-fast wrapper.
      */
-    std::vector<std::string> check() const;
+    [[nodiscard]] std::vector<std::string> check() const;
 
     /** Validate all parameters; fatal() on misconfiguration. */
     void validate() const;

@@ -75,7 +75,7 @@ struct FrameLayout
     static SlotType slotTypeAt(unsigned s);
 
     /** All layout misconfigurations, as human-readable messages. */
-    std::vector<std::string> check() const;
+    [[nodiscard]] std::vector<std::string> check() const;
 
     /** Sanity-check the layout (width divides sizes and is nonzero). */
     void validate() const;

@@ -45,7 +45,7 @@ MaterializedTrace readTraceFile(const std::string &path);
  * cross-checked against the file size *before* any allocation, so a
  * corrupt count cannot trigger a huge reserve or a read past the end.
  */
-bool tryReadTraceFile(const std::string &path, MaterializedTrace *out,
+[[nodiscard]] bool tryReadTraceFile(const std::string &path, MaterializedTrace *out,
                       std::string *error);
 
 /** Wrap a materialized trace as a TraceSet of VectorStreams. */

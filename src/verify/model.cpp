@@ -1,0 +1,838 @@
+#include "model.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <sstream>
+#include <unordered_set>
+
+#include "coherence/classify.hpp"
+#include "util/logging.hpp"
+
+namespace ringsim::verify {
+
+using core::ptable::BlockState;
+using core::ptable::Mutation;
+using core::ptable::RequestView;
+using core::ptable::SnoopSupplier;
+
+namespace {
+
+/** Stored counterexamples are capped; violationsTotal keeps counting. */
+constexpr size_t maxFindings = 16;
+
+/** Safety valve: a mutated table can inflate the reachable space. */
+constexpr std::uint64_t stateCap = 2'000'000;
+
+constexpr std::uint32_t
+bit(NodeId p)
+{
+    return std::uint32_t(1) << p;
+}
+
+/** Shared flag/count bookkeeping for all phases. */
+struct Ctx
+{
+    const ModelConfig &cfg;
+    ModelReport &rep;
+
+    void flag(Defect kind, std::string detail)
+    {
+        ++rep.violationsTotal;
+        if (rep.findings.size() < maxFindings)
+            rep.findings.push_back({kind, std::move(detail)});
+    }
+};
+
+/*
+ * Functional state encoding: per block, 2 bits per line state, one
+ * dirty bit, 4 owner bits (0xF = none) and one presence bit per node.
+ * At most (2n + 5 + n) bits per block; two 8-node blocks still fit a
+ * single 64-bit key.
+ */
+unsigned
+blockBits(unsigned nodes)
+{
+    return 3 * nodes + 5;
+}
+
+std::uint64_t
+encodeBlock(const BlockState &bs, unsigned nodes)
+{
+    std::uint64_t v = 0;
+    for (unsigned p = 0; p < nodes; ++p)
+        v |= std::uint64_t(static_cast<unsigned>(bs.line[p]))
+             << (2 * p);
+    v |= std::uint64_t(bs.dirty ? 1 : 0) << (2 * nodes);
+    std::uint64_t owner =
+        bs.owner == invalidNode ? 0xF : std::uint64_t(bs.owner);
+    v |= owner << (2 * nodes + 1);
+    v |= std::uint64_t(bs.presence) << (2 * nodes + 5);
+    return v;
+}
+
+BlockState
+decodeBlock(std::uint64_t v, unsigned nodes)
+{
+    BlockState bs;
+    for (unsigned p = 0; p < nodes; ++p)
+        bs.line[p] =
+            static_cast<cache::State>((v >> (2 * p)) & 0x3);
+    bs.dirty = ((v >> (2 * nodes)) & 0x1) != 0;
+    std::uint64_t owner = (v >> (2 * nodes + 1)) & 0xF;
+    bs.owner = owner == 0xF ? invalidNode
+                            : static_cast<NodeId>(owner);
+    bs.presence = static_cast<std::uint32_t>(
+        (v >> (2 * nodes + 5)) & ((std::uint64_t(1) << nodes) - 1));
+    return bs;
+}
+
+std::uint64_t
+encodeSys(const std::vector<BlockState> &sys, unsigned nodes)
+{
+    std::uint64_t v = 0;
+    for (size_t b = 0; b < sys.size(); ++b)
+        v |= encodeBlock(sys[b], nodes) << (b * blockBits(nodes));
+    return v;
+}
+
+std::vector<BlockState>
+decodeSys(std::uint64_t v, unsigned nodes, unsigned blocks)
+{
+    std::vector<BlockState> sys(blocks);
+    std::uint64_t mask =
+        (std::uint64_t(1) << blockBits(nodes)) - 1;
+    for (unsigned b = 0; b < blocks; ++b)
+        sys[b] =
+            decodeBlock((v >> (b * blockBits(nodes))) & mask, nodes);
+    return sys;
+}
+
+std::string
+describeBlock(const BlockState &bs, unsigned nodes, unsigned b)
+{
+    std::ostringstream os;
+    os << "block " << b << " [";
+    for (unsigned p = 0; p < nodes; ++p) {
+        switch (bs.line[p]) {
+          case cache::State::Invalid:
+            os << 'I';
+            break;
+          case cache::State::ReadShared:
+            os << 'S';
+            break;
+          case cache::State::WriteExcl:
+            os << 'W';
+            break;
+        }
+    }
+    os << "] dirty=" << (bs.dirty ? 1 : 0);
+    if (bs.owner != invalidNode)
+        os << " owner=" << bs.owner;
+    os << " presence=0x" << std::hex << bs.presence << std::dec;
+    return os.str();
+}
+
+/**
+ * Phase 1/4 state invariants. SWMR: a WriteExcl copy tolerates no
+ * other copy. Directory agreement: the dirty bit points at a live WE
+ * owner, a clean entry has no WE line, and the sticky presence map is
+ * a superset of the cached copies. Stale-read freedom: no readable
+ * copy may coexist with a remote dirty owner.
+ */
+void
+checkState(Ctx &ctx, const std::vector<BlockState> &sys)
+{
+    unsigned nodes = ctx.cfg.nodes;
+    for (unsigned b = 0; b < sys.size(); ++b) {
+        const BlockState &bs = sys[b];
+        NodeId writer = invalidNode;
+        for (unsigned p = 0; p < nodes; ++p)
+            if (bs.line[p] == cache::State::WriteExcl)
+                writer = p;
+
+        for (unsigned p = 0; p < nodes; ++p) {
+            if (bs.line[p] == cache::State::Invalid)
+                continue;
+            if (writer != invalidNode && p != writer) {
+                ctx.flag(Defect::MultipleWriters,
+                         describeBlock(bs, nodes, b) + ": node " +
+                             std::to_string(p) +
+                             " holds a copy alongside writer " +
+                             std::to_string(writer));
+            }
+            if ((bs.presence & bit(p)) == 0) {
+                ctx.flag(Defect::DirectoryMismatch,
+                         describeBlock(bs, nodes, b) +
+                             ": presence bit clear for holder " +
+                             std::to_string(p));
+            }
+            if (bs.dirty && bs.owner != p) {
+                ctx.flag(Defect::StaleRead,
+                         describeBlock(bs, nodes, b) + ": node " +
+                             std::to_string(p) +
+                             " can read while node " +
+                             (bs.owner == invalidNode
+                                  ? std::string("?")
+                                  : std::to_string(bs.owner)) +
+                             " is dirty");
+            }
+        }
+
+        if (bs.dirty &&
+            (bs.owner == invalidNode || bs.owner >= nodes ||
+             bs.line[bs.owner] != cache::State::WriteExcl)) {
+            ctx.flag(Defect::DirectoryMismatch,
+                     describeBlock(bs, nodes, b) +
+                         ": dirty without a WriteExcl owner");
+        }
+        if (!bs.dirty && writer != invalidNode) {
+            ctx.flag(Defect::DirectoryMismatch,
+                     describeBlock(bs, nodes, b) +
+                         ": clean entry but node " +
+                         std::to_string(writer) + " is WriteExcl");
+        }
+    }
+}
+
+/**
+ * Phase 1: BFS closure of the functional guarded actions over every
+ * (block, node, access/evict) transition. Returns the reachable set
+ * (encoded) for the plan audits and the product space to iterate.
+ */
+std::vector<std::uint64_t>
+exploreFunctional(Ctx &ctx)
+{
+    unsigned nodes = ctx.cfg.nodes;
+    unsigned blocks = ctx.cfg.blocks;
+    std::unordered_set<std::uint64_t> seen;
+    std::deque<std::uint64_t> frontier;
+    std::vector<std::uint64_t> reachable;
+
+    std::vector<BlockState> init(blocks);
+    std::uint64_t key0 = encodeSys(init, nodes);
+    seen.insert(key0);
+    reachable.push_back(key0);
+    frontier.push_back(key0);
+    checkState(ctx, init);
+
+    auto visit = [&](const std::vector<BlockState> &next) {
+        ++ctx.rep.functionalTransitions;
+        std::uint64_t key = encodeSys(next, nodes);
+        if (seen.size() < stateCap && seen.insert(key).second) {
+            checkState(ctx, next);
+            reachable.push_back(key);
+            frontier.push_back(key);
+        }
+    };
+
+    while (!frontier.empty()) {
+        std::uint64_t key = frontier.front();
+        frontier.pop_front();
+        std::vector<BlockState> sys = decodeSys(key, nodes, blocks);
+        for (unsigned b = 0; b < blocks; ++b) {
+            for (NodeId p = 0; p < nodes; ++p) {
+                for (bool is_write : {false, true}) {
+                    if (core::ptable::classifyAccess(
+                            sys[b].line[p], is_write) ==
+                        cache::AccessResult::Hit)
+                        continue;
+                    std::vector<BlockState> next = sys;
+                    core::ptable::applyAccess(next[b], nodes, p,
+                                              is_write,
+                                              ctx.cfg.mutation);
+                    visit(next);
+                }
+                if (sys[b].line[p] != cache::State::Invalid) {
+                    std::vector<BlockState> next = sys;
+                    core::ptable::applyEvict(next[b], p);
+                    visit(next);
+                }
+            }
+        }
+    }
+    ctx.rep.functionalStates = seen.size();
+    // reachable is in BFS insertion order — deterministic, unlike the
+    // hash set's iteration order, so audits and findings reproduce.
+    std::sort(reachable.begin(), reachable.end());
+    return reachable;
+}
+
+/** The request view of (state, requester, op); false when it is a hit
+ *  or an incoherent placement the timed layer can never see. */
+bool
+requestAt(const BlockState &bs, unsigned nodes, NodeId p,
+          bool is_write, NodeId home, RequestView *out)
+{
+    cache::AccessResult res =
+        core::ptable::classifyAccess(bs.line[p], is_write);
+    if (res == cache::AccessResult::Hit)
+        return false;
+    if (bs.dirty && (bs.owner == p || bs.owner >= nodes))
+        return false; // broken-state artifact; phase 1 already flagged
+    out->isUpgrade = res == cache::AccessResult::UpgradeMiss;
+    out->isWrite = is_write;
+    out->homeIsLocal = home == p;
+    out->wasDirty = bs.dirty;
+    out->mapSharers = (bs.presence & ~bit(p)) != 0;
+    return true;
+}
+
+void
+auditSnoopPlan(Ctx &ctx, const RequestView &rv, const char *where)
+{
+    core::ptable::SnoopPlan plan =
+        core::ptable::snoopPlan(rv, ctx.cfg.mutation);
+    ++ctx.rep.plansAudited;
+    ctx.rep.maxTraversals =
+        std::max(ctx.rep.maxTraversals, plan.probeLoops);
+
+    if (plan.probeLoops > 1)
+        ctx.flag(Defect::TraversalOverrun,
+                 std::string(where) + ": snoop probe makes " +
+                     std::to_string(plan.probeLoops) +
+                     " ring traversals");
+    if (plan.probeLoops < 1)
+        ctx.flag(Defect::LostInvalidation,
+                 std::string(where) +
+                     ": transaction launches no probe");
+    if (rv.wasDirty && plan.supplier != SnoopSupplier::OwnerCache)
+        ctx.flag(Defect::StaleSupplier,
+                 std::string(where) +
+                     ": dirty block served from home memory");
+    if (!rv.wasDirty && !rv.isUpgrade &&
+        plan.supplier != SnoopSupplier::HomeMemory)
+        ctx.flag(Defect::StaleSupplier,
+                 std::string(where) +
+                     ": clean block served from a cache");
+    if (rv.isUpgrade && !plan.probeReturnLeg)
+        ctx.flag(Defect::LostInvalidation,
+                 std::string(where) + ": invalidation completes "
+                                      "before its probe returns");
+
+    unsigned scheduled = (plan.probeReturnLeg ? 1u : 0u) +
+                         (plan.localBankLeg ? 1u : 0u) +
+                         (plan.remoteData ? 1u : 0u);
+    if (plan.legs > scheduled)
+        ctx.flag(Defect::Deadlock,
+                 std::string(where) + ": waits for " +
+                     std::to_string(plan.legs) + " legs but only " +
+                     std::to_string(scheduled) + " are scheduled");
+    if (plan.legs < scheduled)
+        ctx.flag(Defect::DoubleCompletion,
+                 std::string(where) +
+                     ": more completion events than legs");
+}
+
+void
+auditDirPlan(Ctx &ctx, const BlockState &bs, const RequestView &rv,
+             NodeId p, NodeId home, const char *where)
+{
+    NodeId owner = rv.wasDirty ? bs.owner : invalidNode;
+    core::ptable::DirPlan plan = core::ptable::dirPlan(
+        ctx.cfg.nodes, p, home, owner, rv, ctx.cfg.mutation);
+    ++ctx.rep.plansAudited;
+    ctx.rep.maxTraversals =
+        std::max(ctx.rep.maxTraversals, plan.traversals);
+
+    if (plan.traversals > 2)
+        ctx.flag(Defect::TraversalOverrun,
+                 std::string(where) + ": directory plan needs " +
+                     std::to_string(plan.traversals) +
+                     " ring traversals");
+    if (rv.wasDirty && !plan.forwardToOwner)
+        ctx.flag(Defect::StaleSupplier,
+                 std::string(where) + ": dirty block served without "
+                                      "forwarding to its owner");
+    if (core::ptable::dirNeedsMulticast(rv) && !plan.multicast)
+        ctx.flag(Defect::LostInvalidation,
+                 std::string(where) + ": write to a shared block "
+                                      "skips the invalidation "
+                                      "multicast");
+    if (!rv.isUpgrade && !plan.respondData)
+        ctx.flag(Defect::Deadlock,
+                 std::string(where) +
+                     ": miss response carries no data");
+    if (!rv.isUpgrade && !rv.wasDirty && !plan.homeBankFetch)
+        ctx.flag(Defect::StaleSupplier,
+                 std::string(where) +
+                     ": clean miss without a home memory fetch");
+    if (!plan.requestLeg && !rv.homeIsLocal)
+        ctx.flag(Defect::Deadlock,
+                 std::string(where) +
+                     ": remote home never sees the request");
+}
+
+/**
+ * Phase 2: audit the transaction plan of every (reachable state,
+ * block, requester, operation, home placement).
+ */
+void
+auditPlans(Ctx &ctx, const std::vector<std::uint64_t> &reachable)
+{
+    unsigned nodes = ctx.cfg.nodes;
+    unsigned blocks = ctx.cfg.blocks;
+    for (std::uint64_t key : reachable) {
+        std::vector<BlockState> sys = decodeSys(key, nodes, blocks);
+        for (unsigned b = 0; b < blocks; ++b) {
+            for (NodeId p = 0; p < nodes; ++p) {
+                for (bool is_write : {false, true}) {
+                    for (NodeId home = 0; home < nodes; ++home) {
+                        RequestView rv;
+                        if (!requestAt(sys[b], nodes, p, is_write,
+                                       home, &rv))
+                            continue;
+                        std::string where =
+                            describeBlock(sys[b], nodes, b) +
+                            " req=" + std::to_string(p) +
+                            (is_write ? " write" : " read") +
+                            " home=" + std::to_string(home);
+                        if (ctx.cfg.protocol == Protocol::Snoop)
+                            auditSnoopPlan(ctx, rv, where.c_str());
+                        else
+                            auditDirPlan(ctx, sys[b], rv, p, home,
+                                         where.c_str());
+                    }
+                }
+            }
+        }
+    }
+}
+
+/**
+ * Phase 3: the per-transaction retry automaton. State: (attempt,
+ * pending legs of the live attempt, superseded legs still in flight,
+ * done). Events: a live leg arrives, the watchdog fires (relaunch or,
+ * past the budget, graceful give-up), a superseded leg arrives. The
+ * tag guard must drop superseded legs; AcceptStaleAttempt disables it
+ * and must be caught as DoubleCompletion.
+ */
+void
+exploreRetryAutomaton(Ctx &ctx, unsigned legs)
+{
+    constexpr unsigned staleCap = 3;
+    unsigned maxAttempts = ctx.cfg.faults ? ctx.cfg.maxAttempts : 1;
+
+    auto pack = [](unsigned a, unsigned p, unsigned s, bool done) {
+        return (a << 16) | (p << 8) | (s << 1) | (done ? 1u : 0u);
+    };
+
+    std::unordered_set<std::uint32_t> seen;
+    std::deque<std::uint32_t> frontier;
+    std::uint32_t init = pack(1, legs, 0, false);
+    seen.insert(init);
+    frontier.push_back(init);
+
+    // Lexicographic progress measure (attempt first, then pending
+    // legs, then superseded legs still draining): every non-final
+    // step of a correct schedule strictly decreases it.
+    auto measure = [&](unsigned a, unsigned p, unsigned s) {
+        unsigned attemptWeight = (legs + 1) * (staleCap + 1);
+        return (maxAttempts + 1 - a) * attemptWeight +
+               p * (staleCap + 1) + s;
+    };
+
+    while (!frontier.empty()) {
+        std::uint32_t key = frontier.front();
+        frontier.pop_front();
+        unsigned a = key >> 16;
+        unsigned p = (key >> 8) & 0xFF;
+        unsigned s = (key >> 1) & 0x7F;
+        bool done = (key & 1) != 0;
+
+        auto visit = [&](unsigned na, unsigned np, unsigned ns,
+                         bool ndone) {
+            if (!done && !ndone &&
+                measure(na, np, ns) >= measure(a, p, s))
+                ctx.flag(Defect::Livelock,
+                         "retry automaton step fails to decrease "
+                         "its progress measure (attempt " +
+                             std::to_string(a) + " -> " +
+                             std::to_string(na) + ")");
+            std::uint32_t nk = pack(na, np, ns, ndone);
+            if (seen.insert(nk).second)
+                frontier.push_back(nk);
+        };
+
+        if (done) {
+            // Superseded legs draining after completion must be
+            // ignored (the transaction is gone from the table).
+            if (s > 0) {
+                if (ctx.cfg.mutation == Mutation::AcceptStaleAttempt)
+                    ctx.flag(Defect::DoubleCompletion,
+                             "a superseded attempt's leg completed "
+                             "an already-finished transaction");
+                visit(a, p, s - 1, true);
+            }
+            continue;
+        }
+
+        bool any = false;
+        if (p > 0) { // a live leg arrives
+            any = true;
+            visit(a, p - 1, s, p == 1);
+        }
+        if (ctx.cfg.faults) { // the watchdog fires
+            any = true;
+            if (a < maxAttempts)
+                visit(a + 1, legs, std::min(s + p, staleCap), false);
+            else
+                visit(a, p, s, true); // graceful give-up completes
+        }
+        if (s > 0) { // a superseded leg arrives
+            any = true;
+            if (ctx.cfg.mutation == Mutation::AcceptStaleAttempt) {
+                ctx.flag(Defect::DoubleCompletion,
+                         "tag guard disabled: a superseded "
+                         "attempt's leg advanced attempt " +
+                             std::to_string(a));
+                visit(a, p > 0 ? p - 1 : 0, s - 1, p <= 1);
+            } else {
+                visit(a, p, s - 1, false);
+            }
+        }
+        if (!any)
+            ctx.flag(Defect::Deadlock,
+                     "retry automaton stuck at attempt " +
+                         std::to_string(a) + " with " +
+                         std::to_string(p) + " pending legs");
+    }
+    ctx.rep.automatonStates += seen.size();
+}
+
+/** Legs a freshly issued transaction waits for (by protocol). */
+unsigned
+issueLegs(const Ctx &ctx, const RequestView &rv)
+{
+    if (ctx.cfg.protocol == Protocol::Snoop)
+        return std::max(
+            1u, core::ptable::snoopPlan(rv, ctx.cfg.mutation).legs);
+    return 1;
+}
+
+/**
+ * Phase 4: genuine product-space interleaving. A state is the
+ * functional state plus up to `inflight` transaction slots (block,
+ * requester, op, pending legs, attempt); transitions interleave
+ * issues, leg completions, watchdog retries and evictions one step at
+ * a time. The functional state is applied atomically at issue — this
+ * phase *demonstrates* that no interleaving of the timing legs can
+ * reach a state phase 1 cannot, and re-checks every invariant on
+ * every step plus a per-transaction progress measure.
+ */
+void
+exploreProduct(Ctx &ctx,
+               const std::vector<std::uint64_t> &functional)
+{
+    unsigned nodes = ctx.cfg.nodes;
+    unsigned blocks = ctx.cfg.blocks;
+    unsigned inflight = ctx.cfg.inflight;
+    unsigned maxAttempts = ctx.cfg.faults ? ctx.cfg.maxAttempts : 1;
+
+    struct Slot
+    {
+        bool active = false;
+        std::uint8_t block = 0;
+        std::uint8_t req = 0;
+        bool isWrite = false;
+        std::uint8_t legs = 0;
+        std::uint8_t legs0 = 0;
+        std::uint8_t attempt = 0;
+    };
+
+    auto packSlot = [](const Slot &s) -> std::uint32_t {
+        if (!s.active)
+            return 0;
+        return 1u | (std::uint32_t(s.block) << 1) |
+               (std::uint32_t(s.req) << 3) |
+               (std::uint32_t(s.isWrite) << 6) |
+               (std::uint32_t(s.legs) << 7) |
+               (std::uint32_t(s.legs0) << 10) |
+               (std::uint32_t(s.attempt) << 13);
+    };
+    auto unpackSlot = [](std::uint32_t v) {
+        Slot s;
+        if (!(v & 1))
+            return s;
+        s.active = true;
+        s.block = (v >> 1) & 0x3;
+        s.req = (v >> 3) & 0x7;
+        s.isWrite = ((v >> 6) & 1) != 0;
+        s.legs = (v >> 7) & 0x7;
+        s.legs0 = (v >> 10) & 0x7;
+        s.attempt = (v >> 13) & 0x7;
+        return s;
+    };
+
+    struct Key
+    {
+        std::uint64_t sys;
+        std::uint64_t slots;
+        bool operator==(const Key &) const = default;
+    };
+    struct KeyHash
+    {
+        size_t operator()(const Key &k) const
+        {
+            std::uint64_t h = k.sys * 0x9E3779B97F4A7C15ull;
+            h ^= k.slots + 0x9E3779B97F4A7C15ull + (h << 6) +
+                 (h >> 2);
+            return static_cast<size_t>(h);
+        }
+    };
+
+    // Slots are interchangeable: canonicalize by sorting.
+    auto encodeKey = [&](std::uint64_t sys,
+                         std::vector<Slot> &slots) {
+        std::vector<std::uint32_t> packed;
+        packed.reserve(slots.size());
+        for (const Slot &s : slots)
+            packed.push_back(packSlot(s));
+        std::sort(packed.begin(), packed.end());
+        std::uint64_t v = 0;
+        for (size_t i = 0; i < packed.size(); ++i)
+            v |= std::uint64_t(packed[i]) << (i * 16);
+        return Key{sys, v};
+    };
+    auto decodeSlots = [&](std::uint64_t v) {
+        std::vector<Slot> slots(inflight);
+        for (unsigned i = 0; i < inflight; ++i)
+            slots[i] = unpackSlot((v >> (i * 16)) & 0xFFFF);
+        return slots;
+    };
+
+    auto slotMeasure = [&](const Slot &s) -> unsigned {
+        return (maxAttempts + 1 - s.attempt) * 8 + s.legs;
+    };
+
+    std::unordered_set<Key, KeyHash> seen;
+    std::deque<Key> frontier;
+    std::vector<Slot> none(inflight);
+    std::vector<BlockState> init(blocks);
+    Key key0 = encodeKey(encodeSys(init, nodes), none);
+    seen.insert(key0);
+    frontier.push_back(key0);
+
+    while (!frontier.empty() && seen.size() < stateCap) {
+        Key key = frontier.front();
+        frontier.pop_front();
+        std::vector<BlockState> sys =
+            decodeSys(key.sys, nodes, blocks);
+        std::vector<Slot> slots = decodeSlots(key.slots);
+
+        bool anyActive = false, anyStep = false;
+        auto visit = [&](std::uint64_t nsys,
+                         std::vector<Slot> &nslots,
+                         bool checkSys) {
+            anyStep = true;
+            ++ctx.rep.productTransitions;
+            Key nk = encodeKey(nsys, nslots);
+            if (seen.insert(nk).second) {
+                if (checkSys)
+                    checkState(ctx,
+                               decodeSys(nsys, nodes, blocks));
+                frontier.push_back(nk);
+            }
+        };
+
+        // Issue into the first idle slot (slots are symmetric); a
+        // processor with a transaction in flight is stalled.
+        int idle = -1;
+        std::uint32_t busyProcs = 0;
+        for (unsigned i = 0; i < inflight; ++i) {
+            if (slots[i].active) {
+                anyActive = true;
+                busyProcs |= bit(slots[i].req);
+            } else if (idle < 0) {
+                idle = static_cast<int>(i);
+            }
+        }
+
+        if (idle >= 0) {
+            for (unsigned b = 0; b < blocks; ++b) {
+                for (NodeId p = 0; p < nodes; ++p) {
+                    if (busyProcs & bit(p))
+                        continue;
+                    for (bool is_write : {false, true}) {
+                        RequestView rv;
+                        if (!requestAt(sys[b], nodes, p, is_write,
+                                       b % nodes, &rv))
+                            continue;
+                        std::vector<BlockState> nsys = sys;
+                        core::ptable::applyAccess(
+                            nsys[b], nodes, p, is_write,
+                            ctx.cfg.mutation);
+                        std::vector<Slot> nslots = slots;
+                        Slot &s = nslots[idle];
+                        s.active = true;
+                        s.block = static_cast<std::uint8_t>(b);
+                        s.req = static_cast<std::uint8_t>(p);
+                        s.isWrite = is_write;
+                        s.legs = s.legs0 = static_cast<std::uint8_t>(
+                            issueLegs(ctx, rv));
+                        s.attempt = 1;
+                        visit(encodeSys(nsys, nodes), nslots, true);
+                    }
+                }
+            }
+        }
+
+        // Evictions are local and instantaneous (write-backs ride
+        // the block-traffic channel without a transaction).
+        for (unsigned b = 0; b < blocks; ++b) {
+            for (NodeId p = 0; p < nodes; ++p) {
+                if (sys[b].line[p] == cache::State::Invalid)
+                    continue;
+                std::vector<BlockState> nsys = sys;
+                core::ptable::applyEvict(nsys[b], p);
+                std::vector<Slot> nslots = slots;
+                visit(encodeSys(nsys, nodes), nslots, true);
+            }
+        }
+
+        // Timing legs and retries of the active transactions.
+        for (unsigned i = 0; i < inflight; ++i) {
+            if (!slots[i].active)
+                continue;
+            unsigned before = slotMeasure(slots[i]);
+
+            { // one leg completes
+                std::vector<Slot> nslots = slots;
+                Slot &s = nslots[i];
+                if (s.legs <= 1)
+                    s = Slot{};
+                else
+                    --s.legs;
+                if (s.active && slotMeasure(s) >= before)
+                    ctx.flag(Defect::Livelock,
+                             "leg completion fails to decrease the "
+                             "transaction progress measure");
+                visit(key.sys, nslots, false);
+            }
+
+            if (ctx.cfg.faults) { // the watchdog fires
+                std::vector<Slot> nslots = slots;
+                Slot &s = nslots[i];
+                if (s.attempt < maxAttempts) {
+                    ++s.attempt;
+                    s.legs = s.legs0;
+                    if (slotMeasure(s) >= before)
+                        ctx.flag(Defect::Livelock,
+                                 "a retry fails to decrease the "
+                                 "transaction progress measure");
+                } else {
+                    s = Slot{}; // graceful give-up
+                }
+                visit(key.sys, nslots, false);
+            }
+        }
+
+        if (anyActive && !anyStep)
+            ctx.flag(Defect::Deadlock,
+                     "a state with in-flight transactions has no "
+                     "enabled transition");
+        (void)functional;
+    }
+    ctx.rep.productStates = seen.size();
+}
+
+} // namespace
+
+const char *
+protocolName(Protocol p)
+{
+    return p == Protocol::Snoop ? "snoop" : "directory";
+}
+
+const char *
+defectName(Defect d)
+{
+    switch (d) {
+      case Defect::MultipleWriters:
+        return "multiple-writers";
+      case Defect::StaleRead:
+        return "stale-read";
+      case Defect::DirectoryMismatch:
+        return "directory-mismatch";
+      case Defect::TraversalOverrun:
+        return "traversal-overrun";
+      case Defect::LostInvalidation:
+        return "lost-invalidation";
+      case Defect::StaleSupplier:
+        return "stale-supplier";
+      case Defect::DoubleCompletion:
+        return "double-completion";
+      case Defect::Deadlock:
+        return "deadlock";
+      case Defect::Livelock:
+        return "livelock";
+    }
+    return "?";
+}
+
+std::string
+ModelConfig::check() const
+{
+    if (nodes < 2 || nodes > core::ptable::maxTableNodes)
+        return "nodes = " + std::to_string(nodes) +
+               ": model supports 2.." +
+               std::to_string(core::ptable::maxTableNodes);
+    if (blocks < 1 || blocks > 2)
+        return "blocks = " + std::to_string(blocks) +
+               ": model supports 1..2";
+    if (inflight < 1 || inflight > 3)
+        return "inflight = " + std::to_string(inflight) +
+               ": model supports 1..3";
+    if (maxAttempts < 1 || maxAttempts > 6)
+        return "maxAttempts = " + std::to_string(maxAttempts) +
+               ": model supports 1..6";
+    return "";
+}
+
+std::string
+ModelReport::summary() const
+{
+    std::ostringstream os;
+    os << protocolName(config.protocol) << " n=" << config.nodes
+       << " b=" << config.blocks
+       << " faults=" << (config.faults ? "on" : "off") << ": "
+       << functionalStates << " functional states, " << plansAudited
+       << " plans, " << automatonStates << " automaton states";
+    if (config.fullInterleaving)
+        os << ", " << productStates << " product states";
+    os << ", max " << maxTraversals << " traversal"
+       << (maxTraversals == 1 ? "" : "s") << " -- ";
+    if (clean())
+        os << "clean";
+    else
+        os << violationsTotal << " violation"
+           << (violationsTotal == 1 ? "" : "s") << " ("
+           << defectName(findings.empty() ? Defect::Deadlock
+                                          : findings.front().kind)
+           << ")";
+    return os.str();
+}
+
+ModelReport
+checkProtocol(const ModelConfig &config)
+{
+    ModelReport rep;
+    rep.config = config;
+    std::string err = config.check();
+    if (!err.empty())
+        panic("checkProtocol: %s", err.c_str());
+
+    Ctx ctx{config, rep};
+    std::vector<std::uint64_t> reachable = exploreFunctional(ctx);
+    auditPlans(ctx, reachable);
+
+    // The retry automaton shape depends only on the leg count; both
+    // protocols use 1- and 2-leg transactions.
+    exploreRetryAutomaton(ctx, 1);
+    exploreRetryAutomaton(ctx, 2);
+
+    if (config.fullInterleaving)
+        exploreProduct(ctx, reachable);
+    return rep;
+}
+
+} // namespace ringsim::verify

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Static protocol model checker over the shared guarded-action tables.
+ *
+ * checkProtocol() exhaustively explores a small configuration (2-4
+ * nodes, 1-2 blocks) of one ring protocol and checks the paper's
+ * structural claims against the SAME transition declarations the
+ * production controllers execute (core/protocol_table.hpp):
+ *
+ *  1. Functional closure — BFS over every reachable global block state
+ *     under applyAccess()/applyEvict(), checking SWMR (single writer,
+ *     multiple readers), directory/cache agreement, and stale-read
+ *     freedom in every reachable state.
+ *  2. Plan audits — for every reachable state, requester, operation
+ *     and home placement, the snoop/directory plan is audited: snoop
+ *     transactions take exactly one ring traversal, directory
+ *     transactions at most two, a dirty block is always supplied by
+ *     its owner, and every write to a shared block carries its
+ *     invalidation (probe broadcast or multicast). Leg accounting must
+ *     balance, so transactions can neither hang nor double-complete.
+ *  3. Retry automaton — with faults enabled, the NACK/watchdog retry
+ *     schedule is explored per transaction (attempt x pending legs x
+ *     superseded legs still in flight): stale-attempt events must be
+ *     ignored, every path must terminate (deadlock freedom), and a
+ *     strictly decreasing measure bounds retries (livelock freedom).
+ *  4. Product space — optionally, the genuine interleaving of several
+ *     concurrent transactions over the functional state, re-checking
+ *     the state invariants after every step and the per-transaction
+ *     progress measure on every transition.
+ *
+ * A Mutation seeds one deliberately broken transition; the self-tests
+ * prove each one is caught.
+ */
+
+#ifndef RINGSIM_VERIFY_MODEL_HPP
+#define RINGSIM_VERIFY_MODEL_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/protocol_table.hpp"
+#include "util/units.hpp"
+
+namespace ringsim::verify {
+
+/** Which timed protocol's tables to check. */
+enum class Protocol { Snoop, Directory };
+
+/** Printable protocol name. */
+const char *protocolName(Protocol p);
+
+/** One exhaustive-check job. */
+struct ModelConfig
+{
+    Protocol protocol = Protocol::Snoop;
+    unsigned nodes = 2;  //!< ring size (2..maxTableNodes)
+    unsigned blocks = 1; //!< distinct blocks modeled (1..2)
+    /** Concurrent transactions in the product space (1..2). */
+    unsigned inflight = 2;
+    /** Model the NACK/watchdog retry schedule. */
+    bool faults = false;
+    /** Retry budget when @ref faults (mirrors FaultConfig::maxRetries,
+     *  kept small to bound the automaton). */
+    unsigned maxAttempts = 3;
+    /** Run the full product-space interleaving (phase 4). */
+    bool fullInterleaving = true;
+    /** Deliberately broken transition to seed (tests). */
+    core::ptable::Mutation mutation = core::ptable::Mutation::None;
+
+    /** Validate ranges; returns a message naming the bad field. */
+    [[nodiscard]] std::string check() const;
+};
+
+/** What a check can find wrong. */
+enum class Defect {
+    MultipleWriters,   //!< SWMR broken: WE copy alongside another copy
+    StaleRead,         //!< a copy read while a remote cache was dirty
+    DirectoryMismatch, //!< dirty bit/owner/presence vs cache lines
+    TraversalOverrun,  //!< snoop > 1 or directory > 2 ring traversals
+    LostInvalidation,  //!< write to a shared block with no invalidation
+    StaleSupplier,     //!< dirty block served from stale home memory
+    DoubleCompletion,  //!< a superseded attempt completed a transaction
+    Deadlock,          //!< a reachable state with no way forward
+    Livelock,          //!< retry/leg measure failed to decrease
+};
+
+/** Printable defect name. */
+const char *defectName(Defect d);
+
+/** One concrete counterexample. */
+struct Finding
+{
+    Defect kind = Defect::Deadlock;
+    std::string detail; //!< human-readable state/transition context
+};
+
+/** Exploration statistics and verdict. */
+struct ModelReport
+{
+    ModelConfig config;
+
+    std::uint64_t functionalStates = 0;
+    std::uint64_t functionalTransitions = 0;
+    std::uint64_t plansAudited = 0;
+    std::uint64_t automatonStates = 0;
+    std::uint64_t productStates = 0;
+    std::uint64_t productTransitions = 0;
+    /** Worst ring-traversal count any audited plan needs. */
+    unsigned maxTraversals = 0;
+
+    std::uint64_t violationsTotal = 0;
+    /** First few findings (capped; violationsTotal has the count). */
+    std::vector<Finding> findings;
+
+    [[nodiscard]] bool clean() const { return violationsTotal == 0; }
+
+    /** One-line result, e.g. for the CLI table. */
+    std::string summary() const;
+};
+
+/** Exhaustively check one configuration. */
+[[nodiscard]] ModelReport checkProtocol(const ModelConfig &config);
+
+} // namespace ringsim::verify
+
+#endif // RINGSIM_VERIFY_MODEL_HPP

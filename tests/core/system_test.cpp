@@ -228,6 +228,41 @@ TEST(Config, CheckConfigReportsEveryProblemAtOnce)
     EXPECT_TRUE(saw_fault);
 }
 
+TEST(Config, CheckConfigNamesFieldAndValue)
+{
+    // Each message leads with "<field> = <value>: ..." so a sweep
+    // log pinpoints the bad knob without a debugger.
+    auto contains = [](const std::vector<std::string> &errors,
+                       const char *needle) {
+        for (const std::string &e : errors)
+            if (e.find(needle) != std::string::npos)
+                return true;
+        return false;
+    };
+
+    SystemConfig c;
+    c.procCycle = 0;
+    c.warmupFrac = 1.5;
+    std::vector<std::string> errors = c.checkConfig();
+    EXPECT_TRUE(contains(errors, "procCycle = 0"));
+    EXPECT_TRUE(contains(errors, "warmupFrac = 1.5"));
+
+    c = SystemConfig{};
+    c.memoryLatency = 0;
+    EXPECT_TRUE(contains(c.checkConfig(), "memoryLatency = 0"));
+
+    c = SystemConfig{};
+    c.procCycle = 2'000'000; // 0.5 MIPS: three orders off the paper
+    EXPECT_TRUE(contains(c.checkConfig(), "procCycle = 2000000 ps"));
+
+    c = SystemConfig{};
+    c.faults.dropRate = 7.0;
+    c.faults.maxRetries = 0;
+    errors = c.checkConfig();
+    EXPECT_TRUE(contains(errors, "dropRate = 7"));
+    EXPECT_TRUE(contains(errors, "maxRetries = 0"));
+}
+
 TEST(Config, DefaultSystemConfigIsValid)
 {
     SystemConfig c;

@@ -122,6 +122,33 @@ TEST(RingConfig, PaperScaleRangeIsEnforced)
     }
 }
 
+TEST(RingConfig, CheckNamesFieldAndValue)
+{
+    auto contains = [](const std::vector<std::string> &errors,
+                       const char *needle) {
+        for (const std::string &e : errors)
+            if (e.find(needle) != std::string::npos)
+                return true;
+        return false;
+    };
+
+    RingConfig c;
+    c.nodes = 0;
+    EXPECT_TRUE(contains(c.check(), "nodes = 0"));
+
+    c = RingConfig{};
+    c.nodes = 4;
+    EXPECT_TRUE(contains(c.check(), "nodes = 4"));
+
+    c = RingConfig{};
+    c.clockPeriod = 0;
+    EXPECT_TRUE(contains(c.check(), "clockPeriod = 0"));
+
+    c = RingConfig{};
+    c.minStagesPerNode = 0;
+    EXPECT_TRUE(contains(c.check(), "minStagesPerNode = 0"));
+}
+
 TEST(RingConfig, ImplausibleClockRejected)
 {
     RingConfig c;

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Cross-check between the two verification layers: the runtime
+ * InvariantMonitor (watching the production engine execute) and the
+ * static model checker (exploring the shared tables exhaustively).
+ *
+ * A deliberately broken transition — dropping the invalidation aimed
+ * at one sharer, seeded through EngineOptions::TestHooks at runtime
+ * and through ptable::Mutation::DropInvalidation statically — must be
+ * flagged by BOTH layers, as the same invariant family (SWMR /
+ * multiple writers). And with the fault seed off, both layers must
+ * report the production protocol clean. This pins the two verdicts
+ * together: if either layer ever stops seeing the protocol the other
+ * one sees, one of these tests fails.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/cache/invariant_monitor.hpp"
+#include "src/coherence/engine.hpp"
+#include "src/core/protocol_table.hpp"
+#include "src/trace/address_map.hpp"
+#include "src/verify/model.hpp"
+
+namespace ringsim {
+namespace {
+
+namespace ptable = core::ptable;
+
+/** 3-node engine run: two readers, then a third node writes. */
+cache::InvariantMonitor
+runWriteOverSharers(bool dropOneInvalidation)
+{
+    cache::InvariantMonitor mon(cache::InvariantMonitor::Mode::Record);
+    trace::AddressMap map(3, 16, 5);
+    coherence::EngineOptions opt;
+    opt.monitor = &mon;
+    opt.hooks.dropOneInvalidation = dropOneInvalidation;
+    coherence::FunctionalEngine engine(map, opt);
+
+    Addr a = map.sharedBlock(0);
+    engine.access(0, trace::TraceRecord{trace::Op::Read, a});
+    engine.access(1, trace::TraceRecord{trace::Op::Read, a});
+    // The write must invalidate both readers; with the hook on, the
+    // sweep spares node 1, whose registered copy survives into the
+    // writer's writeFill — the runtime twin of the static
+    // DropInvalidation mutation.
+    engine.access(2, trace::TraceRecord{trace::Op::Write, a});
+    return mon;
+}
+
+verify::ModelReport
+checkSnoop(ptable::Mutation m)
+{
+    verify::ModelConfig c;
+    c.protocol = verify::Protocol::Snoop;
+    c.nodes = 3;
+    c.blocks = 1;
+    c.fullInterleaving = false;
+    c.mutation = m;
+    return verify::checkProtocol(c);
+}
+
+TEST(MonitorCrosscheck, BothLayersFlagDroppedInvalidation)
+{
+    // Runtime layer: the monitor records the surviving stale copy.
+    cache::InvariantMonitor mon = runWriteOverSharers(true);
+    ASSERT_FALSE(mon.clean()) << "monitor missed the dropped "
+                                 "invalidation";
+    EXPECT_GE(mon.countOf(cache::Violation::Kind::MultipleWriters), 1u)
+        << mon.summary();
+
+    // Static layer: the model checker refutes the mutated table.
+    verify::ModelReport rep =
+        checkSnoop(ptable::Mutation::DropInvalidation);
+    ASSERT_FALSE(rep.clean()) << "model checker missed "
+                                 "DropInvalidation";
+    bool swmr = false;
+    for (const verify::Finding &f : rep.findings)
+        swmr = swmr || f.kind == verify::Defect::MultipleWriters;
+    EXPECT_TRUE(swmr) << rep.summary();
+
+    // Same invariant family on both sides: the monitor's
+    // MultipleWriters corresponds to the checker's MultipleWriters
+    // defect, so a future drift in either layer breaks this pairing.
+}
+
+TEST(MonitorCrosscheck, BothLayersReportProductionTablesClean)
+{
+    cache::InvariantMonitor mon = runWriteOverSharers(false);
+    EXPECT_TRUE(mon.clean()) << mon.summary();
+    EXPECT_GT(mon.checksPerformed(), 0u)
+        << "monitor saw no checks; the cross-check proves nothing";
+
+    verify::ModelReport rep = checkSnoop(ptable::Mutation::None);
+    EXPECT_TRUE(rep.clean()) << rep.summary();
+}
+
+TEST(MonitorCrosscheck, MonitorDetailNamesTheSurvivingNode)
+{
+    cache::InvariantMonitor mon = runWriteOverSharers(true);
+    ASSERT_FALSE(mon.clean());
+    const cache::Violation &v = mon.violations().front();
+    EXPECT_EQ(v.kind, cache::Violation::Kind::MultipleWriters);
+    EXPECT_EQ(v.node, 2u); // the writer that gained WE
+    EXPECT_NE(v.detail.find("WE"), std::string::npos) << v.detail;
+}
+
+} // namespace
+} // namespace ringsim

@@ -1,0 +1,222 @@
+/**
+ * @file
+ * Tests of the static protocol model checker itself: the production
+ * tables must verify clean over the whole configuration matrix, the
+ * paper's traversal bounds must hold exactly (snoop = 1 ring
+ * traversal, directory <= 2), and every deliberately broken
+ * transition (ptable::Mutation) must be caught with the right defect
+ * on every protocol it affects — and must NOT perturb the other
+ * protocol's verdict.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "src/verify/model.hpp"
+
+namespace ringsim::verify {
+namespace {
+
+namespace ptable = core::ptable;
+
+ModelConfig
+makeConfig(Protocol proto, unsigned nodes, unsigned blocks,
+           bool faults, bool full)
+{
+    ModelConfig c;
+    c.protocol = proto;
+    c.nodes = nodes;
+    c.blocks = blocks;
+    c.faults = faults;
+    c.fullInterleaving = full;
+    return c;
+}
+
+bool
+hasDefect(const ModelReport &r, Defect d)
+{
+    for (const Finding &f : r.findings)
+        if (f.kind == d)
+            return true;
+    return false;
+}
+
+TEST(ProtocolModel, SnoopVerifiesCleanAcrossMatrix)
+{
+    for (unsigned nodes : {2u, 3u}) {
+        for (unsigned blocks : {1u, 2u}) {
+            for (bool faults : {false, true}) {
+                ModelConfig c = makeConfig(Protocol::Snoop, nodes,
+                                           blocks, faults, nodes == 2);
+                ModelReport r = checkProtocol(c);
+                EXPECT_TRUE(r.clean()) << r.summary();
+                EXPECT_GT(r.functionalStates, 0u);
+                EXPECT_GT(r.plansAudited, 0u);
+                // The paper's snooping claim: every transaction
+                // completes in exactly one ring traversal.
+                EXPECT_EQ(r.maxTraversals, 1u) << r.summary();
+                if (faults) {
+                    EXPECT_GT(r.automatonStates, 0u);
+                }
+                if (c.fullInterleaving) {
+                    EXPECT_GT(r.productStates, 0u);
+                }
+            }
+        }
+    }
+}
+
+TEST(ProtocolModel, DirectoryVerifiesCleanAcrossMatrix)
+{
+    for (unsigned nodes : {2u, 3u}) {
+        for (unsigned blocks : {1u, 2u}) {
+            for (bool faults : {false, true}) {
+                ModelConfig c = makeConfig(Protocol::Directory, nodes,
+                                           blocks, faults, nodes == 2);
+                ModelReport r = checkProtocol(c);
+                EXPECT_TRUE(r.clean()) << r.summary();
+                EXPECT_GT(r.functionalStates, 0u);
+                EXPECT_GT(r.plansAudited, 0u);
+                // The paper's directory claim: at most two ring
+                // traversals (home round trip + forward/multicast),
+                // and some placement genuinely needs both.
+                EXPECT_EQ(r.maxTraversals, 2u) << r.summary();
+            }
+        }
+    }
+}
+
+TEST(ProtocolModel, FourNodesTwoBlocksVerifyClean)
+{
+    for (Protocol proto : {Protocol::Snoop, Protocol::Directory}) {
+        ModelConfig c = makeConfig(proto, 4, 2, true, false);
+        ModelReport r = checkProtocol(c);
+        EXPECT_TRUE(r.clean()) << r.summary();
+        EXPECT_GT(r.functionalStates, 0u);
+        EXPECT_GT(r.automatonStates, 0u);
+    }
+}
+
+TEST(ProtocolModel, StateSpaceGrowsWithConfiguration)
+{
+    ModelReport small = checkProtocol(
+        makeConfig(Protocol::Snoop, 2, 1, false, false));
+    ModelReport large = checkProtocol(
+        makeConfig(Protocol::Snoop, 4, 2, false, false));
+    EXPECT_GT(large.functionalStates, small.functionalStates);
+    EXPECT_GT(large.plansAudited, small.plansAudited);
+}
+
+/** Which protocols a mutation perturbs, and the expected defect. */
+struct MutationCase
+{
+    ptable::Mutation mutation;
+    bool affectsSnoop;
+    bool affectsDirectory;
+    Defect expected;
+};
+
+constexpr MutationCase mutationCases[] = {
+    {ptable::Mutation::DropInvalidation, true, true,
+     Defect::MultipleWriters},
+    {ptable::Mutation::KeepDirtyOnRead, true, true, Defect::StaleRead},
+    {ptable::Mutation::SnoopExtraTraversal, true, false,
+     Defect::TraversalOverrun},
+    {ptable::Mutation::SnoopMemorySupplier, true, false,
+     Defect::StaleSupplier},
+    {ptable::Mutation::DirSkipForward, false, true,
+     Defect::StaleSupplier},
+    {ptable::Mutation::DirSkipMulticast, false, true,
+     Defect::LostInvalidation},
+    {ptable::Mutation::AcceptStaleAttempt, true, true,
+     Defect::DoubleCompletion},
+};
+
+TEST(ProtocolModel, MutationTableCoversEveryMutation)
+{
+    ASSERT_EQ(std::size(mutationCases), ptable::allMutations.size());
+    for (ptable::Mutation m : ptable::allMutations) {
+        bool listed = false;
+        for (const MutationCase &mc : mutationCases)
+            listed = listed || mc.mutation == m;
+        EXPECT_TRUE(listed) << ptable::mutationName(m);
+    }
+}
+
+TEST(ProtocolModel, EveryMutationIsCaughtWithItsDefect)
+{
+    for (const MutationCase &mc : mutationCases) {
+        for (Protocol proto : {Protocol::Snoop, Protocol::Directory}) {
+            bool affected = proto == Protocol::Snoop
+                                ? mc.affectsSnoop
+                                : mc.affectsDirectory;
+            // Faults on so the retry automaton (which catches
+            // AcceptStaleAttempt) always runs.
+            ModelConfig c = makeConfig(proto, 3, 1, true, false);
+            c.mutation = mc.mutation;
+            ModelReport r = checkProtocol(c);
+            if (affected) {
+                EXPECT_FALSE(r.clean())
+                    << ptable::mutationName(mc.mutation) << " on "
+                    << protocolName(proto) << " not caught";
+                EXPECT_TRUE(hasDefect(r, mc.expected))
+                    << ptable::mutationName(mc.mutation) << " on "
+                    << protocolName(proto) << ": expected "
+                    << defectName(mc.expected) << "; got "
+                    << r.summary();
+            } else {
+                EXPECT_TRUE(r.clean())
+                    << ptable::mutationName(mc.mutation)
+                    << " leaked into " << protocolName(proto) << ": "
+                    << r.summary();
+            }
+        }
+    }
+}
+
+TEST(ProtocolModel, ConfigCheckNamesFieldAndValue)
+{
+    ModelConfig c;
+    EXPECT_EQ(c.check(), "");
+
+    c.nodes = 1;
+    EXPECT_NE(c.check().find("nodes = 1"), std::string::npos)
+        << c.check();
+    c.nodes = ptable::maxTableNodes + 1;
+    EXPECT_NE(c.check().find("nodes = 9"), std::string::npos)
+        << c.check();
+
+    c = ModelConfig{};
+    c.blocks = 3;
+    EXPECT_NE(c.check().find("blocks = 3"), std::string::npos)
+        << c.check();
+
+    c = ModelConfig{};
+    c.inflight = 0;
+    EXPECT_NE(c.check().find("inflight = 0"), std::string::npos)
+        << c.check();
+
+    c = ModelConfig{};
+    c.maxAttempts = 7;
+    EXPECT_NE(c.check().find("maxAttempts = 7"), std::string::npos)
+        << c.check();
+}
+
+TEST(ProtocolModel, SummaryNamesProtocolAndVerdict)
+{
+    ModelReport r = checkProtocol(
+        makeConfig(Protocol::Snoop, 2, 1, false, false));
+    EXPECT_NE(r.summary().find("snoop"), std::string::npos);
+    EXPECT_NE(r.summary().find("clean"), std::string::npos);
+
+    ModelConfig c = makeConfig(Protocol::Directory, 2, 1, false, false);
+    c.mutation = ptable::Mutation::DropInvalidation;
+    ModelReport bad = checkProtocol(c);
+    EXPECT_FALSE(bad.clean());
+    EXPECT_EQ(bad.violationsTotal >= bad.findings.size(), true);
+    EXPECT_FALSE(bad.findings.empty());
+}
+
+} // namespace
+} // namespace ringsim::verify
