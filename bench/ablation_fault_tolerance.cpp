@@ -110,7 +110,8 @@ main(int argc, char **argv)
         tasks.push_back([&v, &opt]() { return runRing(v, opt); });
 
     runner::RunPolicy policy;
-    policy.jobTimeout = std::chrono::minutes(10);
+    policy.jobTimeout =
+        runner::watchdogBudget(std::chrono::minutes(10));
     policy.maxAttempts = 2;
     runner::SweepResult<core::RunResult> sweep =
         runner::runSweep(std::move(tasks), opt.jobs, policy);

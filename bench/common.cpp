@@ -3,6 +3,8 @@
 #include <cstdlib>
 #include <iostream>
 
+#include "service/client.hpp"
+#include "util/json.hpp"
 #include "util/logging.hpp"
 
 namespace ringsim::bench {
@@ -12,6 +14,18 @@ Options::apply(trace::WorkloadConfig &cfg) const
 {
     cfg.dataRefsPerProc = fast ? refs / 4 : refs;
     cfg.seed = seed;
+}
+
+figures::FigureOptions
+Options::figureOptions() const
+{
+    figures::FigureOptions fo;
+    fo.refs = refs;
+    fo.seed = seed;
+    fo.fast = fast;
+    fo.jobs = jobs;
+    fo.faults = faults;
+    return fo;
 }
 
 Options
@@ -53,10 +67,12 @@ parseOptions(int argc, char **argv)
         } else if (arg == "--fault-seed") {
             opt.faults.seed = std::strtoull(
                 need_value("--fault-seed").c_str(), nullptr, 10);
+        } else if (arg == "--service") {
+            opt.service = need_value("--service");
         } else if (arg == "--help" || arg == "-h") {
             std::cout << "flags: --refs N  --seed S  --csv  --fast  "
                          "--jobs N  --fault-rate R  --fault-stalls R  "
-                         "--fault-seed S\n";
+                         "--fault-seed S  --service ENDPOINT\n";
             std::exit(0);
         } else {
             fatal("unknown flag '%s' (try --help)", arg.c_str());
@@ -76,6 +92,76 @@ emit(const Options &opt, const std::string &title,
     }
     std::cout << "\n== " << title << " ==\n";
     table.print(std::cout);
+}
+
+namespace {
+
+/** The sweep-job request a figure bench submits to the daemon. */
+util::JsonValue
+sweepRequest(figures::FigureId id, const Options &opt,
+             bool fig6_cholesky)
+{
+    util::JsonValue job = util::JsonValue::object();
+    job.set("type", util::JsonValue::string("sweep"));
+    job.set("figure",
+            util::JsonValue::string(figures::figureName(id)));
+    job.set("csv", util::JsonValue::boolean(opt.csv));
+    job.set("cholesky", util::JsonValue::boolean(fig6_cholesky));
+    job.set("refs", util::JsonValue::integer(opt.refs));
+    job.set("seed", util::JsonValue::integer(opt.seed));
+    job.set("fast", util::JsonValue::boolean(opt.fast));
+    if (opt.faults.enabled()) {
+        util::JsonValue f = util::JsonValue::object();
+        f.set("corrupt_rate",
+              util::JsonValue::number(opt.faults.corruptRate));
+        f.set("drop_rate",
+              util::JsonValue::number(opt.faults.dropRate));
+        f.set("stall_rate",
+              util::JsonValue::number(opt.faults.stallRate));
+        f.set("stall_cycles",
+              util::JsonValue::integer(opt.faults.stallCycles));
+        f.set("seed", util::JsonValue::integer(opt.faults.seed));
+        job.set("faults", std::move(f));
+    }
+    util::JsonValue req = util::JsonValue::object();
+    req.set("op", util::JsonValue::string("submit"));
+    req.set("wait", util::JsonValue::boolean(true));
+    req.set("job", std::move(job));
+    return req;
+}
+
+} // namespace
+
+int
+runFigure(figures::FigureId id, const Options &opt, bool fig6_cholesky)
+{
+    if (opt.service.empty()) {
+        std::cout << figures::renderFigure(id, opt.figureOptions(),
+                                           opt.csv, fig6_cholesky);
+        return 0;
+    }
+    service::ServiceClient client;
+    std::string error;
+    if (!client.tryConnect(opt.service, &error))
+        fatal("--service %s: %s", opt.service.c_str(), error.c_str());
+    util::JsonValue response;
+    if (!client.tryCall(sweepRequest(id, opt, fig6_cholesky),
+                        &response, &error))
+        fatal("--service %s: %s", opt.service.c_str(), error.c_str());
+    std::vector<std::string> errors;
+    std::string state = response.getString("state", "?", &errors);
+    if (state != "done")
+        fatal("--service %s: job ended %s: %s", opt.service.c_str(),
+              state.c_str(),
+              response.getString("error", "?", &errors).c_str());
+    const util::JsonValue *result = response.find("result");
+    const util::JsonValue *text = result ? result->find("text")
+                                         : nullptr;
+    if (!text || !text->isString())
+        fatal("--service %s: response carries no result text",
+              opt.service.c_str());
+    std::cout << text->asString();
+    return 0;
 }
 
 } // namespace ringsim::bench

@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "fault/fault.hpp"
+#include "figures/figures.hpp"
 #include "trace/workload.hpp"
 #include "util/table.hpp"
 
@@ -47,8 +48,20 @@ struct Options
      */
     fault::FaultConfig faults;
 
+    /**
+     * Experiment-service endpoint (--service tcp:PORT|unix:PATH|PATH).
+     * When set, the figure benches submit their sweep to a
+     * ringsim_serve daemon instead of computing locally; the daemon
+     * runs the identical figures:: sweep, so the printed bytes match
+     * a local run (and a warm daemon answers from its cache).
+     */
+    std::string service;
+
     /** Apply refs/seed to a workload preset. */
     void apply(trace::WorkloadConfig &cfg) const;
+
+    /** The figure-library view of these options. */
+    figures::FigureOptions figureOptions() const;
 };
 
 /** Parse the common flags; fatal()s on unknown arguments. */
@@ -57,6 +70,15 @@ Options parseOptions(int argc, char **argv);
 /** Print @p table as text or CSV per @p opt, with a title line. */
 void emit(const Options &opt, const std::string &title,
           const TextTable &table);
+
+/**
+ * Run figure @p id under @p opt and print the output — locally, or
+ * through the daemon named by --service. Returns the process exit
+ * code (a service failure is fatal(); there is no silent fallback,
+ * so a benchmark run never mixes the two paths).
+ */
+int runFigure(figures::FigureId id, const Options &opt,
+              bool fig6_cholesky = false);
 
 } // namespace ringsim::bench
 

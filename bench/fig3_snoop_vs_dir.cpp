@@ -5,13 +5,13 @@
  * average miss latency vs processor cycle time, for MP3D, WATER and
  * CHOLESKY at 8, 16 and 32 processors.
  *
- * Curves come from the analytic model (calibrated once per workload);
- * a detailed simulation validates the 50 MIPS point of each curve.
+ * The sweep itself lives in figures::buildFigure (shared with the
+ * experiment service); this binary parses flags and prints. Pass
+ * --service ENDPOINT to route the sweep through a ringsim_serve
+ * daemon — the output bytes are identical either way.
  */
 
-#include <iostream>
-
-#include "bench/fig_common.hpp"
+#include "bench/common.hpp"
 
 using namespace ringsim;
 
@@ -19,33 +19,5 @@ int
 main(int argc, char **argv)
 {
     bench::Options opt = bench::parseOptions(argc, argv);
-    bench::FigureSweep sweep(opt);
-
-    for (trace::Benchmark b : {trace::Benchmark::MP3D,
-                               trace::Benchmark::WATER,
-                               trace::Benchmark::CHOLESKY}) {
-        for (unsigned procs : {8u, 16u, 32u}) {
-            trace::WorkloadConfig wl = trace::workloadPreset(b, procs);
-            opt.apply(wl);
-
-            sweep.addRingSeries(wl, 2000, model::RingProtocol::Snoop,
-                                "snooping");
-            sweep.addRingSeries(wl, 2000,
-                                model::RingProtocol::Directory,
-                                "directory");
-            sweep.addRingSimPoint(wl, 2000,
-                                  core::ProtocolKind::RingSnoop,
-                                  "snooping");
-            sweep.addRingSimPoint(wl, 2000,
-                                  core::ProtocolKind::RingDirectory,
-                                  "directory");
-        }
-    }
-
-    TextTable table = sweep.run();
-    bench::emit(opt,
-                "Figure 3: snooping vs directory, 500 MHz 32-bit "
-                "rings (SPLASH, 8/16/32 CPUs)",
-                table);
-    return 0;
+    return bench::runFigure(figures::FigureId::Fig3, opt);
 }

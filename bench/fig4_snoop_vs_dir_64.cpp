@@ -3,11 +3,12 @@
  * Reproduces Figure 4: snooping vs full-map directory on a 500 MHz
  * 32-bit slotted ring for the 64-processor workloads FFT, WEATHER and
  * SIMPLE.
+ *
+ * The sweep definition is figures::buildFigure(Fig4); --service
+ * routes it through a ringsim_serve daemon with identical output.
  */
 
-#include <iostream>
-
-#include "bench/fig_common.hpp"
+#include "bench/common.hpp"
 
 using namespace ringsim;
 
@@ -15,30 +16,5 @@ int
 main(int argc, char **argv)
 {
     bench::Options opt = bench::parseOptions(argc, argv);
-    bench::FigureSweep sweep(opt);
-
-    for (trace::Benchmark b : {trace::Benchmark::FFT,
-                               trace::Benchmark::WEATHER,
-                               trace::Benchmark::SIMPLE}) {
-        trace::WorkloadConfig wl = trace::workloadPreset(b, 64);
-        opt.apply(wl);
-
-        sweep.addRingSeries(wl, 2000, model::RingProtocol::Snoop,
-                            "snooping");
-        sweep.addRingSeries(wl, 2000, model::RingProtocol::Directory,
-                            "directory");
-        sweep.addRingSimPoint(wl, 2000,
-                              core::ProtocolKind::RingSnoop,
-                              "snooping");
-        sweep.addRingSimPoint(wl, 2000,
-                              core::ProtocolKind::RingDirectory,
-                              "directory");
-    }
-
-    TextTable table = sweep.run();
-    bench::emit(opt,
-                "Figure 4: snooping vs directory, 500 MHz 32-bit "
-                "ring (FFT/WEATHER/SIMPLE, 64 CPUs)",
-                table);
-    return 0;
+    return bench::runFigure(figures::FigureId::Fig4, opt);
 }

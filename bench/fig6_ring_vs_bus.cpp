@@ -11,12 +11,15 @@
  * or the system grows; the rings' utilization stays below ~80 % and
  * their latencies stay stable. CHOLESKY behaves like MP3D (the paper
  * omits it for space; pass --cholesky to include it here).
+ *
+ * The sweep definition is figures::buildFigure(Fig6); --service
+ * routes it through a ringsim_serve daemon with identical output.
  */
 
 #include <cstring>
-#include <iostream>
+#include <vector>
 
-#include "bench/fig_common.hpp"
+#include "bench/common.hpp"
 
 using namespace ringsim;
 
@@ -35,36 +38,6 @@ main(int argc, char **argv)
     }
     bench::Options opt =
         bench::parseOptions(static_cast<int>(args.size()), args.data());
-
-    bench::FigureSweep sweep(opt);
-
-    std::vector<trace::Benchmark> benchmarks = {trace::Benchmark::MP3D,
-                                                trace::Benchmark::WATER};
-    if (with_cholesky)
-        benchmarks.push_back(trace::Benchmark::CHOLESKY);
-
-    for (trace::Benchmark b : benchmarks) {
-        for (unsigned procs : {8u, 16u, 32u}) {
-            trace::WorkloadConfig wl = trace::workloadPreset(b, procs);
-            opt.apply(wl);
-
-            sweep.addRingSeries(wl, 2000, model::RingProtocol::Snoop,
-                                "ring 500MHz");
-            sweep.addRingSeries(wl, 4000, model::RingProtocol::Snoop,
-                                "ring 250MHz");
-            sweep.addBusSeries(wl, 10000, "bus 100MHz");
-            sweep.addBusSeries(wl, 20000, "bus 50MHz");
-            sweep.addRingSimPoint(wl, 2000,
-                                  core::ProtocolKind::RingSnoop,
-                                  "ring 500MHz");
-            sweep.addBusSimPoint(wl, 20000, "bus 50MHz");
-        }
-    }
-
-    TextTable table = sweep.run();
-    bench::emit(opt,
-                "Figure 6: 32-bit slotted ring vs 64-bit split "
-                "transaction bus (snooping)",
-                table);
-    return 0;
+    return bench::runFigure(figures::FigureId::Fig6, opt,
+                            with_cholesky);
 }

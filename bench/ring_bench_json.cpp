@@ -16,6 +16,8 @@
 #include <map>
 #include <string>
 
+#include "util/json.hpp"
+
 namespace {
 
 /** Console output for humans, plus a name → rate capture for JSON. */
@@ -57,7 +59,8 @@ main(int argc, char **argv)
     std::fprintf(out, "{\n");
     size_t i = 0;
     for (const auto &[name, rate] : reporter.rates) {
-        std::fprintf(out, "  \"%s\": %.6g%s\n", name.c_str(), rate,
+        std::fprintf(out, "  \"%s\": %.6g%s\n",
+                     ringsim::util::jsonEscape(name).c_str(), rate,
                      ++i < reporter.rates.size() ? "," : "");
     }
     std::fprintf(out, "}\n");

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * In-process experiment service: embed ServiceCore without a daemon
+ * or socket — the same NDJSON protocol ringsim_serve speaks, driven
+ * directly through handleLine(). Useful for scripting many related
+ * questions against one warm cache (here: how does an analytic ring
+ * model's processor utilization move with system size, asked twice to
+ * show the second pass answering from the cache).
+ *
+ *   $ ./build/examples/service_inprocess [benchmark]
+ *   $ ./build/examples/service_inprocess water
+ */
+
+#include <iostream>
+#include <string>
+
+#include "service/server.hpp"
+#include "util/json.hpp"
+
+using namespace ringsim;
+
+namespace {
+
+std::string
+modelRequest(const std::string &bench, unsigned procs)
+{
+    util::JsonValue job = util::JsonValue::object();
+    job.set("type", util::JsonValue::string("model"));
+    job.set("benchmark", util::JsonValue::string(bench));
+    job.set("procs", util::JsonValue::integer(procs));
+    job.set("fast", util::JsonValue::boolean(true));
+    util::JsonValue req = util::JsonValue::object();
+    req.set("op", util::JsonValue::string("submit"));
+    req.set("wait", util::JsonValue::boolean(true));
+    req.set("job", std::move(job));
+    return req.dump();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string bench = argc > 1 ? argv[1] : "mp3d";
+
+    service::ServiceConfig cfg;
+    cfg.workers = 2;
+    service::ServiceCore core(cfg);
+
+    for (int pass = 1; pass <= 2; ++pass) {
+        std::cout << "pass " << pass << ":\n";
+        for (unsigned procs : {8u, 16u, 32u}) {
+            util::JsonValue response;
+            std::string error;
+            std::string line =
+                core.handleLine("example", modelRequest(bench, procs));
+            if (!util::tryParseJson(line, &response, &error)) {
+                std::cerr << "bad response: " << error << "\n";
+                return 1;
+            }
+            std::vector<std::string> errors;
+            if (!response.getBool("ok", false, &errors)) {
+                std::cerr << line << "\n";
+                return 1;
+            }
+            const util::JsonValue *result = response.find("result");
+            double util_pct =
+                result ? result->getNumber("proc_util", 0, &errors) * 100
+                       : 0;
+            bool cached = response.getBool("cached", false, &errors);
+            std::cout << "  " << bench << " @ " << procs
+                      << " procs: proc util "
+                      << static_cast<int>(util_pct) << "%"
+                      << (cached ? "  (cache hit)" : "") << "\n";
+        }
+    }
+
+    std::string statsz = core.handleLine("example", "{\"op\":\"statsz\"}");
+    std::cout << "statsz: " << statsz << "\n";
+    return 0;
+}

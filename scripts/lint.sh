@@ -16,7 +16,8 @@ cd "$(dirname "$0")/.."
 BUILD_DIR="${LINT_BUILD_DIR:-build}"
 status=0
 
-# ---- custom rules (raw-new, unordered-iteration, nodiscard) ----
+# ---- custom rules (raw-new, unordered-iteration, nodiscard,
+# ---- raw-getenv) ----
 if ! python3 scripts/lint_rules.py "$@"; then
     status=1
 fi

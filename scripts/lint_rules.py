@@ -20,6 +20,12 @@ Rules (suppress a finding with a trailing `// lint: allow(<rule>)`):
       Header declarations of result-returning validators and fallible
       operations (check*/try[A-Z]*) must be [[nodiscard]]: silently
       dropping a config-error list or a try-result is always a bug.
+
+  raw-getenv
+      No direct std::getenv outside src/util/. Environment lookups go
+      through util::envString / util::envU64 so defaults, validation,
+      and fallback-on-malformed behavior stay in one place and config
+      surfaces (service, runner watchdog) remain enumerable.
 """
 
 import re
@@ -100,6 +106,7 @@ def allowed(raw_lines, lineno, rule):
 
 
 NEW_RE = re.compile(r"\bnew\b(?!\s*\()|\bnew\s*\(")
+GETENV_RE = re.compile(r"\b(?:std\s*::\s*)?getenv\s*\(")
 UNORDERED_DECL_RE = re.compile(
     r"std::unordered_(?:map|set|multimap|multiset)\s*<[^;{]*>\s*&?\s*"
     r"(\w+)\s*[;{=(,)]"
@@ -131,6 +138,15 @@ def check_file(path):
                 flag("raw-new", rel, lineno,
                      "raw `new`: use containers, std::make_unique, or "
                      "the kernel pools")
+
+    # raw-getenv (env access is centralized in src/util/)
+    if not rel.startswith("src/util/"):
+        for lineno, line in enumerate(clean_lines, 1):
+            if GETENV_RE.search(line) and not allowed(
+                    raw_lines, lineno, "raw-getenv"):
+                flag("raw-getenv", rel, lineno,
+                     "direct getenv: use util::envString / "
+                     "util::envU64 (src/util/env.hpp)")
 
     # unordered-iteration
     unordered_names = set(UNORDERED_DECL_RE.findall(clean))

@@ -1,9 +1,11 @@
-#include "fig_common.hpp"
+#include "figures.hpp"
+
+#include <sstream>
 
 #include "runner/experiment_runner.hpp"
 #include "util/logging.hpp"
 
-namespace ringsim::bench {
+namespace ringsim::figures {
 
 const std::vector<double> &
 cycleSweepNs()
@@ -18,6 +20,13 @@ makeFigureTable()
 {
     return TextTable({"workload", "series", "source", "cycle (ns)",
                       "proc util %", "net util %", "miss lat (ns)"});
+}
+
+void
+FigureOptions::apply(trace::WorkloadConfig &cfg) const
+{
+    cfg.dataRefsPerProc = fast ? refs / 4 : refs;
+    cfg.seed = seed;
 }
 
 namespace {
@@ -78,10 +87,12 @@ busSeriesRows(const trace::WorkloadConfig &wl,
 
 std::vector<Row>
 ringSimRows(const trace::WorkloadConfig &wl, Tick ring_period,
-            core::ProtocolKind kind, const std::string &label)
+            core::ProtocolKind kind, const fault::FaultConfig &faults,
+            const std::string &label)
 {
     core::RingSystemConfig cfg =
         core::RingSystemConfig::forProcs(wl.procs, ring_period);
+    cfg.common.faults = faults;
     core::RunResult r = core::runRingSystem(cfg, wl, kind);
     return {makeRow(wl, label, "sim", 20, r.procUtilization,
                     r.networkUtilization, r.missLatencyNs)};
@@ -196,10 +207,12 @@ FigureSweep::run() const
     // Phase 2: every registered block is one job producing its rows.
     std::vector<std::function<std::vector<Row>()>> block_tasks;
     block_tasks.reserve(blocks_.size());
+    const fault::FaultConfig &faults = opt_.faults;
     for (const Block &block : blocks_) {
         const coherence::Census *census =
             block.needsCensus ? &censuses[block.censusSlot] : nullptr;
-        block_tasks.push_back([&block, census]() -> std::vector<Row> {
+        block_tasks.push_back(
+            [&block, census, &faults]() -> std::vector<Row> {
             switch (block.kind) {
               case BlockKind::RingSeries:
                 return ringSeriesRows(block.wl, *census, block.period,
@@ -209,7 +222,7 @@ FigureSweep::run() const
                                      block.label);
               case BlockKind::RingSim:
                 return ringSimRows(block.wl, block.period,
-                                   block.simKind, block.label);
+                                   block.simKind, faults, block.label);
               case BlockKind::BusSim:
                 return busSimRows(block.wl, block.period, block.label);
             }
@@ -228,4 +241,162 @@ FigureSweep::run() const
     return table;
 }
 
-} // namespace ringsim::bench
+const char *
+figureName(FigureId id)
+{
+    switch (id) {
+      case FigureId::Fig3:
+        return "fig3";
+      case FigureId::Fig4:
+        return "fig4";
+      case FigureId::Fig6:
+        return "fig6";
+    }
+    return "?";
+}
+
+bool
+tryFigureFromName(const std::string &name, FigureId *out)
+{
+    if (name == "fig3")
+        *out = FigureId::Fig3;
+    else if (name == "fig4")
+        *out = FigureId::Fig4;
+    else if (name == "fig6")
+        *out = FigureId::Fig6;
+    else
+        return false;
+    return true;
+}
+
+std::string
+figureTitle(FigureId id)
+{
+    switch (id) {
+      case FigureId::Fig3:
+        return "Figure 3: snooping vs directory, 500 MHz 32-bit "
+               "rings (SPLASH, 8/16/32 CPUs)";
+      case FigureId::Fig4:
+        return "Figure 4: snooping vs directory, 500 MHz 32-bit "
+               "ring (FFT/WEATHER/SIMPLE, 64 CPUs)";
+      case FigureId::Fig6:
+        return "Figure 6: 32-bit slotted ring vs 64-bit split "
+               "transaction bus (snooping)";
+    }
+    panic("unreachable figure id");
+}
+
+namespace {
+
+void
+buildFig3(FigureSweep &sweep, const FigureOptions &opt)
+{
+    for (trace::Benchmark b : {trace::Benchmark::MP3D,
+                               trace::Benchmark::WATER,
+                               trace::Benchmark::CHOLESKY}) {
+        for (unsigned procs : {8u, 16u, 32u}) {
+            trace::WorkloadConfig wl = trace::workloadPreset(b, procs);
+            opt.apply(wl);
+
+            sweep.addRingSeries(wl, 2000, model::RingProtocol::Snoop,
+                                "snooping");
+            sweep.addRingSeries(wl, 2000,
+                                model::RingProtocol::Directory,
+                                "directory");
+            sweep.addRingSimPoint(wl, 2000,
+                                  core::ProtocolKind::RingSnoop,
+                                  "snooping");
+            sweep.addRingSimPoint(wl, 2000,
+                                  core::ProtocolKind::RingDirectory,
+                                  "directory");
+        }
+    }
+}
+
+void
+buildFig4(FigureSweep &sweep, const FigureOptions &opt)
+{
+    for (trace::Benchmark b : {trace::Benchmark::FFT,
+                               trace::Benchmark::WEATHER,
+                               trace::Benchmark::SIMPLE}) {
+        trace::WorkloadConfig wl = trace::workloadPreset(b, 64);
+        opt.apply(wl);
+
+        sweep.addRingSeries(wl, 2000, model::RingProtocol::Snoop,
+                            "snooping");
+        sweep.addRingSeries(wl, 2000, model::RingProtocol::Directory,
+                            "directory");
+        sweep.addRingSimPoint(wl, 2000,
+                              core::ProtocolKind::RingSnoop,
+                              "snooping");
+        sweep.addRingSimPoint(wl, 2000,
+                              core::ProtocolKind::RingDirectory,
+                              "directory");
+    }
+}
+
+void
+buildFig6(FigureSweep &sweep, const FigureOptions &opt,
+          bool with_cholesky)
+{
+    std::vector<trace::Benchmark> benchmarks = {trace::Benchmark::MP3D,
+                                                trace::Benchmark::WATER};
+    if (with_cholesky)
+        benchmarks.push_back(trace::Benchmark::CHOLESKY);
+
+    for (trace::Benchmark b : benchmarks) {
+        for (unsigned procs : {8u, 16u, 32u}) {
+            trace::WorkloadConfig wl = trace::workloadPreset(b, procs);
+            opt.apply(wl);
+
+            sweep.addRingSeries(wl, 2000, model::RingProtocol::Snoop,
+                                "ring 500MHz");
+            sweep.addRingSeries(wl, 4000, model::RingProtocol::Snoop,
+                                "ring 250MHz");
+            sweep.addBusSeries(wl, 10000, "bus 100MHz");
+            sweep.addBusSeries(wl, 20000, "bus 50MHz");
+            sweep.addRingSimPoint(wl, 2000,
+                                  core::ProtocolKind::RingSnoop,
+                                  "ring 500MHz");
+            sweep.addBusSimPoint(wl, 20000, "bus 50MHz");
+        }
+    }
+}
+
+} // namespace
+
+FigureSweep
+buildFigure(FigureId id, const FigureOptions &opt, bool fig6_cholesky)
+{
+    FigureSweep sweep(opt);
+    switch (id) {
+      case FigureId::Fig3:
+        buildFig3(sweep, opt);
+        break;
+      case FigureId::Fig4:
+        buildFig4(sweep, opt);
+        break;
+      case FigureId::Fig6:
+        buildFig6(sweep, opt, fig6_cholesky);
+        break;
+    }
+    return sweep;
+}
+
+std::string
+renderFigure(FigureId id, const FigureOptions &opt, bool csv,
+             bool fig6_cholesky)
+{
+    FigureSweep sweep = buildFigure(id, opt, fig6_cholesky);
+    TextTable table = sweep.run();
+    std::ostringstream os;
+    if (csv) {
+        table.printCsv(os);
+    } else {
+        os << "\n== " << figureTitle(id) << " ==\n";
+        table.print(os);
+    }
+    return os.str();
+}
+
+} // namespace ringsim::figures

@@ -1,0 +1,154 @@
+/**
+ * @file
+ * The paper's figure sweeps as a library.
+ *
+ * PR 1 made the figure benches declarative (register series and
+ * validation points, run them as parallel jobs); this module hoists
+ * that machinery — and the *definitions* of Figures 3, 4 and 6 —
+ * out of bench/ so two front ends can execute the identical sweep:
+ *
+ *  - the bench binaries (bench/fig3_snoop_vs_dir, ...) for direct
+ *    command-line reproduction, and
+ *  - the experiment service (src/service/), which receives a sweep
+ *    request over a socket, executes it through this library, and
+ *    memoizes the rendered output under a content-addressed key.
+ *
+ * Byte-identity between the two paths is by construction: both call
+ * renderFigure() with the same FigureOptions, so the service can
+ * legally serve a cached result where a direct run would recompute.
+ *
+ * Fault injection: a non-zero FigureOptions::faults is applied to the
+ * *sim validation points* (the analytic-model series stay fault-free —
+ * the model has no fault dimension). The all-zero default leaves every
+ * figure byte-identical to builds without the fault subsystem.
+ */
+
+#ifndef RINGSIM_FIGURES_FIGURES_HPP
+#define RINGSIM_FIGURES_FIGURES_HPP
+
+#include <string>
+#include <vector>
+
+#include "core/system.hpp"
+#include "fault/fault.hpp"
+#include "model/bus_model.hpp"
+#include "model/calibration.hpp"
+#include "model/ring_model.hpp"
+#include "util/table.hpp"
+
+namespace ringsim::figures {
+
+/** Processor cycle sweep of the figures, in ns (x axes, 1..20). */
+const std::vector<double> &cycleSweepNs();
+
+/** Columns of a figure table. */
+TextTable makeFigureTable();
+
+/** Options one figure sweep runs under (a subset of bench flags). */
+struct FigureOptions
+{
+    Count refs = 120'000;       //!< data references per processor
+    std::uint64_t seed = 12345; //!< master workload seed
+    bool fast = false;          //!< quarter-length traces
+    unsigned jobs = 0;          //!< sweep worker threads; 0 = auto
+    fault::FaultConfig faults;  //!< applied to sim validation points
+
+    /** Apply refs/seed/fast to a workload preset. */
+    void apply(trace::WorkloadConfig &cfg) const;
+};
+
+/**
+ * Declarative figure sweep: register model series and sim validation
+ * points, then run() them as parallel jobs.
+ */
+class FigureSweep
+{
+  public:
+    explicit FigureSweep(const FigureOptions &opt) : opt_(opt) {}
+
+    /** Register the model-swept series of one ring configuration. */
+    void addRingSeries(const trace::WorkloadConfig &wl, Tick ring_period,
+                       model::RingProtocol protocol,
+                       const std::string &label);
+
+    /** Register the model-swept series of one bus configuration. */
+    void addBusSeries(const trace::WorkloadConfig &wl, Tick bus_period,
+                      const std::string &label);
+
+    /** Register the timed ring validation row (50 MIPS point). */
+    void addRingSimPoint(const trace::WorkloadConfig &wl,
+                         Tick ring_period, core::ProtocolKind kind,
+                         const std::string &label);
+
+    /** Register the timed bus validation row (50 MIPS point). */
+    void addBusSimPoint(const trace::WorkloadConfig &wl, Tick bus_period,
+                        const std::string &label);
+
+    /**
+     * Execute all registered blocks — calibrations first (one job per
+     * distinct workload), then every series/sim block as its own job —
+     * and return the assembled table. Uses opt.jobs workers.
+     */
+    TextTable run() const;
+
+  private:
+    enum class BlockKind { RingSeries, BusSeries, RingSim, BusSim };
+
+    struct Block
+    {
+        BlockKind kind;
+        trace::WorkloadConfig wl;
+        Tick period = 0;
+        model::RingProtocol protocol = model::RingProtocol::Snoop;
+        core::ProtocolKind simKind = core::ProtocolKind::RingSnoop;
+        std::string label;
+        std::size_t censusSlot = 0; //!< calibration index (series only)
+        bool needsCensus = false;
+    };
+
+    std::size_t censusSlotFor(const trace::WorkloadConfig &wl);
+
+    FigureOptions opt_;
+    std::vector<Block> blocks_;
+    std::vector<trace::WorkloadConfig> calibrations_;
+    std::vector<std::string> calibrationKeys_;
+};
+
+/** The figures this library can build. */
+enum class FigureId {
+    Fig3, //!< snooping vs directory, SPLASH 8/16/32
+    Fig4, //!< snooping vs directory, FFT/WEATHER/SIMPLE at 64
+    Fig6, //!< ring (250/500 MHz) vs bus (50/100 MHz)
+};
+
+/** "fig3"-style wire name. */
+const char *figureName(FigureId id);
+
+/**
+ * Parse "fig3"/"fig4"/"fig6". Returns false (leaving @p out alone)
+ * on an unknown name.
+ */
+[[nodiscard]] bool tryFigureFromName(const std::string &name,
+                                     FigureId *out);
+
+/** Title line of the figure's emitted table. */
+std::string figureTitle(FigureId id);
+
+/**
+ * Build the registered sweep of @p id under @p opt. Fig6 optionally
+ * includes CHOLESKY (the paper omits it for space).
+ */
+FigureSweep buildFigure(FigureId id, const FigureOptions &opt,
+                        bool fig6_cholesky = false);
+
+/**
+ * Execute @p id and render the complete bench output (title line plus
+ * table, or CSV when @p csv) exactly as the bench binary prints it.
+ * This is the unit of work the experiment service caches.
+ */
+std::string renderFigure(FigureId id, const FigureOptions &opt,
+                         bool csv = false, bool fig6_cholesky = false);
+
+} // namespace ringsim::figures
+
+#endif // RINGSIM_FIGURES_FIGURES_HPP

@@ -1,13 +1,14 @@
 #include "experiment_runner.hpp"
 
 #include <condition_variable>
-#include <cstdlib>
 #include <deque>
 #include <exception>
 #include <mutex>
 #include <stdexcept>
 #include <thread>
 
+#include "util/env.hpp"
+#include "util/json.hpp"
 #include "util/logging.hpp"
 
 namespace ringsim::runner {
@@ -15,15 +16,32 @@ namespace ringsim::runner {
 unsigned
 defaultJobs()
 {
-    if (const char *env = std::getenv("RINGSIM_JOBS")) {
-        char *end = nullptr;
-        unsigned long v = std::strtoul(env, &end, 10);
-        if (end && *end == '\0' && v >= 1)
-            return static_cast<unsigned>(v);
-        warn("ignoring invalid RINGSIM_JOBS='%s'", env);
-    }
+    if (auto v = util::envU64("RINGSIM_JOBS", 1))
+        return static_cast<unsigned>(*v);
     unsigned hw = std::thread::hardware_concurrency();
     return hw ? hw : 1;
+}
+
+std::chrono::milliseconds
+watchdogBudget(std::chrono::milliseconds fallback_ms)
+{
+    if (auto v = util::envU64("RINGSIM_WATCHDOG_MS", 1))
+        return std::chrono::milliseconds(*v);
+    return fallback_ms;
+}
+
+std::vector<std::string>
+RunPolicy::check() const
+{
+    std::vector<std::string> errors;
+    if (maxAttempts == 0)
+        errors.push_back(
+            "maxAttempts = 0: a job needs at least one attempt");
+    if (jobTimeout.count() < 0)
+        errors.push_back(strprintf(
+            "jobTimeout = %lld ms: watchdog budget cannot be negative",
+            static_cast<long long>(jobTimeout.count())));
+    return errors;
 }
 
 unsigned
@@ -56,40 +74,6 @@ jobStatusName(JobReport::Status s)
     return "?";
 }
 
-namespace {
-
-/** Minimal JSON string escaping (quotes, backslashes, control). */
-std::string
-jsonEscape(const std::string &s)
-{
-    std::string out;
-    out.reserve(s.size());
-    for (char c : s) {
-        switch (c) {
-          case '"':
-            out += "\\\"";
-            break;
-          case '\\':
-            out += "\\\\";
-            break;
-          case '\n':
-            out += "\\n";
-            break;
-          case '\t':
-            out += "\\t";
-            break;
-          default:
-            if (static_cast<unsigned char>(c) < 0x20)
-                out += strprintf("\\u%04x", c);
-            else
-                out += c;
-        }
-    }
-    return out;
-}
-
-} // namespace
-
 std::string
 failureSummaryJson(const std::vector<JobReport> &reports)
 {
@@ -111,7 +95,7 @@ failureSummaryJson(const std::vector<JobReport> &reports)
             "{\"index\": %zu, \"status\": \"%s\", \"attempts\": %u, "
             "\"seconds\": %.3f, \"error\": \"%s\"}",
             r.index, jobStatusName(r.status), r.attempts, r.seconds,
-            jsonEscape(r.error).c_str());
+            util::jsonEscape(r.error).c_str());
     }
     out += "]}";
     return out;

@@ -56,6 +56,16 @@ unsigned resolveJobs(unsigned requested);
  */
 std::uint64_t jobSeed(std::uint64_t master_seed, std::uint64_t job_key);
 
+/**
+ * Watchdog budget resolution: $RINGSIM_WATCHDOG_MS if set to a
+ * positive integer, otherwise @p fallback_ms. Lets operators widen
+ * (or disable-by-raising) per-job watchdogs on loaded machines where
+ * a healthy sweep point can exceed a default budget — service jobs
+ * and the hardened benches resolve their timeouts through this.
+ */
+std::chrono::milliseconds
+watchdogBudget(std::chrono::milliseconds fallback_ms);
+
 /** Failure-handling policy of a hardened run. */
 struct RunPolicy
 {
@@ -68,6 +78,12 @@ struct RunPolicy
 
     /** Total attempts per job (>= 1); retries run in later passes. */
     unsigned maxAttempts = 1;
+
+    /**
+     * All misconfigurations, as human-readable "field = value"
+     * messages (empty when the policy is sound).
+     */
+    [[nodiscard]] std::vector<std::string> check() const;
 };
 
 /** Outcome of one job slot. */

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Content-addressed cache keys for experiment results.
+ *
+ * A key is a 128-bit fingerprint (as 32 hex chars) of the job's
+ * *canonical* specification — the JSON object produced by
+ * JobSpec::canonical(), which lists every field that can influence
+ * the result (workload, configuration, fault schedule, internal
+ * sweep shape) with defaults materialized and keys in a fixed order —
+ * concatenated with the cache salt.
+ *
+ * Memoizing on this key is legal because PR 1 and PR 3 proved runs
+ * byte-identical for identical inputs at any worker count: two
+ * requests with equal canonical specs produce equal bytes, so a
+ * cached result is indistinguishable from a recomputation.
+ *
+ * The salt has two parts: the built-in code-version salt (bumped
+ * whenever a change can alter any result byte — see DESIGN.md §13)
+ * and an operator salt (ServiceConfig::salt / $RINGSIM_CACHE_SALT).
+ * Changing either silently invalidates every existing entry: the new
+ * keys simply never match the old files.
+ */
+
+#ifndef RINGSIM_SERVICE_CACHE_KEY_HPP
+#define RINGSIM_SERVICE_CACHE_KEY_HPP
+
+#include <cstdint>
+#include <string>
+
+namespace ringsim::service {
+
+/**
+ * The built-in code-version salt. Bump the literal in cache_key.cpp
+ * with any PR that can change a result byte.
+ */
+const char *codeVersionSalt();
+
+/** 64-bit FNV-1a-with-finalizer over @p data (exposed for tests). */
+std::uint64_t fingerprint64(const std::string &data,
+                            std::uint64_t seed);
+
+/**
+ * The cache key of @p canonical_spec under @p extra_salt: 32 lowercase
+ * hex characters, safe as a file name.
+ */
+std::string cacheKey(const std::string &canonical_spec,
+                     const std::string &extra_salt);
+
+} // namespace ringsim::service
+
+#endif // RINGSIM_SERVICE_CACHE_KEY_HPP

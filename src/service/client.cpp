@@ -1,0 +1,164 @@
+#include "client.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "service/socket_server.hpp"
+#include "util/logging.hpp"
+
+namespace ringsim::service {
+
+ServiceClient::~ServiceClient()
+{
+    closeFd();
+}
+
+ServiceClient::ServiceClient(ServiceClient &&other) noexcept
+    : fd_(std::exchange(other.fd_, -1)),
+      buffer_(std::move(other.buffer_))
+{
+}
+
+ServiceClient &
+ServiceClient::operator=(ServiceClient &&other) noexcept
+{
+    if (this != &other) {
+        closeFd();
+        fd_ = std::exchange(other.fd_, -1);
+        buffer_ = std::move(other.buffer_);
+    }
+    return *this;
+}
+
+void
+ServiceClient::closeFd()
+{
+    if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+    }
+    buffer_.clear();
+}
+
+bool
+ServiceClient::tryConnect(const std::string &endpoint,
+                          std::string *error)
+{
+    closeFd();
+    int tcp_port = -1;
+    std::string unix_path;
+    if (!tryParseEndpoint(endpoint, &tcp_port, &unix_path, error))
+        return false;
+
+    if (tcp_port > 0) {
+        fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+        if (fd_ < 0) {
+            *error = strprintf("socket: %s", std::strerror(errno));
+            return false;
+        }
+        sockaddr_in addr{};
+        addr.sin_family = AF_INET;
+        addr.sin_port = htons(static_cast<std::uint16_t>(tcp_port));
+        addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+        if (::connect(fd_, reinterpret_cast<sockaddr *>(&addr),
+                      sizeof(addr)) != 0) {
+            *error = strprintf("connect 127.0.0.1:%d: %s", tcp_port,
+                               std::strerror(errno));
+            closeFd();
+            return false;
+        }
+        return true;
+    }
+    fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd_ < 0) {
+        *error = strprintf("socket: %s", std::strerror(errno));
+        return false;
+    }
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    std::strncpy(addr.sun_path, unix_path.c_str(),
+                 sizeof(addr.sun_path) - 1);
+    if (::connect(fd_, reinterpret_cast<sockaddr *>(&addr),
+                  sizeof(addr)) != 0) {
+        *error = strprintf("connect %s: %s", unix_path.c_str(),
+                           std::strerror(errno));
+        closeFd();
+        return false;
+    }
+    return true;
+}
+
+bool
+ServiceClient::tryRequest(const std::string &line,
+                          std::string *response, std::string *error)
+{
+    if (fd_ < 0) {
+        *error = "not connected";
+        return false;
+    }
+    std::string out = line;
+    out += '\n';
+    std::size_t off = 0;
+    while (off < out.size()) {
+        ssize_t w = ::write(fd_, out.data() + off, out.size() - off);
+        if (w <= 0) {
+            *error = strprintf("write: %s", std::strerror(errno));
+            return false;
+        }
+        off += static_cast<std::size_t>(w);
+    }
+    for (;;) {
+        std::size_t nl = buffer_.find('\n');
+        if (nl != std::string::npos) {
+            *response = buffer_.substr(0, nl);
+            buffer_.erase(0, nl + 1);
+            return true;
+        }
+        char chunk[4096];
+        ssize_t n = ::read(fd_, chunk, sizeof(chunk));
+        if (n <= 0) {
+            *error = n == 0 ? "connection closed by server"
+                            : strprintf("read: %s",
+                                        std::strerror(errno));
+            return false;
+        }
+        buffer_.append(chunk, static_cast<std::size_t>(n));
+    }
+}
+
+bool
+ServiceClient::tryCall(const util::JsonValue &request,
+                       util::JsonValue *response, std::string *error)
+{
+    std::string line;
+    if (!tryRequest(request.dump(), &line, error))
+        return false;
+    if (!util::tryParseJson(line, response, error)) {
+        *error = "unparsable response: " + *error;
+        return false;
+    }
+    std::vector<std::string> errors;
+    if (!response->getBool("ok", false, &errors)) {
+        std::string msg =
+            response->getString("error", "request failed", &errors);
+        if (const util::JsonValue *ra =
+                response->find("retry_after_ms")) {
+            if (ra->isNumber())
+                msg += strprintf(" (retry after %llu ms)",
+                                 static_cast<unsigned long long>(
+                                     ra->asU64()));
+        }
+        *error = msg;
+        return false;
+    }
+    return true;
+}
+
+} // namespace ringsim::service

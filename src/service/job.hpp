@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Experiment-service job specifications and executors.
+ *
+ * A job is the unit the service schedules, executes and memoizes.
+ * Five kinds exist:
+ *
+ *   run    one timed simulation (ring snoop/directory or bus) of one
+ *          workload — returns the RunResult fields;
+ *   sweep  one full figure reproduction (fig3/fig4/fig6) — returns
+ *          the rendered bench output, byte-identical to the bench
+ *          binary's stdout;
+ *   model  one analytic-model solve (calibration census + ring or bus
+ *          queueing model at one processor cycle time);
+ *   verify one exhaustive protocol model-check configuration;
+ *   sleep  test-only (gated by ServiceConfig::enableTestJobs): holds
+ *          a worker for a fixed time, so tests can pin the pool and
+ *          exercise queueing/shedding deterministically.
+ *
+ * Parsing is strict about types but forgiving about omissions: every
+ * field has the bench default. canonical() re-serializes the spec
+ * with *all* defaults materialized, in a fixed key order — that
+ * string (plus salts) is the cache key, so a request that spells a
+ * default out and one that omits it hit the same entry.
+ */
+
+#ifndef RINGSIM_SERVICE_JOB_HPP
+#define RINGSIM_SERVICE_JOB_HPP
+
+#include <string>
+#include <vector>
+
+#include "fault/fault.hpp"
+#include "figures/figures.hpp"
+#include "trace/workload.hpp"
+#include "util/json.hpp"
+#include "util/units.hpp"
+
+namespace ringsim::service {
+
+/** What a job asks the service to do. */
+enum class JobKind { Run, Sweep, Model, Verify, Sleep };
+
+/** Printable job-kind wire name ("run", ...). */
+const char *jobKindName(JobKind k);
+
+/** Parsed, validated description of one job. */
+struct JobSpec
+{
+    JobKind kind = JobKind::Run;
+
+    // -- run / model ----------------------------------------------
+    trace::Benchmark benchmark = trace::Benchmark::MP3D;
+    unsigned procs = 16;
+    /** "snoop", "directory" or "bus". */
+    std::string protocol = "snoop";
+    /** Ring clock period (ring protocols) / bus period, in ticks. */
+    Tick period = 0; //!< 0 = protocol default (2000 ring, 20000 bus)
+    /** model only: processor cycle time of the solve, in ns. */
+    double cycleNs = 20;
+
+    // -- shared workload knobs ------------------------------------
+    Count refs = 120'000;
+    std::uint64_t seed = 12345;
+    bool fast = false;
+    fault::FaultConfig faults;
+
+    // -- sweep ----------------------------------------------------
+    figures::FigureId figure = figures::FigureId::Fig3;
+    bool csv = false;
+    bool fig6Cholesky = false;
+
+    // -- verify ---------------------------------------------------
+    unsigned vNodes = 2;
+    unsigned vBlocks = 1;
+    unsigned vInflight = 2;
+    bool vFaults = false;
+    bool vFull = true;
+
+    // -- sleep (test only) ----------------------------------------
+    std::uint64_t sleepMs = 0;
+
+    /**
+     * Parse a request's "job" object. On success fills @p out and
+     * returns true; on failure returns false and fills @p error with
+     * "field = value"-style diagnostics.
+     */
+    [[nodiscard]] static bool tryParse(const util::JsonValue &json,
+                                       bool allow_test_jobs,
+                                       JobSpec *out, std::string *error);
+
+    /**
+     * The canonical spec: every result-affecting field materialized,
+     * keys in fixed order. Equal canonical strings => byte-equal
+     * results (the memoization contract).
+     */
+    util::JsonValue canonical() const;
+
+    /** False for job kinds whose result must not be memoized. */
+    bool cacheable() const { return kind != JobKind::Sleep; }
+
+    /** One-line human description (logs, statsz). */
+    std::string describe() const;
+};
+
+/**
+ * Execute @p spec synchronously on the calling thread and return the
+ * result object ({"kind": ..., ...}). @p sweep_jobs is the internal
+ * fan-out used by sweep jobs. Throws std::runtime_error on failure.
+ */
+util::JsonValue executeJob(const JobSpec &spec, unsigned sweep_jobs);
+
+} // namespace ringsim::service
+
+#endif // RINGSIM_SERVICE_JOB_HPP

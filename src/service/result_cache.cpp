@@ -1,0 +1,148 @@
+#include "result_cache.hpp"
+
+#include <sys/stat.h>
+
+#include <atomic>
+#include <cstdio>
+
+#include "util/logging.hpp"
+
+namespace ringsim::service {
+
+ResultCache::ResultCache(std::size_t mem_entries, std::string dir)
+    : capacity_(mem_entries ? mem_entries : 1), dir_(std::move(dir))
+{
+    if (!dir_.empty()) {
+        // Best-effort create; an unwritable directory degrades to a
+        // memory-only cache (counted in diskErrors per operation).
+        ::mkdir(dir_.c_str(), 0755);
+    }
+}
+
+std::string
+ResultCache::diskPath(const std::string &key) const
+{
+    if (dir_.empty())
+        return "";
+    return dir_ + "/" + key + ".json";
+}
+
+std::optional<std::string>
+ResultCache::get(const std::string &key)
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        auto it = index_.find(key);
+        if (it != index_.end()) {
+            // Touch: move to the front of the LRU.
+            lru_.splice(lru_.begin(), lru_, it->second);
+            ++stats_.memHits;
+            return lru_.front().second;
+        }
+    }
+    std::optional<std::string> disk = diskGet(key);
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (disk) {
+        ++stats_.diskHits;
+        memPut(key, *disk);
+        return disk;
+    }
+    ++stats_.misses;
+    return std::nullopt;
+}
+
+void
+ResultCache::put(const std::string &key, const std::string &value)
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++stats_.stores;
+        memPut(key, value);
+    }
+    diskPut(key, value);
+}
+
+std::size_t
+ResultCache::memEntries() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return lru_.size();
+}
+
+CacheStats
+ResultCache::stats() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return stats_;
+}
+
+void
+ResultCache::memPut(const std::string &key, std::string value)
+{
+    auto it = index_.find(key);
+    if (it != index_.end()) {
+        it->second->second = std::move(value);
+        lru_.splice(lru_.begin(), lru_, it->second);
+        return;
+    }
+    lru_.emplace_front(key, std::move(value));
+    index_[key] = lru_.begin();
+    while (lru_.size() > capacity_) {
+        index_.erase(lru_.back().first);
+        lru_.pop_back();
+        ++stats_.evictions;
+    }
+}
+
+std::optional<std::string>
+ResultCache::diskGet(const std::string &key)
+{
+    std::string path = diskPath(key);
+    if (path.empty())
+        return std::nullopt;
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    if (!f)
+        return std::nullopt;
+    std::string data;
+    char buf[4096];
+    size_t n;
+    while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0)
+        data.append(buf, n);
+    bool ok = !std::ferror(f);
+    std::fclose(f);
+    if (!ok) {
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++stats_.diskErrors;
+        return std::nullopt;
+    }
+    return data;
+}
+
+void
+ResultCache::diskPut(const std::string &key, const std::string &value)
+{
+    std::string path = diskPath(key);
+    if (path.empty())
+        return;
+    // Atomic publish: a reader either sees the whole entry or none.
+    // The temp name is unique per store so concurrent writers of the
+    // same key cannot interleave into one temp file.
+    static std::atomic<unsigned> tmp_serial{0};
+    std::string tmp = path + strprintf(".tmp%u", tmp_serial++);
+    std::FILE *f = std::fopen(tmp.c_str(), "wb");
+    bool ok = f != nullptr;
+    if (f) {
+        ok = std::fwrite(value.data(), 1, value.size(), f) ==
+             value.size();
+        ok = (std::fclose(f) == 0) && ok;
+    }
+    if (ok)
+        ok = std::rename(tmp.c_str(), path.c_str()) == 0;
+    if (!ok) {
+        std::remove(tmp.c_str());
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++stats_.diskErrors;
+    }
+}
+
+} // namespace ringsim::service

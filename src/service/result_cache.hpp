@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Two-tier content-addressed result cache.
+ *
+ * Tier 1 is an in-memory LRU bounded by entry count; tier 2 is an
+ * on-disk store (one file per key, written atomically via a temp file
+ * and rename) that survives daemon restarts. A disk hit is promoted
+ * into memory. Keys are the 32-hex-char fingerprints produced by
+ * cacheKey(), so invalidation-by-salt needs no sweep: entries written
+ * under an old salt are simply never looked up again.
+ *
+ * Thread-safe; every method may be called from any worker or
+ * connection thread.
+ */
+
+#ifndef RINGSIM_SERVICE_RESULT_CACHE_HPP
+#define RINGSIM_SERVICE_RESULT_CACHE_HPP
+
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <utility>
+
+#include "util/units.hpp"
+
+namespace ringsim::service {
+
+/** Hit/miss/eviction counters of one cache instance. */
+struct CacheStats
+{
+    Count memHits = 0;
+    Count diskHits = 0;
+    Count misses = 0;
+    Count stores = 0;
+    Count evictions = 0;
+    Count diskErrors = 0;
+};
+
+class ResultCache
+{
+  public:
+    /**
+     * @param mem_entries in-memory LRU capacity (>= 1).
+     * @param dir on-disk store directory (created if missing);
+     *            empty disables the disk tier.
+     */
+    ResultCache(std::size_t mem_entries, std::string dir);
+
+    /** Cached value of @p key, or nullopt. Counts the hit/miss. */
+    std::optional<std::string> get(const std::string &key);
+
+    /** Store @p value under @p key in both tiers. */
+    void put(const std::string &key, const std::string &value);
+
+    /** Entries currently held in memory. */
+    std::size_t memEntries() const;
+
+    /** Counter snapshot. */
+    CacheStats stats() const;
+
+    /** On-disk path of @p key ("" when the disk tier is off). */
+    std::string diskPath(const std::string &key) const;
+
+  private:
+    /** Insert into the LRU (lock held); evicts beyond capacity. */
+    void memPut(const std::string &key, std::string value);
+
+    std::optional<std::string> diskGet(const std::string &key);
+    void diskPut(const std::string &key, const std::string &value);
+
+    const std::size_t capacity_;
+    const std::string dir_;
+
+    mutable std::mutex mutex_;
+    /** Most recent at front; each node is (key, value). */
+    std::list<std::pair<std::string, std::string>> lru_;
+    /** Keyed lookup only (never iterated — see the lint rule). */
+    std::unordered_map<std::string, decltype(lru_)::iterator> index_;
+    CacheStats stats_;
+};
+
+} // namespace ringsim::service
+
+#endif // RINGSIM_SERVICE_RESULT_CACHE_HPP

@@ -1,0 +1,510 @@
+#include "server.hpp"
+
+#include <algorithm>
+
+#include "service/cache_key.hpp"
+#include "util/logging.hpp"
+
+namespace ringsim::service {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double
+msSince(Clock::time_point from, Clock::time_point to)
+{
+    return std::chrono::duration<double, std::milli>(to - from)
+        .count();
+}
+
+util::JsonValue
+errorResponse(const char *op, const std::string &message)
+{
+    util::JsonValue o = util::JsonValue::object();
+    o.set("ok", util::JsonValue::boolean(false));
+    if (op)
+        o.set("op", util::JsonValue::string(op));
+    o.set("error", util::JsonValue::string(message));
+    return o;
+}
+
+} // namespace
+
+const char *
+jobStateName(JobState s)
+{
+    switch (s) {
+      case JobState::Queued:
+        return "queued";
+      case JobState::Running:
+        return "running";
+      case JobState::Done:
+        return "done";
+      case JobState::Failed:
+        return "failed";
+      case JobState::TimedOut:
+        return "timed_out";
+    }
+    return "?";
+}
+
+ServiceCore::ServiceCore(const ServiceConfig &cfg)
+    : cfg_(cfg), latency_hist_(0, 60'000, 600)
+{
+    cfg_.validate();
+    cache_ = std::make_unique<ResultCache>(cfg_.memCacheEntries,
+                                           cfg_.cacheDir);
+    pool_ = std::make_unique<runner::ExperimentRunner>(cfg_.workers);
+    inform("service: %u workers, queue depth %zu, cache %zu entries%s",
+           pool_->jobs(), cfg_.queueDepth, cfg_.memCacheEntries,
+           cfg_.cacheDir.empty() ? "" : (" + disk " + cfg_.cacheDir)
+                                            .c_str());
+}
+
+ServiceCore::~ServiceCore()
+{
+    pool_->waitAll();
+}
+
+bool
+ServiceCore::shutdownRequested() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return shutdown_;
+}
+
+std::string
+ServiceCore::handleLine(const std::string &client,
+                        const std::string &line)
+{
+    util::JsonValue req;
+    std::string parse_error;
+    if (!tryParseJson(line, &req, &parse_error)) {
+        std::lock_guard<std::mutex> lock(mutex_);
+        bad_requests_.inc();
+        return errorResponse(nullptr, "bad request: " + parse_error)
+            .dump();
+    }
+    if (!req.isObject()) {
+        std::lock_guard<std::mutex> lock(mutex_);
+        bad_requests_.inc();
+        return errorResponse(nullptr,
+                             "bad request: expected a JSON object")
+            .dump();
+    }
+    std::vector<std::string> errors;
+    std::string op = req.getString("op", "", &errors);
+    if (op == "ping") {
+        util::JsonValue o = util::JsonValue::object();
+        o.set("ok", util::JsonValue::boolean(true));
+        o.set("op", util::JsonValue::string("ping"));
+        return o.dump();
+    }
+    if (op == "submit")
+        return handleSubmit(client, req);
+    if (op == "poll")
+        return handlePoll(req);
+    if (op == "statsz")
+        return handleStatsz();
+    if (op == "shutdown") {
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            shutdown_ = true;
+        }
+        done_cv_.notify_all();
+        util::JsonValue o = util::JsonValue::object();
+        o.set("ok", util::JsonValue::boolean(true));
+        o.set("op", util::JsonValue::string("shutdown"));
+        return o.dump();
+    }
+    std::lock_guard<std::mutex> lock(mutex_);
+    bad_requests_.inc();
+    return errorResponse(nullptr,
+                         "op = '" + op +
+                             "': expected ping, submit, poll, "
+                             "statsz or shutdown")
+        .dump();
+}
+
+std::string
+ServiceCore::handleSubmit(const std::string &client,
+                          const util::JsonValue &req)
+{
+    std::vector<std::string> errors;
+    std::string who = req.getString("client", client, &errors);
+    bool wait = req.getBool("wait", false, &errors);
+    const util::JsonValue *job = req.find("job");
+    if (!job) {
+        std::lock_guard<std::mutex> lock(mutex_);
+        bad_requests_.inc();
+        return errorResponse("submit", "job = <missing>: a submit "
+                                       "needs a job object")
+            .dump();
+    }
+    JobSpec spec;
+    std::string parse_error;
+    if (!JobSpec::tryParse(*job, cfg_.enableTestJobs, &spec,
+                           &parse_error) ||
+        !errors.empty()) {
+        std::lock_guard<std::mutex> lock(mutex_);
+        bad_requests_.inc();
+        return errorResponse("submit", parse_error.empty()
+                                           ? errors.front()
+                                           : parse_error)
+            .dump();
+    }
+
+    std::string key;
+    if (spec.cacheable()) {
+        key = cacheKey(spec.canonical().dump(), cfg_.salt);
+        if (std::optional<std::string> hit = cache_->get(key)) {
+            // A corrupt disk entry must recompute, not error out.
+            util::JsonValue result;
+            std::string cache_error;
+            if (tryParseJson(*hit, &result, &cache_error)) {
+                std::uint64_t id;
+                {
+                    std::lock_guard<std::mutex> lock(mutex_);
+                    submitted_.inc();
+                    cache_answers_.inc();
+                    id = next_id_++;
+                }
+                util::JsonValue o = util::JsonValue::object();
+                o.set("ok", util::JsonValue::boolean(true));
+                o.set("op", util::JsonValue::string("submit"));
+                o.set("id", util::JsonValue::integer(id));
+                o.set("state", util::JsonValue::string("done"));
+                o.set("cached", util::JsonValue::boolean(true));
+                o.set("key", util::JsonValue::string(key));
+                o.set("result", std::move(result));
+                return o.dump();
+            }
+            warn("service: dropping unparsable cache entry %s: %s",
+                 key.c_str(), cache_error.c_str());
+        }
+    }
+
+    std::uint64_t id = 0;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        submitted_.inc();
+        if (active_ >= cfg_.queueDepth) {
+            shed_.inc();
+            // Scale the hint with how many "pool drains" of work are
+            // already queued: a deeper backlog earns a longer backoff.
+            std::size_t queued = active_ - std::min<std::size_t>(
+                                               active_, pool_->jobs());
+            std::uint64_t factor = 1 + queued / std::max(
+                                           1u, pool_->jobs());
+            util::JsonValue o =
+                errorResponse("submit",
+                              strprintf("overloaded: %zu of %zu "
+                                        "slots busy",
+                                        active_, cfg_.queueDepth));
+            o.set("retry_after_ms", util::JsonValue::integer(
+                                        cfg_.retryAfterMs * factor));
+            return o.dump();
+        }
+        admitted_.inc();
+        ++active_;
+        id = next_id_++;
+        JobRecord rec;
+        rec.id = id;
+        rec.client = who;
+        rec.spec = spec;
+        rec.key = key;
+        rec.enqueued = Clock::now();
+        jobs_.emplace(id, std::move(rec));
+
+        // Find (or open) this client's FIFO. The client set is tiny —
+        // a linear scan keeps the visit order deterministic.
+        auto it = std::find_if(queues_.begin(), queues_.end(),
+                               [&](const ClientQueue &q) {
+                                   return q.name == who;
+                               });
+        if (it == queues_.end()) {
+            queues_.push_back(ClientQueue{who, {}});
+            it = std::prev(queues_.end());
+        }
+        it->pending.push_back(id);
+    }
+    pool_->submit([this]() { runOne(); });
+
+    if (!wait) {
+        util::JsonValue o = util::JsonValue::object();
+        o.set("ok", util::JsonValue::boolean(true));
+        o.set("op", util::JsonValue::string("submit"));
+        o.set("id", util::JsonValue::integer(id));
+        o.set("state", util::JsonValue::string("queued"));
+        o.set("cached", util::JsonValue::boolean(false));
+        if (!key.empty())
+            o.set("key", util::JsonValue::string(key));
+        return o.dump();
+    }
+
+    // Synchronous submit: block this connection until the job leaves
+    // the pool (or the lazy watchdog declares it overdue).
+    std::unique_lock<std::mutex> lock(mutex_);
+    for (;;) {
+        reapOverdue(Clock::now());
+        auto it = jobs_.find(id);
+        if (it == jobs_.end()) {
+            return errorResponse("submit",
+                                 strprintf("id = %llu: record "
+                                           "evicted before wait "
+                                           "finished",
+                                           static_cast<unsigned long
+                                                       long>(id)))
+                .dump();
+        }
+        if (it->second.state != JobState::Queued &&
+            it->second.state != JobState::Running) {
+            util::JsonValue o = jobJsonLocked(it->second);
+            o.set("op", util::JsonValue::string("submit"));
+            return o.dump();
+        }
+        done_cv_.wait_for(lock, std::chrono::milliseconds(50));
+    }
+}
+
+std::string
+ServiceCore::handlePoll(const util::JsonValue &req)
+{
+    std::vector<std::string> errors;
+    std::uint64_t id = req.getU64("id", 0, &errors);
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!errors.empty() || id == 0) {
+        bad_requests_.inc();
+        return errorResponse("poll", errors.empty()
+                                         ? "id = 0: a poll needs the "
+                                           "id a submit returned"
+                                         : errors.front())
+            .dump();
+    }
+    reapOverdue(Clock::now());
+    auto it = jobs_.find(id);
+    if (it == jobs_.end()) {
+        return errorResponse("poll",
+                             strprintf("id = %llu: unknown or "
+                                       "expired job",
+                                       static_cast<unsigned long long>(
+                                           id)))
+            .dump();
+    }
+    util::JsonValue o = jobJsonLocked(it->second);
+    o.set("op", util::JsonValue::string("poll"));
+    return o.dump();
+}
+
+std::string
+ServiceCore::handleStatsz()
+{
+    CacheStats cs = cache_->stats();
+    std::lock_guard<std::mutex> lock(mutex_);
+    reapOverdue(Clock::now());
+
+    util::JsonValue o = util::JsonValue::object();
+    o.set("ok", util::JsonValue::boolean(true));
+    o.set("op", util::JsonValue::string("statsz"));
+    o.set("workers", util::JsonValue::integer(pool_->jobs()));
+    o.set("queue_depth", util::JsonValue::integer(cfg_.queueDepth));
+    o.set("active", util::JsonValue::integer(active_));
+    o.set("running", util::JsonValue::integer(running_.size()));
+    o.set("submitted", util::JsonValue::integer(submitted_.value()));
+    o.set("admitted", util::JsonValue::integer(admitted_.value()));
+    o.set("shed", util::JsonValue::integer(shed_.value()));
+    o.set("completed", util::JsonValue::integer(completed_.value()));
+    o.set("failed", util::JsonValue::integer(failed_.value()));
+    o.set("timed_out", util::JsonValue::integer(timed_out_.value()));
+    o.set("late_completions",
+          util::JsonValue::integer(late_completions_.value()));
+    o.set("cache_answers",
+          util::JsonValue::integer(cache_answers_.value()));
+    o.set("bad_requests",
+          util::JsonValue::integer(bad_requests_.value()));
+
+    util::JsonValue cache = util::JsonValue::object();
+    cache.set("mem_hits", util::JsonValue::integer(cs.memHits));
+    cache.set("disk_hits", util::JsonValue::integer(cs.diskHits));
+    cache.set("misses", util::JsonValue::integer(cs.misses));
+    cache.set("stores", util::JsonValue::integer(cs.stores));
+    cache.set("evictions", util::JsonValue::integer(cs.evictions));
+    cache.set("disk_errors", util::JsonValue::integer(cs.diskErrors));
+    o.set("cache", std::move(cache));
+
+    util::JsonValue lat = util::JsonValue::object();
+    lat.set("count", util::JsonValue::integer(latency_ms_.count()));
+    lat.set("mean_ms", util::JsonValue::number(latency_ms_.mean()));
+    lat.set("min_ms", util::JsonValue::number(
+                          latency_ms_.count() ? latency_ms_.min() : 0));
+    lat.set("max_ms", util::JsonValue::number(
+                          latency_ms_.count() ? latency_ms_.max() : 0));
+    lat.set("p50_ms",
+            util::JsonValue::number(latency_hist_.quantile(0.50)));
+    lat.set("p90_ms",
+            util::JsonValue::number(latency_hist_.quantile(0.90)));
+    lat.set("p99_ms",
+            util::JsonValue::number(latency_hist_.quantile(0.99)));
+    o.set("latency", std::move(lat));
+    return o.dump();
+}
+
+std::uint64_t
+ServiceCore::pickNext()
+{
+    // Round-robin: resume the sweep one past the last served client,
+    // take the head of the first non-empty FIFO.
+    const std::size_t n = queues_.size();
+    for (std::size_t step = 0; step < n; ++step) {
+        std::size_t i = (rr_next_ + step) % n;
+        if (!queues_[i].pending.empty()) {
+            std::uint64_t id = queues_[i].pending.front();
+            queues_[i].pending.pop_front();
+            rr_next_ = (i + 1) % n;
+            return id;
+        }
+    }
+    return 0;
+}
+
+void
+ServiceCore::runOne()
+{
+    std::uint64_t id = 0;
+    JobSpec spec;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        id = pickNext();
+        if (id == 0)
+            return; // a waiter was reaped before any slot freed
+        auto it = jobs_.find(id);
+        if (it == jobs_.end())
+            return;
+        it->second.state = JobState::Running;
+        it->second.started = Clock::now();
+        running_.push_back(id);
+        spec = it->second.spec;
+    }
+
+    std::string result, error;
+    bool ok = true;
+    try {
+        result = executeJob(spec, cfg_.jobsPerSweep).dump();
+    } catch (const std::exception &e) {
+        ok = false;
+        error = e.what();
+    }
+
+    std::lock_guard<std::mutex> lock(mutex_);
+    running_.erase(std::remove(running_.begin(), running_.end(), id),
+                   running_.end());
+    --active_;
+    auto it = jobs_.find(id);
+    if (it == jobs_.end())
+        return;
+    JobRecord &rec = it->second;
+    if (rec.state == JobState::TimedOut) {
+        // The lazy watchdog already answered for this job; the thread
+        // was merely abandoned, not interrupted. Count and discard.
+        late_completions_.inc();
+        done_cv_.notify_all();
+        return;
+    }
+    double ms = msSince(rec.enqueued, Clock::now());
+    latency_ms_.add(ms);
+    latency_hist_.add(ms);
+    if (ok) {
+        if (!rec.key.empty())
+            cache_->put(rec.key, result);
+        completed_.inc();
+        finishLocked(rec, JobState::Done, std::move(result));
+    } else {
+        failed_.inc();
+        finishLocked(rec, JobState::Failed, std::move(error));
+    }
+    done_cv_.notify_all();
+}
+
+void
+ServiceCore::reapOverdue(Clock::time_point now)
+{
+    if (cfg_.watchdog.count() <= 0)
+        return;
+    for (std::uint64_t id : running_) {
+        auto it = jobs_.find(id);
+        if (it == jobs_.end() ||
+            it->second.state != JobState::Running)
+            continue;
+        if (now - it->second.started < cfg_.watchdog)
+            continue;
+        timed_out_.inc();
+        finishLocked(
+            it->second, JobState::TimedOut,
+            strprintf("watchdog: exceeded %lld ms",
+                      static_cast<long long>(cfg_.watchdog.count())));
+    }
+    done_cv_.notify_all();
+}
+
+void
+ServiceCore::finishLocked(JobRecord &rec, JobState state,
+                          std::string result_or_error)
+{
+    rec.state = state;
+    if (state == JobState::Done)
+        rec.result = std::move(result_or_error);
+    else
+        rec.error = std::move(result_or_error);
+    done_order_.push_back(rec.id);
+    trimDoneLocked();
+}
+
+void
+ServiceCore::trimDoneLocked()
+{
+    // A timed-out record whose thread is still running (id still in
+    // running_) is re-queued instead of erased — the late completion
+    // needs the record. The scan bound keeps this a single pass.
+    std::size_t scan = done_order_.size();
+    while (done_order_.size() > cfg_.retainDone && scan-- > 0) {
+        std::uint64_t victim = done_order_.front();
+        done_order_.pop_front();
+        bool thread_live = std::find(running_.begin(), running_.end(),
+                                     victim) != running_.end();
+        if (thread_live) {
+            done_order_.push_back(victim);
+            continue;
+        }
+        jobs_.erase(victim);
+    }
+}
+
+util::JsonValue
+ServiceCore::jobJsonLocked(const JobRecord &rec) const
+{
+    util::JsonValue o = util::JsonValue::object();
+    o.set("ok", util::JsonValue::boolean(true));
+    o.set("id", util::JsonValue::integer(rec.id));
+    o.set("state",
+          util::JsonValue::string(jobStateName(rec.state)));
+    o.set("cached", util::JsonValue::boolean(false));
+    if (!rec.key.empty())
+        o.set("key", util::JsonValue::string(rec.key));
+    if (rec.state == JobState::Done) {
+        util::JsonValue result;
+        std::string parse_error;
+        if (tryParseJson(rec.result, &result, &parse_error))
+            o.set("result", std::move(result));
+        else
+            o.set("error", util::JsonValue::string(
+                               "internal: stored result unparsable: " +
+                               parse_error));
+    } else if (rec.state == JobState::Failed ||
+               rec.state == JobState::TimedOut) {
+        o.set("error", util::JsonValue::string(rec.error));
+    }
+    return o;
+}
+
+} // namespace ringsim::service

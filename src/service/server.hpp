@@ -1,0 +1,176 @@
+/**
+ * @file
+ * Experiment-service core: admission, scheduling and memoization.
+ *
+ * ServiceCore is the transport-independent heart of ringsim_serve. It
+ * speaks one NDJSON request per line through handleLine() and returns
+ * one NDJSON response line, so the socket server is a thin pump and
+ * tests can drive the whole service in-process.
+ *
+ * Request shapes (all objects, one per line):
+ *
+ *   {"op":"ping"}
+ *   {"op":"submit","client":"c1","wait":false,"job":{...}}
+ *   {"op":"poll","id":7}
+ *   {"op":"statsz"}
+ *   {"op":"shutdown"}
+ *
+ * Scheduling: admitted jobs are executed by a runner::ExperimentRunner
+ * pool of ServiceConfig::workers threads. Admission is bounded —
+ * (queued + running) never exceeds queueDepth; a submit over the bound
+ * is shed with {"ok":false,"error":"overloaded...","retry_after_ms":N}
+ * where the hint scales with occupancy. Dispatch is round-robin over
+ * clients (each pool slot picks the next job from the least-recently
+ * served client's FIFO), so one chatty client cannot starve others.
+ *
+ * Memoization: a cacheable job's canonical spec is hashed (cacheKey)
+ * and looked up in the two-tier ResultCache before admission; a hit
+ * answers instantly without consuming a pool slot. Results are stored
+ * on completion. The determinism contract (PR 1/3: byte-identical
+ * results at any worker count) is what makes this legal.
+ *
+ * Watchdog: jobs running past ServiceConfig::watchdog are reported
+ * timed_out. Detection is lazy — overdue jobs are marked when any
+ * poll/statsz/wait touches the table — because a compute thread cannot
+ * be interrupted; a late completion is counted and discarded.
+ */
+
+#ifndef RINGSIM_SERVICE_SERVER_HPP
+#define RINGSIM_SERVICE_SERVER_HPP
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "runner/experiment_runner.hpp"
+#include "service/config.hpp"
+#include "service/job.hpp"
+#include "service/result_cache.hpp"
+#include "stats/stats.hpp"
+
+namespace ringsim::service {
+
+/** Lifecycle of one admitted job. */
+enum class JobState { Queued, Running, Done, Failed, TimedOut };
+
+/** Printable state name ("queued", ...). */
+const char *jobStateName(JobState s);
+
+class ServiceCore
+{
+  public:
+    explicit ServiceCore(const ServiceConfig &cfg);
+
+    /** Drains the pool (running jobs finish; queued jobs still run). */
+    ~ServiceCore();
+
+    ServiceCore(const ServiceCore &) = delete;
+    ServiceCore &operator=(const ServiceCore &) = delete;
+
+    /**
+     * Handle one NDJSON request line from @p client (the connection's
+     * identity, used for fairness when the request names no "client")
+     * and return the one-line response (no trailing newline).
+     */
+    std::string handleLine(const std::string &client,
+                           const std::string &line);
+
+    /** True once a shutdown request has been accepted. */
+    bool shutdownRequested() const;
+
+    /** The cache (exposed for tests and statsz). */
+    const ResultCache &cache() const { return *cache_; }
+
+  private:
+    struct JobRecord
+    {
+        std::uint64_t id = 0;
+        std::string client;
+        JobSpec spec;
+        std::string key; //!< cache key ("" when not cacheable)
+        JobState state = JobState::Queued;
+        std::string result; //!< dumped result object (Done)
+        std::string error;  //!< failure text (Failed / TimedOut)
+        std::chrono::steady_clock::time_point enqueued;
+        std::chrono::steady_clock::time_point started;
+    };
+
+    std::string handleSubmit(const std::string &client,
+                             const util::JsonValue &req);
+    std::string handlePoll(const util::JsonValue &req);
+    std::string handleStatsz();
+
+    /** Pool slot body: pick the next job fairly and execute it. */
+    void runOne();
+
+    /** Pick the next job id round-robin over clients (lock held). */
+    std::uint64_t pickNext();
+
+    /** Mark running jobs past the watchdog budget (lock held). */
+    void reapOverdue(std::chrono::steady_clock::time_point now);
+
+    /** Retire @p rec into the done set (lock held). */
+    void finishLocked(JobRecord &rec, JobState state,
+                      std::string result_or_error);
+
+    /** Drop oldest retained records beyond cfg_.retainDone. */
+    void trimDoneLocked();
+
+    /** Render a job's poll/submit view (lock held). */
+    util::JsonValue jobJsonLocked(const JobRecord &rec) const;
+
+    const ServiceConfig cfg_;
+    std::unique_ptr<ResultCache> cache_;
+    std::unique_ptr<runner::ExperimentRunner> pool_;
+
+    mutable std::mutex mutex_;
+    std::condition_variable done_cv_;
+    bool shutdown_ = false;
+    std::uint64_t next_id_ = 1;
+
+    /** Keyed lookup only (never iterated — see the lint rule). */
+    std::unordered_map<std::uint64_t, JobRecord> jobs_;
+
+    /** Ids of running jobs, in start order (for the lazy watchdog). */
+    std::vector<std::uint64_t> running_;
+
+    /** Retained finished ids, oldest first (for trimDoneLocked). */
+    std::deque<std::uint64_t> done_order_;
+
+    /** Per-client pending FIFOs, visited round-robin. */
+    struct ClientQueue
+    {
+        std::string name;
+        std::deque<std::uint64_t> pending;
+    };
+    std::vector<ClientQueue> queues_;
+    std::size_t rr_next_ = 0;
+
+    /** queued + running (admission bound). */
+    std::size_t active_ = 0;
+
+    // Counters for /statsz.
+    stats::Counter submitted_;
+    stats::Counter admitted_;
+    stats::Counter shed_;
+    stats::Counter completed_;
+    stats::Counter failed_;
+    stats::Counter timed_out_;
+    stats::Counter late_completions_;
+    stats::Counter cache_answers_;
+    stats::Counter bad_requests_;
+
+    /** Job service latency (admission to completion), milliseconds. */
+    stats::Sampler latency_ms_;
+    stats::Histogram latency_hist_;
+};
+
+} // namespace ringsim::service
+
+#endif // RINGSIM_SERVICE_SERVER_HPP

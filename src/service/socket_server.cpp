@@ -1,0 +1,182 @@
+#include "socket_server.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "service/server.hpp"
+#include "util/logging.hpp"
+
+namespace ringsim::service {
+
+bool
+tryParseEndpoint(const std::string &endpoint, int *tcp_port,
+                 std::string *unix_path, std::string *error)
+{
+    *tcp_port = -1;
+    unix_path->clear();
+    if (endpoint.rfind("tcp:", 0) == 0) {
+        const std::string port = endpoint.substr(4);
+        char *end = nullptr;
+        long v = std::strtol(port.c_str(), &end, 10);
+        if (port.empty() || *end != '\0' || v < 1 || v > 65535) {
+            *error = "endpoint = '" + endpoint +
+                     "': tcp port must be 1..65535";
+            return false;
+        }
+        *tcp_port = static_cast<int>(v);
+        return true;
+    }
+    std::string path = endpoint;
+    if (path.rfind("unix:", 0) == 0)
+        path = path.substr(5);
+    if (path.empty()) {
+        *error = "endpoint = '" + endpoint +
+                 "': expected tcp:PORT or a socket path";
+        return false;
+    }
+    if (path.size() >= sizeof(sockaddr_un{}.sun_path)) {
+        *error = strprintf("endpoint = '%s': socket path longer than "
+                           "%zu bytes",
+                           endpoint.c_str(),
+                           sizeof(sockaddr_un{}.sun_path) - 1);
+        return false;
+    }
+    *unix_path = std::move(path);
+    return true;
+}
+
+SocketServer::SocketServer(ServiceCore &core, std::string endpoint)
+    : core_(core), endpoint_(std::move(endpoint))
+{
+}
+
+SocketServer::~SocketServer()
+{
+    if (listen_fd_ >= 0)
+        ::close(listen_fd_);
+    for (std::thread &t : threads_)
+        if (t.joinable())
+            t.join();
+    if (unix_path_bound_)
+        ::unlink(unix_path_.c_str());
+}
+
+bool
+SocketServer::tryStart(std::string *error)
+{
+    int tcp_port = -1;
+    if (!tryParseEndpoint(endpoint_, &tcp_port, &unix_path_, error))
+        return false;
+
+    if (tcp_port > 0) {
+        listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+        if (listen_fd_ < 0) {
+            *error = strprintf("socket: %s", std::strerror(errno));
+            return false;
+        }
+        int one = 1;
+        ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one,
+                     sizeof(one));
+        sockaddr_in addr{};
+        addr.sin_family = AF_INET;
+        addr.sin_port = htons(static_cast<std::uint16_t>(tcp_port));
+        addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+        if (::bind(listen_fd_, reinterpret_cast<sockaddr *>(&addr),
+                   sizeof(addr)) != 0) {
+            *error = strprintf("bind 127.0.0.1:%d: %s", tcp_port,
+                               std::strerror(errno));
+            return false;
+        }
+    } else {
+        listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+        if (listen_fd_ < 0) {
+            *error = strprintf("socket: %s", std::strerror(errno));
+            return false;
+        }
+        // A stale socket file from a dead daemon would fail the bind.
+        ::unlink(unix_path_.c_str());
+        sockaddr_un addr{};
+        addr.sun_family = AF_UNIX;
+        std::strncpy(addr.sun_path, unix_path_.c_str(),
+                     sizeof(addr.sun_path) - 1);
+        if (::bind(listen_fd_, reinterpret_cast<sockaddr *>(&addr),
+                   sizeof(addr)) != 0) {
+            *error = strprintf("bind %s: %s", unix_path_.c_str(),
+                               std::strerror(errno));
+            return false;
+        }
+        unix_path_bound_ = true;
+    }
+    if (::listen(listen_fd_, 64) != 0) {
+        *error = strprintf("listen: %s", std::strerror(errno));
+        return false;
+    }
+    return true;
+}
+
+void
+SocketServer::serve()
+{
+    std::uint64_t serial = 0;
+    while (!core_.shutdownRequested()) {
+        // Poll with a short timeout so a shutdown request taken on a
+        // connection thread stops the accept loop promptly.
+        pollfd pfd{listen_fd_, POLLIN, 0};
+        int ready = ::poll(&pfd, 1, 100);
+        if (ready <= 0)
+            continue;
+        int fd = ::accept(listen_fd_, nullptr, nullptr);
+        if (fd < 0)
+            continue;
+        std::string client = strprintf(
+            "conn%llu", static_cast<unsigned long long>(++serial));
+        threads_.emplace_back(
+            [this, fd, client]() { handleConnection(fd, client); });
+    }
+}
+
+void
+SocketServer::handleConnection(int fd, std::string client)
+{
+    std::string buffer;
+    char chunk[4096];
+    for (;;) {
+        ssize_t n = ::read(fd, chunk, sizeof(chunk));
+        if (n <= 0)
+            break;
+        buffer.append(chunk, static_cast<std::size_t>(n));
+        std::size_t start = 0;
+        for (;;) {
+            std::size_t nl = buffer.find('\n', start);
+            if (nl == std::string::npos)
+                break;
+            std::string line = buffer.substr(start, nl - start);
+            start = nl + 1;
+            if (line.empty())
+                continue;
+            std::string response = core_.handleLine(client, line);
+            response += '\n';
+            std::size_t off = 0;
+            while (off < response.size()) {
+                ssize_t w = ::write(fd, response.data() + off,
+                                    response.size() - off);
+                if (w <= 0) {
+                    ::close(fd);
+                    return;
+                }
+                off += static_cast<std::size_t>(w);
+            }
+        }
+        buffer.erase(0, start);
+    }
+    ::close(fd);
+}
+
+} // namespace ringsim::service

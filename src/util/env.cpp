@@ -1,0 +1,36 @@
+#include "env.hpp"
+
+#include <cerrno>
+#include <cstdlib>
+
+#include "util/logging.hpp"
+
+namespace ringsim::util {
+
+std::optional<std::string>
+envString(const char *name)
+{
+    const char *v = std::getenv(name);
+    if (!v)
+        return std::nullopt;
+    return std::string(v);
+}
+
+std::optional<std::uint64_t>
+envU64(const char *name, std::uint64_t min_value)
+{
+    const char *v = std::getenv(name);
+    if (!v)
+        return std::nullopt;
+    char *end = nullptr;
+    errno = 0;
+    unsigned long long parsed = std::strtoull(v, &end, 10);
+    if (!end || *end != '\0' || end == v || errno != 0 ||
+        parsed < min_value) {
+        warn("ignoring invalid %s='%s'", name, v);
+        return std::nullopt;
+    }
+    return static_cast<std::uint64_t>(parsed);
+}
+
+} // namespace ringsim::util

@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Centralized environment-variable access.
+ *
+ * Every process-level knob (RINGSIM_JOBS, RINGSIM_WATCHDOG_MS,
+ * RINGSIM_CACHE_SALT, ...) is read through these helpers, and a lint
+ * rule forbids direct std::getenv outside src/util/ — so there is one
+ * place to see every variable the system honors, and parsing/warning
+ * behavior is uniform: a malformed value warns once and falls back,
+ * it never silently changes meaning.
+ */
+
+#ifndef RINGSIM_UTIL_ENV_HPP
+#define RINGSIM_UTIL_ENV_HPP
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace ringsim::util {
+
+/** Raw value of @p name; nullopt when unset. */
+std::optional<std::string> envString(const char *name);
+
+/**
+ * @p name parsed as an unsigned integer. Unset → nullopt; set but
+ * malformed (or zero when @p min_value > 0) → warn and nullopt.
+ */
+std::optional<std::uint64_t> envU64(const char *name,
+                                    std::uint64_t min_value = 0);
+
+} // namespace ringsim::util
+
+#endif // RINGSIM_UTIL_ENV_HPP

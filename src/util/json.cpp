@@ -1,0 +1,639 @@
+#include "json.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+
+#include "util/logging.hpp"
+
+namespace ringsim::util {
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\b':
+            out += "\\b";
+            break;
+          case '\f':
+            out += "\\f";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\r':
+            out += "\\r";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20)
+                out += strprintf("\\u%04x",
+                                 static_cast<unsigned char>(c));
+            else
+                out += c;
+        }
+    }
+    return out;
+}
+
+JsonValue
+JsonValue::null()
+{
+    return JsonValue();
+}
+
+JsonValue
+JsonValue::boolean(bool b)
+{
+    JsonValue v;
+    v.kind_ = Kind::Bool;
+    v.bool_ = b;
+    return v;
+}
+
+JsonValue
+JsonValue::number(double d)
+{
+    JsonValue v;
+    v.kind_ = Kind::Number;
+    v.num_ = d;
+    return v;
+}
+
+JsonValue
+JsonValue::integer(std::uint64_t u)
+{
+    JsonValue v;
+    v.kind_ = Kind::Number;
+    v.num_ = static_cast<double>(u);
+    v.u64_ = u;
+    v.exactU64_ = true;
+    return v;
+}
+
+JsonValue
+JsonValue::string(std::string s)
+{
+    JsonValue v;
+    v.kind_ = Kind::String;
+    v.str_ = std::move(s);
+    return v;
+}
+
+JsonValue
+JsonValue::array()
+{
+    JsonValue v;
+    v.kind_ = Kind::Array;
+    return v;
+}
+
+JsonValue
+JsonValue::object()
+{
+    JsonValue v;
+    v.kind_ = Kind::Object;
+    return v;
+}
+
+bool
+JsonValue::asBool() const
+{
+    if (kind_ != Kind::Bool)
+        panic("JsonValue: asBool on non-bool");
+    return bool_;
+}
+
+double
+JsonValue::asNumber() const
+{
+    if (kind_ != Kind::Number)
+        panic("JsonValue: asNumber on non-number");
+    return num_;
+}
+
+std::uint64_t
+JsonValue::asU64() const
+{
+    if (kind_ != Kind::Number)
+        panic("JsonValue: asU64 on non-number");
+    if (exactU64_)
+        return u64_;
+    if (num_ < 0 || num_ != std::floor(num_) || num_ > 1.8e19)
+        panic("JsonValue: %g is not a u64", num_);
+    return static_cast<std::uint64_t>(num_);
+}
+
+const std::string &
+JsonValue::asString() const
+{
+    if (kind_ != Kind::String)
+        panic("JsonValue: asString on non-string");
+    return str_;
+}
+
+const std::vector<JsonValue> &
+JsonValue::items() const
+{
+    if (kind_ != Kind::Array)
+        panic("JsonValue: items on non-array");
+    return items_;
+}
+
+void
+JsonValue::append(JsonValue v)
+{
+    if (kind_ != Kind::Array)
+        panic("JsonValue: append on non-array");
+    items_.push_back(std::move(v));
+}
+
+const std::vector<std::pair<std::string, JsonValue>> &
+JsonValue::members() const
+{
+    if (kind_ != Kind::Object)
+        panic("JsonValue: members on non-object");
+    return members_;
+}
+
+void
+JsonValue::set(const std::string &key, JsonValue v)
+{
+    if (kind_ != Kind::Object)
+        panic("JsonValue: set on non-object");
+    for (auto &member : members_) {
+        if (member.first == key) {
+            member.second = std::move(v);
+            return;
+        }
+    }
+    members_.emplace_back(key, std::move(v));
+}
+
+const JsonValue *
+JsonValue::find(const std::string &key) const
+{
+    if (kind_ != Kind::Object)
+        return nullptr;
+    for (const auto &member : members_) {
+        if (member.first == key)
+            return &member.second;
+    }
+    return nullptr;
+}
+
+std::string
+JsonValue::getString(const std::string &key, const std::string &fallback,
+                     std::vector<std::string> *errors) const
+{
+    const JsonValue *v = find(key);
+    if (!v || v->isNull())
+        return fallback;
+    if (!v->isString()) {
+        if (errors)
+            errors->push_back(key + " = <non-string>: expected a "
+                                    "JSON string");
+        return fallback;
+    }
+    return v->asString();
+}
+
+double
+JsonValue::getNumber(const std::string &key, double fallback,
+                     std::vector<std::string> *errors) const
+{
+    const JsonValue *v = find(key);
+    if (!v || v->isNull())
+        return fallback;
+    if (!v->isNumber()) {
+        if (errors)
+            errors->push_back(key + " = <non-number>: expected a "
+                                    "JSON number");
+        return fallback;
+    }
+    return v->asNumber();
+}
+
+std::uint64_t
+JsonValue::getU64(const std::string &key, std::uint64_t fallback,
+                  std::vector<std::string> *errors) const
+{
+    const JsonValue *v = find(key);
+    if (!v || v->isNull())
+        return fallback;
+    if (!v->isNumber() || v->asNumber() < 0 ||
+        v->asNumber() != std::floor(v->asNumber())) {
+        if (errors)
+            errors->push_back(key + ": expected a non-negative "
+                                    "integer");
+        return fallback;
+    }
+    return v->asU64();
+}
+
+bool
+JsonValue::getBool(const std::string &key, bool fallback,
+                   std::vector<std::string> *errors) const
+{
+    const JsonValue *v = find(key);
+    if (!v || v->isNull())
+        return fallback;
+    if (!v->isBool()) {
+        if (errors)
+            errors->push_back(key + " = <non-bool>: expected true or "
+                                    "false");
+        return fallback;
+    }
+    return v->asBool();
+}
+
+void
+JsonValue::dumpTo(std::string &out) const
+{
+    switch (kind_) {
+      case Kind::Null:
+        out += "null";
+        break;
+      case Kind::Bool:
+        out += bool_ ? "true" : "false";
+        break;
+      case Kind::Number:
+        if (exactU64_) {
+            out += strprintf("%llu",
+                             static_cast<unsigned long long>(u64_));
+        } else if (num_ == std::floor(num_) &&
+                   std::abs(num_) < 1e15) {
+            out += strprintf("%.0f", num_);
+        } else {
+            out += strprintf("%.17g", num_);
+        }
+        break;
+      case Kind::String:
+        out += '"';
+        out += jsonEscape(str_);
+        out += '"';
+        break;
+      case Kind::Array: {
+        out += '[';
+        bool first = true;
+        for (const JsonValue &v : items_) {
+            if (!first)
+                out += ',';
+            first = false;
+            v.dumpTo(out);
+        }
+        out += ']';
+        break;
+      }
+      case Kind::Object: {
+        out += '{';
+        bool first = true;
+        for (const auto &member : members_) {
+            if (!first)
+                out += ',';
+            first = false;
+            out += '"';
+            out += jsonEscape(member.first);
+            out += "\":";
+            member.second.dumpTo(out);
+        }
+        out += '}';
+        break;
+      }
+    }
+}
+
+std::string
+JsonValue::dump() const
+{
+    std::string out;
+    dumpTo(out);
+    return out;
+}
+
+namespace {
+
+/** Recursive-descent parser state over one document. */
+struct Parser
+{
+    const std::string &text;
+    size_t pos = 0;
+    std::string error;
+    static constexpr int maxDepth = 64;
+
+    explicit Parser(const std::string &t) : text(t) {}
+
+    bool
+    fail(const std::string &msg)
+    {
+        if (error.empty())
+            error = strprintf("offset %zu: %s", pos, msg.c_str());
+        return false;
+    }
+
+    void
+    skipSpace()
+    {
+        while (pos < text.size() &&
+               (text[pos] == ' ' || text[pos] == '\t' ||
+                text[pos] == '\n' || text[pos] == '\r'))
+            ++pos;
+    }
+
+    bool
+    consume(char c)
+    {
+        skipSpace();
+        if (pos >= text.size() || text[pos] != c)
+            return fail(strprintf("expected '%c'", c));
+        ++pos;
+        return true;
+    }
+
+    bool
+    parseValue(JsonValue *out, int depth)
+    {
+        if (depth > maxDepth)
+            return fail("nesting too deep");
+        skipSpace();
+        if (pos >= text.size())
+            return fail("unexpected end of input");
+        char c = text[pos];
+        if (c == '{')
+            return parseObject(out, depth);
+        if (c == '[')
+            return parseArray(out, depth);
+        if (c == '"') {
+            std::string s;
+            if (!parseString(&s))
+                return false;
+            *out = JsonValue::string(std::move(s));
+            return true;
+        }
+        if (c == 't' || c == 'f')
+            return parseKeyword(out);
+        if (c == 'n')
+            return parseKeyword(out);
+        if (c == '-' || (c >= '0' && c <= '9'))
+            return parseNumber(out);
+        return fail("unexpected character");
+    }
+
+    bool
+    parseKeyword(JsonValue *out)
+    {
+        if (text.compare(pos, 4, "true") == 0) {
+            pos += 4;
+            *out = JsonValue::boolean(true);
+            return true;
+        }
+        if (text.compare(pos, 5, "false") == 0) {
+            pos += 5;
+            *out = JsonValue::boolean(false);
+            return true;
+        }
+        if (text.compare(pos, 4, "null") == 0) {
+            pos += 4;
+            *out = JsonValue::null();
+            return true;
+        }
+        return fail("bad keyword");
+    }
+
+    bool
+    parseNumber(JsonValue *out)
+    {
+        size_t start = pos;
+        bool negative = false;
+        if (pos < text.size() && text[pos] == '-') {
+            negative = true;
+            ++pos;
+        }
+        bool integral = true;
+        while (pos < text.size() &&
+               (std::isdigit(static_cast<unsigned char>(text[pos])) ||
+                text[pos] == '.' || text[pos] == 'e' ||
+                text[pos] == 'E' || text[pos] == '+' ||
+                text[pos] == '-')) {
+            if (text[pos] == '.' || text[pos] == 'e' ||
+                text[pos] == 'E')
+                integral = false;
+            ++pos;
+        }
+        std::string token = text.substr(start, pos - start);
+        if (token.empty() || token == "-")
+            return fail("bad number");
+        // Lossless u64 path for ids, seeds and tick counts.
+        if (integral && !negative && token.size() <= 20) {
+            char *end = nullptr;
+            errno = 0;
+            unsigned long long u = std::strtoull(token.c_str(), &end, 10);
+            if (end && *end == '\0' && errno == 0) {
+                *out = JsonValue::integer(u);
+                return true;
+            }
+        }
+        char *end = nullptr;
+        double d = std::strtod(token.c_str(), &end);
+        if (!end || *end != '\0')
+            return fail("bad number");
+        *out = JsonValue::number(d);
+        return true;
+    }
+
+    bool
+    parseString(std::string *out)
+    {
+        skipSpace();
+        if (pos >= text.size() || text[pos] != '"')
+            return fail("expected string");
+        ++pos;
+        std::string s;
+        while (pos < text.size()) {
+            char c = text[pos];
+            if (c == '"') {
+                ++pos;
+                *out = std::move(s);
+                return true;
+            }
+            if (static_cast<unsigned char>(c) < 0x20)
+                return fail("raw control character in string");
+            if (c != '\\') {
+                s += c;
+                ++pos;
+                continue;
+            }
+            if (pos + 1 >= text.size())
+                return fail("dangling escape");
+            char e = text[pos + 1];
+            pos += 2;
+            switch (e) {
+              case '"':
+                s += '"';
+                break;
+              case '\\':
+                s += '\\';
+                break;
+              case '/':
+                s += '/';
+                break;
+              case 'b':
+                s += '\b';
+                break;
+              case 'f':
+                s += '\f';
+                break;
+              case 'n':
+                s += '\n';
+                break;
+              case 'r':
+                s += '\r';
+                break;
+              case 't':
+                s += '\t';
+                break;
+              case 'u': {
+                if (pos + 4 > text.size())
+                    return fail("short \\u escape");
+                unsigned code = 0;
+                for (int i = 0; i < 4; ++i) {
+                    char h = text[pos + i];
+                    code <<= 4;
+                    if (h >= '0' && h <= '9')
+                        code |= static_cast<unsigned>(h - '0');
+                    else if (h >= 'a' && h <= 'f')
+                        code |= static_cast<unsigned>(h - 'a' + 10);
+                    else if (h >= 'A' && h <= 'F')
+                        code |= static_cast<unsigned>(h - 'A' + 10);
+                    else
+                        return fail("bad \\u escape");
+                }
+                pos += 4;
+                // Encode the BMP code point as UTF-8 (surrogate
+                // pairs are not supported by this minimal parser).
+                if (code < 0x80) {
+                    s += static_cast<char>(code);
+                } else if (code < 0x800) {
+                    s += static_cast<char>(0xc0 | (code >> 6));
+                    s += static_cast<char>(0x80 | (code & 0x3f));
+                } else {
+                    s += static_cast<char>(0xe0 | (code >> 12));
+                    s += static_cast<char>(0x80 | ((code >> 6) & 0x3f));
+                    s += static_cast<char>(0x80 | (code & 0x3f));
+                }
+                break;
+              }
+              default:
+                return fail("bad escape");
+            }
+        }
+        return fail("unterminated string");
+    }
+
+    bool
+    parseArray(JsonValue *out, int depth)
+    {
+        ++pos; // '['
+        JsonValue arr = JsonValue::array();
+        skipSpace();
+        if (pos < text.size() && text[pos] == ']') {
+            ++pos;
+            *out = std::move(arr);
+            return true;
+        }
+        for (;;) {
+            JsonValue item;
+            if (!parseValue(&item, depth + 1))
+                return false;
+            arr.append(std::move(item));
+            skipSpace();
+            if (pos >= text.size())
+                return fail("unterminated array");
+            if (text[pos] == ',') {
+                ++pos;
+                continue;
+            }
+            if (text[pos] == ']') {
+                ++pos;
+                *out = std::move(arr);
+                return true;
+            }
+            return fail("expected ',' or ']'");
+        }
+    }
+
+    bool
+    parseObject(JsonValue *out, int depth)
+    {
+        ++pos; // '{'
+        JsonValue obj = JsonValue::object();
+        skipSpace();
+        if (pos < text.size() && text[pos] == '}') {
+            ++pos;
+            *out = std::move(obj);
+            return true;
+        }
+        for (;;) {
+            std::string key;
+            if (!parseString(&key))
+                return false;
+            if (!consume(':'))
+                return false;
+            JsonValue value;
+            if (!parseValue(&value, depth + 1))
+                return false;
+            obj.set(key, std::move(value));
+            skipSpace();
+            if (pos >= text.size())
+                return fail("unterminated object");
+            if (text[pos] == ',') {
+                ++pos;
+                skipSpace();
+                continue;
+            }
+            if (text[pos] == '}') {
+                ++pos;
+                *out = std::move(obj);
+                return true;
+            }
+            return fail("expected ',' or '}'");
+        }
+    }
+};
+
+} // namespace
+
+bool
+tryParseJson(const std::string &text, JsonValue *out, std::string *error)
+{
+    Parser p(text);
+    JsonValue v;
+    if (!p.parseValue(&v, 0)) {
+        if (error)
+            *error = p.error;
+        return false;
+    }
+    p.skipSpace();
+    if (p.pos != text.size()) {
+        if (error)
+            *error = strprintf("offset %zu: trailing garbage after "
+                               "document",
+                               p.pos);
+        return false;
+    }
+    *out = std::move(v);
+    return true;
+}
+
+} // namespace ringsim::util

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Minimal JSON support shared by every emitter and the service layer.
+ *
+ * Three things live here, deliberately small:
+ *
+ *  - jsonEscape(): the one string-escaping routine every JSON emitter
+ *    in the tree uses (runner failure summaries, bench artifacts,
+ *    service responses), so a config or trace name containing quotes,
+ *    backslashes or control characters can never produce malformed
+ *    output;
+ *  - JsonValue: an ordered document model (object keys keep insertion
+ *    order, so dumps are deterministic and byte-stable across runs and
+ *    library versions — the same property the lint rule about
+ *    unordered iteration protects elsewhere);
+ *  - tryParseJson(): a strict recursive-descent parser for the NDJSON
+ *    request lines the experiment service ingests. It rejects
+ *    trailing garbage, caps nesting depth, and reports the byte
+ *    offset of the first error.
+ *
+ * This is not a general-purpose JSON library: numbers are doubles
+ * (plus a lossless u64 path for ids and seeds), and \uXXXX escapes
+ * outside ASCII are passed through as raw UTF-8 only for the BMP.
+ */
+
+#ifndef RINGSIM_UTIL_JSON_HPP
+#define RINGSIM_UTIL_JSON_HPP
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace ringsim::util {
+
+/**
+ * Escape @p s for inclusion inside a JSON string literal (quotes,
+ * backslashes, and control characters; the surrounding quotes are the
+ * caller's).
+ */
+std::string jsonEscape(const std::string &s);
+
+/** One JSON document node. */
+class JsonValue
+{
+  public:
+    enum class Kind { Null, Bool, Number, String, Array, Object };
+
+    JsonValue() = default;
+
+    /** Leaf constructors. */
+    static JsonValue null();
+    static JsonValue boolean(bool b);
+    static JsonValue number(double d);
+    /** Integer that must survive the round trip exactly (ids, seeds). */
+    static JsonValue integer(std::uint64_t u);
+    static JsonValue string(std::string s);
+    static JsonValue array();
+    static JsonValue object();
+
+    Kind kind() const { return kind_; }
+    bool isNull() const { return kind_ == Kind::Null; }
+    bool isBool() const { return kind_ == Kind::Bool; }
+    bool isNumber() const { return kind_ == Kind::Number; }
+    bool isString() const { return kind_ == Kind::String; }
+    bool isArray() const { return kind_ == Kind::Array; }
+    bool isObject() const { return kind_ == Kind::Object; }
+
+    /** Leaf accessors; panic() on kind mismatch. */
+    bool asBool() const;
+    double asNumber() const;
+    /** Number as u64 (panics when negative, fractional or too big). */
+    std::uint64_t asU64() const;
+    const std::string &asString() const;
+
+    /** Array access. */
+    const std::vector<JsonValue> &items() const;
+    void append(JsonValue v);
+
+    /** Object access: members in insertion order. */
+    const std::vector<std::pair<std::string, JsonValue>> &members() const;
+
+    /** Set @p key (replacing an existing member of the same name). */
+    void set(const std::string &key, JsonValue v);
+
+    /** Member lookup; nullptr when absent (or not an object). */
+    const JsonValue *find(const std::string &key) const;
+
+    /**
+     * Typed member lookup with defaults, for request parsing. Each
+     * returns @p fallback when the key is absent; appends to
+     * @p errors (as "key = <value>: ..." messages) on a type
+     * mismatch.
+     */
+    std::string getString(const std::string &key,
+                          const std::string &fallback,
+                          std::vector<std::string> *errors) const;
+    double getNumber(const std::string &key, double fallback,
+                     std::vector<std::string> *errors) const;
+    std::uint64_t getU64(const std::string &key, std::uint64_t fallback,
+                         std::vector<std::string> *errors) const;
+    bool getBool(const std::string &key, bool fallback,
+                 std::vector<std::string> *errors) const;
+
+    /** Serialize compactly (no whitespace), deterministically. */
+    std::string dump() const;
+
+  private:
+    Kind kind_ = Kind::Null;
+    bool bool_ = false;
+    double num_ = 0;
+    std::uint64_t u64_ = 0;
+    bool exactU64_ = false; //!< emit u64_ instead of num_
+    std::string str_;
+    std::vector<JsonValue> items_;
+    std::vector<std::pair<std::string, JsonValue>> members_;
+
+    void dumpTo(std::string &out) const;
+};
+
+/**
+ * Parse one complete JSON document from @p text. On success fills
+ * @p out and returns true; on failure returns false and fills
+ * @p error with a diagnostic naming the byte offset. Trailing
+ * non-whitespace after the document is an error.
+ */
+[[nodiscard]] bool tryParseJson(const std::string &text, JsonValue *out,
+                                std::string *error);
+
+} // namespace ringsim::util
+
+#endif // RINGSIM_UTIL_JSON_HPP

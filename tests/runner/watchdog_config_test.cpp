@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Unit tests for watchdog-budget resolution and RunPolicy validation.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "src/runner/experiment_runner.hpp"
+
+namespace ringsim::runner {
+namespace {
+
+using std::chrono::milliseconds;
+
+class WatchdogEnvTest : public testing::Test
+{
+  protected:
+    void TearDown() override { ::unsetenv("RINGSIM_WATCHDOG_MS"); }
+};
+
+TEST_F(WatchdogEnvTest, UnsetUsesFallback)
+{
+    ::unsetenv("RINGSIM_WATCHDOG_MS");
+    EXPECT_EQ(watchdogBudget(milliseconds(1234)), milliseconds(1234));
+}
+
+TEST_F(WatchdogEnvTest, EnvOverridesFallback)
+{
+    ::setenv("RINGSIM_WATCHDOG_MS", "250", 1);
+    EXPECT_EQ(watchdogBudget(milliseconds(1234)), milliseconds(250));
+}
+
+TEST_F(WatchdogEnvTest, MalformedEnvFallsBack)
+{
+    ::setenv("RINGSIM_WATCHDOG_MS", "soon", 1);
+    EXPECT_EQ(watchdogBudget(milliseconds(1234)), milliseconds(1234));
+}
+
+TEST_F(WatchdogEnvTest, ZeroEnvFallsBack)
+{
+    // Zero would disable every watchdog; require it to be explicit in
+    // code (policy.jobTimeout = 0), not ambient in the environment.
+    ::setenv("RINGSIM_WATCHDOG_MS", "0", 1);
+    EXPECT_EQ(watchdogBudget(milliseconds(1234)), milliseconds(1234));
+}
+
+TEST(RunPolicyCheck, SoundPolicyIsClean)
+{
+    RunPolicy policy;
+    policy.jobTimeout = milliseconds(1000);
+    policy.maxAttempts = 3;
+    EXPECT_TRUE(policy.check().empty());
+}
+
+TEST(RunPolicyCheck, ZeroAttemptsNamed)
+{
+    RunPolicy policy;
+    policy.maxAttempts = 0;
+    auto errors = policy.check();
+    ASSERT_FALSE(errors.empty());
+    EXPECT_NE(errors[0].find("maxAttempts = 0"), std::string::npos)
+        << errors[0];
+}
+
+TEST(RunPolicyCheck, NegativeTimeoutNamed)
+{
+    RunPolicy policy;
+    policy.jobTimeout = milliseconds(-5);
+    auto errors = policy.check();
+    ASSERT_FALSE(errors.empty());
+    EXPECT_NE(errors[0].find("jobTimeout"), std::string::npos)
+        << errors[0];
+}
+
+} // namespace
+} // namespace ringsim::runner

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Unit tests for cache-key derivation and salting.
+ */
+
+#include <gtest/gtest.h>
+
+#include "src/service/cache_key.hpp"
+
+namespace ringsim::service {
+namespace {
+
+TEST(CacheKey, Is32LowercaseHexChars)
+{
+    std::string key = cacheKey("{\"type\":\"run\"}", "");
+    ASSERT_EQ(key.size(), 32u);
+    for (char c : key)
+        EXPECT_TRUE((c >= '0' && c <= '9') || (c >= 'a' && c <= 'f'))
+            << key;
+}
+
+TEST(CacheKey, DeterministicForSameInputs)
+{
+    EXPECT_EQ(cacheKey("spec", "salt"), cacheKey("spec", "salt"));
+}
+
+TEST(CacheKey, SpecChangesKey)
+{
+    EXPECT_NE(cacheKey("spec-a", ""), cacheKey("spec-b", ""));
+}
+
+TEST(CacheKey, SaltChangesKey)
+{
+    // This is invalidation-by-salt: bumping either salt reroutes every
+    // lookup to a fresh key, so stale entries are never consulted.
+    EXPECT_NE(cacheKey("spec", ""), cacheKey("spec", "v2"));
+    EXPECT_NE(cacheKey("spec", "v1"), cacheKey("spec", "v2"));
+}
+
+TEST(CacheKey, LengthFramingPreventsBoundaryCollisions)
+{
+    // Without length framing, spec="ab" salt="c" and spec="a"
+    // salt="bc" would concatenate identically.
+    EXPECT_NE(cacheKey("ab", "c"), cacheKey("a", "bc"));
+    EXPECT_NE(cacheKey("", "x"), cacheKey("x", ""));
+}
+
+TEST(Fingerprint64, SeedSeparatesStreams)
+{
+    EXPECT_NE(fingerprint64("data", 1), fingerprint64("data", 2));
+}
+
+TEST(Fingerprint64, ShortInputsDiffuse)
+{
+    // The splitmix finalizer should make even 1-byte inputs differ in
+    // more than a few bits.
+    std::uint64_t a = fingerprint64("a", 0);
+    std::uint64_t b = fingerprint64("b", 0);
+    int differing = __builtin_popcountll(a ^ b);
+    EXPECT_GT(differing, 10);
+}
+
+TEST(CodeVersionSalt, IsNonEmpty)
+{
+    EXPECT_NE(std::string(codeVersionSalt()), "");
+}
+
+} // namespace
+} // namespace ringsim::service

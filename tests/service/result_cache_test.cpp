@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Unit tests for the two-tier result cache.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "src/service/result_cache.hpp"
+
+namespace ringsim::service {
+namespace {
+
+std::string
+tempDir(const char *name)
+{
+    std::string dir = testing::TempDir() + "/" + name;
+    // ResultCache mkdirs it; make sure stale files don't leak between
+    // test runs by using per-test names.
+    return dir;
+}
+
+TEST(ResultCache, MissThenHit)
+{
+    ResultCache cache(4, "");
+    EXPECT_FALSE(cache.get("k1").has_value());
+    cache.put("k1", "v1");
+    auto hit = cache.get("k1");
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_EQ(*hit, "v1");
+    CacheStats s = cache.stats();
+    EXPECT_EQ(s.misses, 1u);
+    EXPECT_EQ(s.memHits, 1u);
+    EXPECT_EQ(s.stores, 1u);
+}
+
+TEST(ResultCache, OverwriteReplacesValue)
+{
+    ResultCache cache(4, "");
+    cache.put("k", "old");
+    cache.put("k", "new");
+    EXPECT_EQ(*cache.get("k"), "new");
+}
+
+TEST(ResultCache, EvictsLeastRecentlyUsed)
+{
+    ResultCache cache(2, "");
+    cache.put("a", "1");
+    cache.put("b", "2");
+    // Touch "a" so "b" is the LRU victim when "c" arrives.
+    EXPECT_TRUE(cache.get("a").has_value());
+    cache.put("c", "3");
+    EXPECT_EQ(cache.memEntries(), 2u);
+    EXPECT_TRUE(cache.get("a").has_value());
+    EXPECT_TRUE(cache.get("c").has_value());
+    EXPECT_FALSE(cache.get("b").has_value());
+    EXPECT_EQ(cache.stats().evictions, 1u);
+}
+
+TEST(ResultCache, DiskTierSurvivesRestart)
+{
+    std::string dir = tempDir("rc_restart");
+    {
+        ResultCache cache(4, dir);
+        cache.put("persist", "payload");
+    }
+    ResultCache fresh(4, dir);
+    auto hit = fresh.get("persist");
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_EQ(*hit, "payload");
+    CacheStats s = fresh.stats();
+    EXPECT_EQ(s.diskHits, 1u);
+    // The disk hit is promoted: the next get is a memory hit.
+    EXPECT_TRUE(fresh.get("persist").has_value());
+    EXPECT_EQ(fresh.stats().memHits, 1u);
+}
+
+TEST(ResultCache, EvictedEntryStillOnDisk)
+{
+    std::string dir = tempDir("rc_spill");
+    ResultCache cache(1, dir);
+    cache.put("a", "1");
+    cache.put("b", "2"); // evicts "a" from memory
+    auto hit = cache.get("a");
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_EQ(*hit, "1");
+    EXPECT_EQ(cache.stats().diskHits, 1u);
+}
+
+TEST(ResultCache, MemoryOnlyModeHasNoDiskPath)
+{
+    ResultCache cache(4, "");
+    EXPECT_EQ(cache.diskPath("abc"), "");
+    cache.put("k", "v"); // must not touch the filesystem
+    EXPECT_EQ(cache.stats().diskErrors, 0u);
+}
+
+TEST(ResultCache, UnwritableDirCountsDiskErrors)
+{
+    // A file used as the "directory" makes every disk write fail but
+    // must leave the memory tier fully functional.
+    std::string path = testing::TempDir() + "/rc_notadir";
+    std::FILE *f = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    std::fclose(f);
+
+    ResultCache cache(4, path);
+    cache.put("k", "v");
+    EXPECT_EQ(*cache.get("k"), "v");
+    EXPECT_GT(cache.stats().diskErrors, 0u);
+    std::remove(path.c_str());
+}
+
+TEST(ResultCache, LargeValueRoundTripsThroughDisk)
+{
+    std::string dir = tempDir("rc_large");
+    std::string big(100'000, 'x');
+    big[50'000] = '\n';
+    {
+        ResultCache cache(1, dir);
+        cache.put("big", big);
+    }
+    ResultCache fresh(1, dir);
+    auto hit = fresh.get("big");
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_EQ(*hit, big);
+}
+
+} // namespace
+} // namespace ringsim::service

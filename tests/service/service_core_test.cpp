@@ -1,0 +1,308 @@
+/**
+ * @file
+ * In-process tests of the service core: admission, shedding,
+ * memoization, watchdog and the statsz surface. ServiceCore is
+ * transport-independent, so these drive the NDJSON protocol directly
+ * through handleLine() with no sockets involved.
+ */
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/service/server.hpp"
+#include "src/util/json.hpp"
+
+namespace ringsim::service {
+namespace {
+
+util::JsonValue
+parse(const std::string &line)
+{
+    util::JsonValue v;
+    std::string error;
+    EXPECT_TRUE(util::tryParseJson(line, &v, &error))
+        << error << " in: " << line;
+    return v;
+}
+
+ServiceConfig
+testConfig()
+{
+    ServiceConfig cfg;
+    cfg.workers = 2;
+    cfg.queueDepth = 4;
+    cfg.memCacheEntries = 16;
+    cfg.enableTestJobs = true;
+    cfg.watchdog = std::chrono::minutes(10);
+    return cfg;
+}
+
+/** Poll @p id until it leaves the pool (bounded busy-wait). */
+util::JsonValue
+pollUntilSettled(ServiceCore &core, std::uint64_t id)
+{
+    for (int i = 0; i < 400; ++i) {
+        util::JsonValue r = parse(core.handleLine(
+            "t", "{\"op\":\"poll\",\"id\":" + std::to_string(id) +
+                     "}"));
+        std::vector<std::string> errors;
+        std::string state = r.getString("state", "?", &errors);
+        if (state != "queued" && state != "running")
+            return r;
+        std::this_thread::sleep_for(std::chrono::milliseconds(25));
+    }
+    ADD_FAILURE() << "job " << id << " never settled";
+    return util::JsonValue::null();
+}
+
+TEST(ServiceCore, PingPongs)
+{
+    ServiceCore core(testConfig());
+    EXPECT_EQ(core.handleLine("c", "{\"op\":\"ping\"}"),
+              "{\"ok\":true,\"op\":\"ping\"}");
+}
+
+TEST(ServiceCore, RejectsMalformedLines)
+{
+    ServiceCore core(testConfig());
+    util::JsonValue r = parse(core.handleLine("c", "not json"));
+    std::vector<std::string> errors;
+    EXPECT_FALSE(r.getBool("ok", true, &errors));
+    r = parse(core.handleLine("c", "{\"op\":\"warp\"}"));
+    EXPECT_FALSE(r.getBool("ok", true, &errors));
+}
+
+TEST(ServiceCore, SubmitRejectsBadJobWithFieldError)
+{
+    ServiceCore core(testConfig());
+    util::JsonValue r = parse(core.handleLine(
+        "c",
+        "{\"op\":\"submit\",\"job\":{\"type\":\"run\","
+        "\"benchmark\":\"doom\"}}"));
+    std::vector<std::string> errors;
+    EXPECT_FALSE(r.getBool("ok", true, &errors));
+    EXPECT_NE(r.getString("error", "", &errors).find("benchmark ="),
+              std::string::npos);
+}
+
+TEST(ServiceCore, WaitSubmitReturnsResult)
+{
+    ServiceCore core(testConfig());
+    util::JsonValue r = parse(core.handleLine(
+        "c",
+        "{\"op\":\"submit\",\"wait\":true,\"job\":"
+        "{\"type\":\"verify\",\"nodes\":2,\"blocks\":1}}"));
+    std::vector<std::string> errors;
+    EXPECT_TRUE(r.getBool("ok", false, &errors));
+    EXPECT_EQ(r.getString("state", "", &errors), "done");
+    const util::JsonValue *result = r.find("result");
+    ASSERT_NE(result, nullptr);
+    EXPECT_TRUE(result->getBool("clean", false, &errors));
+}
+
+TEST(ServiceCore, AsyncSubmitThenPoll)
+{
+    ServiceCore core(testConfig());
+    util::JsonValue r = parse(core.handleLine(
+        "c",
+        "{\"op\":\"submit\",\"job\":{\"type\":\"model\","
+        "\"benchmark\":\"mp3d\",\"procs\":8,\"refs\":2000,"
+        "\"fast\":true}}"));
+    std::vector<std::string> errors;
+    ASSERT_TRUE(r.getBool("ok", false, &errors));
+    std::uint64_t id = r.getU64("id", 0, &errors);
+    ASSERT_GT(id, 0u);
+
+    util::JsonValue done = pollUntilSettled(core, id);
+    EXPECT_EQ(done.getString("state", "", &errors), "done");
+    ASSERT_NE(done.find("result"), nullptr);
+}
+
+TEST(ServiceCore, SecondSubmissionAnswersFromCache)
+{
+    ServiceCore core(testConfig());
+    const std::string submit =
+        "{\"op\":\"submit\",\"wait\":true,\"job\":"
+        "{\"type\":\"model\",\"benchmark\":\"water\",\"procs\":8,"
+        "\"refs\":2000,\"fast\":true}}";
+    util::JsonValue first = parse(core.handleLine("c", submit));
+    util::JsonValue second = parse(core.handleLine("c", submit));
+    std::vector<std::string> errors;
+    EXPECT_FALSE(first.getBool("cached", true, &errors));
+    EXPECT_TRUE(second.getBool("cached", false, &errors));
+    // Identical result objects, served without recomputation.
+    ASSERT_NE(first.find("result"), nullptr);
+    ASSERT_NE(second.find("result"), nullptr);
+    EXPECT_EQ(first.find("result")->dump(),
+              second.find("result")->dump());
+    EXPECT_EQ(core.cache().stats().memHits, 1u);
+}
+
+TEST(ServiceCore, SaltSeparatesCaches)
+{
+    ServiceConfig a = testConfig();
+    ServiceConfig b = testConfig();
+    b.salt = "other";
+    ServiceCore core_a(a), core_b(b);
+    const std::string submit =
+        "{\"op\":\"submit\",\"wait\":true,\"job\":"
+        "{\"type\":\"verify\",\"nodes\":2}}";
+    util::JsonValue ra = parse(core_a.handleLine("c", submit));
+    util::JsonValue rb = parse(core_b.handleLine("c", submit));
+    std::vector<std::string> errors;
+    std::string ka = ra.getString("key", "", &errors);
+    std::string kb = rb.getString("key", "", &errors);
+    EXPECT_FALSE(ka.empty());
+    EXPECT_NE(ka, kb);
+}
+
+TEST(ServiceCore, OverloadShedsWithRetryAfter)
+{
+    ServiceConfig cfg = testConfig();
+    cfg.workers = 2;
+    cfg.queueDepth = 2;
+    cfg.retryAfterMs = 125;
+    ServiceCore core(cfg);
+
+    // Fill both admission slots with held workers...
+    const std::string sleeper =
+        "{\"op\":\"submit\",\"job\":{\"type\":\"sleep\","
+        "\"ms\":500}}";
+    std::vector<std::string> errors;
+    util::JsonValue r1 = parse(core.handleLine("c", sleeper));
+    util::JsonValue r2 = parse(core.handleLine("c", sleeper));
+    ASSERT_TRUE(r1.getBool("ok", false, &errors));
+    ASSERT_TRUE(r2.getBool("ok", false, &errors));
+
+    // ...then the third submit must shed, with a structured hint.
+    util::JsonValue shed = parse(core.handleLine("c", sleeper));
+    EXPECT_FALSE(shed.getBool("ok", true, &errors));
+    EXPECT_NE(shed.getString("error", "", &errors).find("overloaded"),
+              std::string::npos);
+    EXPECT_GE(shed.getU64("retry_after_ms", 0, &errors), 125u);
+
+    // Sleep jobs are not memoized, so the cache cannot mask shedding.
+    EXPECT_EQ(core.cache().stats().stores, 0u);
+
+    // After the pool drains, the same submit is admitted again.
+    std::uint64_t id1 = r1.getU64("id", 0, &errors);
+    pollUntilSettled(core, id1);
+    std::uint64_t id2 = r2.getU64("id", 0, &errors);
+    pollUntilSettled(core, id2);
+    util::JsonValue r3 = parse(core.handleLine("c", sleeper));
+    EXPECT_TRUE(r3.getBool("ok", false, &errors));
+}
+
+TEST(ServiceCore, WatchdogTimesOutStuckJobs)
+{
+    ServiceConfig cfg = testConfig();
+    cfg.watchdog = std::chrono::milliseconds(50);
+    ServiceCore core(cfg);
+    util::JsonValue r = parse(core.handleLine(
+        "c",
+        "{\"op\":\"submit\",\"wait\":true,\"job\":"
+        "{\"type\":\"sleep\",\"ms\":400}}"));
+    std::vector<std::string> errors;
+    EXPECT_FALSE(r.getBool("ok", true, &errors) &&
+                 r.getString("state", "", &errors) == "done");
+    EXPECT_EQ(r.getString("state", "", &errors), "timed_out");
+    EXPECT_NE(r.getString("error", "", &errors).find("watchdog"),
+              std::string::npos);
+
+    // Once the sleeper actually finishes, its completion is counted
+    // as late and discarded, never overwriting the timeout verdict.
+    std::this_thread::sleep_for(std::chrono::milliseconds(500));
+    util::JsonValue sz =
+        parse(core.handleLine("c", "{\"op\":\"statsz\"}"));
+    EXPECT_EQ(sz.getU64("timed_out", 0, &errors), 1u);
+    EXPECT_EQ(sz.getU64("late_completions", 0, &errors), 1u);
+}
+
+TEST(ServiceCore, StatszReportsTheFullSurface)
+{
+    ServiceCore core(testConfig());
+    parse(core.handleLine(
+        "c", "{\"op\":\"submit\",\"wait\":true,\"job\":"
+             "{\"type\":\"verify\",\"nodes\":2}}"));
+    util::JsonValue sz =
+        parse(core.handleLine("c", "{\"op\":\"statsz\"}"));
+    std::vector<std::string> errors;
+    EXPECT_TRUE(sz.getBool("ok", false, &errors));
+    EXPECT_EQ(sz.getU64("workers", 0, &errors), 2u);
+    EXPECT_EQ(sz.getU64("queue_depth", 0, &errors), 4u);
+    EXPECT_EQ(sz.getU64("submitted", 0, &errors), 1u);
+    EXPECT_EQ(sz.getU64("completed", 0, &errors), 1u);
+    EXPECT_EQ(sz.getU64("shed", 0, &errors), 0u);
+    ASSERT_NE(sz.find("cache"), nullptr);
+    const util::JsonValue *lat = sz.find("latency");
+    ASSERT_NE(lat, nullptr);
+    EXPECT_EQ(lat->getU64("count", 0, &errors), 1u);
+    // A tiny verify job can finish in under a millisecond, so the
+    // percentile only has to be present and non-negative.
+    EXPECT_GE(lat->getNumber("p50_ms", -1, &errors), 0.0);
+    EXPECT_TRUE(errors.empty());
+}
+
+TEST(ServiceCore, PollUnknownIdIsAnError)
+{
+    ServiceCore core(testConfig());
+    util::JsonValue r =
+        parse(core.handleLine("c", "{\"op\":\"poll\",\"id\":999}"));
+    std::vector<std::string> errors;
+    EXPECT_FALSE(r.getBool("ok", true, &errors));
+    EXPECT_NE(r.getString("error", "", &errors).find("999"),
+              std::string::npos);
+}
+
+TEST(ServiceCore, ShutdownLatches)
+{
+    ServiceCore core(testConfig());
+    EXPECT_FALSE(core.shutdownRequested());
+    parse(core.handleLine("c", "{\"op\":\"shutdown\"}"));
+    EXPECT_TRUE(core.shutdownRequested());
+}
+
+TEST(ServiceCore, ConcurrentClientsGetIdenticalBytes)
+{
+    // The acceptance property: N concurrent clients submitting the
+    // same spec all receive results byte-identical to a direct
+    // execution (the first computes, later ones hit the cache or
+    // recompute — either way the bytes cannot differ).
+    ServiceCore core(testConfig());
+    const std::string submit =
+        "{\"op\":\"submit\",\"wait\":true,\"job\":"
+        "{\"type\":\"model\",\"benchmark\":\"mp3d\",\"procs\":16,"
+        "\"refs\":2000,\"fast\":true}}";
+    constexpr int clients = 4;
+    std::vector<std::string> results(clients);
+    std::vector<std::thread> threads;
+    for (int i = 0; i < clients; ++i) {
+        threads.emplace_back([&, i]() {
+            util::JsonValue r = parse(core.handleLine(
+                "client" + std::to_string(i), submit));
+            const util::JsonValue *result = r.find("result");
+            results[i] = result ? result->dump() : "<none>";
+        });
+    }
+    for (std::thread &t : threads)
+        t.join();
+
+    JobSpec spec;
+    std::string error;
+    util::JsonValue job;
+    ASSERT_TRUE(util::tryParseJson(
+        "{\"type\":\"model\",\"benchmark\":\"mp3d\",\"procs\":16,"
+        "\"refs\":2000,\"fast\":true}",
+        &job, &error));
+    ASSERT_TRUE(JobSpec::tryParse(job, false, &spec, &error)) << error;
+    std::string direct = executeJob(spec, 1).dump();
+    for (int i = 0; i < clients; ++i)
+        EXPECT_EQ(results[i], direct) << "client " << i;
+}
+
+} // namespace
+} // namespace ringsim::service

@@ -1,0 +1,218 @@
+/**
+ * @file
+ * End-to-end socket tests: a real ringsim daemon core behind a Unix
+ * socket, driven by ServiceClient connections — including the
+ * four-concurrent-clients byte-identity property from the service's
+ * acceptance criteria.
+ */
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "src/service/client.hpp"
+#include "src/service/server.hpp"
+#include "src/service/socket_server.hpp"
+
+namespace ringsim::service {
+namespace {
+
+ServiceConfig
+testConfig()
+{
+    ServiceConfig cfg;
+    cfg.workers = 2;
+    cfg.queueDepth = 8;
+    cfg.memCacheEntries = 16;
+    cfg.enableTestJobs = true;
+    return cfg;
+}
+
+/** A live daemon on a temp-dir Unix socket, torn down on scope exit. */
+class LiveService
+{
+  public:
+    explicit LiveService(const ServiceConfig &cfg)
+        : core_(cfg),
+          endpoint_(testing::TempDir() + "/ringsim_test.sock"),
+          server_(core_, endpoint_)
+    {
+        std::string error;
+        started_ = server_.tryStart(&error);
+        EXPECT_TRUE(started_) << error;
+        if (started_)
+            pump_ = std::thread([this]() { server_.serve(); });
+    }
+
+    ~LiveService()
+    {
+        if (!started_)
+            return;
+        // serve() exits once the core has accepted a shutdown.
+        ServiceClient client;
+        std::string error, response;
+        if (client.tryConnect(endpoint_, &error))
+            (void)client.tryRequest("{\"op\":\"shutdown\"}",
+                                    &response, &error);
+        pump_.join();
+    }
+
+    const std::string &endpoint() const { return endpoint_; }
+
+  private:
+    ServiceCore core_;
+    std::string endpoint_;
+    SocketServer server_;
+    bool started_ = false;
+    std::thread pump_;
+};
+
+ServiceClient
+connect(const std::string &endpoint)
+{
+    ServiceClient client;
+    std::string error;
+    EXPECT_TRUE(client.tryConnect(endpoint, &error)) << error;
+    return client;
+}
+
+TEST(EndpointParse, AcceptsAllThreeForms)
+{
+    int port = -1;
+    std::string path, error;
+    ASSERT_TRUE(tryParseEndpoint("tcp:8742", &port, &path, &error));
+    EXPECT_EQ(port, 8742);
+    ASSERT_TRUE(
+        tryParseEndpoint("unix:/tmp/x.sock", &port, &path, &error));
+    EXPECT_EQ(path, "/tmp/x.sock");
+    ASSERT_TRUE(tryParseEndpoint("y.sock", &port, &path, &error));
+    EXPECT_EQ(path, "y.sock");
+}
+
+TEST(EndpointParse, RejectsBadForms)
+{
+    int port = -1;
+    std::string path, error;
+    EXPECT_FALSE(tryParseEndpoint("tcp:notaport", &port, &path,
+                                  &error));
+    EXPECT_FALSE(tryParseEndpoint("tcp:99999", &port, &path, &error));
+    EXPECT_FALSE(tryParseEndpoint("", &port, &path, &error));
+    EXPECT_FALSE(tryParseEndpoint(
+        "unix:" + std::string(200, 'x'), &port, &path, &error));
+}
+
+TEST(SocketRoundtrip, PingOverUnixSocket)
+{
+    LiveService svc(testConfig());
+    ServiceClient client = connect(svc.endpoint());
+    std::string response, error;
+    ASSERT_TRUE(client.tryRequest("{\"op\":\"ping\"}", &response,
+                                  &error))
+        << error;
+    EXPECT_EQ(response, "{\"ok\":true,\"op\":\"ping\"}");
+}
+
+TEST(SocketRoundtrip, MultipleRequestsOnOneConnection)
+{
+    LiveService svc(testConfig());
+    ServiceClient client = connect(svc.endpoint());
+    std::string response, error;
+    for (int i = 0; i < 5; ++i) {
+        ASSERT_TRUE(client.tryRequest("{\"op\":\"ping\"}", &response,
+                                      &error))
+            << error;
+        EXPECT_EQ(response, "{\"ok\":true,\"op\":\"ping\"}");
+    }
+}
+
+TEST(SocketRoundtrip, TryCallSurfacesServerErrors)
+{
+    LiveService svc(testConfig());
+    ServiceClient client = connect(svc.endpoint());
+    util::JsonValue req = util::JsonValue::object();
+    req.set("op", util::JsonValue::string("warp"));
+    util::JsonValue response;
+    std::string error;
+    EXPECT_FALSE(client.tryCall(req, &response, &error));
+    EXPECT_NE(error.find("warp"), std::string::npos) << error;
+}
+
+TEST(SocketRoundtrip, ConnectToMissingSocketFails)
+{
+    ServiceClient client;
+    std::string error;
+    EXPECT_FALSE(client.tryConnect(
+        testing::TempDir() + "/no_such_daemon.sock", &error));
+    EXPECT_FALSE(error.empty());
+}
+
+TEST(SocketRoundtrip, FourConcurrentClientsByteIdentical)
+{
+    LiveService svc(testConfig());
+    const std::string submit =
+        "{\"op\":\"submit\",\"wait\":true,\"job\":"
+        "{\"type\":\"model\",\"benchmark\":\"water\",\"procs\":16,"
+        "\"refs\":2000,\"fast\":true}}";
+
+    constexpr int clients = 4;
+    std::vector<std::string> results(clients);
+    std::vector<std::thread> threads;
+    for (int i = 0; i < clients; ++i) {
+        threads.emplace_back([&, i]() {
+            ServiceClient client = connect(svc.endpoint());
+            std::string response, error;
+            if (client.tryRequest(submit, &response, &error))
+                results[i] = response;
+            else
+                results[i] = "error: " + error;
+        });
+    }
+    for (std::thread &t : threads)
+        t.join();
+
+    // Every client sees the same result object (ids and cache flags
+    // may differ between responses; the result payload may not).
+    std::vector<std::string> payloads;
+    for (int i = 0; i < clients; ++i) {
+        util::JsonValue r;
+        std::string error;
+        ASSERT_TRUE(util::tryParseJson(results[i], &r, &error))
+            << results[i];
+        const util::JsonValue *result = r.find("result");
+        ASSERT_NE(result, nullptr) << results[i];
+        payloads.push_back(result->dump());
+    }
+    for (int i = 1; i < clients; ++i)
+        EXPECT_EQ(payloads[i], payloads[0]) << "client " << i;
+}
+
+TEST(SocketRoundtrip, SweepMatchesDirectRender)
+{
+    // A tiny fig3 sweep through the socket equals the library's own
+    // rendering — the property that lets benches route via --service.
+    LiveService svc(testConfig());
+    ServiceClient client = connect(svc.endpoint());
+    const std::string submit =
+        "{\"op\":\"submit\",\"wait\":true,\"job\":"
+        "{\"type\":\"sweep\",\"figure\":\"fig3\",\"refs\":600,"
+        "\"fast\":true}}";
+    util::JsonValue req;
+    std::string error;
+    ASSERT_TRUE(util::tryParseJson(submit, &req, &error));
+    util::JsonValue response;
+    ASSERT_TRUE(client.tryCall(req, &response, &error)) << error;
+    const util::JsonValue *result = response.find("result");
+    ASSERT_NE(result, nullptr);
+    const util::JsonValue *text = result->find("text");
+    ASSERT_NE(text, nullptr);
+
+    figures::FigureOptions opt;
+    opt.refs = 600;
+    opt.fast = true;
+    EXPECT_EQ(text->asString(),
+              figures::renderFigure(figures::FigureId::Fig3, opt));
+}
+
+} // namespace
+} // namespace ringsim::service

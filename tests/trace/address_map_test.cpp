@@ -100,5 +100,88 @@ TEST(AddressMapDeathTest, OutOfRangeProc)
     EXPECT_DEATH(map.privateBlock(4, 0), "range");
 }
 
+TEST(AddressMap, SingleNodeOwnsEverything)
+{
+    AddressMap map(1, 16, 7);
+    EXPECT_EQ(map.home(map.sharedBlock(0)), 0u);
+    EXPECT_EQ(map.home(map.sharedBlock(12345)), 0u);
+    EXPECT_EQ(map.home(map.privateBlock(0, 9)), 0u);
+    EXPECT_EQ(map.home(map.codeBlock(0, 9)), 0u);
+}
+
+TEST(AddressMap, HomesStayInRangeForOddNodeCounts)
+{
+    // Non-power-of-two systems must still map every region into
+    // [0, nodes); a modulo slip would fault a nonexistent node.
+    for (unsigned nodes : {3u, 5u, 7u, 12u}) {
+        AddressMap map(nodes, 16, 3);
+        for (std::uint64_t i = 0; i < 512; ++i)
+            EXPECT_LT(map.home(map.sharedBlock(i)), nodes)
+                << "nodes=" << nodes << " block " << i;
+        for (NodeId p = 0; p < nodes; ++p) {
+            EXPECT_LT(map.home(map.privateBlock(p, 1)), nodes);
+            EXPECT_LT(map.home(map.codeBlock(p, 1)), nodes);
+        }
+    }
+}
+
+TEST(AddressMap, InstancesWithSameSeedAgree)
+{
+    AddressMap m1(8, 16, 42);
+    AddressMap m2(8, 16, 42);
+    for (std::uint64_t i = 0; i < 256; ++i) {
+        Addr a = m1.sharedBlock(i);
+        EXPECT_EQ(m1.home(a), m2.home(a)) << "block " << i;
+    }
+}
+
+TEST(AddressMap, RegionPredicatesAtBoundaries)
+{
+    AddressMap map(8, 16, 1);
+    // The byte just below the shared base belongs to no region.
+    EXPECT_FALSE(map.isShared(AddressMap::sharedBase - 1));
+    EXPECT_TRUE(map.isShared(AddressMap::sharedBase));
+    // Code is neither shared nor private.
+    Addr code = map.codeBlock(0, 0);
+    EXPECT_FALSE(map.isShared(code));
+    EXPECT_FALSE(map.isPrivate(code));
+    // First private byte of processor 0 is private, not shared.
+    Addr priv = map.privateBlock(0, 0);
+    EXPECT_TRUE(map.isPrivate(priv));
+    EXPECT_FALSE(map.isShared(priv));
+}
+
+TEST(AddressMap, HomeIsBlockGranularInEveryRegion)
+{
+    AddressMap map(8, 32, 9);
+    for (Addr base : {map.sharedBlock(17), map.privateBlock(3, 5),
+                      map.codeBlock(5, 2)}) {
+        NodeId h = map.home(base);
+        for (Addr off = 1; off < 32; ++off)
+            EXPECT_EQ(map.home(base + off), h) << "offset " << off;
+    }
+}
+
+TEST(AddressMap, BelowSharedBaseHashesPageGranular)
+{
+    // Addresses below the shared base (not produced by generators)
+    // still get a stable page-granular home so ad-hoc tests work.
+    AddressMap map(8, 16, 11);
+    Addr low = AddressMap::sharedBase / 2;
+    NodeId h = map.home(low);
+    EXPECT_LT(h, 8u);
+    // Same page, same home; and the mapping is deterministic.
+    EXPECT_EQ(map.home(low + AddressMap::pageBytes - 1 -
+                       (low % AddressMap::pageBytes)),
+              h);
+    EXPECT_EQ(map.home(low), h);
+}
+
+TEST(AddressMapDeathTest, BlockSizeMustBePowerOfTwo)
+{
+    EXPECT_DEATH(AddressMap(4, 24, 1), "power of two");
+    EXPECT_DEATH(AddressMap(0, 16, 1), "at least one node");
+}
+
 } // namespace
 } // namespace ringsim::trace

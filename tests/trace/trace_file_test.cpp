@@ -152,6 +152,40 @@ TEST(TraceFileTryRead, MissingFileReturnsFalseWithError)
     EXPECT_NE(error.find("cannot open"), std::string::npos) << error;
 }
 
+TEST(TraceFileTryRead, BadMagicReturnsFalseWithOffset)
+{
+    std::string path = tempPath("trybadmagic.trc");
+    std::FILE *f = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    std::fwrite("JUNKJUNKJUNKJUNK", 1, 16, f);
+    std::fclose(f);
+
+    MaterializedTrace out;
+    std::string error;
+    EXPECT_FALSE(tryReadTraceFile(path, &out, &error));
+    EXPECT_NE(error.find("bad magic"), std::string::npos) << error;
+    EXPECT_TRUE(out.empty());
+    std::remove(path.c_str());
+}
+
+TEST(TraceFileTryRead, WrongVersionNamesBothVersions)
+{
+    MaterializedTrace trace(1);
+    trace[0] = {{Op::Read, 1}};
+    std::string path = tempPath("trybadver.trc");
+    ASSERT_TRUE(writeTraceFile(path, trace));
+    // The version field sits right after the 4-byte magic.
+    std::uint32_t bad_version = 99;
+    patchFile(path, 4, &bad_version, sizeof(bad_version));
+
+    MaterializedTrace out;
+    std::string error;
+    EXPECT_FALSE(tryReadTraceFile(path, &out, &error));
+    EXPECT_NE(error.find("version 99"), std::string::npos) << error;
+    EXPECT_NE(error.find("expected 1"), std::string::npos) << error;
+    std::remove(path.c_str());
+}
+
 TEST(TraceFileTryRead, TruncatedHeaderNamesExpectedAndActualBytes)
 {
     std::string path = tempPath("shortheader.trc");

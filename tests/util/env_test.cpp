@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Unit tests for centralized environment-variable access.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "src/util/env.hpp"
+
+namespace ringsim::util {
+namespace {
+
+/** setenv/unsetenv wrapper that restores the variable on teardown. */
+class EnvTest : public testing::Test
+{
+  protected:
+    static constexpr const char *name = "RINGSIM_ENV_TEST_VAR";
+
+    void TearDown() override { ::unsetenv(name); }
+
+    void set(const char *value) { ::setenv(name, value, 1); }
+};
+
+TEST_F(EnvTest, UnsetIsNullopt)
+{
+    ::unsetenv(name);
+    EXPECT_FALSE(envString(name).has_value());
+    EXPECT_FALSE(envU64(name).has_value());
+}
+
+TEST_F(EnvTest, StringPassesThrough)
+{
+    set("hello salt");
+    ASSERT_TRUE(envString(name).has_value());
+    EXPECT_EQ(*envString(name), "hello salt");
+}
+
+TEST_F(EnvTest, EmptyStringIsPresent)
+{
+    set("");
+    ASSERT_TRUE(envString(name).has_value());
+    EXPECT_EQ(*envString(name), "");
+}
+
+TEST_F(EnvTest, U64Parses)
+{
+    set("12345");
+    ASSERT_TRUE(envU64(name).has_value());
+    EXPECT_EQ(*envU64(name), 12345u);
+}
+
+TEST_F(EnvTest, MalformedU64FallsBack)
+{
+    set("12x");
+    EXPECT_FALSE(envU64(name).has_value());
+    set("not a number");
+    EXPECT_FALSE(envU64(name).has_value());
+    set("");
+    EXPECT_FALSE(envU64(name).has_value());
+}
+
+TEST_F(EnvTest, MinValueRejectsBelow)
+{
+    set("0");
+    EXPECT_FALSE(envU64(name, 1).has_value());
+    set("1");
+    ASSERT_TRUE(envU64(name, 1).has_value());
+    EXPECT_EQ(*envU64(name, 1), 1u);
+}
+
+} // namespace
+} // namespace ringsim::util

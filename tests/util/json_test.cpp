@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Unit tests for the JSON document model and NDJSON parser.
+ */
+
+#include <gtest/gtest.h>
+
+#include "src/util/json.hpp"
+
+namespace ringsim::util {
+namespace {
+
+TEST(JsonEscape, PassesPlainTextThrough)
+{
+    EXPECT_EQ(jsonEscape("hello world_42"), "hello world_42");
+}
+
+TEST(JsonEscape, EscapesQuotesAndBackslashes)
+{
+    EXPECT_EQ(jsonEscape("a\"b\\c"), "a\\\"b\\\\c");
+}
+
+TEST(JsonEscape, EscapesControlCharacters)
+{
+    EXPECT_EQ(jsonEscape("\n\t\r\b\f"), "\\n\\t\\r\\b\\f");
+    EXPECT_EQ(jsonEscape(std::string(1, '\x01')), "\\u0001");
+    EXPECT_EQ(jsonEscape(std::string(1, '\x1f')), "\\u001f");
+}
+
+TEST(JsonValue, DumpsLeavesCompactly)
+{
+    EXPECT_EQ(JsonValue::null().dump(), "null");
+    EXPECT_EQ(JsonValue::boolean(true).dump(), "true");
+    EXPECT_EQ(JsonValue::boolean(false).dump(), "false");
+    EXPECT_EQ(JsonValue::integer(42).dump(), "42");
+    EXPECT_EQ(JsonValue::string("a\"b").dump(), "\"a\\\"b\"");
+}
+
+TEST(JsonValue, ObjectKeepsInsertionOrder)
+{
+    JsonValue o = JsonValue::object();
+    o.set("zebra", JsonValue::integer(1));
+    o.set("apple", JsonValue::integer(2));
+    o.set("mango", JsonValue::integer(3));
+    EXPECT_EQ(o.dump(), "{\"zebra\":1,\"apple\":2,\"mango\":3}");
+}
+
+TEST(JsonValue, SetReplacesInPlace)
+{
+    JsonValue o = JsonValue::object();
+    o.set("a", JsonValue::integer(1));
+    o.set("b", JsonValue::integer(2));
+    o.set("a", JsonValue::integer(9));
+    EXPECT_EQ(o.dump(), "{\"a\":9,\"b\":2}");
+}
+
+TEST(JsonValue, IntegersSurviveRoundTripExactly)
+{
+    const std::uint64_t big = 0xFFFF'FFFF'FFFF'FFFEULL;
+    JsonValue v = JsonValue::integer(big);
+    std::string dumped = v.dump();
+    JsonValue back;
+    std::string error;
+    ASSERT_TRUE(tryParseJson(dumped, &back, &error)) << error;
+    EXPECT_EQ(back.asU64(), big);
+}
+
+TEST(JsonValue, TypedGettersReturnFallbacks)
+{
+    JsonValue o = JsonValue::object();
+    o.set("n", JsonValue::number(2.5));
+    o.set("s", JsonValue::string("x"));
+    std::vector<std::string> errors;
+    EXPECT_EQ(o.getNumber("n", 0, &errors), 2.5);
+    EXPECT_EQ(o.getString("s", "", &errors), "x");
+    EXPECT_EQ(o.getU64("missing", 7, &errors), 7u);
+    EXPECT_TRUE(o.getBool("gone", true, &errors));
+    EXPECT_TRUE(errors.empty());
+}
+
+TEST(JsonValue, TypedGettersReportTypeMismatches)
+{
+    JsonValue o = JsonValue::object();
+    o.set("n", JsonValue::string("not a number"));
+    std::vector<std::string> errors;
+    o.getNumber("n", 0, &errors);
+    ASSERT_EQ(errors.size(), 1u);
+    EXPECT_NE(errors[0].find("n ="), std::string::npos) << errors[0];
+}
+
+TEST(JsonParse, RoundTripsNestedDocument)
+{
+    const std::string text =
+        "{\"a\":[1,2.5,null,true],\"b\":{\"c\":\"hi\"},\"d\":-3}";
+    JsonValue v;
+    std::string error;
+    ASSERT_TRUE(tryParseJson(text, &v, &error)) << error;
+    EXPECT_EQ(v.dump(), text);
+}
+
+TEST(JsonParse, AcceptsSurroundingWhitespace)
+{
+    JsonValue v;
+    std::string error;
+    ASSERT_TRUE(tryParseJson("  { \"a\" : 1 }\n", &v, &error)) << error;
+    EXPECT_EQ(v.dump(), "{\"a\":1}");
+}
+
+TEST(JsonParse, RejectsTrailingGarbageWithOffset)
+{
+    JsonValue v;
+    std::string error;
+    EXPECT_FALSE(tryParseJson("{} extra", &v, &error));
+    EXPECT_NE(error.find("offset"), std::string::npos) << error;
+}
+
+TEST(JsonParse, RejectsUnterminatedString)
+{
+    JsonValue v;
+    std::string error;
+    EXPECT_FALSE(tryParseJson("\"abc", &v, &error));
+    EXPECT_FALSE(error.empty());
+}
+
+TEST(JsonParse, RejectsExcessiveNesting)
+{
+    std::string deep(100, '[');
+    deep += std::string(100, ']');
+    JsonValue v;
+    std::string error;
+    EXPECT_FALSE(tryParseJson(deep, &v, &error));
+    EXPECT_NE(error.find("nesting too deep"), std::string::npos)
+        << error;
+}
+
+TEST(JsonParse, DecodesBmpUnicodeEscapes)
+{
+    JsonValue v;
+    std::string error;
+    ASSERT_TRUE(tryParseJson("\"\\u0041\\u00e9\"", &v, &error))
+        << error;
+    EXPECT_EQ(v.asString(), "A\xc3\xa9");
+}
+
+TEST(JsonParse, RejectsEmptyInput)
+{
+    JsonValue v;
+    std::string error;
+    EXPECT_FALSE(tryParseJson("", &v, &error));
+    EXPECT_FALSE(tryParseJson("   ", &v, &error));
+}
+
+} // namespace
+} // namespace ringsim::util
