@@ -25,7 +25,9 @@ defaultJobs()
 std::chrono::milliseconds
 watchdogBudget(std::chrono::milliseconds fallback_ms)
 {
-    if (auto v = util::envU64("RINGSIM_WATCHDOG_MS", 1))
+    // Zero is a meaningful setting (watchdog disabled), so it must be
+    // accepted from the environment just like from --watchdog-ms.
+    if (auto v = util::envU64("RINGSIM_WATCHDOG_MS"))
         return std::chrono::milliseconds(*v);
     return fallback_ms;
 }

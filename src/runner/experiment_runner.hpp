@@ -57,10 +57,10 @@ unsigned resolveJobs(unsigned requested);
 std::uint64_t jobSeed(std::uint64_t master_seed, std::uint64_t job_key);
 
 /**
- * Watchdog budget resolution: $RINGSIM_WATCHDOG_MS if set to a
- * positive integer, otherwise @p fallback_ms. Lets operators widen
- * (or disable-by-raising) per-job watchdogs on loaded machines where
- * a healthy sweep point can exceed a default budget — service jobs
+ * Watchdog budget resolution: $RINGSIM_WATCHDOG_MS if set (zero
+ * disables the watchdog), otherwise @p fallback_ms. Lets operators
+ * widen or disable per-job watchdogs on loaded machines where a
+ * healthy sweep point can exceed a default budget — service jobs
  * and the hardened benches resolve their timeouts through this.
  */
 std::chrono::milliseconds

@@ -107,7 +107,10 @@ ServiceClient::tryRequest(const std::string &line,
     out += '\n';
     std::size_t off = 0;
     while (off < out.size()) {
-        ssize_t w = ::write(fd_, out.data() + off, out.size() - off);
+        // MSG_NOSIGNAL: a daemon that died mid-request must surface
+        // as an EPIPE error string, not SIGPIPE-kill the client.
+        ssize_t w = ::send(fd_, out.data() + off, out.size() - off,
+                           MSG_NOSIGNAL);
         if (w <= 0) {
             *error = strprintf("write: %s", std::strerror(errno));
             return false;

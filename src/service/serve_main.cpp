@@ -8,6 +8,7 @@
  * cache. See src/service/server.hpp for the protocol.
  */
 
+#include <csignal>
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
@@ -50,6 +51,11 @@ usage()
 int
 main(int argc, char **argv)
 {
+    // A client that disconnects mid-response must not take the whole
+    // daemon (and every other client's in-flight jobs) with it. Socket
+    // writes also pass MSG_NOSIGNAL; this covers any other fd.
+    std::signal(SIGPIPE, SIG_IGN);
+
     std::string endpoint = "ringsim.sock";
     service::ServiceConfig cfg =
         service::ServiceConfig::withEnvDefaults();

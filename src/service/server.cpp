@@ -376,11 +376,16 @@ ServiceCore::runOne()
     {
         std::lock_guard<std::mutex> lock(mutex_);
         id = pickNext();
-        if (id == 0)
-            return; // a waiter was reaped before any slot freed
-        auto it = jobs_.find(id);
-        if (it == jobs_.end())
+        // A record can vanish before this task picks it up (reaped
+        // waiter, evicted job), but the task still owns one admission
+        // slot — leaking it would shrink the effective queue depth
+        // permanently.
+        auto it = id != 0 ? jobs_.find(id) : jobs_.end();
+        if (it == jobs_.end()) {
+            --active_;
+            done_cv_.notify_all();
             return;
+        }
         it->second.state = JobState::Running;
         it->second.started = Clock::now();
         running_.push_back(id);

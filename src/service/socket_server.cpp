@@ -61,9 +61,9 @@ SocketServer::~SocketServer()
 {
     if (listen_fd_ >= 0)
         ::close(listen_fd_);
-    for (std::thread &t : threads_)
-        if (t.joinable())
-            t.join();
+    for (Connection &c : conns_)
+        if (c.thread.joinable())
+            c.thread.join();
     if (unix_path_bound_)
         ::unlink(unix_path_.c_str());
 }
@@ -137,8 +137,31 @@ SocketServer::serve()
             continue;
         std::string client = strprintf(
             "conn%llu", static_cast<unsigned long long>(++serial));
-        threads_.emplace_back(
-            [this, fd, client]() { handleConnection(fd, client); });
+        auto done = std::make_shared<std::atomic<bool>>(false);
+        conns_.push_back(Connection{
+            std::thread([this, fd, client, done]() {
+                handleConnection(fd, client);
+                done->store(true);
+            }),
+            done});
+        reapFinished();
+    }
+}
+
+void
+SocketServer::reapFinished()
+{
+    // Join threads whose connection ended so a long-running daemon
+    // serving many short connections does not accumulate one thread
+    // object (and stack) per connection ever accepted.
+    auto it = conns_.begin();
+    while (it != conns_.end()) {
+        if (it->done->load()) {
+            it->thread.join();
+            it = conns_.erase(it);
+        } else {
+            ++it;
+        }
     }
 }
 
@@ -148,6 +171,17 @@ SocketServer::handleConnection(int fd, std::string client)
     std::string buffer;
     char chunk[4096];
     for (;;) {
+        // Bounded wait instead of a blocking read: an idle client
+        // holding its connection open must not pin this thread (and
+        // the destructor's join) past a shutdown request.
+        pollfd pfd{fd, POLLIN, 0};
+        int ready = ::poll(&pfd, 1, 100);
+        if (core_.shutdownRequested())
+            break;
+        if (ready < 0 && errno != EINTR)
+            break;
+        if (ready <= 0)
+            continue;
         ssize_t n = ::read(fd, chunk, sizeof(chunk));
         if (n <= 0)
             break;
@@ -165,8 +199,11 @@ SocketServer::handleConnection(int fd, std::string client)
             response += '\n';
             std::size_t off = 0;
             while (off < response.size()) {
-                ssize_t w = ::write(fd, response.data() + off,
-                                    response.size() - off);
+                // MSG_NOSIGNAL: a client that hung up mid-response
+                // must surface as EPIPE here, not SIGPIPE the daemon.
+                ssize_t w = ::send(fd, response.data() + off,
+                                   response.size() - off,
+                                   MSG_NOSIGNAL);
                 if (w <= 0) {
                     ::close(fd);
                     return;

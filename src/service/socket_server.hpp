@@ -17,6 +17,8 @@
 #ifndef RINGSIM_SERVICE_SOCKET_SERVER_HPP
 #define RINGSIM_SERVICE_SOCKET_SERVER_HPP
 
+#include <atomic>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
@@ -52,14 +54,23 @@ class SocketServer
     const std::string &endpoint() const { return endpoint_; }
 
   private:
+    /** One accepted connection: its pump thread plus an exit flag the
+     * accept loop reads to join finished threads as it goes. */
+    struct Connection
+    {
+        std::thread thread;
+        std::shared_ptr<std::atomic<bool>> done;
+    };
+
     void handleConnection(int fd, std::string client);
+    void reapFinished();
 
     ServiceCore &core_;
     const std::string endpoint_;
     int listen_fd_ = -1;
     bool unix_path_bound_ = false;
     std::string unix_path_;
-    std::vector<std::thread> threads_;
+    std::vector<Connection> conns_;
 };
 
 /**

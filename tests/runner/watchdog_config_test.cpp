@@ -38,12 +38,13 @@ TEST_F(WatchdogEnvTest, MalformedEnvFallsBack)
     EXPECT_EQ(watchdogBudget(milliseconds(1234)), milliseconds(1234));
 }
 
-TEST_F(WatchdogEnvTest, ZeroEnvFallsBack)
+TEST_F(WatchdogEnvTest, ZeroEnvDisablesWatchdog)
 {
-    // Zero would disable every watchdog; require it to be explicit in
-    // code (policy.jobTimeout = 0), not ambient in the environment.
+    // ringsim_serve --help documents "0 disables" for the env var, so
+    // it must mean the same thing as --watchdog-ms 0 — not silently
+    // fall back to the default budget.
     ::setenv("RINGSIM_WATCHDOG_MS", "0", 1);
-    EXPECT_EQ(watchdogBudget(milliseconds(1234)), milliseconds(1234));
+    EXPECT_EQ(watchdogBudget(milliseconds(1234)), milliseconds(0));
 }
 
 TEST(RunPolicyCheck, SoundPolicyIsClean)

@@ -8,6 +8,13 @@
 
 #include <gtest/gtest.h>
 
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstring>
+#include <memory>
 #include <thread>
 #include <vector>
 
@@ -145,6 +152,57 @@ TEST(SocketRoundtrip, ConnectToMissingSocketFails)
     EXPECT_FALSE(client.tryConnect(
         testing::TempDir() + "/no_such_daemon.sock", &error));
     EXPECT_FALSE(error.empty());
+}
+
+TEST(SocketRoundtrip, SurvivesClientGoneBeforeResponse)
+{
+    // A client that hangs up while its wait-submit is still running
+    // (Ctrl+C on ringsim_submit --wait) makes the daemon write a
+    // response into a closed socket. That must surface as a write
+    // error on one connection, not SIGPIPE-kill the whole daemon.
+    LiveService svc(testConfig());
+
+    int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    ASSERT_GE(fd, 0);
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    std::strncpy(addr.sun_path, svc.endpoint().c_str(),
+                 sizeof(addr.sun_path) - 1);
+    ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                        sizeof(addr)),
+              0);
+    const std::string line =
+        "{\"op\":\"submit\",\"wait\":true,\"job\":"
+        "{\"type\":\"sleep\",\"ms\":200}}\n";
+    ASSERT_EQ(::send(fd, line.data(), line.size(), MSG_NOSIGNAL),
+              static_cast<ssize_t>(line.size()));
+    ::close(fd); // gone before the 200 ms job finishes
+
+    // Give the abandoned response write time to happen, then prove
+    // the daemon still serves other clients.
+    std::this_thread::sleep_for(std::chrono::milliseconds(500));
+    ServiceClient client = connect(svc.endpoint());
+    std::string response, error;
+    ASSERT_TRUE(client.tryRequest("{\"op\":\"ping\"}", &response,
+                                  &error))
+        << error;
+    EXPECT_EQ(response, "{\"ok\":true,\"op\":\"ping\"}");
+}
+
+TEST(SocketRoundtrip, ShutdownCompletesWithIdleClientConnected)
+{
+    // An idle client holding its connection open must not pin the
+    // daemon's connection-thread join past a shutdown request.
+    auto svc = std::make_unique<LiveService>(testConfig());
+    ServiceClient idle = connect(svc->endpoint()); // never sends
+    ServiceClient active = connect(svc->endpoint());
+    std::string response, error;
+    ASSERT_TRUE(active.tryRequest("{\"op\":\"ping\"}", &response,
+                                  &error))
+        << error;
+    // Destruction requests shutdown and joins every connection
+    // thread; a hang here fails the test via the suite timeout.
+    svc.reset();
 }
 
 TEST(SocketRoundtrip, FourConcurrentClientsByteIdentical)
