@@ -17,7 +17,7 @@ BUILD_DIR="${LINT_BUILD_DIR:-build}"
 status=0
 
 # ---- custom rules (raw-new, unordered-iteration, nodiscard,
-# ---- raw-getenv) ----
+# ---- raw-getenv, hot-path-deque) ----
 if ! python3 scripts/lint_rules.py "$@"; then
     status=1
 fi

@@ -26,6 +26,15 @@ Rules (suppress a finding with a trailing `// lint: allow(<rule>)`):
       through util::envString / util::envU64 so defaults, validation,
       and fallback-on-malformed behavior stay in one place and config
       surfaces (service, runner watchdog) remain enumerable.
+
+  hot-path-deque
+      No std::deque in src/ring/ or src/core/. Those directories hold
+      the per-cycle ring tick and the protocol engines; deque's
+      segmented storage costs an indirection per touch and scatters
+      queue heads across the heap, which is exactly what the flat
+      insert-queue rewrite removed. Use core::FlatQueue
+      (src/core/flat_queue.hpp) — or justify the exception with a
+      trailing allow.
 """
 
 import re
@@ -106,6 +115,7 @@ def allowed(raw_lines, lineno, rule):
 
 
 NEW_RE = re.compile(r"\bnew\b(?!\s*\()|\bnew\s*\(")
+DEQUE_RE = re.compile(r"\bstd\s*::\s*deque\s*<")
 GETENV_RE = re.compile(r"\b(?:std\s*::\s*)?getenv\s*\(")
 UNORDERED_DECL_RE = re.compile(
     r"std::unordered_(?:map|set|multimap|multiset)\s*<[^;{]*>\s*&?\s*"
@@ -147,6 +157,15 @@ def check_file(path):
                 flag("raw-getenv", rel, lineno,
                      "direct getenv: use util::envString / "
                      "util::envU64 (src/util/env.hpp)")
+
+    # hot-path-deque (ring tick + protocol engine directories)
+    if rel.startswith("src/ring/") or rel.startswith("src/core/"):
+        for lineno, line in enumerate(clean_lines, 1):
+            if DEQUE_RE.search(line) and not allowed(
+                    raw_lines, lineno, "hot-path-deque"):
+                flag("hot-path-deque", rel, lineno,
+                     "std::deque on a hot path: use core::FlatQueue "
+                     "(src/core/flat_queue.hpp)")
 
     # unordered-iteration
     unordered_names = set(UNORDERED_DECL_RE.findall(clean))

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Flat FIFO queue for protocol hot paths.
+ *
+ * The per-node, per-slot-type insert queues sit on the ring's
+ * per-visit path (tryInsert peeks the front on every empty-slot
+ * offer), where std::deque's segmented storage costs an extra
+ * indirection per touch and scatters queue heads across the heap.
+ * FlatQueue is a power-of-two circular buffer: front() is one load
+ * from contiguous storage, push/pop are an index increment, and the
+ * whole control block is cache-line-aligned so neighboring queues in a
+ * vector never share a line. Growth relinearizes into a doubled
+ * buffer; indices are free-running 32-bit counters (differences are
+ * exact under wrap-around because the capacity divides 2^32).
+ *
+ * This is the approved alternative wherever the `hot-path-deque` lint
+ * rule (scripts/lint_rules.py) fires.
+ */
+
+#ifndef RINGSIM_CORE_FLAT_QUEUE_HPP
+#define RINGSIM_CORE_FLAT_QUEUE_HPP
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "util/logging.hpp"
+
+namespace ringsim::core {
+
+template <typename T>
+class alignas(64) FlatQueue
+{
+  public:
+    bool empty() const { return head_ == tail_; }
+
+    std::size_t size() const {
+        return static_cast<std::uint32_t>(tail_ - head_);
+    }
+
+    T &front() {
+        if (empty())
+            panic("front() on an empty FlatQueue");
+        return buf_[head_ & mask()];
+    }
+
+    const T &front() const {
+        if (empty())
+            panic("front() on an empty FlatQueue");
+        return buf_[head_ & mask()];
+    }
+
+    void push_back(const T &value) {
+        if (size() == buf_.size())
+            grow();
+        buf_[tail_++ & mask()] = value;
+    }
+
+    void push_back(T &&value) {
+        if (size() == buf_.size())
+            grow();
+        buf_[tail_++ & mask()] = std::move(value);
+    }
+
+    void pop_front() {
+        if (empty())
+            panic("pop_front() on an empty FlatQueue");
+        ++head_;
+    }
+
+  private:
+    std::uint32_t mask() const {
+        return static_cast<std::uint32_t>(buf_.size()) - 1;
+    }
+
+    void grow() {
+        std::size_t n = size();
+        std::vector<T> bigger(buf_.empty() ? kInitialCapacity
+                                           : buf_.size() * 2);
+        for (std::size_t i = 0; i < n; ++i)
+            bigger[i] = std::move(
+                buf_[(head_ + static_cast<std::uint32_t>(i)) & mask()]);
+        buf_ = std::move(bigger);
+        head_ = 0;
+        tail_ = static_cast<std::uint32_t>(n);
+    }
+
+    static constexpr std::size_t kInitialCapacity = 8;
+
+    std::vector<T> buf_;
+    std::uint32_t head_ = 0;
+    std::uint32_t tail_ = 0;
+};
+
+} // namespace ringsim::core
+
+#endif // RINGSIM_CORE_FLAT_QUEUE_HPP

@@ -19,11 +19,12 @@ RingProtocolBase::RingProtocolBase(sim::Kernel &kernel,
     queues_.resize(static_cast<size_t>(nodes_) * 3);
     queuedMsgs_.assign(nodes_, 0);
     bankFreeAt_.assign(nodes_, 0);
-    clients_.reserve(nodes_);
     for (NodeId n = 0; n < nodes_; ++n) {
-        clients_.push_back(std::make_unique<NodeClient>(*this, n));
-        ring_.setClient(n, *clients_.back());
-        // onSlot on an empty slot with empty queues does nothing, so
+        // One object for every node: the ring detects the uniform
+        // registration and batch-dispatches whole rotations through
+        // onVisits instead of one virtual call per visit.
+        ring_.setClient(n, *this);
+        // A visit on an empty slot with empty queues does nothing, so
         // the ring may skip those visits (and fast-forward when every
         // node is idle).
         ring_.enableIdleSkip(n);
@@ -234,7 +235,7 @@ RingProtocolBase::relaunch(std::uint64_t id, unsigned attempt)
     armWatchdog(id);
 }
 
-std::deque<RingProtocolBase::QueuedMsg> &
+FlatQueue<RingProtocolBase::QueuedMsg> &
 RingProtocolBase::queueFor(NodeId n, ring::SlotType t)
 {
     return queues_[static_cast<size_t>(n) * 3 +
@@ -312,7 +313,24 @@ RingProtocolBase::discardCorrupt(NodeId n, ring::SlotHandle &slot)
 }
 
 void
-RingProtocolBase::onSlot(NodeId n, ring::SlotHandle &slot)
+RingProtocolBase::onSlot(ring::SlotHandle &slot)
+{
+    visitSlot(slot.node(), slot);
+}
+
+void
+RingProtocolBase::onVisits(ring::SlotRing &ring_net,
+                           const ring::SlotVisit *begin,
+                           const ring::SlotVisit *end)
+{
+    for (const ring::SlotVisit *v = begin; v != end; ++v) {
+        ring::SlotHandle handle = ring_net.visitHandle(*v);
+        visitSlot(v->node, handle);
+    }
+}
+
+void
+RingProtocolBase::visitSlot(NodeId n, ring::SlotHandle &slot)
 {
     if (slot.occupied() && slot.corrupted()) {
         discardCorrupt(n, slot);

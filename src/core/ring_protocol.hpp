@@ -14,13 +14,12 @@
 #define RINGSIM_CORE_RING_PROTOCOL_HPP
 
 #include <cstdint>
-#include <deque>
-#include <memory>
 #include <unordered_map>
 #include <vector>
 
 #include "coherence/engine.hpp"
 #include "core/config.hpp"
+#include "core/flat_queue.hpp"
 #include "core/metrics.hpp"
 #include "core/protocol.hpp"
 #include "fault/fault.hpp"
@@ -43,8 +42,18 @@ enum RingMsgKind : std::uint32_t {
                        //!< message and asks its sender to retry
 };
 
-/** Base class of the timed ring protocols. */
-class RingProtocolBase : public Protocol
+/**
+ * Base class of the timed ring protocols.
+ *
+ * The protocol itself is the ring client for every node: one object
+ * registered uniformly lets the ring hand it a whole rotation's live
+ * visits in a single onVisits() call (no per-node trampoline, no
+ * per-visit virtual hop). A visit on an empty slot with nothing queued
+ * is a pure no-op (no state change, no statistics), so the constructor
+ * opts every node into the ring's idle skipping; enqueue()/tryInsert()
+ * keep the pending flags honest.
+ */
+class RingProtocolBase : public Protocol, public ring::RingClient
 {
   public:
     /**
@@ -61,6 +70,18 @@ class RingProtocolBase : public Protocol
 
     void startTransaction(NodeId p, const trace::TraceRecord &ref,
                           std::function<void()> on_complete) override;
+
+    /** A slot header reached the interface of slot.node(). */
+    void onSlot(ring::SlotHandle &slot) override;
+
+    /**
+     * One rotation's live visits, batch-dispatched by the ring.
+     * Honors the onVisits contract: each visit only touches the
+     * visited node's slot, queues and pending flags synchronously;
+     * cross-node protocol steps are posted as kernel events.
+     */
+    void onVisits(ring::SlotRing &ring_net, const ring::SlotVisit *begin,
+                  const ring::SlotVisit *end) override;
 
     /** Outstanding transactions (tests/assertions). */
     size_t inFlight() const { return txns_.size(); }
@@ -176,35 +197,14 @@ class RingProtocolBase : public Protocol
     unsigned nodes_;
 
   private:
-    /**
-     * RingClient adapter for one node. onSlot() on an empty slot with
-     * nothing queued is a pure no-op (no state change, no statistics),
-     * so the constructor opts every node into the ring's idle
-     * skipping; enqueue()/tryInsert() keep the pending flags honest.
-     */
-    class NodeClient : public ring::RingClient
-    {
-      public:
-        NodeClient(RingProtocolBase &owner, NodeId node)
-            : owner_(owner), node_(node)
-        {}
-
-        void onSlot(ring::SlotHandle &slot) override {
-            owner_.onSlot(node_, slot);
-        }
-
-      private:
-        RingProtocolBase &owner_;
-        NodeId node_;
-    };
-
     struct QueuedMsg
     {
         ring::RingMessage msg;
         Tick enqueued;
     };
 
-    void onSlot(NodeId n, ring::SlotHandle &slot);
+    /** The per-visit protocol step (shared by onSlot and onVisits). */
+    void visitSlot(NodeId n, ring::SlotHandle &slot);
     void tryInsert(NodeId n, ring::SlotHandle &slot);
 
     /** Discard a corrupt message at node @p n; NACK its sender. */
@@ -228,11 +228,11 @@ class RingProtocolBase : public Protocol
      */
     void completeTxn(Txn &txn, bool succeeded = true);
 
-    std::deque<QueuedMsg> &queueFor(NodeId n, ring::SlotType t);
+    FlatQueue<QueuedMsg> &queueFor(NodeId n, ring::SlotType t);
 
-    std::vector<std::unique_ptr<NodeClient>> clients_;
-    /** queues_[node * 3 + slot type] */
-    std::vector<std::deque<QueuedMsg>> queues_;
+    /** queues_[node * 3 + slot type]; flat ring buffers, each on its
+     *  own cache line (FlatQueue is alignas(64)). */
+    std::vector<FlatQueue<QueuedMsg>> queues_;
     /** Messages queued across all three of node n's queues; drives
      *  SlotRing::notifyPending / clearPending on 0↔1 transitions. */
     std::vector<unsigned> queuedMsgs_;

@@ -81,6 +81,17 @@ FrameLayout::slotTypeAt(unsigned s)
     panic("slot index %u out of range", s);
 }
 
+int
+FrameLayout::blockShift() const
+{
+    if (blockBytes == 0 || (blockBytes & (blockBytes - 1)) != 0)
+        return -1;
+    int shift = 0;
+    while ((size_t(1) << shift) != blockBytes)
+        ++shift;
+    return shift;
+}
+
 std::vector<std::string>
 FrameLayout::check() const
 {

@@ -74,6 +74,14 @@ struct FrameLayout
     /** Type of the @p s -th slot in a frame (even probe, odd, block). */
     static SlotType slotTypeAt(unsigned s);
 
+    /**
+     * log2(blockBytes) when it is a power of two, else -1. Lets the
+     * probe-parity test (address / blockBytes, then parity) on the
+     * slot-insert hot path become a shift; callers must keep the
+     * divide as the fallback for non-power-of-two layouts.
+     */
+    int blockShift() const;
+
     /** All layout misconfigurations, as human-readable messages. */
     [[nodiscard]] std::vector<std::string> check() const;
 

@@ -16,11 +16,18 @@
  *  - anti-starvation: a node may not reuse a slot in the same visit in
  *    which it removed a message from it.
  *
- * The steady-state tick is schedule-driven (DESIGN.md section 11): a
- * visitation table precomputed per rotation offset replaces the
- * per-node modulo scan, nodes that opted in via enableIdleSkip() are
- * only visited when the arriving slot is occupied or the node flagged
- * pending work via notifyPending(), and a fully quiescent ring
+ * The steady-state tick is schedule-driven and data-oriented
+ * (DESIGN.md section 11). Slot state lives in structure-of-arrays
+ * form: per-type occupancy and corruption bitmaps plus a dense message
+ * array on the hot side, traversal-audit fields on a cold side touched
+ * only by insert/remove/monitor paths. A visitation table precomputed
+ * per rotation offset replaces the per-node modulo scan; on a
+ * saturated ring the occupancy bitmap is ANDed with per-rotation slot
+ * masks so only live visits are even enumerated, and the whole
+ * rotation is handed to the (single, devirtualized) client in one
+ * RingClient::onVisits call. Nodes that opted in via enableIdleSkip()
+ * are only visited when the arriving slot is occupied or the node
+ * flagged pending work via notifyPending(), and a fully quiescent ring
  * fast-forwards across idle cycles in O(1). The original scan loop is
  * retained behind RingConfig::referenceTickPath and the two are held
  * byte-identical by tests/ring/golden_equivalence_test.cpp.
@@ -29,6 +36,7 @@
 #ifndef RINGSIM_RING_NETWORK_HPP
 #define RINGSIM_RING_NETWORK_HPP
 
+#include <bit>
 #include <cstdint>
 #include <vector>
 
@@ -63,9 +71,17 @@ struct RingMessage
 
 class SlotRing;
 
+/** One (node, slot) dispatch in a rotation's visitation schedule. */
+struct SlotVisit
+{
+    NodeId node;
+    std::uint32_t slot;
+};
+
 /**
  * A node's view of the slot whose header just reached it. Valid only
- * for the duration of the RingClient::onSlot call.
+ * for the duration of the RingClient::onSlot call (or, for a batched
+ * client, until the onVisits call returns).
  */
 class SlotHandle
 {
@@ -126,6 +142,26 @@ class RingClient
 
     /** A slot header reached this node's interface. */
     virtual void onSlot(SlotHandle &slot) = 0;
+
+    /**
+     * Batch hook: all live visits of one rotation, in the same order
+     * the per-visit path would dispatch them (ascending node). Called
+     * instead of per-visit onSlot when one client object serves every
+     * node (setClient with the same object for all nodes); the default
+     * implementation loops over onSlot, so implementing it is an
+     * optimization, never a requirement.
+     *
+     * Contract for implementers (see DESIGN.md section 11): the visit
+     * list is gathered before the first dispatch, so a handler must
+     * only mutate state attributed to the node being visited — its own
+     * slot via the SlotHandle, and its own node's pending flags via
+     * notifyPending()/clearPending(). It must not call setClient() or
+     * touch another node's pending flags synchronously; cross-node
+     * effects go through kernel events, exactly as the per-visit path
+     * already requires.
+     */
+    virtual void onVisits(SlotRing &ring, const SlotVisit *begin,
+                          const SlotVisit *end);
 };
 
 /**
@@ -175,6 +211,7 @@ class SlotRing
      */
     void setFaultInjector(fault::FaultInjector *injector) {
         injector_ = injector;
+        updateFastDispatch();
     }
 
     /**
@@ -222,6 +259,11 @@ class SlotRing
     /** Which parity probe slot serves @p addr. */
     SlotType probeTypeFor(Addr addr) const;
 
+    /** Handle for one scheduled visit (for onVisits implementations). */
+    SlotHandle visitHandle(const SlotVisit &v) {
+        return SlotHandle(*this, v.slot, v.node);
+    }
+
     /**
      * Zero the occupancy/throughput statistics. Used at the end of the
      * warmup window so reported figures cover only the measured phase.
@@ -244,27 +286,22 @@ class SlotRing
   private:
     friend class SlotHandle;
 
-    struct Slot
-    {
-        SlotType type;
-        bool occupied = false;
-        bool corrupt = false;
-        RingMessage msg;
-        /** Absolute rotation count at insertion (traversal audit). */
-        Count insertedAtRot = 0;
-        NodeId insertedBy = invalidNode;
-    };
-
-    /** One (node, slot) dispatch in the precomputed schedule. */
-    struct Visit
-    {
-        NodeId node;
-        std::uint32_t slot;
-    };
-
-    void tick(Count cycle);
+    /**
+     * One ring cycle. Forced inline: its only caller is the batched
+     * TickEvent::process loop in the same translation unit, and the
+     * steady (fastDispatch_) body must fuse into that loop — left to
+     * the inliner's budget it stays an out-of-line call per cycle.
+     */
+    [[gnu::always_inline]] void tick(Count cycle);
     void referenceTick();
+    /** Regather rotation @p r's batch into its cache row (stamping
+     *  it with the current epoch) and return the row length. Off the
+     *  steady path: runs once per occupancy change per rotation. */
+    std::uint32_t rebuildBatchRow(unsigned r);
+    /** General (guarded) schedule-driven cycle. */
     void scheduledTick();
+    /** Gather one rotation's live visits and batch-dispatch them. */
+    void batchedTick(unsigned r);
     void injectFaults(Count cycle);
 
     /**
@@ -280,17 +317,126 @@ class SlotRing
         return static_cast<unsigned>(t);
     }
 
+    // --- Hot slot state: structure-of-arrays bitmaps -----------------
+    //
+    // occ_[t*words_ + w] is the occupancy bitmap of type-t slots;
+    // occAny_[w] is the union across types (the word the gather loop
+    // ANDs with the rotation masks). corrupt_ ⊆ occAny_ marks payload
+    // corruption. Slot types are fixed at construction (types_), so
+    // per-type counts are popcounts of the per-type words.
+
+    bool bitTest(const std::vector<std::uint64_t> &bm, unsigned s) const {
+        return (bm[s >> 6] >> (s & 63)) & 1;
+    }
+    void bitSet(std::vector<std::uint64_t> &bm, unsigned s) {
+        bm[s >> 6] |= std::uint64_t(1) << (s & 63);
+    }
+    void bitClear(std::vector<std::uint64_t> &bm, unsigned s) {
+        bm[s >> 6] &= ~(std::uint64_t(1) << (s & 63));
+    }
+
+    /** Occupied slots of type index @p t. Maintained incrementally at
+     *  insert/remove/drop (a per-cycle popcount is an out-of-line
+     *  libcall on baseline x86-64). */
+    unsigned occupiedOfType(unsigned t) const { return occCnt_[t]; }
+
+    /**
+     * Fold the cycles since the last occupancy change into the
+     * integrals. Must run before any occCnt_ mutation; between
+     * mutations the integral is a closed form (count × elapsed), so
+     * the tick path carries no per-cycle accumulation at all.
+     */
+    void accrueOccupancy() {
+        Count elapsed = cycles_ - occAccruedAt_;
+        if (elapsed) {
+            for (unsigned t = 0; t < 3; ++t)
+                occupancyIntegral_[t] +=
+                    static_cast<std::uint64_t>(occCnt_[t]) * elapsed;
+            occAccruedAt_ = cycles_;
+        }
+    }
+
+    /** The integral including the not-yet-folded tail (for readers). */
+    std::uint64_t accruedIntegral(unsigned t) const {
+        return occupancyIntegral_[t] +
+               static_cast<std::uint64_t>(occCnt_[t]) *
+                   (cycles_ - occAccruedAt_);
+    }
+
+    /** Recompute uniformClient_ after a setClient(). */
+    void refreshUniformClient();
+
+    /**
+     * Recompute fastDispatch_: true when the per-cycle guards of the
+     * bitmap dispatch all hold — one uniform client, verified
+     * rotation masks, every node tracked, nothing pending. Folding
+     * them into one flag (maintained at the rare transitions) keeps
+     * the tick preamble to a single predictable branch.
+     */
+    void updateFastDispatch();
+
+    /**
+     * The ring's clock, with the per-cycle handler devirtualized:
+     * process() repeats sim::Ticker's schedule/consume protocol but
+     * calls SlotRing::tick directly, so the batched cycle loop and
+     * the fast-dispatch tick body inline into one frame instead of
+     * paying a std::function dispatch per ring cycle.
+     */
+    class TickEvent final : public sim::Ticker
+    {
+      public:
+        TickEvent(SlotRing &ring, sim::Kernel &kernel, Tick period)
+            : sim::Ticker(kernel, period), ring_(ring)
+        {
+        }
+        void process() override;
+
+      private:
+        SlotRing &ring_;
+    };
+
     sim::Kernel &kernel_;
     RingConfig config_;
-    sim::Ticker ticker_;
+    TickEvent ticker_;
 
-    std::vector<Slot> slots_;
+    /** Pipeline stages (== config_.totalStages(), cached: the ctor
+     *  call chain behind it — two divisions — is off the tick path). */
+    unsigned stages_ = 0;
+    /** Slots on the ring (== config_.totalSlots()). */
+    unsigned nslots_ = 0;
+    /** Bitmap words per mask (ceil(nslots_ / 64)). */
+    unsigned words_ = 0;
+
+    /** Per-slot type, fixed at construction. */
+    std::vector<SlotType> types_;
+    /** Per-type occupancy bitmaps, 3 * words_ words. */
+    std::vector<std::uint64_t> occ_;
+    /** Per-type occupied-slot counts (== popcount of occ_[t]). */
+    unsigned occCnt_[3] = {0, 0, 0};
+    /** Total occupied slots (sum of occCnt_; one load on the tick
+     *  path). */
+    unsigned occTotal_ = 0;
+    /** Union of the three per-type occupancy bitmaps. */
+    std::vector<std::uint64_t> occAny_;
+    /** Payload-corruption bitmap (always a subset of occAny_). */
+    std::vector<std::uint64_t> corrupt_;
+    /** Dense message payloads, indexed by slot. */
+    std::vector<RingMessage> msgs_;
+
+    // Cold traversal-audit state, touched only on insert/remove and by
+    // the invariant monitor — kept out of the per-visit cache
+    // footprint on purpose.
+    std::vector<Count> insertedAtRot_;
+    std::vector<NodeId> insertedBy_;
+
     /** headerSlot_[stage offset] = slot index whose header sits there,
      *  or -1 for a non-header stage. */
     std::vector<int> headerSlot_;
     /** nodeAtPos_[stage] = node anchored at that stage, or invalid. */
     std::vector<NodeId> nodePos_;
     std::vector<RingClient *> clients_;
+    /** The single client serving every node, or null if mixed. */
+    RingClient *uniformClient_ = nullptr;
 
     /**
      * Visitation schedule: visits_[visitHead_[r] .. visitHead_[r+1])
@@ -298,8 +444,51 @@ class SlotRing
      * rotation offset r, in ascending node order — the same dispatch
      * order the reference scan produces.
      */
-    std::vector<Visit> visits_;
+    std::vector<SlotVisit> visits_;
     std::vector<std::uint32_t> visitHead_;
+
+    /**
+     * Per-rotation slot masks for the word-granular gather. At
+     * rotation r the schedule's ascending-node order visits two
+     * ascending-slot-index segments: first the nodes whose stage
+     * position is below r (their headers wrapped — high slot indices),
+     * then the rest (low indices), every high index above every low
+     * one. rotMaskHi_/rotMaskLo_ hold those two segments' slot bits
+     * (words_ words per rotation), so iterating set bits of
+     * (occAny & hi) ascending then (occAny & lo) ascending reproduces
+     * node order exactly. masksValid_ is set only after the
+     * constructor has verified that two-segment shape for every
+     * rotation; otherwise the gather falls back to the schedule walk.
+     */
+    std::vector<std::uint64_t> rotMaskHi_;
+    std::vector<std::uint64_t> rotMaskLo_;
+    /** visitNode_[r * nslots_ + slot] = node visited, per rotation. */
+    std::vector<NodeId> visitNode_;
+    bool masksValid_ = false;
+    /** See updateFastDispatch(). */
+    bool fastDispatch_ = false;
+
+    /** Scratch for one rotation's gathered visits; permanently sized
+     *  to one entry per node (a rotation's maximum) so the gather
+     *  loops write through raw pointers with no vector bookkeeping. */
+    std::vector<SlotVisit> batch_;
+
+    /**
+     * Per-rotation gather cache. The gathered batch of rotation r is
+     * a pure function of (occupancy bitmap, r), and the bitmap only
+     * changes on insert/remove/drop — which bump occEpoch_. A
+     * rotation whose stamp matches the epoch replays its cached batch
+     * (one compare), so a ring whose population changes rarely — or,
+     * as in the saturated benchmarks, not at all — regathers each
+     * rotation once per change instead of once per lap.
+     * batchCache_ rows are config_.nodes wide, indexed by rotation.
+     */
+    std::vector<SlotVisit> batchCache_;
+    std::vector<std::uint32_t> batchLen_;
+    std::vector<std::uint64_t> batchEpoch_;
+    /** Bumped on every occupancy-bitmap mutation; starts at 1 so the
+     *  zero-initialized stamps are invalid. */
+    std::uint64_t occEpoch_ = 1;
 
     /** tracked_[n]: node n opted into idle skipping (enableIdleSkip). */
     std::vector<std::uint8_t> tracked_;
@@ -318,8 +507,11 @@ class SlotRing
     Count rotations_ = 0;
     /** Remaining cycles of an injected stall. */
     unsigned stallRemaining_ = 0;
-    unsigned occupiedCount_[3] = {0, 0, 0};
+    /** log2(blockBytes) when it is a power of two, else -1. */
+    int blockShift_ = -1;
     std::uint64_t occupancyIntegral_[3] = {0, 0, 0};
+    /** Cycle count already folded into occupancyIntegral_. */
+    Count occAccruedAt_ = 0;
     Count inserted_[3] = {0, 0, 0};
     Count removed_[3] = {0, 0, 0};
 };
@@ -332,49 +524,55 @@ class SlotRing
 inline SlotType
 SlotHandle::type() const
 {
-    return ring_.slots_[slot_].type;
+    return ring_.types_[slot_];
 }
 
 inline bool
 SlotHandle::occupied() const
 {
-    return ring_.slots_[slot_].occupied;
+    return ring_.bitTest(ring_.occAny_, slot_);
 }
 
 inline bool
 SlotHandle::corrupted() const
 {
-    const SlotRing::Slot &s = ring_.slots_[slot_];
-    return s.occupied && s.corrupt;
+    // corrupt_ is maintained as a subset of occAny_, so one bit test
+    // answers "occupied and corrupted".
+    return ring_.bitTest(ring_.corrupt_, slot_);
 }
 
 inline const RingMessage &
 SlotHandle::message() const
 {
-    const SlotRing::Slot &s = ring_.slots_[slot_];
-    if (!s.occupied)
+    if (!occupied())
         panic("message() on an empty slot");
-    return s.msg;
+    return ring_.msgs_[slot_];
 }
 
 inline SlotType
 SlotRing::probeTypeFor(Addr addr) const
 {
-    Addr block = addr / config_.frame.blockBytes;
+    // blockBytes is a power of two in every paper configuration; the
+    // shift is cached at construction and the divide kept as the
+    // fallback (FrameLayout.ProbeParityShiftMatchesDivide pins the
+    // two agree).
+    Addr block = blockShift_ >= 0
+                     ? addr >> static_cast<unsigned>(blockShift_)
+                     : addr / config_.frame.blockBytes;
     return (block % 2 == 0) ? SlotType::ProbeEven : SlotType::ProbeOdd;
 }
 
 inline bool
 SlotHandle::canInsert(Addr addr) const
 {
-    const SlotRing::Slot &s = ring_.slots_[slot_];
-    if (s.occupied)
+    if (occupied())
         return false;
     if (freedHere_ && ring_.config_.antiStarvation)
         return false;
-    if (s.type == SlotType::Block)
+    SlotType t = ring_.types_[slot_];
+    if (t == SlotType::Block)
         return true;
-    return ring_.probeTypeFor(addr) == s.type;
+    return ring_.probeTypeFor(addr) == t;
 }
 
 } // namespace ringsim::ring

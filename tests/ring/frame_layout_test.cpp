@@ -86,6 +86,62 @@ TEST(FrameLayoutDeathTest, BadWidthFatal)
     EXPECT_EXIT(f.validate(), testing::ExitedWithCode(1), "multiple");
 }
 
+TEST(FrameLayout, BlockShiftIsLog2ForPowersOfTwo)
+{
+    FrameLayout f;
+    f.blockBytes = 1;
+    EXPECT_EQ(f.blockShift(), 0);
+    f.blockBytes = 8;
+    EXPECT_EQ(f.blockShift(), 3);
+    f.blockBytes = 16;
+    EXPECT_EQ(f.blockShift(), 4);
+    f.blockBytes = 32;
+    EXPECT_EQ(f.blockShift(), 5);
+    f.blockBytes = 128;
+    EXPECT_EQ(f.blockShift(), 7);
+}
+
+TEST(FrameLayout, BlockShiftRejectsNonPowersOfTwo)
+{
+    FrameLayout f;
+    f.blockBytes = 0;
+    EXPECT_EQ(f.blockShift(), -1);
+    f.blockBytes = 24;
+    EXPECT_EQ(f.blockShift(), -1);
+    f.blockBytes = 48;
+    EXPECT_EQ(f.blockShift(), -1);
+    f.blockBytes = 100;
+    EXPECT_EQ(f.blockShift(), -1);
+}
+
+TEST(FrameLayout, ProbeParityShiftMatchesDivide)
+{
+    // SlotRing::probeTypeFor picks the probe parity with the cached
+    // shift on the slot-insert hot path; the divide remains the
+    // specification (and the fallback for non-power-of-two layouts).
+    // Pin their agreement across every Table 3 block size and an
+    // address sweep that crosses block boundaries, both parities, and
+    // the high bits.
+    for (size_t block_bytes : {16u, 32u, 64u, 128u}) {
+        FrameLayout f;
+        f.blockBytes = block_bytes;
+        int shift = f.blockShift();
+        ASSERT_GE(shift, 0) << "block size " << block_bytes;
+        std::vector<Addr> addrs;
+        for (Addr a = 0; a < 4 * 128; ++a)
+            addrs.push_back(a);
+        for (Addr a : {Addr{0xdeadbeef}, Addr{0x7fffffffffffffff},
+                       Addr{1} << 40, (Addr{1} << 40) + block_bytes})
+            addrs.push_back(a);
+        for (Addr addr : addrs) {
+            Addr by_shift = addr >> static_cast<unsigned>(shift);
+            Addr by_divide = addr / block_bytes;
+            EXPECT_EQ(by_shift % 2, by_divide % 2)
+                << "block " << block_bytes << " addr " << addr;
+        }
+    }
+}
+
 TEST(FrameLayout, SlotTypeNames)
 {
     EXPECT_STREQ(slotTypeName(SlotType::ProbeEven), "probe-even");
