@@ -145,8 +145,10 @@ runFigure(figures::FigureId id, const Options &opt, bool fig6_cholesky)
     if (!client.tryConnect(opt.service, &error))
         fatal("--service %s: %s", opt.service.c_str(), error.c_str());
     util::JsonValue response;
-    if (!client.tryCall(sweepRequest(id, opt, fig6_cholesky),
-                        &response, &error))
+    // Resilient call: a daemon under --chaos may drop or garble the
+    // response; the retry must still deliver the byte-identical text.
+    if (!client.tryCallResilient(sweepRequest(id, opt, fig6_cholesky),
+                                 &response, &error))
         fatal("--service %s: %s", opt.service.c_str(), error.c_str());
     std::vector<std::string> errors;
     std::string state = response.getString("state", "?", &errors);

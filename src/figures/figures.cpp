@@ -209,6 +209,11 @@ FigureSweep::run() const
     block_tasks.reserve(blocks_.size());
     const fault::FaultConfig &faults = opt_.faults;
     for (const Block &block : blocks_) {
+        // Degraded tier: the sim validation rows are the expensive
+        // half; model-only output simply omits them.
+        if (opt_.modelOnly && (block.kind == BlockKind::RingSim ||
+                               block.kind == BlockKind::BusSim))
+            continue;
         const coherence::Census *census =
             block.needsCensus ? &censuses[block.censusSlot] : nullptr;
         block_tasks.push_back(

@@ -53,6 +53,14 @@ struct FigureOptions
     unsigned jobs = 0;          //!< sweep worker threads; 0 = auto
     fault::FaultConfig faults;  //!< applied to sim validation points
 
+    /**
+     * Skip the timed sim validation points and emit the analytic
+     * model series only. This is the service's degraded answer tier:
+     * the model half of a figure costs milliseconds where the sim
+     * half costs seconds, at the paper's ~15% accuracy envelope.
+     */
+    bool modelOnly = false;
+
     /** Apply refs/seed/fast to a workload preset. */
     void apply(trace::WorkloadConfig &cfg) const;
 };

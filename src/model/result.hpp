@@ -10,6 +10,16 @@
 
 namespace ringsim::model {
 
+/**
+ * Documented accuracy envelope of the hybrid analytic model against
+ * the exact simulator (the paper's own calibration: within ~15% on
+ * utilization and latency across the studied configurations). The
+ * experiment service attaches this bound to every model-tier
+ * degraded answer so a client can judge whether an estimate is
+ * adequate or the exact simulation must be awaited.
+ */
+inline constexpr double kModelErrorBound = 0.15;
+
 /** One solved operating point. */
 struct ModelResult
 {

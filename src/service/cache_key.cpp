@@ -9,8 +9,10 @@ codeVersionSalt()
 {
     // Bump with any change that can alter a result byte (protocol
     // timing, model coefficients, table formatting, trace
-    // generation). PR number + date keeps bumps unambiguous.
-    return "ringsim-pr5-2026-08-06";
+    // generation) — and with any change to the on-disk entry frame,
+    // so pre-checksum files are never half-trusted. PR number + date
+    // keeps bumps unambiguous.
+    return "ringsim-pr7-2026-08-08";
 }
 
 std::uint64_t

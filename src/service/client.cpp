@@ -6,8 +6,11 @@
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
+#include <thread>
 #include <utility>
 
 #include "service/socket_server.hpp"
@@ -22,6 +25,7 @@ ServiceClient::~ServiceClient()
 
 ServiceClient::ServiceClient(ServiceClient &&other) noexcept
     : fd_(std::exchange(other.fd_, -1)),
+      endpoint_(std::move(other.endpoint_)),
       buffer_(std::move(other.buffer_))
 {
 }
@@ -32,6 +36,7 @@ ServiceClient::operator=(ServiceClient &&other) noexcept
     if (this != &other) {
         closeFd();
         fd_ = std::exchange(other.fd_, -1);
+        endpoint_ = std::move(other.endpoint_);
         buffer_ = std::move(other.buffer_);
     }
     return *this;
@@ -52,6 +57,7 @@ ServiceClient::tryConnect(const std::string &endpoint,
                           std::string *error)
 {
     closeFd();
+    endpoint_ = endpoint;
     int tcp_port = -1;
     std::string unix_path;
     if (!tryParseEndpoint(endpoint, &tcp_port, &unix_path, error))
@@ -162,6 +168,70 @@ ServiceClient::tryCall(const util::JsonValue &request,
         return false;
     }
     return true;
+}
+
+bool
+ServiceClient::tryCallResilient(const util::JsonValue &request,
+                                util::JsonValue *response,
+                                std::string *error, unsigned attempts)
+{
+    std::string last_error = "no attempts made";
+    for (unsigned attempt = 0; attempt < attempts; ++attempt) {
+        if (!connected()) {
+            if (endpoint_.empty()) {
+                *error = "not connected";
+                return false;
+            }
+            if (!tryConnect(endpoint_, &last_error)) {
+                // The daemon may be mid-restart; linear backoff.
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(50 * (attempt + 1)));
+                continue;
+            }
+        }
+        std::string line;
+        if (!tryRequest(request.dump(), &line, &last_error)) {
+            // Transport failure: the connection is in an unknown
+            // state (a half-written request, a half-read response) —
+            // drop it and start clean.
+            closeFd();
+            continue;
+        }
+        util::JsonValue parsed;
+        std::string parse_error;
+        if (!util::tryParseJson(line, &parsed, &parse_error)) {
+            // A garbled line. Framing is still sound (one line in,
+            // one line out) but trust nothing: reconnect.
+            last_error = "unparsable response: " + parse_error;
+            closeFd();
+            continue;
+        }
+        std::vector<std::string> errors;
+        if (parsed.getBool("ok", false, &errors)) {
+            *response = std::move(parsed);
+            return true;
+        }
+        const util::JsonValue *ra = parsed.find("retry_after_ms");
+        if (ra && ra->isNumber()) {
+            // An overload shed is transient by definition: honor the
+            // hint (bounded — the hint is advisory, the cap is ours)
+            // and try again.
+            std::uint64_t wait_ms = std::min<std::uint64_t>(
+                ra->asU64(), 2'000);
+            last_error = parsed.getString("error", "overloaded",
+                                          &errors);
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(wait_ms));
+            continue;
+        }
+        // A non-transient application error (bad request, unknown
+        // id): retrying cannot help.
+        *error = parsed.getString("error", "request failed", &errors);
+        return false;
+    }
+    *error = strprintf("gave up after %u attempts: %s", attempts,
+                       last_error.c_str());
+    return false;
 }
 
 } // namespace ringsim::service

@@ -54,11 +54,26 @@ class ServiceClient
                                util::JsonValue *response,
                                std::string *error);
 
+    /**
+     * tryCall that survives a chaotic daemon: a dropped connection,
+     * a garbled (unparsable) response line, or an overload shed is
+     * retried up to @p attempts times — reconnecting as needed and
+     * honoring the server's retry_after_ms hint. Legal for every
+     * current op because requests are idempotent: a submit replayed
+     * after a lost response re-answers from the memo cache.
+     * Non-transient {"ok":false} errors fail immediately.
+     */
+    [[nodiscard]] bool tryCallResilient(const util::JsonValue &request,
+                                        util::JsonValue *response,
+                                        std::string *error,
+                                        unsigned attempts = 8);
+
   private:
     void closeFd();
 
     int fd_ = -1;
-    std::string buffer_; //!< bytes read past the last response line
+    std::string endpoint_; //!< last tryConnect target (for retries)
+    std::string buffer_;   //!< bytes read past the last response line
 };
 
 } // namespace ringsim::service

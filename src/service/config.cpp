@@ -39,6 +39,8 @@ ServiceConfig::check() const
     if (retainDone == 0)
         errors.push_back(
             "retainDone = 0: async submissions could never be polled");
+    for (std::string &e : chaos.check())
+        errors.push_back("chaos: " + std::move(e));
     return errors;
 }
 

@@ -21,6 +21,8 @@
 #include <string>
 #include <vector>
 
+#include "fault/service_faults.hpp"
+
 namespace ringsim::service {
 
 /** Tunables of one daemon instance. */
@@ -77,6 +79,23 @@ struct ServiceConfig
      * to pin workers deterministically). Never enable in production.
      */
     bool enableTestJobs = false;
+
+    /**
+     * Graceful degradation to the analytic model: when admission
+     * would shed a run/sweep/model job (or the watchdog abandons
+     * one), answer with the millisecond model estimate instead,
+     * tagged degraded:true with the paper's ~15% error bound. A
+     * request opts out with "degrade": false. Off by default — a
+     * degraded answer is *not* byte-identical to the simulation.
+     */
+    bool degradeToModel = false;
+
+    /**
+     * Service-layer chaos injection (--chaos SEED uses
+     * fault::ServiceFaultConfig::chaosPreset). All-zero rates — the
+     * default — disable injection entirely.
+     */
+    fault::ServiceFaultConfig chaos;
 
     /** A config with the environment defaults applied. */
     static ServiceConfig withEnvDefaults();

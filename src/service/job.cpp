@@ -7,6 +7,7 @@
 #include "core/system.hpp"
 #include "model/bus_model.hpp"
 #include "model/calibration.hpp"
+#include "model/result.hpp"
 #include "model/ring_model.hpp"
 #include "util/logging.hpp"
 #include "verify/model.hpp"
@@ -176,6 +177,9 @@ JobSpec::tryParse(const util::JsonValue &json, bool allow_test_jobs,
             return false;
         }
         spec.sleepMs = json.getU64("ms", 10, &errors);
+        // Deadlines apply to every kind; tests pin workers with
+        // sleep jobs and need expirable queued work behind them.
+        spec.deadlineMs = json.getU64("deadline_ms", 0, &errors);
         if (!errors.empty()) {
             *error = errors.front();
             return false;
@@ -188,6 +192,10 @@ JobSpec::tryParse(const util::JsonValue &json, bool allow_test_jobs,
     spec.refs = json.getU64("refs", spec.refs, &errors);
     spec.seed = json.getU64("seed", spec.seed, &errors);
     spec.fast = json.getBool("fast", spec.fast, &errors);
+    // Service-level knobs (excluded from canonical(): they bound
+    // scheduling, not the computed bytes).
+    spec.deadlineMs = json.getU64("deadline_ms", 0, &errors);
+    spec.allowDegraded = json.getBool("degrade", true, &errors);
     if (spec.refs == 0) {
         *error = "refs = 0: must be positive";
         return false;
@@ -527,6 +535,56 @@ executeJob(const JobSpec &spec, unsigned sweep_jobs)
         return executeSleep(spec);
     }
     throw std::runtime_error("unreachable job kind");
+}
+
+util::JsonValue
+executeDegraded(const JobSpec &spec, unsigned sweep_jobs)
+{
+    util::JsonValue o;
+    switch (spec.kind) {
+      case JobKind::Run:
+      case JobKind::Model: {
+        // A run degrades to the queueing-model solve of the same
+        // configuration (a model job "degrades" to itself: it is
+        // already the fast tier, so answering inline is exact).
+        JobSpec model_spec = spec;
+        model_spec.kind = JobKind::Model;
+        o = executeModel(model_spec);
+        o.set("exact_kind",
+              util::JsonValue::string(jobKindName(spec.kind)));
+        break;
+      }
+      case JobKind::Sweep: {
+        figures::FigureOptions opt;
+        opt.refs = spec.refs;
+        opt.seed = spec.seed;
+        opt.fast = spec.fast;
+        opt.jobs = sweep_jobs;
+        opt.faults = spec.faults;
+        opt.modelOnly = true;
+        std::string text = figures::renderFigure(
+            spec.figure, opt, spec.csv, spec.fig6Cholesky);
+        o = util::JsonValue::object();
+        o.set("kind", util::JsonValue::string("sweep"));
+        o.set("figure", util::JsonValue::string(
+                            figures::figureName(spec.figure)));
+        o.set("model_only", util::JsonValue::boolean(true));
+        o.set("text", util::JsonValue::string(std::move(text)));
+        break;
+      }
+      default:
+        throw std::runtime_error(
+            strprintf("job kind %s has no degraded tier",
+                      jobKindName(spec.kind)));
+    }
+    o.set("degraded", util::JsonValue::boolean(true));
+    // Model jobs answered by the model are exact; everything else
+    // carries the paper's calibrated accuracy envelope.
+    o.set("error_bound",
+          util::JsonValue::number(
+              spec.kind == JobKind::Model ? 0.0
+                                          : model::kModelErrorBound));
+    return o;
 }
 
 } // namespace ringsim::service

@@ -80,6 +80,23 @@ struct JobSpec
     // -- sleep (test only) ----------------------------------------
     std::uint64_t sleepMs = 0;
 
+    // -- service-level knobs (never part of the cache key: they
+    //    bound *when* a job runs, not *what* it computes) ----------
+
+    /**
+     * Wall-clock budget from admission, in ms; 0 = none. A queued
+     * job past its deadline is cancelled before dispatch; a running
+     * one is abandoned like a watchdog timeout.
+     */
+    std::uint64_t deadlineMs = 0;
+
+    /**
+     * May the service answer with the analytic-model tier instead of
+     * shedding or abandoning this job? ("degrade": false opts out.)
+     * Only honored when the daemon enables degradeToModel.
+     */
+    bool allowDegraded = true;
+
     /**
      * Parse a request's "job" object. On success fills @p out and
      * returns true; on failure returns false and fills @p error with
@@ -99,6 +116,18 @@ struct JobSpec
     /** False for job kinds whose result must not be memoized. */
     bool cacheable() const { return kind != JobKind::Sleep; }
 
+    /**
+     * True for job kinds the analytic model can stand in for: a run
+     * degrades to the queueing-model solve of the same
+     * configuration, a sweep to its model series (sim validation
+     * rows omitted), a model job to itself (executed inline).
+     */
+    bool degradable() const
+    {
+        return kind == JobKind::Run || kind == JobKind::Sweep ||
+               kind == JobKind::Model;
+    }
+
     /** One-line human description (logs, statsz). */
     std::string describe() const;
 };
@@ -109,6 +138,17 @@ struct JobSpec
  * fan-out used by sweep jobs. Throws std::runtime_error on failure.
  */
 util::JsonValue executeJob(const JobSpec &spec, unsigned sweep_jobs);
+
+/**
+ * Execute the analytic-model stand-in for @p spec (which must be
+ * degradable()) and return the result object tagged
+ * "degraded": true with the model's documented error bound. Costs a
+ * calibration census plus a queueing-model solve — milliseconds
+ * where the exact job costs seconds. Throws std::runtime_error on
+ * failure.
+ */
+util::JsonValue executeDegraded(const JobSpec &spec,
+                                unsigned sweep_jobs);
 
 } // namespace ringsim::service
 

@@ -1,6 +1,6 @@
 /**
  * @file
- * Two-tier content-addressed result cache.
+ * Two-tier content-addressed result cache with crash-safe recovery.
  *
  * Tier 1 is an in-memory LRU bounded by entry count; tier 2 is an
  * on-disk store (one file per key, written atomically via a temp file
@@ -8,6 +8,20 @@
  * into memory. Keys are the 32-hex-char fingerprints produced by
  * cacheKey(), so invalidation-by-salt needs no sweep: entries written
  * under an old salt are simply never looked up again.
+ *
+ * Crash safety: every disk entry is framed with a header carrying the
+ * payload length and a 64-bit content checksum ("RSC1 <len> <hex>\n").
+ * Reads verify the frame; a torn, truncated, bit-flipped or
+ * foreign-format file is *quarantined* (renamed aside with a
+ * ".quarantined" suffix) and treated as a miss, so a corrupt entry
+ * costs one recomputation, never a wrong answer. A startup scan walks
+ * the store, quarantines anything unreadable and removes temp-file
+ * leftovers, so a SIGKILL'd daemon restarts to a warm, consistent
+ * cache.
+ *
+ * Chaos hooks: an attached fault::ServiceFaultInjector may tear or
+ * bit-flip entries immediately after publication — the recovery path
+ * above is exactly what those faults exercise.
  *
  * Thread-safe; every method may be called from any worker or
  * connection thread.
@@ -26,9 +40,13 @@
 
 #include "util/units.hpp"
 
+namespace ringsim::fault {
+class ServiceFaultInjector;
+}
+
 namespace ringsim::service {
 
-/** Hit/miss/eviction counters of one cache instance. */
+/** Hit/miss/eviction/recovery counters of one cache instance. */
 struct CacheStats
 {
     Count memHits = 0;
@@ -37,6 +55,9 @@ struct CacheStats
     Count stores = 0;
     Count evictions = 0;
     Count diskErrors = 0;
+    Count quarantined = 0; //!< corrupt entries renamed aside
+    Count scanned = 0;     //!< entries verified by the startup scan
+    Count tmpCleaned = 0;  //!< orphaned temp files removed at startup
 };
 
 class ResultCache
@@ -45,7 +66,8 @@ class ResultCache
     /**
      * @param mem_entries in-memory LRU capacity (>= 1).
      * @param dir on-disk store directory (created if missing);
-     *            empty disables the disk tier.
+     *            empty disables the disk tier. A non-empty dir is
+     *            scanned on construction (see scanDisk()).
      */
     ResultCache(std::size_t mem_entries, std::string dir);
 
@@ -64,12 +86,42 @@ class ResultCache
     /** On-disk path of @p key ("" when the disk tier is off). */
     std::string diskPath(const std::string &key) const;
 
+    /**
+     * Frame @p payload in the on-disk entry format (exposed so tests
+     * can craft valid and subtly-corrupt files).
+     */
+    static std::string frameEntry(const std::string &payload);
+
+    /**
+     * Unframe @p data. True and fills @p payload when the header and
+     * checksum verify; false on any damage.
+     */
+    [[nodiscard]] static bool tryUnframeEntry(const std::string &data,
+                                              std::string *payload);
+
+    /**
+     * Attach @p injector (may be nullptr) so publications can be torn
+     * or bit-flipped for chaos testing. Not owned; must outlive the
+     * cache or be detached first.
+     */
+    void setChaos(fault::ServiceFaultInjector *injector);
+
+    /**
+     * Verify every on-disk entry: quarantine corrupt files, remove
+     * orphaned temp files. Called by the constructor when the disk
+     * tier is on; exposed for tests. Returns quarantined count.
+     */
+    Count scanDisk();
+
   private:
     /** Insert into the LRU (lock held); evicts beyond capacity. */
     void memPut(const std::string &key, std::string value);
 
     std::optional<std::string> diskGet(const std::string &key);
     void diskPut(const std::string &key, const std::string &value);
+
+    /** Rename @p path aside and count it (its own lock). */
+    void quarantine(const std::string &path);
 
     const std::size_t capacity_;
     const std::string dir_;
@@ -80,6 +132,7 @@ class ResultCache
     /** Keyed lookup only (never iterated — see the lint rule). */
     std::unordered_map<std::string, decltype(lru_)::iterator> index_;
     CacheStats stats_;
+    fault::ServiceFaultInjector *chaos_ = nullptr;
 };
 
 } // namespace ringsim::service

@@ -43,7 +43,13 @@ usage()
         "  --retry-after-ms N base shed backoff hint (default 250)\n"
         "  --retain N         finished records kept for polling "
         "(default 1024)\n"
-        "  --test-jobs        accept the test-only sleep job kind\n";
+        "  --test-jobs        accept the test-only sleep job kind\n"
+        "  --degrade          answer shed/abandoned run|sweep|model\n"
+        "                     jobs from the analytic-model tier,\n"
+        "                     tagged degraded:true (default off)\n"
+        "  --chaos SEED       deterministic fault injection: slow,\n"
+        "                     garbled and dropped responses, torn and\n"
+        "                     bit-flipped disk-cache entries\n";
 }
 
 } // namespace
@@ -96,6 +102,12 @@ main(int argc, char **argv)
                 need_value("--retain").c_str(), nullptr, 10);
         } else if (arg == "--test-jobs") {
             cfg.enableTestJobs = true;
+        } else if (arg == "--degrade") {
+            cfg.degradeToModel = true;
+        } else if (arg == "--chaos") {
+            cfg.chaos = fault::ServiceFaultConfig::chaosPreset(
+                std::strtoull(need_value("--chaos").c_str(), nullptr,
+                              10));
         } else if (arg == "--help" || arg == "-h") {
             usage();
             return 0;

@@ -45,6 +45,8 @@ jobStateName(JobState s)
         return "failed";
       case JobState::TimedOut:
         return "timed_out";
+      case JobState::Cancelled:
+        return "cancelled";
     }
     return "?";
 }
@@ -55,6 +57,14 @@ ServiceCore::ServiceCore(const ServiceConfig &cfg)
     cfg_.validate();
     cache_ = std::make_unique<ResultCache>(cfg_.memCacheEntries,
                                            cfg_.cacheDir);
+    if (cfg_.chaos.enabled()) {
+        chaos_ =
+            std::make_unique<fault::ServiceFaultInjector>(cfg_.chaos);
+        cache_->setChaos(chaos_.get());
+        warn("service: CHAOS injection enabled (seed %llu) — "
+             "expect torn writes, garbled and dropped responses",
+             static_cast<unsigned long long>(cfg_.chaos.seed));
+    }
     pool_ = std::make_unique<runner::ExperimentRunner>(cfg_.workers);
     inform("service: %u workers, queue depth %zu, cache %zu entries%s",
            pool_->jobs(), cfg_.queueDepth, cfg_.memCacheEntries,
@@ -105,6 +115,8 @@ ServiceCore::handleLine(const std::string &client,
         return handleSubmit(client, req);
     if (op == "poll")
         return handlePoll(req);
+    if (op == "cancel")
+        return handleCancel(req);
     if (op == "statsz")
         return handleStatsz();
     if (op == "shutdown") {
@@ -123,7 +135,7 @@ ServiceCore::handleLine(const std::string &client,
     return errorResponse(nullptr,
                          "op = '" + op +
                              "': expected ping, submit, poll, "
-                             "statsz or shutdown")
+                             "cancel, statsz or shutdown")
         .dump();
 }
 
@@ -187,7 +199,7 @@ ServiceCore::handleSubmit(const std::string &client,
 
     std::uint64_t id = 0;
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        std::unique_lock<std::mutex> lock(mutex_);
         submitted_.inc();
         if (active_ >= cfg_.queueDepth) {
             shed_.inc();
@@ -197,13 +209,47 @@ ServiceCore::handleSubmit(const std::string &client,
                                                active_, pool_->jobs());
             std::uint64_t factor = 1 + queued / std::max(
                                            1u, pool_->jobs());
+            std::size_t busy = active_;
+
+            if (cfg_.degradeToModel && spec.allowDegraded &&
+                spec.degradable()) {
+                // Model-tier fallback: answer in milliseconds on
+                // this connection's thread instead of shedding. The
+                // estimate is never cached — the exact answer should
+                // still be computed (and memoized) on a calm retry.
+                id = next_id_++;
+                lock.unlock();
+                try {
+                    util::JsonValue result =
+                        executeDegraded(spec, cfg_.jobsPerSweep);
+                    {
+                        std::lock_guard<std::mutex> relock(mutex_);
+                        degraded_.inc();
+                    }
+                    util::JsonValue o = util::JsonValue::object();
+                    o.set("ok", util::JsonValue::boolean(true));
+                    o.set("op", util::JsonValue::string("submit"));
+                    o.set("id", util::JsonValue::integer(id));
+                    o.set("state", util::JsonValue::string("done"));
+                    o.set("cached", util::JsonValue::boolean(false));
+                    o.set("degraded", util::JsonValue::boolean(true));
+                    o.set("result", std::move(result));
+                    return o.dump();
+                } catch (const std::exception &e) {
+                    warn("service: degraded fallback failed: %s",
+                         e.what());
+                    lock.lock();
+                }
+            }
+
             util::JsonValue o =
                 errorResponse("submit",
                               strprintf("overloaded: %zu of %zu "
                                         "slots busy",
-                                        active_, cfg_.queueDepth));
-            o.set("retry_after_ms", util::JsonValue::integer(
-                                        cfg_.retryAfterMs * factor));
+                                        busy, cfg_.queueDepth));
+            o.set("retry_after_ms",
+                  util::JsonValue::integer(cfg_.retryAfterMs * factor +
+                                           retryJitter(who)));
             return o.dump();
         }
         admitted_.inc();
@@ -273,7 +319,7 @@ ServiceCore::handlePoll(const util::JsonValue &req)
 {
     std::vector<std::string> errors;
     std::uint64_t id = req.getU64("id", 0, &errors);
-    std::lock_guard<std::mutex> lock(mutex_);
+    std::unique_lock<std::mutex> lock(mutex_);
     if (!errors.empty() || id == 0) {
         bad_requests_.inc();
         return errorResponse("poll", errors.empty()
@@ -292,9 +338,129 @@ ServiceCore::handlePoll(const util::JsonValue &req)
                                            id)))
             .dump();
     }
+
+    // Watchdog escalation: the first poll of an abandoned job
+    // computes the model-tier estimate so the caller gets a partial
+    // answer instead of a bare timeout. degradeStarted claims the
+    // escalation exactly once across concurrent pollers.
+    if (it->second.state == JobState::TimedOut &&
+        cfg_.degradeToModel && it->second.spec.allowDegraded &&
+        it->second.spec.degradable() && !it->second.degradeStarted) {
+        it->second.degradeStarted = true;
+        JobSpec spec = it->second.spec;
+        attachDegradedLocked(lock, id, spec);
+        it = jobs_.find(id);
+        if (it == jobs_.end()) {
+            return errorResponse(
+                       "poll",
+                       strprintf("id = %llu: record evicted during "
+                                 "degraded escalation",
+                                 static_cast<unsigned long long>(id)))
+                .dump();
+        }
+    }
+
     util::JsonValue o = jobJsonLocked(it->second);
     o.set("op", util::JsonValue::string("poll"));
     return o.dump();
+}
+
+std::string
+ServiceCore::handleCancel(const util::JsonValue &req)
+{
+    std::vector<std::string> errors;
+    std::uint64_t id = req.getU64("id", 0, &errors);
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!errors.empty() || id == 0) {
+        bad_requests_.inc();
+        return errorResponse("cancel",
+                             errors.empty()
+                                 ? "id = 0: a cancel needs the id a "
+                                   "submit returned"
+                                 : errors.front())
+            .dump();
+    }
+    auto it = jobs_.find(id);
+    if (it == jobs_.end()) {
+        return errorResponse("cancel",
+                             strprintf("id = %llu: unknown or "
+                                       "expired job",
+                                       static_cast<unsigned long long>(
+                                           id)))
+            .dump();
+    }
+    JobRecord &rec = it->second;
+    if (rec.state == JobState::Queued ||
+        rec.state == JobState::Running) {
+        // A queued job never runs (its pool task releases the slot
+        // when it drains); a running one is abandoned like a
+        // watchdog timeout — the thread finishes and is discarded.
+        cancelled_.inc();
+        finishLocked(rec, JobState::Cancelled, "cancelled by request");
+        done_cv_.notify_all();
+    }
+    util::JsonValue o = jobJsonLocked(rec);
+    o.set("op", util::JsonValue::string("cancel"));
+    return o.dump();
+}
+
+void
+ServiceCore::clientGone(const std::string &client)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const ClientQueue &q : queues_) {
+        if (q.name != client)
+            continue;
+        for (std::uint64_t id : q.pending) {
+            auto it = jobs_.find(id);
+            if (it == jobs_.end() ||
+                it->second.state != JobState::Queued)
+                continue;
+            cancelled_.inc();
+            finishLocked(it->second, JobState::Cancelled,
+                         "cancelled: client disconnected");
+        }
+    }
+    done_cv_.notify_all();
+}
+
+void
+ServiceCore::attachDegradedLocked(std::unique_lock<std::mutex> &lock,
+                                  std::uint64_t id,
+                                  const JobSpec &spec)
+{
+    lock.unlock();
+    std::string result, error;
+    try {
+        result = executeDegraded(spec, cfg_.jobsPerSweep).dump();
+    } catch (const std::exception &e) {
+        error = e.what();
+    }
+    lock.lock();
+    auto it = jobs_.find(id);
+    if (it == jobs_.end())
+        return; // trimmed while we computed; nothing to attach
+    if (!error.empty()) {
+        warn("service: degraded escalation for job %llu failed: %s",
+             static_cast<unsigned long long>(id), error.c_str());
+        return;
+    }
+    degraded_.inc();
+    it->second.degraded = true;
+    it->second.result = std::move(result);
+}
+
+std::uint64_t
+ServiceCore::retryJitter(const std::string &client) const
+{
+    // Deterministic per-client spread in [0, retryAfterMs) so a
+    // thundering herd of shed clients desynchronizes instead of all
+    // retrying on the same beat. Same client => same jitter, so the
+    // backoff stays reproducible in tests.
+    if (cfg_.retryAfterMs == 0)
+        return 0;
+    return fingerprint64(client, 0x6a09e667f3bcc908ULL) %
+           cfg_.retryAfterMs;
 }
 
 std::string
@@ -323,6 +489,10 @@ ServiceCore::handleStatsz()
           util::JsonValue::integer(cache_answers_.value()));
     o.set("bad_requests",
           util::JsonValue::integer(bad_requests_.value()));
+    o.set("cancelled", util::JsonValue::integer(cancelled_.value()));
+    o.set("deadline_expired",
+          util::JsonValue::integer(deadline_expired_.value()));
+    o.set("degraded", util::JsonValue::integer(degraded_.value()));
 
     util::JsonValue cache = util::JsonValue::object();
     cache.set("mem_hits", util::JsonValue::integer(cs.memHits));
@@ -331,7 +501,26 @@ ServiceCore::handleStatsz()
     cache.set("stores", util::JsonValue::integer(cs.stores));
     cache.set("evictions", util::JsonValue::integer(cs.evictions));
     cache.set("disk_errors", util::JsonValue::integer(cs.diskErrors));
+    cache.set("quarantined",
+              util::JsonValue::integer(cs.quarantined));
+    cache.set("scanned", util::JsonValue::integer(cs.scanned));
+    cache.set("tmp_cleaned", util::JsonValue::integer(cs.tmpCleaned));
     o.set("cache", std::move(cache));
+
+    if (chaos_) {
+        fault::ServiceFaultCounters fc = chaos_->counters();
+        util::JsonValue chaos = util::JsonValue::object();
+        chaos.set("seed", util::JsonValue::integer(cfg_.chaos.seed));
+        chaos.set("slow_writes",
+                  util::JsonValue::integer(fc.slowWrites));
+        chaos.set("disconnects",
+                  util::JsonValue::integer(fc.disconnects));
+        chaos.set("garbles", util::JsonValue::integer(fc.garbles));
+        chaos.set("torn_writes",
+                  util::JsonValue::integer(fc.tornWrites));
+        chaos.set("bit_flips", util::JsonValue::integer(fc.bitFlips));
+        o.set("chaos", std::move(chaos));
+    }
 
     util::JsonValue lat = util::JsonValue::object();
     lat.set("count", util::JsonValue::integer(latency_ms_.count()));
@@ -377,11 +566,13 @@ ServiceCore::runOne()
         std::lock_guard<std::mutex> lock(mutex_);
         id = pickNext();
         // A record can vanish before this task picks it up (reaped
-        // waiter, evicted job), but the task still owns one admission
-        // slot — leaking it would shrink the effective queue depth
-        // permanently.
+        // waiter, evicted job) or stop being runnable (cancelled or
+        // deadline-expired while queued), but the task still owns one
+        // admission slot — leaking it would shrink the effective
+        // queue depth permanently.
         auto it = id != 0 ? jobs_.find(id) : jobs_.end();
-        if (it == jobs_.end()) {
+        if (it == jobs_.end() ||
+            it->second.state != JobState::Queued) {
             --active_;
             done_cv_.notify_all();
             return;
@@ -409,9 +600,11 @@ ServiceCore::runOne()
     if (it == jobs_.end())
         return;
     JobRecord &rec = it->second;
-    if (rec.state == JobState::TimedOut) {
-        // The lazy watchdog already answered for this job; the thread
-        // was merely abandoned, not interrupted. Count and discard.
+    if (rec.state == JobState::TimedOut ||
+        rec.state == JobState::Cancelled) {
+        // The lazy watchdog (or an explicit cancel) already answered
+        // for this job; the thread was merely abandoned, not
+        // interrupted. Count and discard.
         late_completions_.inc();
         done_cv_.notify_all();
         return;
@@ -434,20 +627,61 @@ ServiceCore::runOne()
 void
 ServiceCore::reapOverdue(Clock::time_point now)
 {
-    if (cfg_.watchdog.count() <= 0)
-        return;
+    // Running jobs: the watchdog budget counts from dispatch, a
+    // deadline from admission. Either one expiring abandons the
+    // thread (it cannot be interrupted; the late completion is
+    // counted and discarded).
     for (std::uint64_t id : running_) {
         auto it = jobs_.find(id);
         if (it == jobs_.end() ||
             it->second.state != JobState::Running)
             continue;
-        if (now - it->second.started < cfg_.watchdog)
+        JobRecord &rec = it->second;
+        if (cfg_.watchdog.count() > 0 &&
+            now - rec.started >= cfg_.watchdog) {
+            timed_out_.inc();
+            finishLocked(rec, JobState::TimedOut,
+                         strprintf("watchdog: exceeded %lld ms",
+                                   static_cast<long long>(
+                                       cfg_.watchdog.count())));
             continue;
-        timed_out_.inc();
-        finishLocked(
-            it->second, JobState::TimedOut,
-            strprintf("watchdog: exceeded %lld ms",
-                      static_cast<long long>(cfg_.watchdog.count())));
+        }
+        std::uint64_t dl = rec.spec.deadlineMs;
+        if (dl > 0 &&
+            now - rec.enqueued >= std::chrono::milliseconds(dl)) {
+            timed_out_.inc();
+            deadline_expired_.inc();
+            finishLocked(rec, JobState::TimedOut,
+                         strprintf("deadline: exceeded %llu ms "
+                                   "while running",
+                                   static_cast<unsigned long long>(
+                                       dl)));
+        }
+    }
+
+    // Queued jobs: a deadline that expires before dispatch cancels
+    // the job in place. The id stays in its client FIFO — the pool
+    // task that eventually picks it sees a non-Queued record and
+    // just releases the admission slot.
+    for (const ClientQueue &q : queues_) {
+        for (std::uint64_t id : q.pending) {
+            auto it = jobs_.find(id);
+            if (it == jobs_.end() ||
+                it->second.state != JobState::Queued)
+                continue;
+            JobRecord &rec = it->second;
+            std::uint64_t dl = rec.spec.deadlineMs;
+            if (dl == 0 ||
+                now - rec.enqueued < std::chrono::milliseconds(dl))
+                continue;
+            cancelled_.inc();
+            deadline_expired_.inc();
+            finishLocked(rec, JobState::Cancelled,
+                         strprintf("deadline: %llu ms expired "
+                                   "before dispatch",
+                                   static_cast<unsigned long long>(
+                                       dl)));
+        }
     }
     done_cv_.notify_all();
 }
@@ -496,7 +730,11 @@ ServiceCore::jobJsonLocked(const JobRecord &rec) const
     o.set("cached", util::JsonValue::boolean(false));
     if (!rec.key.empty())
         o.set("key", util::JsonValue::string(rec.key));
-    if (rec.state == JobState::Done) {
+    if (rec.state == JobState::Done ||
+        (rec.degraded && !rec.result.empty())) {
+        // A degraded estimate rides along even when the state is
+        // timed_out: the caller sees both the abandonment and the
+        // model-tier partial answer.
         util::JsonValue result;
         std::string parse_error;
         if (tryParseJson(rec.result, &result, &parse_error))
@@ -505,8 +743,12 @@ ServiceCore::jobJsonLocked(const JobRecord &rec) const
             o.set("error", util::JsonValue::string(
                                "internal: stored result unparsable: " +
                                parse_error));
-    } else if (rec.state == JobState::Failed ||
-               rec.state == JobState::TimedOut) {
+    }
+    if (rec.degraded)
+        o.set("degraded", util::JsonValue::boolean(true));
+    if (rec.state == JobState::Failed ||
+        rec.state == JobState::TimedOut ||
+        rec.state == JobState::Cancelled) {
         o.set("error", util::JsonValue::string(rec.error));
     }
     return o;

@@ -12,6 +12,7 @@
  *   {"op":"ping"}
  *   {"op":"submit","client":"c1","wait":false,"job":{...}}
  *   {"op":"poll","id":7}
+ *   {"op":"cancel","id":7}
  *   {"op":"statsz"}
  *   {"op":"shutdown"}
  *
@@ -33,6 +34,20 @@
  * timed_out. Detection is lazy — overdue jobs are marked when any
  * poll/statsz/wait touches the table — because a compute thread cannot
  * be interrupted; a late completion is counted and discarded.
+ *
+ * Deadlines and cancellation: a job may carry deadline_ms (wall clock
+ * from admission). A queued job past its deadline is cancelled before
+ * it ever runs; a running one is abandoned exactly like a watchdog
+ * timeout. {"op":"cancel","id":N} cancels explicitly, and a client
+ * that disconnects takes its still-queued jobs with it
+ * (clientGone()). Cancelled/expired queued jobs release their
+ * admission slot when their pool task drains.
+ *
+ * Degradation: with ServiceConfig::degradeToModel, a run/sweep/model
+ * submit that admission would shed is answered immediately from the
+ * analytic-model tier, tagged degraded:true with an error bound; a
+ * watchdog-abandoned job surfaces the same estimate as a partial
+ * result on the next poll. Degraded answers are never cached.
  */
 
 #ifndef RINGSIM_SERVICE_SERVER_HPP
@@ -57,7 +72,14 @@
 namespace ringsim::service {
 
 /** Lifecycle of one admitted job. */
-enum class JobState { Queued, Running, Done, Failed, TimedOut };
+enum class JobState {
+    Queued,
+    Running,
+    Done,
+    Failed,
+    TimedOut,
+    Cancelled,
+};
 
 /** Printable state name ("queued", ...). */
 const char *jobStateName(JobState s);
@@ -84,8 +106,21 @@ class ServiceCore
     /** True once a shutdown request has been accepted. */
     bool shutdownRequested() const;
 
+    /**
+     * The connection identified by @p client is gone: cancel its
+     * still-queued jobs (running jobs finish — their results are
+     * cacheable even if nobody is left to read them).
+     */
+    void clientGone(const std::string &client);
+
     /** The cache (exposed for tests and statsz). */
     const ResultCache &cache() const { return *cache_; }
+
+    /** The chaos injector, or nullptr when chaos is off. */
+    fault::ServiceFaultInjector *chaosInjector()
+    {
+        return chaos_.get();
+    }
 
   private:
     struct JobRecord
@@ -95,8 +130,10 @@ class ServiceCore
         JobSpec spec;
         std::string key; //!< cache key ("" when not cacheable)
         JobState state = JobState::Queued;
-        std::string result; //!< dumped result object (Done)
-        std::string error;  //!< failure text (Failed / TimedOut)
+        std::string result; //!< dumped result object (Done/degraded)
+        std::string error;  //!< failure text (Failed/TimedOut/...)
+        bool degraded = false;       //!< result is a model estimate
+        bool degradeStarted = false; //!< escalation claimed (once)
         std::chrono::steady_clock::time_point enqueued;
         std::chrono::steady_clock::time_point started;
     };
@@ -104,7 +141,19 @@ class ServiceCore
     std::string handleSubmit(const std::string &client,
                              const util::JsonValue &req);
     std::string handlePoll(const util::JsonValue &req);
+    std::string handleCancel(const util::JsonValue &req);
     std::string handleStatsz();
+
+    /**
+     * Degradation escalation for an abandoned job: compute the model
+     * estimate outside the lock and attach it to @p id (if the
+     * record still exists). @p lock is held on entry and exit.
+     */
+    void attachDegradedLocked(std::unique_lock<std::mutex> &lock,
+                              std::uint64_t id, const JobSpec &spec);
+
+    /** Deterministic per-client retry jitter in [0, retryAfterMs). */
+    std::uint64_t retryJitter(const std::string &client) const;
 
     /** Pool slot body: pick the next job fairly and execute it. */
     void runOne();
@@ -112,7 +161,10 @@ class ServiceCore
     /** Pick the next job id round-robin over clients (lock held). */
     std::uint64_t pickNext();
 
-    /** Mark running jobs past the watchdog budget (lock held). */
+    /**
+     * Mark running jobs past the watchdog budget or their deadline,
+     * and cancel queued jobs whose deadline expired (lock held).
+     */
     void reapOverdue(std::chrono::steady_clock::time_point now);
 
     /** Retire @p rec into the done set (lock held). */
@@ -127,6 +179,7 @@ class ServiceCore
 
     const ServiceConfig cfg_;
     std::unique_ptr<ResultCache> cache_;
+    std::unique_ptr<fault::ServiceFaultInjector> chaos_;
     std::unique_ptr<runner::ExperimentRunner> pool_;
 
     mutable std::mutex mutex_;
@@ -165,6 +218,9 @@ class ServiceCore
     stats::Counter late_completions_;
     stats::Counter cache_answers_;
     stats::Counter bad_requests_;
+    stats::Counter cancelled_;        //!< explicit + disconnect
+    stats::Counter deadline_expired_; //!< queued or running
+    stats::Counter degraded_;         //!< model-tier answers served
 
     /** Job service latency (admission to completion), milliseconds. */
     stats::Sampler latency_ms_;

@@ -9,11 +9,44 @@
 
 #include <cerrno>
 #include <cstring>
+#include <thread>
 
+#include "fault/service_faults.hpp"
 #include "service/server.hpp"
 #include "util/logging.hpp"
 
 namespace ringsim::service {
+
+namespace {
+
+/**
+ * Write all of @p data to @p fd. When @p chunk is nonzero, write at
+ * most @p chunk bytes per send with @p delay_us between them (the
+ * chaos slow-write path). Returns false on any send failure.
+ */
+bool
+sendAll(int fd, const char *data, std::size_t size, std::size_t chunk,
+        unsigned delay_us)
+{
+    std::size_t off = 0;
+    while (off < size) {
+        std::size_t want = size - off;
+        if (chunk != 0)
+            want = std::min(want, chunk);
+        // MSG_NOSIGNAL: a client that hung up mid-response must
+        // surface as EPIPE here, not SIGPIPE the daemon.
+        ssize_t w = ::send(fd, data + off, want, MSG_NOSIGNAL);
+        if (w <= 0)
+            return false;
+        off += static_cast<std::size_t>(w);
+        if (chunk != 0 && off < size && delay_us != 0)
+            std::this_thread::sleep_for(
+                std::chrono::microseconds(delay_us));
+    }
+    return true;
+}
+
+} // namespace
 
 bool
 tryParseEndpoint(const std::string &endpoint, int *tcp_port,
@@ -170,6 +203,7 @@ SocketServer::handleConnection(int fd, std::string client)
 {
     std::string buffer;
     char chunk[4096];
+    fault::ServiceFaultInjector *chaos = core_.chaosInjector();
     for (;;) {
         // Bounded wait instead of a blocking read: an idle client
         // holding its connection open must not pin this thread (and
@@ -197,23 +231,40 @@ SocketServer::handleConnection(int fd, std::string client)
                 continue;
             std::string response = core_.handleLine(client, line);
             response += '\n';
-            std::size_t off = 0;
-            while (off < response.size()) {
-                // MSG_NOSIGNAL: a client that hung up mid-response
-                // must surface as EPIPE here, not SIGPIPE the daemon.
-                ssize_t w = ::send(fd, response.data() + off,
-                                   response.size() - off,
-                                   MSG_NOSIGNAL);
-                if (w <= 0) {
-                    ::close(fd);
-                    return;
-                }
-                off += static_cast<std::size_t>(w);
+
+            // Chaos: a disconnect sends a bare response prefix and
+            // drops the connection; a garble stomps the line's first
+            // byte (the newline survives, so the client's framing
+            // sees one complete line that can never parse — a flip
+            // deeper in the payload could yield *valid* JSON with
+            // altered data, which no client could detect); a slow
+            // write dribbles the response out in tiny chunks.
+            if (chaos && chaos->disconnect()) {
+                sendAll(fd, response.data(), response.size() / 2, 0,
+                        0);
+                ::close(fd);
+                core_.clientGone(client);
+                return;
+            }
+            if (chaos && chaos->garble() && response.size() > 1)
+                response[0] = '#';
+            std::size_t slow_chunk =
+                chaos && chaos->slowWrite()
+                    ? std::max(1u, chaos->config().slowChunkBytes)
+                    : 0;
+            if (!sendAll(fd, response.data(), response.size(),
+                         slow_chunk,
+                         chaos ? chaos->config().slowChunkDelayUs
+                               : 0)) {
+                ::close(fd);
+                core_.clientGone(client);
+                return;
             }
         }
         buffer.erase(0, start);
     }
     ::close(fd);
+    core_.clientGone(client);
 }
 
 } // namespace ringsim::service

@@ -4,8 +4,10 @@
  *
  *   ringsim_submit --endpoint E ping
  *   ringsim_submit --endpoint E submit [--wait] [--text]
- *                  [--client NAME] '<job json>'   ("-" = stdin)
+ *                  [--client NAME] [--deadline-ms N] [--no-degrade]
+ *                  '<job json>'   ("-" = stdin)
  *   ringsim_submit --endpoint E poll ID
+ *   ringsim_submit --endpoint E cancel ID
  *   ringsim_submit --endpoint E stream ID [--interval-ms N]
  *   ringsim_submit --endpoint E statsz
  *   ringsim_submit --endpoint E shutdown
@@ -13,6 +15,10 @@
  * Every command prints the server's response line; --text unwraps a
  * sweep result's rendered table instead, so a routed figure run can be
  * diffed byte-for-byte against the bench binary's stdout.
+ *
+ * Requests ride the resilient client call: a dropped connection, a
+ * garbled response or an overload shed is retried transparently, so
+ * the CLI keeps working against a daemon running with --chaos.
  */
 
 #include <chrono>
@@ -34,8 +40,10 @@ usage()
     std::cout <<
         "usage: ringsim_submit [--endpoint E] COMMAND\n"
         "  ping\n"
-        "  submit [--wait] [--text] [--client NAME] '<job json>'\n"
+        "  submit [--wait] [--text] [--client NAME]\n"
+        "         [--deadline-ms N] [--no-degrade] '<job json>'\n"
         "  poll ID\n"
+        "  cancel ID\n"
         "  stream ID [--interval-ms N]\n"
         "  statsz\n"
         "  shutdown\n"
@@ -59,7 +67,7 @@ callOrDie(service::ServiceClient &client,
 {
     util::JsonValue response;
     std::string error;
-    if (!client.tryCall(request, &response, &error))
+    if (!client.tryCallResilient(request, &response, &error))
         fatal("%s", error.c_str());
     return response;
 }
@@ -83,7 +91,8 @@ int
 cmdSubmit(service::ServiceClient &client, int argc, char **argv,
           int i)
 {
-    bool wait = false, text = false;
+    bool wait = false, text = false, no_degrade = false;
+    std::uint64_t deadline_ms = 0;
     std::string who, job_text;
     for (; i < argc; ++i) {
         std::string arg = argv[i];
@@ -91,6 +100,12 @@ cmdSubmit(service::ServiceClient &client, int argc, char **argv,
             wait = true;
         } else if (arg == "--text") {
             text = true;
+        } else if (arg == "--no-degrade") {
+            no_degrade = true;
+        } else if (arg == "--deadline-ms") {
+            if (i + 1 >= argc)
+                fatal("--deadline-ms needs a value");
+            deadline_ms = std::strtoull(argv[++i], nullptr, 10);
         } else if (arg == "--client") {
             if (i + 1 >= argc)
                 fatal("--client needs a value");
@@ -113,6 +128,10 @@ cmdSubmit(service::ServiceClient &client, int argc, char **argv,
     std::string error;
     if (!util::tryParseJson(job_text, &job, &error))
         fatal("bad job json: %s", error.c_str());
+    if (deadline_ms > 0)
+        job.set("deadline_ms", util::JsonValue::integer(deadline_ms));
+    if (no_degrade)
+        job.set("degrade", util::JsonValue::boolean(false));
 
     util::JsonValue req = util::JsonValue::object();
     req.set("op", util::JsonValue::string("submit"));
@@ -182,14 +201,14 @@ main(int argc, char **argv)
     }
     if (cmd == "submit")
         return cmdSubmit(client, argc, argv, i);
-    if (cmd == "poll" || cmd == "stream") {
+    if (cmd == "poll" || cmd == "cancel" || cmd == "stream") {
         if (i >= argc)
             fatal("%s needs a job id", cmd.c_str());
         std::uint64_t id =
             std::strtoull(argv[i++], nullptr, 10);
-        if (cmd == "poll") {
+        if (cmd == "poll" || cmd == "cancel") {
             util::JsonValue req = util::JsonValue::object();
-            req.set("op", util::JsonValue::string("poll"));
+            req.set("op", util::JsonValue::string(cmd));
             req.set("id", util::JsonValue::integer(id));
             printResponse(callOrDie(client, req), false);
             return 0;

@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Unit tests for the service-layer fault injector: the decision
+ * schedule is a pure function of (seed, kind, sequence), rates are
+ * honored statistically, and the stateful front end counts fires.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/fault/service_faults.hpp"
+
+namespace ringsim::fault {
+namespace {
+
+std::vector<bool>
+schedule(std::uint64_t seed, ServiceFaultKind kind, double rate,
+         std::size_t n)
+{
+    std::vector<bool> out(n);
+    for (std::size_t i = 0; i < n; ++i)
+        out[i] = ServiceFaultInjector::decide(seed, kind, i, rate);
+    return out;
+}
+
+TEST(ServiceFaultDecide, IsPure)
+{
+    // Calling twice with identical arguments must agree everywhere —
+    // no hidden RNG state advances.
+    auto a = schedule(42, ServiceFaultKind::Garble, 0.5, 1000);
+    auto b = schedule(42, ServiceFaultKind::Garble, 0.5, 1000);
+    EXPECT_EQ(a, b);
+}
+
+TEST(ServiceFaultDecide, SeedsProduceDistinctSchedules)
+{
+    auto a = schedule(1, ServiceFaultKind::Disconnect, 0.5, 1000);
+    auto b = schedule(2, ServiceFaultKind::Disconnect, 0.5, 1000);
+    EXPECT_NE(a, b);
+}
+
+TEST(ServiceFaultDecide, KindsProduceDistinctSchedules)
+{
+    // One seed drives every fault class, so the per-kind domain
+    // separation must keep their schedules independent.
+    auto a = schedule(7, ServiceFaultKind::TornWrite, 0.5, 1000);
+    auto b = schedule(7, ServiceFaultKind::BitFlip, 0.5, 1000);
+    EXPECT_NE(a, b);
+}
+
+TEST(ServiceFaultDecide, RateZeroNeverFires)
+{
+    for (std::uint64_t seq = 0; seq < 1000; ++seq)
+        EXPECT_FALSE(ServiceFaultInjector::decide(
+            9, ServiceFaultKind::SlowWrite, seq, 0.0));
+}
+
+TEST(ServiceFaultDecide, RateOneAlwaysFires)
+{
+    for (std::uint64_t seq = 0; seq < 1000; ++seq)
+        EXPECT_TRUE(ServiceFaultInjector::decide(
+            9, ServiceFaultKind::SlowWrite, seq, 1.0));
+}
+
+TEST(ServiceFaultDecide, ObservedRateTracksConfigured)
+{
+    const std::size_t n = 20'000;
+    auto s = schedule(1234, ServiceFaultKind::Garble, 0.2, n);
+    std::size_t fired = 0;
+    for (bool b : s)
+        fired += b;
+    double observed = static_cast<double>(fired) / n;
+    EXPECT_NEAR(observed, 0.2, 0.02);
+}
+
+TEST(ServiceFaultInjector, CountsOnlyFiringSites)
+{
+    ServiceFaultConfig cfg;
+    cfg.seed = 5;
+    cfg.garbleRate = 1.0;
+    ServiceFaultInjector inj(cfg);
+    EXPECT_TRUE(inj.garble());
+    EXPECT_TRUE(inj.garble());
+    EXPECT_FALSE(inj.disconnect()); // rate 0.0
+    ServiceFaultCounters c = inj.counters();
+    EXPECT_EQ(c.garbles, 2u);
+    EXPECT_EQ(c.disconnects, 0u);
+    EXPECT_EQ(c.slowWrites, 0u);
+    EXPECT_EQ(c.tornWrites, 0u);
+    EXPECT_EQ(c.bitFlips, 0u);
+}
+
+TEST(ServiceFaultInjector, MatchesThePureSchedule)
+{
+    ServiceFaultConfig cfg;
+    cfg.seed = 77;
+    cfg.tornWriteRate = 0.3;
+    ServiceFaultInjector inj(cfg);
+    for (std::uint64_t seq = 0; seq < 200; ++seq) {
+        bool expected = ServiceFaultInjector::decide(
+            77, ServiceFaultKind::TornWrite, seq, 0.3);
+        EXPECT_EQ(inj.tornWrite(), expected) << "seq " << seq;
+    }
+}
+
+TEST(ServiceFaultConfig, DefaultIsDisabled)
+{
+    ServiceFaultConfig cfg;
+    EXPECT_FALSE(cfg.enabled());
+    EXPECT_TRUE(cfg.check().empty());
+}
+
+TEST(ServiceFaultConfig, ChaosPresetEnablesEveryClass)
+{
+    ServiceFaultConfig cfg = ServiceFaultConfig::chaosPreset(11);
+    EXPECT_TRUE(cfg.enabled());
+    EXPECT_EQ(cfg.seed, 11u);
+    EXPECT_GT(cfg.slowWriteRate, 0.0);
+    EXPECT_GT(cfg.disconnectRate, 0.0);
+    EXPECT_GT(cfg.garbleRate, 0.0);
+    EXPECT_GT(cfg.tornWriteRate, 0.0);
+    EXPECT_GT(cfg.bitFlipRate, 0.0);
+    EXPECT_TRUE(cfg.check().empty());
+}
+
+TEST(ServiceFaultConfig, CheckRejectsNonProbabilityRates)
+{
+    ServiceFaultConfig cfg;
+    cfg.garbleRate = 1.5;
+    ASSERT_FALSE(cfg.check().empty());
+    EXPECT_NE(cfg.check().front().find("garbleRate"),
+              std::string::npos);
+    cfg.garbleRate = -0.1;
+    EXPECT_FALSE(cfg.check().empty());
+}
+
+TEST(ServiceFaultConfig, CheckRejectsZeroChunkSlowWrites)
+{
+    ServiceFaultConfig cfg;
+    cfg.slowWriteRate = 0.5;
+    cfg.slowChunkBytes = 0;
+    ASSERT_FALSE(cfg.check().empty());
+    EXPECT_NE(cfg.check().front().find("slowChunkBytes"),
+              std::string::npos);
+}
+
+} // namespace
+} // namespace ringsim::fault

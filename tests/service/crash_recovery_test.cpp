@@ -1,0 +1,306 @@
+/**
+ * @file
+ * Crash-recovery tests for the disk result cache and the service
+ * around it: torn, bit-flipped and zero-length entries must be
+ * quarantined (at startup or on first read), never served, and a
+ * restarted service must recompute them transparently.
+ */
+
+#include <gtest/gtest.h>
+
+#include <dirent.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "src/service/result_cache.hpp"
+#include "src/service/server.hpp"
+#include "src/util/json.hpp"
+
+namespace ringsim::service {
+namespace {
+
+/** A per-test directory emptied of any previous run's leftovers. */
+std::string
+freshDir(const char *name)
+{
+    std::string dir = testing::TempDir() + "/" + name;
+    if (DIR *d = ::opendir(dir.c_str())) {
+        std::vector<std::string> names;
+        while (dirent *e = ::readdir(d)) {
+            std::string n = e->d_name;
+            if (n != "." && n != "..")
+                names.push_back(n);
+        }
+        ::closedir(d);
+        for (const std::string &n : names)
+            std::remove((dir + "/" + n).c_str());
+    }
+    return dir;
+}
+
+void
+truncateFile(const std::string &path, long keep)
+{
+    ASSERT_EQ(::truncate(path.c_str(), keep), 0) << path;
+}
+
+void
+flipByte(const std::string &path, long offset)
+{
+    std::FILE *f = std::fopen(path.c_str(), "r+b");
+    ASSERT_NE(f, nullptr) << path;
+    ASSERT_EQ(std::fseek(f, offset, SEEK_SET), 0);
+    int c = std::fgetc(f);
+    ASSERT_NE(c, EOF);
+    ASSERT_EQ(std::fseek(f, offset, SEEK_SET), 0);
+    ASSERT_NE(std::fputc(c ^ 0x01, f), EOF);
+    std::fclose(f);
+}
+
+bool
+fileExists(const std::string &path)
+{
+    return ::access(path.c_str(), F_OK) == 0;
+}
+
+TEST(EntryFrame, RoundTrips)
+{
+    std::string payload = "{\"kind\":\"model\",\"mean\":1.25}";
+    std::string framed = ResultCache::frameEntry(payload);
+    std::string back;
+    ASSERT_TRUE(ResultCache::tryUnframeEntry(framed, &back));
+    EXPECT_EQ(back, payload);
+
+    // Payloads with newlines and an empty payload must also survive.
+    std::string tricky = "line1\nline2\n";
+    ASSERT_TRUE(ResultCache::tryUnframeEntry(
+        ResultCache::frameEntry(tricky), &back));
+    EXPECT_EQ(back, tricky);
+    ASSERT_TRUE(
+        ResultCache::tryUnframeEntry(ResultCache::frameEntry(""),
+                                     &back));
+    EXPECT_EQ(back, "");
+}
+
+TEST(EntryFrame, RejectsEveryDamageClass)
+{
+    std::string framed = ResultCache::frameEntry("0123456789");
+    std::string out;
+
+    // Truncation (torn write), at several cut points.
+    for (std::size_t keep : {std::size_t{0}, framed.size() / 2,
+                             framed.size() - 1})
+        EXPECT_FALSE(ResultCache::tryUnframeEntry(
+            framed.substr(0, keep), &out))
+            << "kept " << keep;
+
+    // One flipped payload byte fails the checksum.
+    std::string flipped = framed;
+    flipped[framed.size() - 3] ^= 0x01;
+    EXPECT_FALSE(ResultCache::tryUnframeEntry(flipped, &out));
+
+    // A flipped header byte fails the magic or the checksum compare.
+    flipped = framed;
+    flipped[0] ^= 0x01;
+    EXPECT_FALSE(ResultCache::tryUnframeEntry(flipped, &out));
+
+    // Trailing junk is damage, not tolerated slack.
+    EXPECT_FALSE(ResultCache::tryUnframeEntry(framed + "x", &out));
+
+    // A pre-checksum (unframed) legacy file never verifies.
+    EXPECT_FALSE(
+        ResultCache::tryUnframeEntry("{\"kind\":\"model\"}", &out));
+}
+
+TEST(CrashRecovery, StartupScanQuarantinesCorruptEntries)
+{
+    std::string dir = freshDir("cr_scan");
+    std::string torn, flipped, good;
+    {
+        ResultCache cache(4, dir);
+        cache.put("torn", "payload-a");
+        cache.put("flipped", "payload-b");
+        cache.put("good", "payload-c");
+        torn = cache.diskPath("torn");
+        flipped = cache.diskPath("flipped");
+        good = cache.diskPath("good");
+    }
+    // Simulate a crash mid-write and a failing disk.
+    truncateFile(torn, 8);
+    flipByte(flipped, 20);
+
+    ResultCache fresh(4, dir);
+    CacheStats s = fresh.stats();
+    EXPECT_EQ(s.scanned, 3u);
+    EXPECT_EQ(s.quarantined, 2u);
+
+    // Damaged entries are misses; the good one still hits.
+    EXPECT_FALSE(fresh.get("torn").has_value());
+    EXPECT_FALSE(fresh.get("flipped").has_value());
+    ASSERT_TRUE(fresh.get("good").has_value());
+    EXPECT_EQ(*fresh.get("good"), "payload-c");
+
+    // Quarantine renames aside for post-mortem, freeing the path.
+    EXPECT_FALSE(fileExists(torn));
+    EXPECT_TRUE(fileExists(torn + ".quarantined"));
+    EXPECT_TRUE(fileExists(flipped + ".quarantined"));
+}
+
+TEST(CrashRecovery, ZeroLengthEntryQuarantined)
+{
+    std::string dir = freshDir("cr_zero");
+    std::string path;
+    {
+        ResultCache cache(4, dir);
+        cache.put("victim", "payload");
+        path = cache.diskPath("victim");
+    }
+    truncateFile(path, 0);
+    ResultCache fresh(4, dir);
+    EXPECT_EQ(fresh.stats().quarantined, 1u);
+    EXPECT_FALSE(fresh.get("victim").has_value());
+}
+
+TEST(CrashRecovery, ReadPathQuarantinesDamageAfterStartup)
+{
+    // Damage that appears *after* the startup scan (a failing disk)
+    // must be caught by verify-on-load at get() time.
+    std::string dir = freshDir("cr_late");
+    std::string path;
+    {
+        ResultCache cache(4, dir);
+        cache.put("victim", "payload");
+        path = cache.diskPath("victim");
+    }
+    ResultCache fresh(4, dir); // clean scan
+    EXPECT_EQ(fresh.stats().quarantined, 0u);
+    flipByte(path, 12);
+    EXPECT_FALSE(fresh.get("victim").has_value());
+    CacheStats s = fresh.stats();
+    EXPECT_EQ(s.quarantined, 1u);
+    EXPECT_EQ(s.misses, 1u);
+}
+
+TEST(CrashRecovery, StartupScanRemovesOrphanedTempFiles)
+{
+    std::string dir = freshDir("cr_tmp");
+    std::string orphan;
+    {
+        ResultCache cache(4, dir);
+        cache.put("k", "v");
+        orphan = cache.diskPath("k") + ".tmp99";
+    }
+    // An interrupted atomic publish leaves exactly this: a temp file
+    // that was never renamed into place.
+    std::FILE *f = std::fopen(orphan.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    std::fputs("RSC1 partial", f);
+    std::fclose(f);
+
+    ResultCache fresh(4, dir);
+    CacheStats s = fresh.stats();
+    EXPECT_EQ(s.tmpCleaned, 1u);
+    EXPECT_EQ(s.quarantined, 0u);
+    EXPECT_FALSE(fileExists(orphan));
+    EXPECT_TRUE(fresh.get("k").has_value());
+}
+
+TEST(CrashRecovery, RecomputedEntryReplacesQuarantinedOne)
+{
+    std::string dir = freshDir("cr_redo");
+    std::string path;
+    {
+        ResultCache cache(4, dir);
+        cache.put("k", "first");
+        path = cache.diskPath("k");
+    }
+    truncateFile(path, 4);
+    {
+        ResultCache fresh(4, dir);
+        EXPECT_FALSE(fresh.get("k").has_value());
+        fresh.put("k", "second"); // the recompute
+    }
+    ResultCache again(4, dir);
+    ASSERT_TRUE(again.get("k").has_value());
+    EXPECT_EQ(*again.get("k"), "second");
+    EXPECT_EQ(again.stats().quarantined, 0u);
+}
+
+TEST(CrashRecovery, ChaoticPublishIsNeverServedCorrupt)
+{
+    // With torn writes and bit flips firing on every publish, the
+    // entry can never verify after a restart — but it must never be
+    // *served* either: quarantine turns each into one recompute.
+    fault::ServiceFaultConfig fcfg;
+    fcfg.seed = 3;
+    fcfg.tornWriteRate = 1.0;
+    fault::ServiceFaultInjector inj(fcfg);
+    std::string dir = freshDir("cr_chaos");
+    {
+        ResultCache cache(4, dir);
+        cache.setChaos(&inj);
+        cache.put("k", "value");
+        // The memory tier still answers while this instance lives.
+        ASSERT_TRUE(cache.get("k").has_value());
+        EXPECT_EQ(*cache.get("k"), "value");
+    }
+    EXPECT_EQ(inj.counters().tornWrites, 1u);
+    ResultCache fresh(4, dir);
+    EXPECT_EQ(fresh.stats().quarantined, 1u);
+    EXPECT_FALSE(fresh.get("k").has_value());
+}
+
+TEST(CrashRecovery, ServiceRestartRecomputesQuarantinedResult)
+{
+    // End-to-end acceptance: a daemon is "SIGKILL'd" (destroyed), its
+    // cache entry is damaged on disk, and the restarted daemon must
+    // quarantine the entry and serve a recomputed — byte-identical —
+    // answer.
+    std::string dir = freshDir("cr_service");
+    const std::string submit =
+        "{\"op\":\"submit\",\"wait\":true,\"job\":"
+        "{\"type\":\"model\",\"benchmark\":\"mp3d\",\"procs\":8,"
+        "\"refs\":2000,\"fast\":true}}";
+    ServiceConfig cfg;
+    cfg.workers = 2;
+    cfg.queueDepth = 4;
+    cfg.memCacheEntries = 16;
+    cfg.cacheDir = dir;
+
+    std::string first_bytes, path;
+    {
+        ServiceCore core(cfg);
+        util::JsonValue r;
+        std::string error;
+        ASSERT_TRUE(
+            util::tryParseJson(core.handleLine("c", submit), &r,
+                               &error));
+        std::vector<std::string> errors;
+        ASSERT_TRUE(r.getBool("ok", false, &errors));
+        first_bytes = r.find("result")->dump();
+        path = core.cache().diskPath(
+            r.getString("key", "", &errors));
+        ASSERT_FALSE(path.empty());
+    }
+    ASSERT_TRUE(fileExists(path));
+    flipByte(path, 30);
+
+    ServiceCore restarted(cfg);
+    EXPECT_EQ(restarted.cache().stats().quarantined, 1u);
+    util::JsonValue r;
+    std::string error;
+    ASSERT_TRUE(util::tryParseJson(restarted.handleLine("c", submit),
+                                   &r, &error));
+    std::vector<std::string> errors;
+    ASSERT_TRUE(r.getBool("ok", false, &errors));
+    // Not a cache answer — the entry was quarantined — but the
+    // recomputation returns the identical bytes (determinism).
+    EXPECT_FALSE(r.getBool("cached", true, &errors));
+    EXPECT_EQ(r.find("result")->dump(), first_bytes);
+}
+
+} // namespace
+} // namespace ringsim::service

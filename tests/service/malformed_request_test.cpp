@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Malformed-NDJSON corpus test: every broken line a chaotic client
+ * (or a garbled transport) can produce must come back as one
+ * parseable {"ok":false,...} response line — never a crash, a hang,
+ * or a silent drop — and must be counted in bad_requests.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/service/server.hpp"
+#include "src/util/json.hpp"
+
+namespace ringsim::service {
+namespace {
+
+ServiceConfig
+testConfig()
+{
+    ServiceConfig cfg;
+    cfg.workers = 1;
+    cfg.queueDepth = 2;
+    cfg.memCacheEntries = 4;
+    cfg.enableTestJobs = true;
+    return cfg;
+}
+
+/** Every line here must be rejected structurally. */
+std::vector<std::string>
+corpus()
+{
+    return {
+        // Not JSON at all.
+        "not json",
+        "{",
+        "}",
+        "[",
+        "\x01\x02\xff\xfe",
+        "#{\"op\":\"ping\"}", // a chaos-garbled response echoed back
+        "{\"op\":\"ping\"",   // truncated object
+        std::string(1, '\0'),
+        // Valid JSON, wrong shape.
+        "null",
+        "42",
+        "\"ping\"",
+        "[\"op\",\"ping\"]",
+        "true",
+        // Objects with missing or bogus fields.
+        "{}",
+        "{\"op\":\"warp\"}",
+        "{\"op\":42}",
+        "{\"op\":\"submit\"}",                    // no job
+        "{\"op\":\"submit\",\"job\":42}",         // job not an object
+        "{\"op\":\"submit\",\"job\":{\"type\":\"doom\"}}",
+        "{\"op\":\"submit\",\"job\":{\"type\":\"run\","
+        "\"procs\":\"many\"}}",
+        "{\"op\":\"poll\"}",                      // no id
+        "{\"op\":\"poll\",\"id\":\"seven\"}",
+        "{\"op\":\"poll\",\"id\":0}",
+        "{\"op\":\"cancel\"}",
+        "{\"op\":\"cancel\",\"id\":0}",
+        // A huge unterminated-string line must not wedge the parser.
+        "{\"op\":\"" + std::string(100'000, 'a'),
+    };
+}
+
+TEST(MalformedRequests, EveryLineGetsAStructuredRejection)
+{
+    ServiceCore core(testConfig());
+    for (const std::string &line : corpus()) {
+        std::string response = core.handleLine("fuzz", line);
+        util::JsonValue r;
+        std::string error;
+        ASSERT_TRUE(util::tryParseJson(response, &r, &error))
+            << "unparsable response " << response << " to: " << line;
+        std::vector<std::string> errors;
+        EXPECT_FALSE(r.getBool("ok", true, &errors))
+            << "accepted: " << line;
+        EXPECT_FALSE(r.getString("error", "", &errors).empty())
+            << "no error text for: " << line;
+        // One request, one line: a response must never embed a raw
+        // newline that would desync the client's framing.
+        EXPECT_EQ(response.find('\n'), std::string::npos);
+    }
+}
+
+TEST(MalformedRequests, AllAreCountedAndServiceStaysUp)
+{
+    ServiceCore core(testConfig());
+    const std::size_t n = corpus().size();
+    for (const std::string &line : corpus())
+        core.handleLine("fuzz", line);
+
+    util::JsonValue sz;
+    std::string error;
+    ASSERT_TRUE(util::tryParseJson(
+        core.handleLine("fuzz", "{\"op\":\"statsz\"}"), &sz, &error));
+    std::vector<std::string> errors;
+    ASSERT_TRUE(sz.getBool("ok", false, &errors));
+    EXPECT_EQ(sz.getU64("bad_requests", 0, &errors), n);
+    // Nothing was admitted, shed or left behind by the garbage.
+    EXPECT_EQ(sz.getU64("admitted", 0, &errors), 0u);
+    EXPECT_EQ(sz.getU64("active", 99, &errors), 0u);
+
+    // The service still does real work afterwards.
+    util::JsonValue r;
+    ASSERT_TRUE(util::tryParseJson(
+        core.handleLine(
+            "fuzz", "{\"op\":\"submit\",\"wait\":true,\"job\":"
+                    "{\"type\":\"verify\",\"nodes\":2}}"),
+        &r, &error));
+    EXPECT_TRUE(r.getBool("ok", false, &errors));
+    EXPECT_EQ(r.getString("state", "", &errors), "done");
+}
+
+TEST(MalformedRequests, RepeatedGarbageDoesNotLeakSlots)
+{
+    // 200 rounds of the nastiest lines; admission slots must all be
+    // free afterwards (a leak would eventually shed every request).
+    ServiceCore core(testConfig());
+    for (int round = 0; round < 200; ++round) {
+        core.handleLine("fuzz", "{\"op\":\"submit\",\"job\":42}");
+        core.handleLine("fuzz", "{");
+    }
+    util::JsonValue sz;
+    std::string error;
+    ASSERT_TRUE(util::tryParseJson(
+        core.handleLine("fuzz", "{\"op\":\"statsz\"}"), &sz, &error));
+    std::vector<std::string> errors;
+    EXPECT_EQ(sz.getU64("active", 99, &errors), 0u);
+}
+
+} // namespace
+} // namespace ringsim::service

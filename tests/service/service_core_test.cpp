@@ -266,6 +266,329 @@ TEST(ServiceCore, ShutdownLatches)
     EXPECT_TRUE(core.shutdownRequested());
 }
 
+TEST(ServiceCore, CancelQueuedJobNeverRuns)
+{
+    ServiceConfig cfg = testConfig();
+    cfg.workers = 2;
+    cfg.queueDepth = 4;
+    ServiceCore core(cfg);
+    std::vector<std::string> errors;
+
+    // Pin both workers, then queue a third sleeper and cancel it.
+    const std::string sleeper =
+        "{\"op\":\"submit\",\"job\":{\"type\":\"sleep\","
+        "\"ms\":300}}";
+    util::JsonValue r1 = parse(core.handleLine("c", sleeper));
+    util::JsonValue r2 = parse(core.handleLine("c", sleeper));
+    util::JsonValue r3 = parse(core.handleLine("c", sleeper));
+    std::uint64_t id = r3.getU64("id", 0, &errors);
+    ASSERT_GT(id, 0u);
+
+    util::JsonValue c = parse(core.handleLine(
+        "c",
+        "{\"op\":\"cancel\",\"id\":" + std::to_string(id) + "}"));
+    EXPECT_TRUE(c.getBool("ok", false, &errors));
+    EXPECT_EQ(c.getString("state", "", &errors), "cancelled");
+
+    // Drain the pinned sleepers; the cancelled job must not have
+    // consumed a worker (no late completion — it never started) and
+    // its admission slot must be free again.
+    pollUntilSettled(core, r1.getU64("id", 0, &errors));
+    pollUntilSettled(core, r2.getU64("id", 0, &errors));
+    util::JsonValue sz =
+        parse(core.handleLine("c", "{\"op\":\"statsz\"}"));
+    EXPECT_EQ(sz.getU64("cancelled", 0, &errors), 1u);
+    EXPECT_EQ(sz.getU64("late_completions", 99, &errors), 0u);
+    EXPECT_EQ(sz.getU64("active", 99, &errors), 0u);
+}
+
+TEST(ServiceCore, CancelRunningJobDiscardsLateCompletion)
+{
+    ServiceCore core(testConfig());
+    std::vector<std::string> errors;
+    util::JsonValue r = parse(core.handleLine(
+        "c", "{\"op\":\"submit\",\"job\":{\"type\":\"sleep\","
+             "\"ms\":300}}"));
+    std::uint64_t id = r.getU64("id", 0, &errors);
+
+    // Wait until the sleeper is actually on a worker.
+    for (int i = 0; i < 200; ++i) {
+        util::JsonValue p = parse(core.handleLine(
+            "c",
+            "{\"op\":\"poll\",\"id\":" + std::to_string(id) + "}"));
+        if (p.getString("state", "", &errors) == "running")
+            break;
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    util::JsonValue c = parse(core.handleLine(
+        "c",
+        "{\"op\":\"cancel\",\"id\":" + std::to_string(id) + "}"));
+    EXPECT_EQ(c.getString("state", "", &errors), "cancelled");
+
+    // The abandoned thread finishes eventually; its completion is
+    // counted and discarded, never flipping the cancel verdict.
+    std::this_thread::sleep_for(std::chrono::milliseconds(400));
+    util::JsonValue p = parse(core.handleLine(
+        "c", "{\"op\":\"poll\",\"id\":" + std::to_string(id) + "}"));
+    EXPECT_EQ(p.getString("state", "", &errors), "cancelled");
+    util::JsonValue sz =
+        parse(core.handleLine("c", "{\"op\":\"statsz\"}"));
+    EXPECT_EQ(sz.getU64("cancelled", 0, &errors), 1u);
+    EXPECT_EQ(sz.getU64("late_completions", 0, &errors), 1u);
+}
+
+TEST(ServiceCore, CancelUnknownOrSettledJob)
+{
+    ServiceCore core(testConfig());
+    std::vector<std::string> errors;
+    util::JsonValue c = parse(
+        core.handleLine("c", "{\"op\":\"cancel\",\"id\":777}"));
+    EXPECT_FALSE(c.getBool("ok", true, &errors));
+    EXPECT_NE(c.getString("error", "", &errors).find("777"),
+              std::string::npos);
+
+    // Cancelling a finished job is a no-op that reports the verdict.
+    util::JsonValue r = parse(core.handleLine(
+        "c", "{\"op\":\"submit\",\"wait\":true,\"job\":"
+             "{\"type\":\"verify\",\"nodes\":2}}"));
+    std::uint64_t id = r.getU64("id", 0, &errors);
+    c = parse(core.handleLine(
+        "c",
+        "{\"op\":\"cancel\",\"id\":" + std::to_string(id) + "}"));
+    EXPECT_TRUE(c.getBool("ok", false, &errors));
+    EXPECT_EQ(c.getString("state", "", &errors), "done");
+    util::JsonValue sz =
+        parse(core.handleLine("c", "{\"op\":\"statsz\"}"));
+    EXPECT_EQ(sz.getU64("cancelled", 99, &errors), 0u);
+}
+
+TEST(ServiceCore, DeadlineExpiresQueuedJob)
+{
+    ServiceConfig cfg = testConfig();
+    cfg.workers = 2;
+    ServiceCore core(cfg);
+    std::vector<std::string> errors;
+
+    // Pin both workers for longer than the queued job's deadline.
+    const std::string pin =
+        "{\"op\":\"submit\",\"job\":{\"type\":\"sleep\","
+        "\"ms\":400}}";
+    util::JsonValue p1 = parse(core.handleLine("c", pin));
+    util::JsonValue p2 = parse(core.handleLine("c", pin));
+    util::JsonValue r = parse(core.handleLine(
+        "c", "{\"op\":\"submit\",\"job\":{\"type\":\"sleep\","
+             "\"ms\":10,\"deadline_ms\":50}}"));
+    std::uint64_t id = r.getU64("id", 0, &errors);
+    ASSERT_GT(id, 0u);
+
+    util::JsonValue done = pollUntilSettled(core, id);
+    EXPECT_EQ(done.getString("state", "", &errors), "cancelled");
+    EXPECT_NE(done.getString("error", "", &errors).find("deadline"),
+              std::string::npos);
+    pollUntilSettled(core, p1.getU64("id", 0, &errors));
+    pollUntilSettled(core, p2.getU64("id", 0, &errors));
+    util::JsonValue sz =
+        parse(core.handleLine("c", "{\"op\":\"statsz\"}"));
+    EXPECT_GE(sz.getU64("deadline_expired", 0, &errors), 1u);
+    EXPECT_EQ(sz.getU64("active", 99, &errors), 0u);
+}
+
+TEST(ServiceCore, DeadlineAbandonsRunningJob)
+{
+    ServiceCore core(testConfig());
+    std::vector<std::string> errors;
+    util::JsonValue r = parse(core.handleLine(
+        "c", "{\"op\":\"submit\",\"wait\":true,\"job\":"
+             "{\"type\":\"sleep\",\"ms\":400,"
+             "\"deadline_ms\":50}}"));
+    EXPECT_EQ(r.getString("state", "", &errors), "timed_out");
+    EXPECT_NE(r.getString("error", "", &errors).find("deadline"),
+              std::string::npos);
+    util::JsonValue sz =
+        parse(core.handleLine("c", "{\"op\":\"statsz\"}"));
+    EXPECT_EQ(sz.getU64("deadline_expired", 0, &errors), 1u);
+    EXPECT_EQ(sz.getU64("timed_out", 0, &errors), 1u);
+}
+
+TEST(ServiceCore, ClientGoneCancelsOnlyThatClientsQueuedJobs)
+{
+    ServiceConfig cfg = testConfig();
+    cfg.workers = 2;
+    ServiceCore core(cfg);
+    std::vector<std::string> errors;
+
+    // Two running jobs for "a", one queued each for "a" and "b".
+    const std::string sleeper =
+        "{\"op\":\"submit\",\"job\":{\"type\":\"sleep\","
+        "\"ms\":300}}";
+    util::JsonValue a1 = parse(core.handleLine("a", sleeper));
+    util::JsonValue a2 = parse(core.handleLine("a", sleeper));
+    // Wait for both to be picked up: clientGone must only take jobs
+    // that are still queued, and a job is only reliably Running once
+    // a poll says so.
+    for (std::uint64_t id : {a1.getU64("id", 0, &errors),
+                             a2.getU64("id", 0, &errors)}) {
+        for (int i = 0; i < 200; ++i) {
+            util::JsonValue p = parse(core.handleLine(
+                "t", "{\"op\":\"poll\",\"id\":" +
+                         std::to_string(id) + "}"));
+            if (p.getString("state", "", &errors) != "queued")
+                break;
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(5));
+        }
+    }
+    util::JsonValue aq = parse(core.handleLine("a", sleeper));
+    util::JsonValue bq = parse(core.handleLine("b", sleeper));
+    std::uint64_t aq_id = aq.getU64("id", 0, &errors);
+    std::uint64_t bq_id = bq.getU64("id", 0, &errors);
+
+    core.clientGone("a");
+
+    // a's queued job died with the connection; b's survives and the
+    // running jobs finish normally.
+    util::JsonValue pa = parse(core.handleLine(
+        "t", "{\"op\":\"poll\",\"id\":" + std::to_string(aq_id) +
+                 "}"));
+    EXPECT_EQ(pa.getString("state", "", &errors), "cancelled");
+    EXPECT_NE(pa.getString("error", "", &errors).find("disconnect"),
+              std::string::npos);
+    util::JsonValue pb = pollUntilSettled(core, bq_id);
+    EXPECT_EQ(pb.getString("state", "", &errors), "done");
+    util::JsonValue da =
+        pollUntilSettled(core, a1.getU64("id", 0, &errors));
+    EXPECT_EQ(da.getString("state", "", &errors), "done");
+    pollUntilSettled(core, a2.getU64("id", 0, &errors));
+}
+
+TEST(ServiceCore, ShedDegradesToModelTierWhenEnabled)
+{
+    ServiceConfig cfg = testConfig();
+    cfg.workers = 2;
+    cfg.queueDepth = 2;
+    cfg.degradeToModel = true;
+    ServiceCore core(cfg);
+    std::vector<std::string> errors;
+
+    // Saturate admission with sleepers (which can never degrade)...
+    const std::string sleeper =
+        "{\"op\":\"submit\",\"job\":{\"type\":\"sleep\","
+        "\"ms\":400}}";
+    util::JsonValue r1 = parse(core.handleLine("c", sleeper));
+    util::JsonValue r2 = parse(core.handleLine("c", sleeper));
+    ASSERT_TRUE(r1.getBool("ok", false, &errors));
+    ASSERT_TRUE(r2.getBool("ok", false, &errors));
+
+    // ...then a run submit is answered by the model tier instantly.
+    util::JsonValue deg = parse(core.handleLine(
+        "c", "{\"op\":\"submit\",\"wait\":true,\"job\":"
+             "{\"type\":\"run\",\"benchmark\":\"mp3d\","
+             "\"procs\":8,\"refs\":2000,\"fast\":true}}"));
+    EXPECT_TRUE(deg.getBool("ok", false, &errors));
+    EXPECT_EQ(deg.getString("state", "", &errors), "done");
+    EXPECT_TRUE(deg.getBool("degraded", false, &errors));
+    const util::JsonValue *result = deg.find("result");
+    ASSERT_NE(result, nullptr);
+    EXPECT_TRUE(result->getBool("degraded", false, &errors));
+    EXPECT_GT(result->getNumber("error_bound", -1, &errors), 0.0);
+
+    // A sleeper (not degradable) and an opted-out run still shed.
+    util::JsonValue shed = parse(core.handleLine("c", sleeper));
+    EXPECT_FALSE(shed.getBool("ok", true, &errors));
+    util::JsonValue optout = parse(core.handleLine(
+        "c", "{\"op\":\"submit\",\"job\":{\"type\":\"run\","
+             "\"benchmark\":\"mp3d\",\"procs\":8,\"refs\":2000,"
+             "\"fast\":true,\"degrade\":false}}"));
+    EXPECT_FALSE(optout.getBool("ok", true, &errors));
+    EXPECT_GT(optout.getU64("retry_after_ms", 0, &errors), 0u);
+
+    util::JsonValue sz =
+        parse(core.handleLine("c", "{\"op\":\"statsz\"}"));
+    EXPECT_EQ(sz.getU64("degraded", 0, &errors), 1u);
+    // Degraded answers are never memoized.
+    EXPECT_EQ(core.cache().stats().stores, 0u);
+}
+
+TEST(ServiceCore, ShedNeverDegradesByDefault)
+{
+    ServiceConfig cfg = testConfig();
+    cfg.queueDepth = 1;
+    ServiceCore core(cfg);
+    std::vector<std::string> errors;
+    parse(core.handleLine(
+        "c", "{\"op\":\"submit\",\"job\":{\"type\":\"sleep\","
+             "\"ms\":300}}"));
+    util::JsonValue shed = parse(core.handleLine(
+        "c", "{\"op\":\"submit\",\"job\":{\"type\":\"run\","
+             "\"benchmark\":\"mp3d\",\"procs\":8,\"refs\":2000,"
+             "\"fast\":true}}"));
+    EXPECT_FALSE(shed.getBool("ok", true, &errors));
+    EXPECT_NE(shed.getString("error", "", &errors).find("overloaded"),
+              std::string::npos);
+}
+
+TEST(ServiceCore, WatchdogEscalationAttachesDegradedEstimate)
+{
+    ServiceConfig cfg = testConfig();
+    cfg.watchdog = std::chrono::milliseconds(1);
+    cfg.degradeToModel = true;
+    ServiceCore core(cfg);
+    std::vector<std::string> errors;
+
+    // A real (non-fast) run overruns a 1 ms watchdog for certain.
+    util::JsonValue r = parse(core.handleLine(
+        "c", "{\"op\":\"submit\",\"job\":{\"type\":\"run\","
+             "\"benchmark\":\"mp3d\",\"procs\":8,"
+             "\"refs\":50000}}"));
+    std::uint64_t id = r.getU64("id", 0, &errors);
+    ASSERT_GT(id, 0u);
+
+    util::JsonValue done = pollUntilSettled(core, id);
+    EXPECT_EQ(done.getString("state", "", &errors), "timed_out");
+    // The poll that reaped the timeout escalated to the model tier:
+    // a partial (estimated) result rides along with the verdict.
+    EXPECT_TRUE(done.getBool("degraded", false, &errors));
+    const util::JsonValue *result = done.find("result");
+    ASSERT_NE(result, nullptr);
+    EXPECT_TRUE(result->getBool("degraded", false, &errors));
+    EXPECT_GT(result->getNumber("error_bound", -1, &errors), 0.0);
+
+    util::JsonValue sz =
+        parse(core.handleLine("c", "{\"op\":\"statsz\"}"));
+    EXPECT_GE(sz.getU64("degraded", 0, &errors), 1u);
+}
+
+TEST(ServiceCore, ShedBackoffJitterIsDeterministicPerClient)
+{
+    ServiceConfig cfg = testConfig();
+    cfg.queueDepth = 1;
+    cfg.retryAfterMs = 10'000;
+    ServiceCore core(cfg);
+    std::vector<std::string> errors;
+    parse(core.handleLine(
+        "alice", "{\"op\":\"submit\",\"job\":{\"type\":\"sleep\","
+                 "\"ms\":400}}"));
+
+    const std::string probe =
+        "{\"op\":\"submit\",\"job\":{\"type\":\"sleep\","
+        "\"ms\":1}}";
+    auto shed_hint = [&](const char *who) {
+        util::JsonValue r = parse(core.handleLine(who, probe));
+        EXPECT_FALSE(r.getBool("ok", true, &errors));
+        return r.getU64("retry_after_ms", 0, &errors);
+    };
+    std::uint64_t alice1 = shed_hint("alice");
+    std::uint64_t alice2 = shed_hint("alice");
+    std::uint64_t bob = shed_hint("bob");
+
+    // Same client, same hint (replayable); the jitter stays within
+    // one base interval; distinct clients desynchronize.
+    EXPECT_EQ(alice1, alice2);
+    EXPECT_GE(alice1, 10'000u);
+    EXPECT_LT(alice1, 20'000u);
+    EXPECT_NE(alice1, bob);
+}
+
 TEST(ServiceCore, ConcurrentClientsGetIdenticalBytes)
 {
     // The acceptance property: N concurrent clients submitting the
