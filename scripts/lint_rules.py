@@ -35,6 +35,32 @@ Rules (suppress a finding with a trailing `// lint: allow(<rule>)`):
       insert-queue rewrite removed. Use core::FlatQueue
       (src/core/flat_queue.hpp) — or justify the exception with a
       trailing allow.
+
+  naked-thread
+      No std::thread construction (and no .detach()) outside the two
+      sanctioned thread owners: the runner's worker pool
+      (src/runner/experiment_runner.cpp) and the service's
+      ConnectionRegistry (src/service/connection_registry.*). Ad-hoc
+      threads are how join-leaks and shutdown races get in; new
+      concurrency goes through one of those wrappers, which carry the
+      thread-safety annotations and the tests.
+      (std::thread::hardware_concurrency() is fine anywhere.)
+
+  unguarded-mutex
+      Every core::Mutex / std::mutex member must have at least one
+      sibling member annotated GUARDED_BY(that mutex) in the same
+      file. A mutex guarding nothing the analyzer can see is either
+      dead or, worse, guarding data by convention only — exactly the
+      bug class -Wthread-safety exists to kill. Use the macros from
+      src/core/thread_annotations.hpp.
+
+  manual-mutex-lock
+      No manual .lock()/.unlock() calls outside
+      src/core/thread_annotations.hpp. Unlock/relock juggling defeats
+      both RAII and the static analysis; hold scopes are expressed
+      with core::MutexLock / core::UniqueLock, and code needing a
+      window without the lock is restructured into two locked
+      sections.
 """
 
 import re
@@ -48,6 +74,18 @@ ALLOW_RE = re.compile(r"//\s*lint:\s*allow\(([a-z-]+)\)")
 # The event kernel's free-list allocator is the one sanctioned use of
 # raw allocation (placement new into pooled storage).
 RAW_NEW_ALLOWED_FILES = {"src/sim/kernel.hpp"}
+
+# The two sanctioned thread owners; everything else delegates to them.
+THREAD_ALLOWED_FILES = {
+    "src/runner/experiment_runner.cpp",
+    "src/service/connection_registry.hpp",
+    "src/service/connection_registry.cpp",
+}
+# Abandoning a doomed worker is the runner watchdog's one detach site.
+DETACH_ALLOWED_FILES = {"src/runner/experiment_runner.cpp"}
+
+# The annotated wrappers themselves must touch the raw mutex.
+MUTEX_WRAPPER_FILES = {"src/core/thread_annotations.hpp"}
 
 findings = []
 
@@ -124,6 +162,14 @@ UNORDERED_DECL_RE = re.compile(
 RANGE_FOR_RE = re.compile(r"for\s*\([^;)]*:\s*&?(\w+(?:\.\w+|->\w+)*)\s*\)")
 ITER_CALL_RE = re.compile(r"\b(\w+)\s*\.\s*(?:begin|cbegin|rbegin)\s*\(")
 
+# std::thread but not std::thread::hardware_concurrency etc.
+THREAD_RE = re.compile(r"\bstd\s*::\s*thread\b(?!\s*::)")
+DETACH_RE = re.compile(r"\.\s*detach\s*\(\s*\)")
+MUTEX_MEMBER_RE = re.compile(
+    r"\b(?:core\s*::\s*Mutex|std\s*::\s*mutex)\s+(\w+)\s*;"
+)
+MANUAL_LOCK_RE = re.compile(r"\.\s*(?:lock|unlock)\s*\(\s*\)")
+
 DECL_NAME = r"(?:check\w*|try[A-Z]\w*)"
 NODISCARD_DECL_RE = re.compile(
     r"(?:virtual\s+)?"
@@ -183,6 +229,46 @@ def check_file(path):
                      f"iterating unordered container "
                      f"'{sorted(hits)[0]}': order is nondeterministic; "
                      f"use an ordered structure or collect-and-sort")
+
+    # naked-thread (thread ownership is centralized)
+    if rel not in THREAD_ALLOWED_FILES:
+        for lineno, line in enumerate(clean_lines, 1):
+            if THREAD_RE.search(line) and not allowed(
+                    raw_lines, lineno, "naked-thread"):
+                flag("naked-thread", rel, lineno,
+                     "naked std::thread: use ExperimentRunner's pool "
+                     "or service::ConnectionRegistry")
+    if rel not in DETACH_ALLOWED_FILES:
+        for lineno, line in enumerate(clean_lines, 1):
+            if DETACH_RE.search(line) and not allowed(
+                    raw_lines, lineno, "naked-thread"):
+                flag("naked-thread", rel, lineno,
+                     ".detach(): detached threads outlive their "
+                     "owner; join through a registry instead")
+
+    # unguarded-mutex (a mutex must guard annotated data)
+    if rel not in MUTEX_WRAPPER_FILES:
+        guards = set(re.findall(r"GUARDED_BY\(\s*(\w+)\s*\)", clean))
+        for m in MUTEX_MEMBER_RE.finditer(clean):
+            name = m.group(1)
+            lineno = clean.count("\n", 0, m.start()) + 1
+            if name in guards:
+                continue
+            if allowed(raw_lines, lineno, "unguarded-mutex"):
+                continue
+            flag("unguarded-mutex", rel, lineno,
+                 f"mutex member '{name}' has no sibling "
+                 f"GUARDED_BY({name}) member in this file "
+                 f"(src/core/thread_annotations.hpp)")
+
+    # manual-mutex-lock (hold scopes are RAII + annotations only)
+    if rel not in MUTEX_WRAPPER_FILES:
+        for lineno, line in enumerate(clean_lines, 1):
+            if MANUAL_LOCK_RE.search(line) and not allowed(
+                    raw_lines, lineno, "manual-mutex-lock"):
+                flag("manual-mutex-lock", rel, lineno,
+                     "manual .lock()/.unlock(): use core::MutexLock "
+                     "or core::UniqueLock scopes")
 
     # nodiscard (headers only; declarations carry the contract)
     if path.suffix == ".hpp":

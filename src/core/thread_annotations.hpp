@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Clang Thread Safety Analysis wrappers for the concurrent layers.
+ *
+ * The protocol engine is verified statically by ringsim_verify; this
+ * header extends the same "hoist behavior into a checkable
+ * representation" posture to the *threaded* code (service, runner,
+ * connection registry). Every mutex-guarded member is annotated with
+ * GUARDED_BY, every function that assumes a held lock carries
+ * REQUIRES (and a ...Locked name), and the whole tree compiles under
+ * `-Wthread-safety -Werror` on Clang — so an unguarded access or a
+ * lock-order mistake is a *compile error*, not a latent race for TSan
+ * to hopefully trip over.
+ *
+ * libstdc++'s std::mutex is not annotated, so the analysis needs thin
+ * wrappers:
+ *
+ *   core::Mutex       an annotated CAPABILITY("mutex") over std::mutex
+ *   core::MutexLock   annotated std::lock_guard equivalent
+ *   core::UniqueLock  annotated std::unique_lock equivalent; its
+ *                     native() handle is what condition variables
+ *                     wait on (the wait re-acquires before returning,
+ *                     so the capability is genuinely held at every
+ *                     point the analysis can observe)
+ *
+ * Under GCC (which has no thread-safety analysis) every macro expands
+ * to nothing and the wrappers compile to exactly the std types they
+ * wrap — zero overhead, zero behavior change.
+ *
+ * Conventions (enforced by scripts/lint_rules.py):
+ *  - every Mutex / std::mutex member needs at least one sibling
+ *    GUARDED_BY naming it (rule: unguarded-mutex);
+ *  - private helpers that assume the lock are named ...Locked and
+ *    annotated REQUIRES(mutex_);
+ *  - raw mutex_.lock()/unlock() juggling is banned outside this
+ *    header (rule: manual-mutex-lock) — scoped guards only.
+ */
+
+#ifndef RINGSIM_CORE_THREAD_ANNOTATIONS_HPP
+#define RINGSIM_CORE_THREAD_ANNOTATIONS_HPP
+
+#include <mutex>
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(capability)
+#define RINGSIM_THREAD_ANNOTATION(x) __attribute__((x))
+#endif
+#endif
+#ifndef RINGSIM_THREAD_ANNOTATION
+#define RINGSIM_THREAD_ANNOTATION(x) // no-op outside Clang
+#endif
+
+#define CAPABILITY(x) RINGSIM_THREAD_ANNOTATION(capability(x))
+#define SCOPED_CAPABILITY RINGSIM_THREAD_ANNOTATION(scoped_lockable)
+#define GUARDED_BY(x) RINGSIM_THREAD_ANNOTATION(guarded_by(x))
+#define PT_GUARDED_BY(x) RINGSIM_THREAD_ANNOTATION(pt_guarded_by(x))
+#define ACQUIRED_BEFORE(...) \
+    RINGSIM_THREAD_ANNOTATION(acquired_before(__VA_ARGS__))
+#define ACQUIRED_AFTER(...) \
+    RINGSIM_THREAD_ANNOTATION(acquired_after(__VA_ARGS__))
+#define REQUIRES(...) \
+    RINGSIM_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#define ACQUIRE(...) \
+    RINGSIM_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define RELEASE(...) \
+    RINGSIM_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define TRY_ACQUIRE(...) \
+    RINGSIM_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+#define EXCLUDES(...) \
+    RINGSIM_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+#define RETURN_CAPABILITY(x) \
+    RINGSIM_THREAD_ANNOTATION(lock_returned(x))
+#define NO_THREAD_SAFETY_ANALYSIS \
+    RINGSIM_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+namespace ringsim::core {
+
+/**
+ * Annotated std::mutex. native() exposes the wrapped mutex for
+ * condition variables; everything else goes through the scoped
+ * guards below.
+ */
+class CAPABILITY("mutex") Mutex
+{
+  public:
+    Mutex() = default;
+    Mutex(const Mutex &) = delete;
+    Mutex &operator=(const Mutex &) = delete;
+
+    void lock() ACQUIRE() { mutex_.lock(); }
+    void unlock() RELEASE() { mutex_.unlock(); }
+    bool try_lock() TRY_ACQUIRE(true) { return mutex_.try_lock(); }
+
+    /** The wrapped mutex (condition_variable interop only). */
+    std::mutex &native() { return mutex_; }
+
+  private:
+    std::mutex mutex_;
+};
+
+/** Annotated std::lock_guard: locks for exactly one scope. */
+class SCOPED_CAPABILITY MutexLock
+{
+  public:
+    explicit MutexLock(Mutex &mutex) ACQUIRE(mutex) : mutex_(mutex)
+    {
+        mutex_.lock();
+    }
+    ~MutexLock() RELEASE() { mutex_.unlock(); }
+
+    MutexLock(const MutexLock &) = delete;
+    MutexLock &operator=(const MutexLock &) = delete;
+
+  private:
+    Mutex &mutex_;
+};
+
+/**
+ * Annotated std::unique_lock. Holds the capability from construction
+ * to destruction as far as the analysis is concerned; native() is the
+ * std::unique_lock a condition variable waits on. A cv wait releases
+ * and re-acquires the mutex *inside* the call, so every statement the
+ * analysis sees really does hold the lock — the annotation stays
+ * truthful even though the wait slept unlocked.
+ */
+class SCOPED_CAPABILITY UniqueLock
+{
+  public:
+    explicit UniqueLock(Mutex &mutex) ACQUIRE(mutex)
+        : lock_(mutex.native())
+    {
+    }
+    ~UniqueLock() RELEASE() = default;
+
+    UniqueLock(const UniqueLock &) = delete;
+    UniqueLock &operator=(const UniqueLock &) = delete;
+
+    /** The wrapped lock (condition_variable interop only). */
+    std::unique_lock<std::mutex> &native() { return lock_; }
+
+  private:
+    std::unique_lock<std::mutex> lock_;
+};
+
+} // namespace ringsim::core
+
+#endif // RINGSIM_CORE_THREAD_ANNOTATIONS_HPP

@@ -115,7 +115,13 @@ struct ServiceFaultCounters
 /**
  * Stateful front end the service's I/O edges query: applies the pure
  * decision schedule and owns the injection counters. Thread-safe —
- * connection threads and cache writers share one injector.
+ * connection threads and cache writers share one injector. The class
+ * is deliberately lock-free: every member is an independent atomic
+ * (a per-site sequence number or a fire counter), no invariant spans
+ * two of them, and counters() reads a snapshot that may be mid-update
+ * — exact cross-site consistency is not part of its contract. That is
+ * why, unlike every mutex-guarded service class, there is nothing
+ * here for thread-safety annotations to check.
  */
 class ServiceFaultInjector
 {

@@ -3,10 +3,10 @@
 #include <condition_variable>
 #include <deque>
 #include <exception>
-#include <mutex>
 #include <stdexcept>
 #include <thread>
 
+#include "core/thread_annotations.hpp"
 #include "util/env.hpp"
 #include "util/json.hpp"
 #include "util/logging.hpp"
@@ -114,7 +114,12 @@ struct ExperimentRunner::Impl
 {
     static constexpr std::size_t npos = static_cast<std::size_t>(-1);
 
-    /** One worker thread's bookkeeping (guarded by mutex). */
+    /**
+     * One worker thread's bookkeeping. jobIndex/jobStart/doomed are
+     * guarded by the owning Impl's mutex (thread-safety analysis
+     * cannot express GUARDED_BY across an outer object's lock, so
+     * the discipline is enforced by review and TSan here).
+     */
     struct WorkerCell
     {
         std::thread thread;
@@ -128,38 +133,42 @@ struct ExperimentRunner::Impl
     unsigned jobs;
     RunPolicy policy;
 
-    mutable std::mutex mutex;
+    mutable core::Mutex mutex;
     std::condition_variable workReady;
     std::condition_variable allDone;
-    std::deque<std::pair<std::function<void()>, std::size_t>> queue;
-    std::vector<std::exception_ptr> errors; // slot per submission
-    std::vector<JobReport> reports;         // slot per submission
-    std::size_t submitted = 0;
-    std::size_t completed = 0;
-    bool shutdown = false;
+    std::deque<std::pair<std::function<void()>, std::size_t>> queue
+        GUARDED_BY(mutex);
+    /** Slot per submission. */
+    std::vector<std::exception_ptr> errors GUARDED_BY(mutex);
+    /** Slot per submission. */
+    std::vector<JobReport> reports GUARDED_BY(mutex);
+    std::size_t submitted GUARDED_BY(mutex) = 0;
+    std::size_t completed GUARDED_BY(mutex) = 0;
+    bool shutdown GUARDED_BY(mutex) = false;
 
-    std::vector<std::shared_ptr<WorkerCell>> workers;
+    std::vector<std::shared_ptr<WorkerCell>> workers
+        GUARDED_BY(mutex);
+    /** Set once in start(), joined in stop(); never raced. */
     std::thread watchdog;
-    bool watchdogStop = false;
+    bool watchdogStop GUARDED_BY(mutex) = false;
     std::condition_variable watchdogWake;
 
     void
-    start()
+    start() EXCLUDES(mutex)
     {
         if (jobs <= 1)
             return;
-        std::lock_guard<std::mutex> lock(mutex);
+        core::MutexLock lock(mutex);
         for (unsigned i = 0; i < jobs; ++i)
-            spawnWorker();
+            spawnWorkerLocked();
         if (policy.jobTimeout.count() > 0) {
             auto self = shared_from_this();
             watchdog = std::thread([self]() { self->watchdogLoop(); });
         }
     }
 
-    /** Spawn one worker (mutex held). */
     void
-    spawnWorker()
+    spawnWorkerLocked() REQUIRES(mutex)
     {
         auto cell = std::make_shared<WorkerCell>();
         auto self = shared_from_this();
@@ -169,15 +178,14 @@ struct ExperimentRunner::Impl
     }
 
     void
-    workerLoop(WorkerCell &cell)
+    workerLoop(WorkerCell &cell) EXCLUDES(mutex)
     {
         for (;;) {
             std::pair<std::function<void()>, std::size_t> item;
             {
-                std::unique_lock<std::mutex> lock(mutex);
-                workReady.wait(lock, [this]() {
-                    return shutdown || !queue.empty();
-                });
+                core::UniqueLock lock(mutex);
+                while (!shutdown && queue.empty())
+                    workReady.wait(lock.native());
                 if (queue.empty() || cell.doomed)
                     return; // shutdown with drained queue
                 item = std::move(queue.front());
@@ -187,10 +195,8 @@ struct ExperimentRunner::Impl
             }
             runJob(item.first, item.second, &cell);
             {
-                std::lock_guard<std::mutex> lock(mutex);
-                bool was_doomed = cell.doomed;
-                cell.jobIndex = npos;
-                if (was_doomed) {
+                core::MutexLock lock(mutex);
+                if (cell.doomed) {
                     // The watchdog already declared this job timed out
                     // and replaced this worker; exit without touching
                     // the pool accounting again.
@@ -202,7 +208,7 @@ struct ExperimentRunner::Impl
 
     void
     runJob(std::function<void()> &job, std::size_t index,
-           WorkerCell *cell)
+           WorkerCell *cell) EXCLUDES(mutex)
     {
         auto t0 = std::chrono::steady_clock::now();
         std::exception_ptr error;
@@ -220,7 +226,15 @@ struct ExperimentRunner::Impl
                           std::chrono::steady_clock::now() - t0)
                           .count();
         {
-            std::lock_guard<std::mutex> lock(mutex);
+            core::MutexLock lock(mutex);
+            // Going idle must be atomic with the completion
+            // accounting: if jobIndex were cleared in a later locked
+            // section (as the worker loop once did), the watchdog
+            // could doom this already-counted job in the window and
+            // double-increment completed — completed > submitted
+            // makes waitDrained() hang forever.
+            if (cell)
+                cell->jobIndex = npos;
             if (cell && cell->doomed)
                 return; // abandoned attempt; already accounted
             JobReport &rep = reports[index];
@@ -236,16 +250,16 @@ struct ExperimentRunner::Impl
     }
 
     void
-    watchdogLoop()
+    watchdogLoop() EXCLUDES(mutex)
     {
         // Poll at a fraction of the budget: detection latency stays a
         // small multiple of the timeout without busy-waiting.
         auto poll = policy.jobTimeout / 8;
         if (poll < std::chrono::milliseconds(1))
             poll = std::chrono::milliseconds(1);
-        std::unique_lock<std::mutex> lock(mutex);
+        core::UniqueLock lock(mutex);
         while (!watchdogStop) {
-            watchdogWake.wait_for(lock, poll);
+            watchdogWake.wait_for(lock.native(), poll);
             if (watchdogStop)
                 return;
             auto now = std::chrono::steady_clock::now();
@@ -255,17 +269,18 @@ struct ExperimentRunner::Impl
                     continue;
                 if (now - cell.jobStart < policy.jobTimeout)
                     continue;
-                doomWorker(cell, now);
+                doomWorkerLocked(cell, now);
             }
         }
     }
 
-    /** Declare @p cell's job timed out; replace the worker (mutex
-     *  held). The stuck thread is detached — it cannot be interrupted,
-     *  only abandoned — and exits on its own if the job ever returns. */
+    /** Declare @p cell's job timed out; replace the worker. The
+     *  stuck thread is detached — it cannot be interrupted, only
+     *  abandoned — and exits on its own if the job ever returns. */
     void
-    doomWorker(WorkerCell &cell,
-               std::chrono::steady_clock::time_point now)
+    doomWorkerLocked(WorkerCell &cell,
+                     std::chrono::steady_clock::time_point now)
+        REQUIRES(mutex)
     {
         std::size_t index = cell.jobIndex;
         double secs =
@@ -283,32 +298,36 @@ struct ExperimentRunner::Impl
         ++completed;
         cell.doomed = true;
         cell.thread.detach();
-        spawnWorker();
+        spawnWorkerLocked();
         allDone.notify_all();
     }
 
-    /** Wait for all accounted jobs (mutex NOT held). */
     void
-    waitDrained()
+    waitDrained() EXCLUDES(mutex)
     {
-        std::unique_lock<std::mutex> lock(mutex);
-        allDone.wait(lock,
-                     [this]() { return completed == submitted; });
+        core::UniqueLock lock(mutex);
+        while (completed != submitted)
+            allDone.wait(lock.native());
     }
 
     void
-    stop()
+    stop() EXCLUDES(mutex)
     {
         waitDrained();
+        std::vector<std::shared_ptr<WorkerCell>> to_join;
         {
-            std::lock_guard<std::mutex> lock(mutex);
+            core::MutexLock lock(mutex);
             shutdown = true;
             watchdogStop = true;
+            // Join outside the lock: a worker still parked on
+            // workReady needs the mutex to wake, and the watchdog
+            // (pre-stop) could grow `workers` mid-iteration.
+            to_join = workers;
         }
         workReady.notify_all();
         watchdogWake.notify_all();
         // Joinable = never doomed (doomed threads were detached).
-        for (auto &cell : workers)
+        for (auto &cell : to_join)
             if (cell->thread.joinable())
                 cell->thread.join();
         if (watchdog.joinable())
@@ -347,7 +366,7 @@ ExperimentRunner::submit(std::function<void()> job)
     Impl &s = *impl_;
     std::size_t index;
     {
-        std::lock_guard<std::mutex> lock(s.mutex);
+        core::MutexLock lock(s.mutex);
         index = s.submitted++;
         s.errors.emplace_back();
         s.reports.emplace_back();
@@ -359,7 +378,7 @@ ExperimentRunner::submit(std::function<void()> job)
         return index;
     }
     {
-        std::lock_guard<std::mutex> lock(s.mutex);
+        core::MutexLock lock(s.mutex);
         s.queue.emplace_back(std::move(job), index);
     }
     s.workReady.notify_one();
@@ -375,7 +394,7 @@ ExperimentRunner::waitAll()
 std::vector<JobReport>
 ExperimentRunner::reports() const
 {
-    std::lock_guard<std::mutex> lock(impl_->mutex);
+    core::MutexLock lock(impl_->mutex);
     return impl_->reports;
 }
 
@@ -383,15 +402,23 @@ void
 ExperimentRunner::wait()
 {
     impl_->waitDrained();
-    // All workers are idle now; errors is stable without the lock
-    // (doomed stragglers never touch accounted slots).
-    for (std::exception_ptr &error : impl_->errors) {
-        if (error) {
-            std::exception_ptr e = error;
-            error = nullptr;
-            std::rethrow_exception(e);
+    // A doomed straggler can still reach its accounting section
+    // after the drain observes completed == submitted, so `errors`
+    // is only stable under the lock. Extract the earliest failure
+    // there and rethrow outside it.
+    std::exception_ptr first;
+    {
+        core::MutexLock lock(impl_->mutex);
+        for (std::exception_ptr &error : impl_->errors) {
+            if (error) {
+                first = error;
+                error = nullptr;
+                break;
+            }
         }
     }
+    if (first)
+        std::rethrow_exception(first);
 }
 
 } // namespace ringsim::runner

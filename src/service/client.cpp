@@ -8,13 +8,14 @@
 
 #include <algorithm>
 #include <cerrno>
-#include <chrono>
 #include <cstring>
+#include <chrono>
 #include <thread>
 #include <utility>
 
 #include "service/socket_server.hpp"
 #include "util/logging.hpp"
+#include "util/posix_error.hpp"
 
 namespace ringsim::service {
 
@@ -66,7 +67,7 @@ ServiceClient::tryConnect(const std::string &endpoint,
     if (tcp_port > 0) {
         fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
         if (fd_ < 0) {
-            *error = strprintf("socket: %s", std::strerror(errno));
+            *error = strprintf("socket: %s", util::errnoString(errno).c_str());
             return false;
         }
         sockaddr_in addr{};
@@ -76,7 +77,7 @@ ServiceClient::tryConnect(const std::string &endpoint,
         if (::connect(fd_, reinterpret_cast<sockaddr *>(&addr),
                       sizeof(addr)) != 0) {
             *error = strprintf("connect 127.0.0.1:%d: %s", tcp_port,
-                               std::strerror(errno));
+                               util::errnoString(errno).c_str());
             closeFd();
             return false;
         }
@@ -84,7 +85,7 @@ ServiceClient::tryConnect(const std::string &endpoint,
     }
     fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
     if (fd_ < 0) {
-        *error = strprintf("socket: %s", std::strerror(errno));
+        *error = strprintf("socket: %s", util::errnoString(errno).c_str());
         return false;
     }
     sockaddr_un addr{};
@@ -94,7 +95,7 @@ ServiceClient::tryConnect(const std::string &endpoint,
     if (::connect(fd_, reinterpret_cast<sockaddr *>(&addr),
                   sizeof(addr)) != 0) {
         *error = strprintf("connect %s: %s", unix_path.c_str(),
-                           std::strerror(errno));
+                           util::errnoString(errno).c_str());
         closeFd();
         return false;
     }
@@ -118,7 +119,7 @@ ServiceClient::tryRequest(const std::string &line,
         ssize_t w = ::send(fd_, out.data() + off, out.size() - off,
                            MSG_NOSIGNAL);
         if (w <= 0) {
-            *error = strprintf("write: %s", std::strerror(errno));
+            *error = strprintf("write: %s", util::errnoString(errno).c_str());
             return false;
         }
         off += static_cast<std::size_t>(w);
@@ -135,7 +136,7 @@ ServiceClient::tryRequest(const std::string &line,
         if (n <= 0) {
             *error = n == 0 ? "connection closed by server"
                             : strprintf("read: %s",
-                                        std::strerror(errno));
+                                        util::errnoString(errno).c_str());
             return false;
         }
         buffer_.append(chunk, static_cast<std::size_t>(n));

@@ -1,0 +1,97 @@
+#include "connection_registry.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace ringsim::service {
+
+ConnectionRegistry::~ConnectionRegistry()
+{
+    joinAll();
+}
+
+std::uint64_t
+ConnectionRegistry::launch(std::function<void()> body)
+{
+    core::MutexLock lock(mutex_);
+    std::uint64_t id = next_id_++;
+    ++launched_;
+    Slot slot;
+    slot.id = id;
+    // The thread starts while the lock is held: its finish(id) blocks
+    // on mutex_ until this slot is registered, so a body that returns
+    // instantly cannot race its own registration.
+    slot.thread = std::thread([this, id, body = std::move(body)]() {
+        body();
+        finish(id);
+    });
+    live_.push_back(std::move(slot));
+    return id;
+}
+
+void
+ConnectionRegistry::finish(std::uint64_t id)
+{
+    core::MutexLock lock(mutex_);
+    // The body has returned either way; count it even when joinAll()
+    // already claimed the slot (its join is waiting on this thread).
+    ++finished_count_;
+    auto it = std::find_if(live_.begin(), live_.end(),
+                           [&](const Slot &s) { return s.id == id; });
+    if (it == live_.end())
+        return;
+    finished_.push_back(std::move(*it));
+    live_.erase(it);
+}
+
+void
+ConnectionRegistry::reapFinished()
+{
+    // Claim under the lock, join outside it: the joined thread's own
+    // finish() needs the lock to return.
+    std::vector<Slot> done;
+    {
+        core::MutexLock lock(mutex_);
+        done.swap(finished_);
+        joined_ += done.size();
+    }
+    for (Slot &s : done)
+        if (s.thread.joinable())
+            s.thread.join();
+}
+
+void
+ConnectionRegistry::joinAll()
+{
+    std::vector<Slot> all;
+    {
+        core::MutexLock lock(mutex_);
+        all.reserve(live_.size() + finished_.size());
+        for (Slot &s : live_)
+            all.push_back(std::move(s));
+        live_.clear();
+        for (Slot &s : finished_)
+            all.push_back(std::move(s));
+        finished_.clear();
+        joined_ += all.size();
+    }
+    // A still-live body later calls finish(id), finds its slot gone
+    // and returns — joining here simply waits for that.
+    for (Slot &s : all)
+        if (s.thread.joinable())
+            s.thread.join();
+}
+
+ConnectionRegistry::Counts
+ConnectionRegistry::counts() const
+{
+    core::MutexLock lock(mutex_);
+    Counts c;
+    c.launched = launched_;
+    c.finished = finished_count_;
+    c.joined = joined_;
+    c.live = live_.size();
+    return c;
+}
+
+} // namespace ringsim::service

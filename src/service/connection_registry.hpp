@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Joinable registry of connection pump threads.
+ *
+ * The socket front-end spawns one thread per accepted connection.
+ * Tracking them used to be ad hoc — a shared_ptr<atomic<bool>> "done"
+ * flag per thread plus a manual sweep in the accept loop — which
+ * worked but was unannotated, untested and easy to get subtly wrong.
+ * ConnectionRegistry owns the whole lifecycle instead:
+ *
+ *   launch(body)   registers a slot and starts a thread that runs
+ *                  @p body and then retires its own slot. The slot is
+ *                  registered while the registry lock is held, so a
+ *                  body that returns instantly cannot race its own
+ *                  registration.
+ *   reapFinished() joins every retired thread (call opportunistically
+ *                  from the accept loop so a long-running daemon never
+ *                  accumulates one thread object per connection ever
+ *                  accepted).
+ *   joinAll()      claims every slot — live or retired — and joins the
+ *                  threads; the destructor calls it. Live bodies must
+ *                  already have a reason to exit (closed fds, a
+ *                  shutdown flag): the registry joins, it does not
+ *                  interrupt.
+ *
+ * Thread-safe; lock discipline is annotated for Clang Thread Safety
+ * Analysis (core/thread_annotations.hpp). Joins always happen outside
+ * the lock, so a retiring thread's finish() can never deadlock
+ * against a concurrent reap.
+ */
+
+#ifndef RINGSIM_SERVICE_CONNECTION_REGISTRY_HPP
+#define RINGSIM_SERVICE_CONNECTION_REGISTRY_HPP
+
+#include <cstdint>
+#include <functional>
+#include <thread>
+#include <vector>
+
+#include "core/thread_annotations.hpp"
+
+namespace ringsim::service {
+
+class ConnectionRegistry
+{
+  public:
+    ConnectionRegistry() = default;
+
+    /** Joins every remaining thread (joinAll). */
+    ~ConnectionRegistry();
+
+    ConnectionRegistry(const ConnectionRegistry &) = delete;
+    ConnectionRegistry &operator=(const ConnectionRegistry &) = delete;
+
+    /**
+     * Start a thread running @p body; returns its registry id. The
+     * thread retires its own slot when @p body returns.
+     */
+    std::uint64_t launch(std::function<void()> body) EXCLUDES(mutex_);
+
+    /** Join threads whose body has returned. */
+    void reapFinished() EXCLUDES(mutex_);
+
+    /** Join every thread, live or retired. */
+    void joinAll() EXCLUDES(mutex_);
+
+    /** Lifecycle counters (for tests and introspection). */
+    struct Counts
+    {
+        std::uint64_t launched = 0; //!< threads ever started
+        std::uint64_t finished = 0; //!< bodies that returned
+        std::uint64_t joined = 0;   //!< threads claimed for joining
+        std::size_t live = 0;       //!< bodies still running
+    };
+    Counts counts() const EXCLUDES(mutex_);
+
+  private:
+    struct Slot
+    {
+        std::uint64_t id = 0;
+        std::thread thread;
+    };
+
+    /** Retire the calling thread's slot (no-op if already claimed). */
+    void finish(std::uint64_t id) EXCLUDES(mutex_);
+
+    mutable core::Mutex mutex_;
+    std::vector<Slot> live_ GUARDED_BY(mutex_);
+    std::vector<Slot> finished_ GUARDED_BY(mutex_);
+    std::uint64_t next_id_ GUARDED_BY(mutex_) = 1;
+    std::uint64_t launched_ GUARDED_BY(mutex_) = 0;
+    std::uint64_t finished_count_ GUARDED_BY(mutex_) = 0;
+    std::uint64_t joined_ GUARDED_BY(mutex_) = 0;
+};
+
+} // namespace ringsim::service
+
+#endif // RINGSIM_SERVICE_CONNECTION_REGISTRY_HPP

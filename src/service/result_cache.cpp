@@ -115,7 +115,7 @@ ResultCache::tryUnframeEntry(const std::string &data,
 void
 ResultCache::setChaos(fault::ServiceFaultInjector *injector)
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    core::MutexLock lock(mutex_);
     chaos_ = injector;
 }
 
@@ -123,7 +123,7 @@ std::optional<std::string>
 ResultCache::get(const std::string &key)
 {
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        core::MutexLock lock(mutex_);
         auto it = index_.find(key);
         if (it != index_.end()) {
             // Touch: move to the front of the LRU.
@@ -133,10 +133,10 @@ ResultCache::get(const std::string &key)
         }
     }
     std::optional<std::string> disk = diskGet(key);
-    std::lock_guard<std::mutex> lock(mutex_);
+    core::MutexLock lock(mutex_);
     if (disk) {
         ++stats_.diskHits;
-        memPut(key, *disk);
+        memPutLocked(key, *disk);
         return disk;
     }
     ++stats_.misses;
@@ -147,9 +147,9 @@ void
 ResultCache::put(const std::string &key, const std::string &value)
 {
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        core::MutexLock lock(mutex_);
         ++stats_.stores;
-        memPut(key, value);
+        memPutLocked(key, value);
     }
     diskPut(key, value);
 }
@@ -157,19 +157,19 @@ ResultCache::put(const std::string &key, const std::string &value)
 std::size_t
 ResultCache::memEntries() const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    core::MutexLock lock(mutex_);
     return lru_.size();
 }
 
 CacheStats
 ResultCache::stats() const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    core::MutexLock lock(mutex_);
     return stats_;
 }
 
 void
-ResultCache::memPut(const std::string &key, std::string value)
+ResultCache::memPutLocked(const std::string &key, std::string value)
 {
     auto it = index_.find(key);
     if (it != index_.end()) {
@@ -195,7 +195,7 @@ ResultCache::quarantine(const std::string &path)
     bool ok = std::rename(path.c_str(), aside.c_str()) == 0;
     if (!ok)
         ok = std::remove(path.c_str()) == 0;
-    std::lock_guard<std::mutex> lock(mutex_);
+    core::MutexLock lock(mutex_);
     if (ok)
         ++stats_.quarantined;
     else
@@ -213,7 +213,7 @@ ResultCache::diskGet(const std::string &key)
         // Missing file is a plain miss; a file we cannot read is a
         // disk error.
         if (::access(path.c_str(), F_OK) == 0) {
-            std::lock_guard<std::mutex> lock(mutex_);
+            core::MutexLock lock(mutex_);
             ++stats_.diskErrors;
         }
         return std::nullopt;
@@ -251,14 +251,14 @@ ResultCache::diskPut(const std::string &key, const std::string &value)
         ok = std::rename(tmp.c_str(), path.c_str()) == 0;
     if (!ok) {
         std::remove(tmp.c_str());
-        std::lock_guard<std::mutex> lock(mutex_);
+        core::MutexLock lock(mutex_);
         ++stats_.diskErrors;
         return;
     }
 
     fault::ServiceFaultInjector *chaos;
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        core::MutexLock lock(mutex_);
         chaos = chaos_;
     }
     if (!chaos)
@@ -270,7 +270,7 @@ ResultCache::diskPut(const std::string &key, const std::string &value)
     if (chaos->tornWrite()) {
         if (::truncate(path.c_str(), static_cast<off_t>(
                            framed.size() / 2)) != 0) {
-            std::lock_guard<std::mutex> lock(mutex_);
+            core::MutexLock lock(mutex_);
             ++stats_.diskErrors;
         }
     } else if (chaos->bitFlip()) {
@@ -288,7 +288,7 @@ ResultCache::diskPut(const std::string &key, const std::string &value)
             std::fclose(rw);
         }
         if (!flipped) {
-            std::lock_guard<std::mutex> lock(mutex_);
+            core::MutexLock lock(mutex_);
             ++stats_.diskErrors;
         }
     }
@@ -302,7 +302,7 @@ ResultCache::scanDisk()
     std::vector<std::string> entries, orphans;
     DIR *d = ::opendir(dir_.c_str());
     if (!d) {
-        std::lock_guard<std::mutex> lock(mutex_);
+        core::MutexLock lock(mutex_);
         ++stats_.diskErrors;
         return 0;
     }
@@ -326,7 +326,7 @@ ResultCache::scanDisk()
         // A temp file can only be an interrupted publish: the rename
         // never happened, so nothing references it.
         if (std::remove((dir_ + "/" + name).c_str()) == 0) {
-            std::lock_guard<std::mutex> lock(mutex_);
+            core::MutexLock lock(mutex_);
             ++stats_.tmpCleaned;
         }
     }
@@ -338,7 +338,7 @@ ResultCache::scanDisk()
         std::string payload;
         bool ok = data && tryUnframeEntry(*data, &payload);
         {
-            std::lock_guard<std::mutex> lock(mutex_);
+            core::MutexLock lock(mutex_);
             ++stats_.scanned;
         }
         if (!ok) {

@@ -24,7 +24,11 @@
  * above is exactly what those faults exercise.
  *
  * Thread-safe; every method may be called from any worker or
- * connection thread.
+ * connection thread. Lock discipline is annotated for Clang Thread
+ * Safety Analysis (core/thread_annotations.hpp): mutex_ guards the
+ * memory tier and counters; disk I/O always happens *outside* the
+ * lock, so a slow or chaos-stalled disk never blocks concurrent
+ * memory-tier hits.
  */
 
 #ifndef RINGSIM_SERVICE_RESULT_CACHE_HPP
@@ -32,12 +36,12 @@
 
 #include <cstdint>
 #include <list>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
 #include <utility>
 
+#include "core/thread_annotations.hpp"
 #include "util/units.hpp"
 
 namespace ringsim::fault {
@@ -72,16 +76,18 @@ class ResultCache
     ResultCache(std::size_t mem_entries, std::string dir);
 
     /** Cached value of @p key, or nullopt. Counts the hit/miss. */
-    std::optional<std::string> get(const std::string &key);
+    std::optional<std::string> get(const std::string &key)
+        EXCLUDES(mutex_);
 
     /** Store @p value under @p key in both tiers. */
-    void put(const std::string &key, const std::string &value);
+    void put(const std::string &key, const std::string &value)
+        EXCLUDES(mutex_);
 
     /** Entries currently held in memory. */
-    std::size_t memEntries() const;
+    std::size_t memEntries() const EXCLUDES(mutex_);
 
     /** Counter snapshot. */
-    CacheStats stats() const;
+    CacheStats stats() const EXCLUDES(mutex_);
 
     /** On-disk path of @p key ("" when the disk tier is off). */
     std::string diskPath(const std::string &key) const;
@@ -104,35 +110,41 @@ class ResultCache
      * or bit-flipped for chaos testing. Not owned; must outlive the
      * cache or be detached first.
      */
-    void setChaos(fault::ServiceFaultInjector *injector);
+    void setChaos(fault::ServiceFaultInjector *injector)
+        EXCLUDES(mutex_);
 
     /**
      * Verify every on-disk entry: quarantine corrupt files, remove
      * orphaned temp files. Called by the constructor when the disk
      * tier is on; exposed for tests. Returns quarantined count.
      */
-    Count scanDisk();
+    Count scanDisk() EXCLUDES(mutex_);
 
   private:
-    /** Insert into the LRU (lock held); evicts beyond capacity. */
-    void memPut(const std::string &key, std::string value);
+    /** Insert into the LRU; evicts beyond capacity. */
+    void memPutLocked(const std::string &key, std::string value)
+        REQUIRES(mutex_);
 
-    std::optional<std::string> diskGet(const std::string &key);
-    void diskPut(const std::string &key, const std::string &value);
+    std::optional<std::string> diskGet(const std::string &key)
+        EXCLUDES(mutex_);
+    void diskPut(const std::string &key, const std::string &value)
+        EXCLUDES(mutex_);
 
-    /** Rename @p path aside and count it (its own lock). */
-    void quarantine(const std::string &path);
+    /** Rename @p path aside and count it (takes the lock itself). */
+    void quarantine(const std::string &path) EXCLUDES(mutex_);
 
     const std::size_t capacity_;
     const std::string dir_;
 
-    mutable std::mutex mutex_;
+    mutable core::Mutex mutex_;
     /** Most recent at front; each node is (key, value). */
-    std::list<std::pair<std::string, std::string>> lru_;
+    std::list<std::pair<std::string, std::string>> lru_
+        GUARDED_BY(mutex_);
     /** Keyed lookup only (never iterated — see the lint rule). */
-    std::unordered_map<std::string, decltype(lru_)::iterator> index_;
-    CacheStats stats_;
-    fault::ServiceFaultInjector *chaos_ = nullptr;
+    std::unordered_map<std::string, decltype(lru_)::iterator> index_
+        GUARDED_BY(mutex_);
+    CacheStats stats_ GUARDED_BY(mutex_);
+    fault::ServiceFaultInjector *chaos_ GUARDED_BY(mutex_) = nullptr;
 };
 
 } // namespace ringsim::service

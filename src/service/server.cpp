@@ -80,7 +80,7 @@ ServiceCore::~ServiceCore()
 bool
 ServiceCore::shutdownRequested() const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    core::MutexLock lock(mutex_);
     return shutdown_;
 }
 
@@ -91,13 +91,13 @@ ServiceCore::handleLine(const std::string &client,
     util::JsonValue req;
     std::string parse_error;
     if (!tryParseJson(line, &req, &parse_error)) {
-        std::lock_guard<std::mutex> lock(mutex_);
+        core::MutexLock lock(mutex_);
         bad_requests_.inc();
         return errorResponse(nullptr, "bad request: " + parse_error)
             .dump();
     }
     if (!req.isObject()) {
-        std::lock_guard<std::mutex> lock(mutex_);
+        core::MutexLock lock(mutex_);
         bad_requests_.inc();
         return errorResponse(nullptr,
                              "bad request: expected a JSON object")
@@ -121,7 +121,7 @@ ServiceCore::handleLine(const std::string &client,
         return handleStatsz();
     if (op == "shutdown") {
         {
-            std::lock_guard<std::mutex> lock(mutex_);
+            core::MutexLock lock(mutex_);
             shutdown_ = true;
         }
         done_cv_.notify_all();
@@ -130,7 +130,7 @@ ServiceCore::handleLine(const std::string &client,
         o.set("op", util::JsonValue::string("shutdown"));
         return o.dump();
     }
-    std::lock_guard<std::mutex> lock(mutex_);
+    core::MutexLock lock(mutex_);
     bad_requests_.inc();
     return errorResponse(nullptr,
                          "op = '" + op +
@@ -148,7 +148,7 @@ ServiceCore::handleSubmit(const std::string &client,
     bool wait = req.getBool("wait", false, &errors);
     const util::JsonValue *job = req.find("job");
     if (!job) {
-        std::lock_guard<std::mutex> lock(mutex_);
+        core::MutexLock lock(mutex_);
         bad_requests_.inc();
         return errorResponse("submit", "job = <missing>: a submit "
                                        "needs a job object")
@@ -159,7 +159,7 @@ ServiceCore::handleSubmit(const std::string &client,
     if (!JobSpec::tryParse(*job, cfg_.enableTestJobs, &spec,
                            &parse_error) ||
         !errors.empty()) {
-        std::lock_guard<std::mutex> lock(mutex_);
+        core::MutexLock lock(mutex_);
         bad_requests_.inc();
         return errorResponse("submit", parse_error.empty()
                                            ? errors.front()
@@ -177,7 +177,7 @@ ServiceCore::handleSubmit(const std::string &client,
             if (tryParseJson(*hit, &result, &cache_error)) {
                 std::uint64_t id;
                 {
-                    std::lock_guard<std::mutex> lock(mutex_);
+                    core::MutexLock lock(mutex_);
                     submitted_.inc();
                     cache_answers_.inc();
                     id = next_id_++;
@@ -197,84 +197,95 @@ ServiceCore::handleSubmit(const std::string &client,
         }
     }
 
+    // Admission decision under the lock; the shed/degraded responses
+    // (and the degraded-model solve itself) compose outside it.
     std::uint64_t id = 0;
+    bool shed = false;
+    bool try_degrade = false;
+    std::size_t busy = 0;
+    std::uint64_t factor = 1;
     {
-        std::unique_lock<std::mutex> lock(mutex_);
+        core::MutexLock lock(mutex_);
         submitted_.inc();
         if (active_ >= cfg_.queueDepth) {
+            shed = true;
             shed_.inc();
             // Scale the hint with how many "pool drains" of work are
             // already queued: a deeper backlog earns a longer backoff.
             std::size_t queued = active_ - std::min<std::size_t>(
                                                active_, pool_->jobs());
-            std::uint64_t factor = 1 + queued / std::max(
-                                           1u, pool_->jobs());
-            std::size_t busy = active_;
-
+            factor = 1 + queued / std::max(1u, pool_->jobs());
+            busy = active_;
             if (cfg_.degradeToModel && spec.allowDegraded &&
                 spec.degradable()) {
-                // Model-tier fallback: answer in milliseconds on
-                // this connection's thread instead of shedding. The
-                // estimate is never cached — the exact answer should
-                // still be computed (and memoized) on a calm retry.
+                try_degrade = true;
                 id = next_id_++;
-                lock.unlock();
-                try {
-                    util::JsonValue result =
-                        executeDegraded(spec, cfg_.jobsPerSweep);
-                    {
-                        std::lock_guard<std::mutex> relock(mutex_);
-                        degraded_.inc();
-                    }
-                    util::JsonValue o = util::JsonValue::object();
-                    o.set("ok", util::JsonValue::boolean(true));
-                    o.set("op", util::JsonValue::string("submit"));
-                    o.set("id", util::JsonValue::integer(id));
-                    o.set("state", util::JsonValue::string("done"));
-                    o.set("cached", util::JsonValue::boolean(false));
-                    o.set("degraded", util::JsonValue::boolean(true));
-                    o.set("result", std::move(result));
-                    return o.dump();
-                } catch (const std::exception &e) {
-                    warn("service: degraded fallback failed: %s",
-                         e.what());
-                    lock.lock();
-                }
             }
+        } else {
+            admitted_.inc();
+            ++active_;
+            id = next_id_++;
+            JobRecord rec;
+            rec.id = id;
+            rec.client = who;
+            rec.spec = spec;
+            rec.key = key;
+            rec.enqueued = Clock::now();
+            jobs_.emplace(id, std::move(rec));
 
-            util::JsonValue o =
-                errorResponse("submit",
-                              strprintf("overloaded: %zu of %zu "
-                                        "slots busy",
-                                        busy, cfg_.queueDepth));
-            o.set("retry_after_ms",
-                  util::JsonValue::integer(cfg_.retryAfterMs * factor +
-                                           retryJitter(who)));
-            return o.dump();
+            // Find (or open) this client's FIFO. The client set is
+            // tiny — a linear scan keeps the visit order
+            // deterministic.
+            auto it = std::find_if(queues_.begin(), queues_.end(),
+                                   [&](const ClientQueue &q) {
+                                       return q.name == who;
+                                   });
+            if (it == queues_.end()) {
+                queues_.push_back(ClientQueue{who, {}});
+                it = std::prev(queues_.end());
+            }
+            it->pending.push_back(id);
         }
-        admitted_.inc();
-        ++active_;
-        id = next_id_++;
-        JobRecord rec;
-        rec.id = id;
-        rec.client = who;
-        rec.spec = spec;
-        rec.key = key;
-        rec.enqueued = Clock::now();
-        jobs_.emplace(id, std::move(rec));
-
-        // Find (or open) this client's FIFO. The client set is tiny —
-        // a linear scan keeps the visit order deterministic.
-        auto it = std::find_if(queues_.begin(), queues_.end(),
-                               [&](const ClientQueue &q) {
-                                   return q.name == who;
-                               });
-        if (it == queues_.end()) {
-            queues_.push_back(ClientQueue{who, {}});
-            it = std::prev(queues_.end());
-        }
-        it->pending.push_back(id);
     }
+
+    if (shed) {
+        if (try_degrade) {
+            // Model-tier fallback: answer in milliseconds on this
+            // connection's thread instead of shedding. The estimate
+            // is never cached — the exact answer should still be
+            // computed (and memoized) on a calm retry.
+            try {
+                util::JsonValue result =
+                    executeDegraded(spec, cfg_.jobsPerSweep);
+                {
+                    core::MutexLock lock(mutex_);
+                    degraded_.inc();
+                }
+                util::JsonValue o = util::JsonValue::object();
+                o.set("ok", util::JsonValue::boolean(true));
+                o.set("op", util::JsonValue::string("submit"));
+                o.set("id", util::JsonValue::integer(id));
+                o.set("state", util::JsonValue::string("done"));
+                o.set("cached", util::JsonValue::boolean(false));
+                o.set("degraded", util::JsonValue::boolean(true));
+                o.set("result", std::move(result));
+                return o.dump();
+            } catch (const std::exception &e) {
+                warn("service: degraded fallback failed: %s",
+                     e.what());
+            }
+        }
+        util::JsonValue o =
+            errorResponse("submit",
+                          strprintf("overloaded: %zu of %zu "
+                                    "slots busy",
+                                    busy, cfg_.queueDepth));
+        o.set("retry_after_ms",
+              util::JsonValue::integer(cfg_.retryAfterMs * factor +
+                                       retryJitter(who)));
+        return o.dump();
+    }
+
     pool_->submit([this]() { runOne(); });
 
     if (!wait) {
@@ -291,9 +302,9 @@ ServiceCore::handleSubmit(const std::string &client,
 
     // Synchronous submit: block this connection until the job leaves
     // the pool (or the lazy watchdog declares it overdue).
-    std::unique_lock<std::mutex> lock(mutex_);
+    core::UniqueLock lock(mutex_);
     for (;;) {
-        reapOverdue(Clock::now());
+        reapOverdueLocked(Clock::now());
         auto it = jobs_.find(id);
         if (it == jobs_.end()) {
             return errorResponse("submit",
@@ -310,7 +321,8 @@ ServiceCore::handleSubmit(const std::string &client,
             o.set("op", util::JsonValue::string("submit"));
             return o.dump();
         }
-        done_cv_.wait_for(lock, std::chrono::milliseconds(50));
+        done_cv_.wait_for(lock.native(),
+                          std::chrono::milliseconds(50));
     }
 }
 
@@ -319,47 +331,77 @@ ServiceCore::handlePoll(const util::JsonValue &req)
 {
     std::vector<std::string> errors;
     std::uint64_t id = req.getU64("id", 0, &errors);
-    std::unique_lock<std::mutex> lock(mutex_);
-    if (!errors.empty() || id == 0) {
-        bad_requests_.inc();
-        return errorResponse("poll", errors.empty()
-                                         ? "id = 0: a poll needs the "
-                                           "id a submit returned"
-                                         : errors.front())
-            .dump();
-    }
-    reapOverdue(Clock::now());
-    auto it = jobs_.find(id);
-    if (it == jobs_.end()) {
-        return errorResponse("poll",
-                             strprintf("id = %llu: unknown or "
-                                       "expired job",
-                                       static_cast<unsigned long long>(
-                                           id)))
-            .dump();
-    }
 
-    // Watchdog escalation: the first poll of an abandoned job
-    // computes the model-tier estimate so the caller gets a partial
-    // answer instead of a bare timeout. degradeStarted claims the
-    // escalation exactly once across concurrent pollers.
-    if (it->second.state == JobState::TimedOut &&
-        cfg_.degradeToModel && it->second.spec.allowDegraded &&
-        it->second.spec.degradable() && !it->second.degradeStarted) {
-        it->second.degradeStarted = true;
-        JobSpec spec = it->second.spec;
-        attachDegradedLocked(lock, id, spec);
-        it = jobs_.find(id);
+    // First pass under the lock: either render the job's state, or —
+    // for the first poll of a watchdog-abandoned degradable job —
+    // claim the degradation escalation and fall through to compute
+    // the model estimate off-lock.
+    JobSpec degrade_spec;
+    {
+        core::MutexLock lock(mutex_);
+        if (!errors.empty() || id == 0) {
+            bad_requests_.inc();
+            return errorResponse("poll",
+                                 errors.empty()
+                                     ? "id = 0: a poll needs the "
+                                       "id a submit returned"
+                                     : errors.front())
+                .dump();
+        }
+        reapOverdueLocked(Clock::now());
+        auto it = jobs_.find(id);
         if (it == jobs_.end()) {
             return errorResponse(
                        "poll",
-                       strprintf("id = %llu: record evicted during "
-                                 "degraded escalation",
+                       strprintf("id = %llu: unknown or expired job",
                                  static_cast<unsigned long long>(id)))
                 .dump();
         }
+        // degradeStarted claims the escalation exactly once across
+        // concurrent pollers.
+        if (it->second.state == JobState::TimedOut &&
+            cfg_.degradeToModel && it->second.spec.allowDegraded &&
+            it->second.spec.degradable() &&
+            !it->second.degradeStarted) {
+            it->second.degradeStarted = true;
+            degrade_spec = it->second.spec;
+        } else {
+            util::JsonValue o = jobJsonLocked(it->second);
+            o.set("op", util::JsonValue::string("poll"));
+            return o.dump();
+        }
     }
 
+    // Watchdog escalation: compute the model-tier estimate outside
+    // the lock so other requests keep flowing, then attach it (if
+    // the record still exists) so the caller gets a partial answer
+    // instead of a bare timeout.
+    std::string result, error;
+    try {
+        result = executeDegraded(degrade_spec, cfg_.jobsPerSweep)
+                     .dump();
+    } catch (const std::exception &e) {
+        error = e.what();
+    }
+
+    core::MutexLock lock(mutex_);
+    auto it = jobs_.find(id);
+    if (it == jobs_.end()) {
+        return errorResponse(
+                   "poll",
+                   strprintf("id = %llu: record evicted during "
+                             "degraded escalation",
+                             static_cast<unsigned long long>(id)))
+            .dump();
+    }
+    if (error.empty()) {
+        degraded_.inc();
+        it->second.degraded = true;
+        it->second.result = std::move(result);
+    } else {
+        warn("service: degraded escalation for job %llu failed: %s",
+             static_cast<unsigned long long>(id), error.c_str());
+    }
     util::JsonValue o = jobJsonLocked(it->second);
     o.set("op", util::JsonValue::string("poll"));
     return o.dump();
@@ -370,7 +412,7 @@ ServiceCore::handleCancel(const util::JsonValue &req)
 {
     std::vector<std::string> errors;
     std::uint64_t id = req.getU64("id", 0, &errors);
-    std::lock_guard<std::mutex> lock(mutex_);
+    core::MutexLock lock(mutex_);
     if (!errors.empty() || id == 0) {
         bad_requests_.inc();
         return errorResponse("cancel",
@@ -407,7 +449,7 @@ ServiceCore::handleCancel(const util::JsonValue &req)
 void
 ServiceCore::clientGone(const std::string &client)
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    core::MutexLock lock(mutex_);
     for (const ClientQueue &q : queues_) {
         if (q.name != client)
             continue;
@@ -422,32 +464,6 @@ ServiceCore::clientGone(const std::string &client)
         }
     }
     done_cv_.notify_all();
-}
-
-void
-ServiceCore::attachDegradedLocked(std::unique_lock<std::mutex> &lock,
-                                  std::uint64_t id,
-                                  const JobSpec &spec)
-{
-    lock.unlock();
-    std::string result, error;
-    try {
-        result = executeDegraded(spec, cfg_.jobsPerSweep).dump();
-    } catch (const std::exception &e) {
-        error = e.what();
-    }
-    lock.lock();
-    auto it = jobs_.find(id);
-    if (it == jobs_.end())
-        return; // trimmed while we computed; nothing to attach
-    if (!error.empty()) {
-        warn("service: degraded escalation for job %llu failed: %s",
-             static_cast<unsigned long long>(id), error.c_str());
-        return;
-    }
-    degraded_.inc();
-    it->second.degraded = true;
-    it->second.result = std::move(result);
 }
 
 std::uint64_t
@@ -467,8 +483,8 @@ std::string
 ServiceCore::handleStatsz()
 {
     CacheStats cs = cache_->stats();
-    std::lock_guard<std::mutex> lock(mutex_);
-    reapOverdue(Clock::now());
+    core::MutexLock lock(mutex_);
+    reapOverdueLocked(Clock::now());
 
     util::JsonValue o = util::JsonValue::object();
     o.set("ok", util::JsonValue::boolean(true));
@@ -540,7 +556,7 @@ ServiceCore::handleStatsz()
 }
 
 std::uint64_t
-ServiceCore::pickNext()
+ServiceCore::pickNextLocked()
 {
     // Round-robin: resume the sweep one past the last served client,
     // take the head of the first non-empty FIFO.
@@ -562,9 +578,10 @@ ServiceCore::runOne()
 {
     std::uint64_t id = 0;
     JobSpec spec;
+    std::string key;
     {
-        std::lock_guard<std::mutex> lock(mutex_);
-        id = pickNext();
+        core::MutexLock lock(mutex_);
+        id = pickNextLocked();
         // A record can vanish before this task picks it up (reaped
         // waiter, evicted job) or stop being runnable (cancelled or
         // deadline-expired while queued), but the task still owns one
@@ -581,6 +598,7 @@ ServiceCore::runOne()
         it->second.started = Clock::now();
         running_.push_back(id);
         spec = it->second.spec;
+        key = it->second.key;
     }
 
     std::string result, error;
@@ -592,13 +610,24 @@ ServiceCore::runOne()
         error = e.what();
     }
 
-    std::lock_guard<std::mutex> lock(mutex_);
+    // Publish to the cache *before* taking the lock: the disk write
+    // (and any chaos stall on it) must not serialize the whole
+    // service, and memoization-before-visibility keeps the warm-hit
+    // guarantee — a waiter that observes Done can resubmit and hit.
+    // A job cancelled or abandoned while running still publishes:
+    // its result is deterministic and correct, only unclaimed.
+    if (ok && !key.empty())
+        cache_->put(key, result);
+
+    core::MutexLock lock(mutex_);
     running_.erase(std::remove(running_.begin(), running_.end(), id),
                    running_.end());
     --active_;
     auto it = jobs_.find(id);
-    if (it == jobs_.end())
+    if (it == jobs_.end()) {
+        done_cv_.notify_all();
         return;
+    }
     JobRecord &rec = it->second;
     if (rec.state == JobState::TimedOut ||
         rec.state == JobState::Cancelled) {
@@ -613,8 +642,6 @@ ServiceCore::runOne()
     latency_ms_.add(ms);
     latency_hist_.add(ms);
     if (ok) {
-        if (!rec.key.empty())
-            cache_->put(rec.key, result);
         completed_.inc();
         finishLocked(rec, JobState::Done, std::move(result));
     } else {
@@ -625,7 +652,7 @@ ServiceCore::runOne()
 }
 
 void
-ServiceCore::reapOverdue(Clock::time_point now)
+ServiceCore::reapOverdueLocked(Clock::time_point now)
 {
     // Running jobs: the watchdog budget counts from dispatch, a
     // deadline from admission. Either one expiring abandons the

@@ -48,6 +48,14 @@
  * analytic-model tier, tagged degraded:true with an error bound; a
  * watchdog-abandoned job surfaces the same estimate as a partial
  * result on the next poll. Degraded answers are never cached.
+ *
+ * Concurrency: one core::Mutex guards every piece of job state (the
+ * annotations below are checked by Clang Thread Safety Analysis, see
+ * core/thread_annotations.hpp and DESIGN.md §15). Job execution, the
+ * degraded-model solve and cache publication all happen *outside*
+ * the lock — the locked sections are bookkeeping only. The lifecycle
+ * transitions those sections implement are model-checked exhaustively
+ * by the src/verify/ service schedule explorer.
  */
 
 #ifndef RINGSIM_SERVICE_SERVER_HPP
@@ -58,11 +66,11 @@
 #include <cstdint>
 #include <deque>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "core/thread_annotations.hpp"
 #include "runner/experiment_runner.hpp"
 #include "service/config.hpp"
 #include "service/job.hpp"
@@ -101,17 +109,17 @@ class ServiceCore
      * and return the one-line response (no trailing newline).
      */
     std::string handleLine(const std::string &client,
-                           const std::string &line);
+                           const std::string &line) EXCLUDES(mutex_);
 
     /** True once a shutdown request has been accepted. */
-    bool shutdownRequested() const;
+    bool shutdownRequested() const EXCLUDES(mutex_);
 
     /**
      * The connection identified by @p client is gone: cancel its
      * still-queued jobs (running jobs finish — their results are
      * cacheable even if nobody is left to read them).
      */
-    void clientGone(const std::string &client);
+    void clientGone(const std::string &client) EXCLUDES(mutex_);
 
     /** The cache (exposed for tests and statsz). */
     const ResultCache &cache() const { return *cache_; }
@@ -139,62 +147,60 @@ class ServiceCore
     };
 
     std::string handleSubmit(const std::string &client,
-                             const util::JsonValue &req);
-    std::string handlePoll(const util::JsonValue &req);
-    std::string handleCancel(const util::JsonValue &req);
-    std::string handleStatsz();
-
-    /**
-     * Degradation escalation for an abandoned job: compute the model
-     * estimate outside the lock and attach it to @p id (if the
-     * record still exists). @p lock is held on entry and exit.
-     */
-    void attachDegradedLocked(std::unique_lock<std::mutex> &lock,
-                              std::uint64_t id, const JobSpec &spec);
+                             const util::JsonValue &req)
+        EXCLUDES(mutex_);
+    std::string handlePoll(const util::JsonValue &req)
+        EXCLUDES(mutex_);
+    std::string handleCancel(const util::JsonValue &req)
+        EXCLUDES(mutex_);
+    std::string handleStatsz() EXCLUDES(mutex_);
 
     /** Deterministic per-client retry jitter in [0, retryAfterMs). */
     std::uint64_t retryJitter(const std::string &client) const;
 
     /** Pool slot body: pick the next job fairly and execute it. */
-    void runOne();
+    void runOne() EXCLUDES(mutex_);
 
-    /** Pick the next job id round-robin over clients (lock held). */
-    std::uint64_t pickNext();
+    /** Pick the next job id round-robin over clients. */
+    std::uint64_t pickNextLocked() REQUIRES(mutex_);
 
     /**
      * Mark running jobs past the watchdog budget or their deadline,
-     * and cancel queued jobs whose deadline expired (lock held).
+     * and cancel queued jobs whose deadline expired.
      */
-    void reapOverdue(std::chrono::steady_clock::time_point now);
+    void reapOverdueLocked(std::chrono::steady_clock::time_point now)
+        REQUIRES(mutex_);
 
-    /** Retire @p rec into the done set (lock held). */
+    /** Retire @p rec into the done set. */
     void finishLocked(JobRecord &rec, JobState state,
-                      std::string result_or_error);
+                      std::string result_or_error) REQUIRES(mutex_);
 
     /** Drop oldest retained records beyond cfg_.retainDone. */
-    void trimDoneLocked();
+    void trimDoneLocked() REQUIRES(mutex_);
 
-    /** Render a job's poll/submit view (lock held). */
-    util::JsonValue jobJsonLocked(const JobRecord &rec) const;
+    /** Render a job's poll/submit view. */
+    util::JsonValue jobJsonLocked(const JobRecord &rec) const
+        REQUIRES(mutex_);
 
     const ServiceConfig cfg_;
     std::unique_ptr<ResultCache> cache_;
     std::unique_ptr<fault::ServiceFaultInjector> chaos_;
     std::unique_ptr<runner::ExperimentRunner> pool_;
 
-    mutable std::mutex mutex_;
+    mutable core::Mutex mutex_;
     std::condition_variable done_cv_;
-    bool shutdown_ = false;
-    std::uint64_t next_id_ = 1;
+    bool shutdown_ GUARDED_BY(mutex_) = false;
+    std::uint64_t next_id_ GUARDED_BY(mutex_) = 1;
 
     /** Keyed lookup only (never iterated — see the lint rule). */
-    std::unordered_map<std::uint64_t, JobRecord> jobs_;
+    std::unordered_map<std::uint64_t, JobRecord> jobs_
+        GUARDED_BY(mutex_);
 
     /** Ids of running jobs, in start order (for the lazy watchdog). */
-    std::vector<std::uint64_t> running_;
+    std::vector<std::uint64_t> running_ GUARDED_BY(mutex_);
 
     /** Retained finished ids, oldest first (for trimDoneLocked). */
-    std::deque<std::uint64_t> done_order_;
+    std::deque<std::uint64_t> done_order_ GUARDED_BY(mutex_);
 
     /** Per-client pending FIFOs, visited round-robin. */
     struct ClientQueue
@@ -202,29 +208,32 @@ class ServiceCore
         std::string name;
         std::deque<std::uint64_t> pending;
     };
-    std::vector<ClientQueue> queues_;
-    std::size_t rr_next_ = 0;
+    std::vector<ClientQueue> queues_ GUARDED_BY(mutex_);
+    std::size_t rr_next_ GUARDED_BY(mutex_) = 0;
 
     /** queued + running (admission bound). */
-    std::size_t active_ = 0;
+    std::size_t active_ GUARDED_BY(mutex_) = 0;
 
     // Counters for /statsz.
-    stats::Counter submitted_;
-    stats::Counter admitted_;
-    stats::Counter shed_;
-    stats::Counter completed_;
-    stats::Counter failed_;
-    stats::Counter timed_out_;
-    stats::Counter late_completions_;
-    stats::Counter cache_answers_;
-    stats::Counter bad_requests_;
-    stats::Counter cancelled_;        //!< explicit + disconnect
-    stats::Counter deadline_expired_; //!< queued or running
-    stats::Counter degraded_;         //!< model-tier answers served
+    stats::Counter submitted_ GUARDED_BY(mutex_);
+    stats::Counter admitted_ GUARDED_BY(mutex_);
+    stats::Counter shed_ GUARDED_BY(mutex_);
+    stats::Counter completed_ GUARDED_BY(mutex_);
+    stats::Counter failed_ GUARDED_BY(mutex_);
+    stats::Counter timed_out_ GUARDED_BY(mutex_);
+    stats::Counter late_completions_ GUARDED_BY(mutex_);
+    stats::Counter cache_answers_ GUARDED_BY(mutex_);
+    stats::Counter bad_requests_ GUARDED_BY(mutex_);
+    /** Explicit + disconnect cancellations. */
+    stats::Counter cancelled_ GUARDED_BY(mutex_);
+    /** Deadline expiries, queued or running. */
+    stats::Counter deadline_expired_ GUARDED_BY(mutex_);
+    /** Model-tier answers served. */
+    stats::Counter degraded_ GUARDED_BY(mutex_);
 
     /** Job service latency (admission to completion), milliseconds. */
-    stats::Sampler latency_ms_;
-    stats::Histogram latency_hist_;
+    stats::Sampler latency_ms_ GUARDED_BY(mutex_);
+    stats::Histogram latency_hist_ GUARDED_BY(mutex_);
 };
 
 } // namespace ringsim::service

@@ -14,6 +14,7 @@
 #include "fault/service_faults.hpp"
 #include "service/server.hpp"
 #include "util/logging.hpp"
+#include "util/posix_error.hpp"
 
 namespace ringsim::service {
 
@@ -94,9 +95,9 @@ SocketServer::~SocketServer()
 {
     if (listen_fd_ >= 0)
         ::close(listen_fd_);
-    for (Connection &c : conns_)
-        if (c.thread.joinable())
-            c.thread.join();
+    // Pump threads exit on their own (each polls shutdownRequested
+    // with a 100 ms bound); joinAll just waits for them.
+    conns_.joinAll();
     if (unix_path_bound_)
         ::unlink(unix_path_.c_str());
 }
@@ -111,7 +112,7 @@ SocketServer::tryStart(std::string *error)
     if (tcp_port > 0) {
         listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
         if (listen_fd_ < 0) {
-            *error = strprintf("socket: %s", std::strerror(errno));
+            *error = strprintf("socket: %s", util::errnoString(errno).c_str());
             return false;
         }
         int one = 1;
@@ -124,13 +125,13 @@ SocketServer::tryStart(std::string *error)
         if (::bind(listen_fd_, reinterpret_cast<sockaddr *>(&addr),
                    sizeof(addr)) != 0) {
             *error = strprintf("bind 127.0.0.1:%d: %s", tcp_port,
-                               std::strerror(errno));
+                               util::errnoString(errno).c_str());
             return false;
         }
     } else {
         listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
         if (listen_fd_ < 0) {
-            *error = strprintf("socket: %s", std::strerror(errno));
+            *error = strprintf("socket: %s", util::errnoString(errno).c_str());
             return false;
         }
         // A stale socket file from a dead daemon would fail the bind.
@@ -142,13 +143,13 @@ SocketServer::tryStart(std::string *error)
         if (::bind(listen_fd_, reinterpret_cast<sockaddr *>(&addr),
                    sizeof(addr)) != 0) {
             *error = strprintf("bind %s: %s", unix_path_.c_str(),
-                               std::strerror(errno));
+                               util::errnoString(errno).c_str());
             return false;
         }
         unix_path_bound_ = true;
     }
     if (::listen(listen_fd_, 64) != 0) {
-        *error = strprintf("listen: %s", std::strerror(errno));
+        *error = strprintf("listen: %s", util::errnoString(errno).c_str());
         return false;
     }
     return true;
@@ -170,31 +171,13 @@ SocketServer::serve()
             continue;
         std::string client = strprintf(
             "conn%llu", static_cast<unsigned long long>(++serial));
-        auto done = std::make_shared<std::atomic<bool>>(false);
-        conns_.push_back(Connection{
-            std::thread([this, fd, client, done]() {
-                handleConnection(fd, client);
-                done->store(true);
-            }),
-            done});
-        reapFinished();
-    }
-}
-
-void
-SocketServer::reapFinished()
-{
-    // Join threads whose connection ended so a long-running daemon
-    // serving many short connections does not accumulate one thread
-    // object (and stack) per connection ever accepted.
-    auto it = conns_.begin();
-    while (it != conns_.end()) {
-        if (it->done->load()) {
-            it->thread.join();
-            it = conns_.erase(it);
-        } else {
-            ++it;
-        }
+        conns_.launch([this, fd, client]() {
+            handleConnection(fd, client);
+        });
+        // Join ended connections as we go so a long-running daemon
+        // serving many short connections does not accumulate one
+        // thread object (and stack) per connection ever accepted.
+        conns_.reapFinished();
     }
 }
 

@@ -17,11 +17,9 @@
 #ifndef RINGSIM_SERVICE_SOCKET_SERVER_HPP
 #define RINGSIM_SERVICE_SOCKET_SERVER_HPP
 
-#include <atomic>
-#include <memory>
 #include <string>
-#include <thread>
-#include <vector>
+
+#include "service/connection_registry.hpp"
 
 namespace ringsim::service {
 
@@ -53,24 +51,22 @@ class SocketServer
     /** The endpoint string this server was built with. */
     const std::string &endpoint() const { return endpoint_; }
 
-  private:
-    /** One accepted connection: its pump thread plus an exit flag the
-     * accept loop reads to join finished threads as it goes. */
-    struct Connection
+    /** Connection-thread lifecycle counters (for tests). */
+    ConnectionRegistry::Counts connectionCounts() const
     {
-        std::thread thread;
-        std::shared_ptr<std::atomic<bool>> done;
-    };
+        return conns_.counts();
+    }
 
+  private:
     void handleConnection(int fd, std::string client);
-    void reapFinished();
 
     ServiceCore &core_;
     const std::string endpoint_;
     int listen_fd_ = -1;
     bool unix_path_bound_ = false;
     std::string unix_path_;
-    std::vector<Connection> conns_;
+    /** Pump threads, one per accepted connection. */
+    ConnectionRegistry conns_;
 };
 
 /**

@@ -1,0 +1,23 @@
+#include "posix_error.hpp"
+
+#include <cstdio>
+#include <cstring>
+
+namespace ringsim::util {
+
+std::string
+errnoString(int err)
+{
+    char buf[256];
+#if defined(__GLIBC__) && defined(_GNU_SOURCE)
+    // GNU strerror_r may return a static string instead of filling
+    // buf; either way the result is immutable and thread-safe.
+    return strerror_r(err, buf, sizeof(buf));
+#else
+    if (strerror_r(err, buf, sizeof(buf)) != 0)
+        std::snprintf(buf, sizeof(buf), "errno %d", err);
+    return buf;
+#endif
+}
+
+} // namespace ringsim::util

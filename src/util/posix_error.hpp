@@ -1,0 +1,23 @@
+/**
+ * @file
+ * Thread-safe errno formatting.
+ *
+ * std::strerror returns a pointer into internal, possibly shared
+ * storage and is on clang-tidy's concurrency-mt-unsafe list; the
+ * service's connection threads format errno concurrently, so every
+ * call site uses this strerror_r-backed wrapper instead.
+ */
+
+#ifndef RINGSIM_UTIL_POSIX_ERROR_HPP
+#define RINGSIM_UTIL_POSIX_ERROR_HPP
+
+#include <string>
+
+namespace ringsim::util {
+
+/** Message for @p err (an errno value), e.g. "Connection refused". */
+std::string errnoString(int err);
+
+} // namespace ringsim::util
+
+#endif // RINGSIM_UTIL_POSIX_ERROR_HPP

@@ -3,9 +3,11 @@
  * ringsim_verify: exhaustive protocol model checker CLI.
  *
  * With no arguments, checks both ring protocols across the default
- * matrix (2/3/4 nodes x 1/2 blocks, faults off and on) and prints one
- * summary line per configuration. Exit status is 0 only when every
- * configuration is clean, so the build/CI can gate on it.
+ * matrix (2/3/4 nodes x 1/2 blocks, faults off and on), then explores
+ * the experiment-service job lifecycle across its own small matrix
+ * (workers x depth), and prints one summary line per configuration.
+ * Exit status is 0 only when every configuration is clean, so the
+ * build/CI can gate on it.
  */
 
 #include <cstdio>
@@ -15,6 +17,7 @@
 #include <vector>
 
 #include "verify/model.hpp"
+#include "verify/service_model.hpp"
 
 namespace {
 
@@ -38,8 +41,13 @@ usage()
         "  --full=on|off                product-space interleaving\n"
         "  --mutate=NAME                seed a broken transition\n"
         "  --list-mutations             print mutation names\n"
+        "  --service                    service-lifecycle group only\n"
+        "  --service-mutate=NAME        seed a broken service "
+        "transition\n"
+        "  --list-service-mutations     print service mutation names\n"
         "  --json                       machine-readable report\n"
-        "With no --nodes/--protocol, runs the full default matrix.\n");
+        "With no --nodes/--protocol, runs the full default matrix\n"
+        "(both protocol and service-lifecycle groups).\n");
 }
 
 /** Whether the product space is cheap enough for this point of the
@@ -51,9 +59,10 @@ defaultFullInterleaving(unsigned nodes, bool faults)
 }
 
 void
-printJson(const std::vector<ModelReport> &reports)
+printJson(const std::vector<ModelReport> &reports,
+          const std::vector<verify::ServiceModelReport> &service)
 {
-    std::printf("[\n");
+    std::printf("{\"protocol\": [\n");
     for (size_t i = 0; i < reports.size(); ++i) {
         const ModelReport &r = reports[i];
         std::printf(
@@ -78,7 +87,44 @@ printJson(const std::vector<ModelReport> &reports)
             static_cast<unsigned long long>(r.violationsTotal),
             i + 1 < reports.size() ? "," : "");
     }
-    std::printf("]\n");
+    std::printf("], \"service\": [\n");
+    for (size_t i = 0; i < service.size(); ++i) {
+        const verify::ServiceModelReport &r = service[i];
+        std::printf(
+            "  {\"jobs\": %u, \"clients\": %u, \"workers\": %u, "
+            "\"depth\": %u, \"mutation\": \"%s\",\n"
+            "   \"states\": %llu, \"transitions\": %llu, "
+            "\"quiescent\": %llu, \"truncated\": %s, "
+            "\"violations\": %llu}%s\n",
+            r.config.jobs, r.config.clients, r.config.workers,
+            r.config.depth,
+            verify::serviceMutationName(r.config.mutation),
+            static_cast<unsigned long long>(r.states),
+            static_cast<unsigned long long>(r.transitions),
+            static_cast<unsigned long long>(r.quiescentStates),
+            r.truncated ? "true" : "false",
+            static_cast<unsigned long long>(r.violationsTotal),
+            i + 1 < service.size() ? "," : "");
+    }
+    std::printf("]}\n");
+}
+
+/** The default service-lifecycle matrix: every worker/depth shape the
+ *  tiny model supports, all event classes enabled. */
+std::vector<verify::ServiceModelConfig>
+serviceMatrix(verify::ServiceMutation mutation)
+{
+    std::vector<verify::ServiceModelConfig> jobs;
+    for (unsigned workers : {1u, 2u}) {
+        for (unsigned depth : {1u, 2u, 3u}) {
+            verify::ServiceModelConfig c;
+            c.workers = workers;
+            c.depth = depth;
+            c.mutation = mutation;
+            jobs.push_back(c);
+        }
+    }
+    return jobs;
 }
 
 } // namespace
@@ -89,6 +135,9 @@ main(int argc, char **argv)
     bool json = false;
     bool haveProtocol = false, haveNodes = false;
     bool haveFaults = false, haveFull = false;
+    bool serviceOnly = false;
+    verify::ServiceMutation serviceMutation =
+        verify::ServiceMutation::None;
     ModelConfig base;
 
     for (int i = 1; i < argc; ++i) {
@@ -115,6 +164,27 @@ main(int argc, char **argv)
             for (auto m : core::ptable::allMutations)
                 std::printf("%s\n", core::ptable::mutationName(m));
             return 0;
+        }
+        if (arg == "--list-service-mutations") {
+            for (auto m : verify::allServiceMutations)
+                std::printf("%s\n", verify::serviceMutationName(m));
+            return 0;
+        }
+        if (arg == "--service") {
+            serviceOnly = true;
+            continue;
+        }
+        if (const char *v = value("--service-mutate=")) {
+            if (!verify::serviceMutationFromName(v,
+                                                 &serviceMutation)) {
+                std::fprintf(stderr,
+                             "unknown service mutation \"%s\" "
+                             "(--list-service-mutations)\n",
+                             v);
+                return 2;
+            }
+            serviceOnly = true;
+            continue;
         }
         if (const char *v = value("--protocol=")) {
             if (std::strcmp(v, "snoop") == 0) {
@@ -184,7 +254,9 @@ main(int argc, char **argv)
     }
 
     std::vector<ModelConfig> jobs;
-    if (haveProtocol || haveNodes) {
+    if (serviceOnly) {
+        // Service-lifecycle group only; no protocol configurations.
+    } else if (haveProtocol || haveNodes) {
         ModelConfig c = base;
         std::string err = c.check();
         if (!err.empty()) {
@@ -217,6 +289,13 @@ main(int argc, char **argv)
         }
     }
 
+    // The service-lifecycle group runs in the default matrix and
+    // whenever --service/--service-mutate asks for it; a single
+    // protocol configuration (--protocol/--nodes) skips it.
+    std::vector<verify::ServiceModelConfig> serviceJobs;
+    if (serviceOnly || !(haveProtocol || haveNodes))
+        serviceJobs = serviceMatrix(serviceMutation);
+
     std::vector<ModelReport> reports;
     std::uint64_t violations = 0;
     for (const ModelConfig &job : jobs) {
@@ -231,11 +310,35 @@ main(int argc, char **argv)
         }
         reports.push_back(std::move(rep));
     }
+
+    std::vector<verify::ServiceModelReport> serviceReports;
+    for (const verify::ServiceModelConfig &job : serviceJobs) {
+        verify::ServiceModelReport rep =
+            verify::checkServiceLifecycle(job);
+        violations += rep.violationsTotal;
+        if (rep.truncated)
+            ++violations;
+        if (!json) {
+            std::printf("%s\n", rep.summary().c_str());
+            for (const verify::ServiceFinding &f : rep.findings) {
+                std::printf("    %s: %s\n",
+                            verify::serviceDefectName(f.kind),
+                            f.detail.c_str());
+                for (const std::string &step : f.trace)
+                    std::printf("        %s\n", step.c_str());
+            }
+        }
+        serviceReports.push_back(std::move(rep));
+    }
+
     if (json)
-        printJson(reports);
+        printJson(reports, serviceReports);
     else
         std::printf("%zu configuration%s checked, %llu violation%s\n",
-                    reports.size(), reports.size() == 1 ? "" : "s",
+                    reports.size() + serviceReports.size(),
+                    reports.size() + serviceReports.size() == 1
+                        ? ""
+                        : "s",
                     static_cast<unsigned long long>(violations),
                     violations == 1 ? "" : "s");
     return violations == 0 ? 0 : 1;

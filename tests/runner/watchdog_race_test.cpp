@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Regression tests for the watchdog-vs-completion races the
+ * concurrency-verification pass fixed in ExperimentRunner:
+ *
+ *  - A job finishing at the same instant the watchdog declares it
+ *    overdue used to be accounted twice (the worker cleared its
+ *    jobIndex outside the accounting lock section), pushing
+ *    `completed` past `submitted` and hanging waitDrained() forever.
+ *  - stop() used to iterate the worker vector without the lock while
+ *    the watchdog could still spawn replacement workers into it
+ *    (vector reallocation under a concurrent reader).
+ *  - wait() used to read the error array without the lock while
+ *    doomed stragglers could still be writing their slots.
+ *
+ * These tests drive many jobs whose runtime straddles the watchdog
+ * budget so both sides of each race fire repeatedly; the assertions
+ * are simply that every wait terminates and the accounting stays
+ * conserved. Run them under TSan (the CI tsan job does) to turn the
+ * memory-order halves of these races into hard failures.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "src/runner/experiment_runner.hpp"
+
+namespace ringsim::runner {
+namespace {
+
+using namespace std::chrono_literals;
+
+TEST(WatchdogRace, BorderlineJobsNeverOvercountCompletion)
+{
+    // Jobs sleeping right at the budget make "finished" and "doomed"
+    // genuinely concurrent. Before the fix this hung in waitAll()
+    // once a worker and the watchdog both accounted the same job.
+    RunPolicy policy;
+    policy.jobTimeout = 30ms;
+    ExperimentRunner pool(2, policy);
+    constexpr int kJobs = 24;
+    for (int i = 0; i < kJobs; ++i)
+        pool.submit([i]() {
+            // Straddle the 30ms budget from both sides.
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(24 + (i % 3) * 6));
+        });
+    pool.waitAll();
+
+    std::vector<JobReport> reports = pool.reports();
+    ASSERT_EQ(reports.size(), static_cast<std::size_t>(kJobs));
+    int ok = 0, timed_out = 0;
+    for (const JobReport &r : reports) {
+        EXPECT_NE(r.status, JobReport::Status::Failed) << r.error;
+        if (r.status == JobReport::Status::Ok)
+            ++ok;
+        else
+            ++timed_out;
+    }
+    // Every slot resolved exactly once, whichever side won its race.
+    EXPECT_EQ(ok + timed_out, kJobs);
+    // Doomed threads only sleep briefly; give them a moment so the
+    // process doesn't exit under their feet (they are detached).
+    std::this_thread::sleep_for(60ms);
+}
+
+TEST(WatchdogRace, DestructionWhileWatchdogReplacesWorkers)
+{
+    // stop() must snapshot the worker vector under the lock: the
+    // watchdog dooms workers and spawns replacements concurrently
+    // with the join loop. Cycle several pools so construction,
+    // dooming, replacement and join all overlap.
+    for (int round = 0; round < 6; ++round) {
+        RunPolicy policy;
+        policy.jobTimeout = 20ms;
+        ExperimentRunner pool(3, policy);
+        for (int i = 0; i < 9; ++i)
+            pool.submit([i]() {
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(14 + (i % 3) * 6));
+            });
+        pool.waitAll();
+        EXPECT_EQ(pool.reports().size(), 9u);
+        // Destructor joins while late replacements may still exist.
+    }
+    std::this_thread::sleep_for(60ms);
+}
+
+TEST(WatchdogRace, LegacyWaitSeesErrorsWrittenByDoomedWorkers)
+{
+    // wait() extracts the earliest error under the lock; a doomed
+    // job's error slot is written by the watchdog while healthy
+    // workers are still completing. The throw must carry the
+    // earliest-submitted failure and the pool must stay joinable.
+    RunPolicy policy;
+    policy.jobTimeout = 25ms;
+    ExperimentRunner pool(2, policy);
+    auto release = std::make_shared<std::atomic<bool>>(false);
+    pool.submit([release]() {
+        while (!release->load())
+            std::this_thread::sleep_for(5ms);
+    });
+    for (int i = 0; i < 6; ++i)
+        pool.submit([]() { std::this_thread::sleep_for(5ms); });
+    try {
+        pool.wait();
+        FAIL() << "wait() must rethrow the timed-out job";
+    } catch (const std::runtime_error &e) {
+        EXPECT_NE(std::string(e.what()).find("timed out"),
+                  std::string::npos)
+            << e.what();
+    }
+    release->store(true);
+    std::this_thread::sleep_for(20ms);
+}
+
+} // namespace
+} // namespace ringsim::runner

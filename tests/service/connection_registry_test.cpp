@@ -1,0 +1,170 @@
+/**
+ * @file
+ * Tests of ConnectionRegistry, the annotated replacement for the
+ * socket server's ad-hoc per-connection "done" flags: lifecycle
+ * counters stay conserved through launch/reap/joinAll, instantly
+ * returning bodies cannot race their own registration, and every
+ * launched thread is joined exactly once no matter which path claims
+ * it.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+
+#include "src/service/connection_registry.hpp"
+
+namespace ringsim::service {
+namespace {
+
+using namespace std::chrono_literals;
+
+TEST(ConnectionRegistry, StartsEmpty)
+{
+    ConnectionRegistry reg;
+    ConnectionRegistry::Counts c = reg.counts();
+    EXPECT_EQ(c.launched, 0u);
+    EXPECT_EQ(c.finished, 0u);
+    EXPECT_EQ(c.joined, 0u);
+    EXPECT_EQ(c.live, 0u);
+}
+
+TEST(ConnectionRegistry, LaunchRunsBodyAndRetiresSlot)
+{
+    ConnectionRegistry reg;
+    std::atomic<int> ran{0};
+    std::uint64_t id = reg.launch([&ran]() { ++ran; });
+    EXPECT_GT(id, 0u);
+    // The body retires its own slot; wait for it.
+    for (int i = 0; i < 400 && reg.counts().finished == 0; ++i)
+        std::this_thread::sleep_for(5ms);
+    EXPECT_EQ(ran.load(), 1);
+    ConnectionRegistry::Counts c = reg.counts();
+    EXPECT_EQ(c.launched, 1u);
+    EXPECT_EQ(c.finished, 1u);
+    EXPECT_EQ(c.live, 0u);
+
+    reg.reapFinished();
+    c = reg.counts();
+    EXPECT_EQ(c.joined, 1u);
+}
+
+TEST(ConnectionRegistry, InstantBodiesCannotRaceRegistration)
+{
+    // The old shared_ptr<atomic<bool>> scheme had a window where a
+    // body finishing before its bookkeeping was recorded could leak
+    // the thread object. launch() registers under the lock, so even
+    // a body that returns immediately is accounted for.
+    ConnectionRegistry reg;
+    std::atomic<int> ran{0};
+    constexpr int kThreads = 64;
+    for (int i = 0; i < kThreads; ++i)
+        reg.launch([&ran]() { ++ran; });
+    reg.joinAll();
+    EXPECT_EQ(ran.load(), kThreads);
+    ConnectionRegistry::Counts c = reg.counts();
+    EXPECT_EQ(c.launched, static_cast<std::uint64_t>(kThreads));
+    EXPECT_EQ(c.finished, static_cast<std::uint64_t>(kThreads));
+    EXPECT_EQ(c.joined, static_cast<std::uint64_t>(kThreads));
+    EXPECT_EQ(c.live, 0u);
+}
+
+TEST(ConnectionRegistry, ReapJoinsOnlyFinishedThreads)
+{
+    ConnectionRegistry reg;
+    std::mutex m;
+    std::condition_variable cv;
+    bool release = false;
+
+    reg.launch([&]() {
+        std::unique_lock<std::mutex> lock(m);
+        while (!release)
+            cv.wait(lock);
+    });
+    reg.launch([]() {});
+
+    for (int i = 0; i < 400 && reg.counts().finished < 1; ++i)
+        std::this_thread::sleep_for(5ms);
+    reg.reapFinished();
+    ConnectionRegistry::Counts c = reg.counts();
+    EXPECT_EQ(c.joined, 1u);
+    EXPECT_EQ(c.live, 1u);
+
+    {
+        std::lock_guard<std::mutex> lock(m);
+        release = true;
+    }
+    cv.notify_all();
+    reg.joinAll();
+    c = reg.counts();
+    EXPECT_EQ(c.joined, 2u);
+    EXPECT_EQ(c.live, 0u);
+}
+
+TEST(ConnectionRegistry, RepeatedReapsAreIdempotent)
+{
+    ConnectionRegistry reg;
+    for (int i = 0; i < 8; ++i)
+        reg.launch([]() {});
+    for (int i = 0; i < 400 && reg.counts().finished < 8; ++i)
+        std::this_thread::sleep_for(5ms);
+    reg.reapFinished();
+    reg.reapFinished();
+    reg.joinAll();
+    ConnectionRegistry::Counts c = reg.counts();
+    EXPECT_EQ(c.launched, 8u);
+    EXPECT_EQ(c.finished, 8u);
+    // Exactly once each, across both claiming paths.
+    EXPECT_EQ(c.joined, 8u);
+}
+
+TEST(ConnectionRegistry, DestructorJoinsLiveBodiesThatExit)
+{
+    std::atomic<int> ran{0};
+    {
+        ConnectionRegistry reg;
+        for (int i = 0; i < 4; ++i)
+            reg.launch([&ran]() {
+                std::this_thread::sleep_for(20ms);
+                ++ran;
+            });
+        // No explicit joinAll: the destructor must claim them.
+    }
+    EXPECT_EQ(ran.load(), 4);
+}
+
+TEST(ConnectionRegistry, ConcurrentLaunchAndReapStayConserved)
+{
+    // Stress the accept-loop shape: one thread launching while
+    // another reaps opportunistically. Under TSan this also proves
+    // the locking; here we assert the counters stay conserved.
+    ConnectionRegistry reg;
+    std::atomic<bool> stop{false};
+    std::atomic<int> ran{0};
+
+    std::thread reaper([&]() {
+        while (!stop.load())
+            reg.reapFinished();
+    });
+    constexpr int kThreads = 128;
+    for (int i = 0; i < kThreads; ++i)
+        reg.launch([&ran]() { ++ran; });
+    reg.joinAll();
+    stop.store(true);
+    reaper.join();
+    reg.reapFinished();
+
+    EXPECT_EQ(ran.load(), kThreads);
+    ConnectionRegistry::Counts c = reg.counts();
+    EXPECT_EQ(c.launched, static_cast<std::uint64_t>(kThreads));
+    EXPECT_EQ(c.finished, static_cast<std::uint64_t>(kThreads));
+    EXPECT_EQ(c.joined, static_cast<std::uint64_t>(kThreads));
+    EXPECT_EQ(c.live, 0u);
+}
+
+} // namespace
+} // namespace ringsim::service

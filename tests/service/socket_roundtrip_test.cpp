@@ -15,6 +15,7 @@
 #include <chrono>
 #include <cstring>
 #include <memory>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -36,13 +37,24 @@ testConfig()
     return cfg;
 }
 
+/** A per-process socket path: gtest's TempDir() is plain /tmp on
+ *  Linux, and ctest runs each SocketRoundtrip case as its own
+ *  process — two concurrent cases sharing one path steal each
+ *  other's bind and deadlock both daemons. */
+std::string
+uniqueEndpoint()
+{
+    return testing::TempDir() + "/ringsim_test." +
+           std::to_string(::getpid()) + ".sock";
+}
+
 /** A live daemon on a temp-dir Unix socket, torn down on scope exit. */
 class LiveService
 {
   public:
     explicit LiveService(const ServiceConfig &cfg)
         : core_(cfg),
-          endpoint_(testing::TempDir() + "/ringsim_test.sock"),
+          endpoint_(uniqueEndpoint()),
           server_(core_, endpoint_)
     {
         std::string error;

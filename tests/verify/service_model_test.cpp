@@ -1,0 +1,197 @@
+/**
+ * @file
+ * Tests of the service-lifecycle schedule explorer itself: every
+ * configuration of the default matrix must verify clean, each
+ * deliberately seeded mutation must be caught with the right defect
+ * class, and every counterexample must carry a non-empty, numbered,
+ * human-readable trace (the property the whole tool exists for — a
+ * violation nobody can replay is useless).
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "src/verify/service_model.hpp"
+
+namespace ringsim::verify {
+namespace {
+
+ServiceModelConfig
+makeConfig(unsigned workers, unsigned depth,
+           ServiceMutation mutation = ServiceMutation::None)
+{
+    ServiceModelConfig c;
+    c.workers = workers;
+    c.depth = depth;
+    c.mutation = mutation;
+    return c;
+}
+
+bool
+hasDefect(const ServiceModelReport &r, ServiceDefect d)
+{
+    for (const ServiceFinding &f : r.findings)
+        if (f.kind == d)
+            return true;
+    return false;
+}
+
+TEST(ServiceModel, CleanAcrossDefaultMatrix)
+{
+    for (unsigned workers : {1u, 2u}) {
+        for (unsigned depth : {1u, 2u, 3u}) {
+            ServiceModelReport r =
+                checkServiceLifecycle(makeConfig(workers, depth));
+            EXPECT_TRUE(r.clean()) << r.summary();
+            EXPECT_FALSE(r.truncated) << r.summary();
+            EXPECT_GT(r.states, 100u) << r.summary();
+            EXPECT_GT(r.transitions, r.states) << r.summary();
+            EXPECT_GT(r.quiescentStates, 0u) << r.summary();
+        }
+    }
+}
+
+TEST(ServiceModel, CleanWithEventClassesDisabled)
+{
+    // Turning event classes off must shrink the space, not break it:
+    // the invariants hold in every sub-model too.
+    ServiceModelConfig c = makeConfig(1, 2);
+    c.cancels = false;
+    c.disconnects = false;
+    ServiceModelReport r = checkServiceLifecycle(c);
+    EXPECT_TRUE(r.clean()) << r.summary();
+
+    ServiceModelConfig minimal = makeConfig(1, 1);
+    minimal.cancels = false;
+    minimal.deadlines = false;
+    minimal.watchdog = false;
+    minimal.disconnects = false;
+    minimal.degrades = false;
+    ServiceModelReport plain = checkServiceLifecycle(minimal);
+    EXPECT_TRUE(plain.clean()) << plain.summary();
+    EXPECT_LT(plain.states, r.states);
+}
+
+TEST(ServiceModel, BadConfigsRejected)
+{
+    ServiceModelConfig c;
+    c.jobs = 9;
+    EXPECT_NE(c.check(), "");
+    c = ServiceModelConfig{};
+    c.workers = 0;
+    EXPECT_NE(c.check(), "");
+    c = ServiceModelConfig{};
+    c.depth = 4;
+    EXPECT_NE(c.check(), "");
+    EXPECT_EQ(ServiceModelConfig{}.check(), "");
+}
+
+TEST(ServiceModel, MutationNamesRoundTrip)
+{
+    for (ServiceMutation m : allServiceMutations) {
+        ServiceMutation parsed = ServiceMutation::None;
+        ASSERT_TRUE(serviceMutationFromName(serviceMutationName(m),
+                                            &parsed));
+        EXPECT_EQ(parsed, m);
+    }
+    ServiceMutation parsed = ServiceMutation::None;
+    EXPECT_FALSE(serviceMutationFromName("no-such-mutation",
+                                         &parsed));
+}
+
+/** Every seeded mutation must be caught in the standard shape. */
+TEST(ServiceModel, EveryMutationCaught)
+{
+    for (ServiceMutation m : allServiceMutations) {
+        ServiceModelReport r =
+            checkServiceLifecycle(makeConfig(1, 2, m));
+        EXPECT_FALSE(r.clean())
+            << "mutation " << serviceMutationName(m)
+            << " escaped: " << r.summary();
+        EXPECT_GT(r.violationsTotal, 0u);
+        ASSERT_FALSE(r.findings.empty());
+    }
+}
+
+/** Counterexamples must be replayable: a numbered event trace from
+ *  the empty service to the violation. */
+TEST(ServiceModel, CounterexamplesCarryReadableTraces)
+{
+    ServiceModelReport r = checkServiceLifecycle(
+        makeConfig(1, 1, ServiceMutation::DropDrainRelease));
+    ASSERT_FALSE(r.findings.empty());
+    const ServiceFinding &f = r.findings.front();
+    EXPECT_FALSE(f.detail.empty());
+    ASSERT_FALSE(f.trace.empty());
+    // Steps are numbered from 1 and describe concrete events.
+    EXPECT_EQ(f.trace.front().rfind("1. ", 0), 0u)
+        << f.trace.front();
+    bool sawSubmit = false, sawDrain = false;
+    for (const std::string &step : f.trace) {
+        if (step.find("submit") != std::string::npos)
+            sawSubmit = true;
+        if (step.find("drain") != std::string::npos)
+            sawDrain = true;
+    }
+    EXPECT_TRUE(sawSubmit) << "trace lacks the admitting submit";
+    EXPECT_TRUE(sawDrain) << "trace lacks the mutated drain step";
+}
+
+TEST(ServiceModel, DropDrainReleaseLeaksSlot)
+{
+    ServiceModelReport r = checkServiceLifecycle(
+        makeConfig(1, 2, ServiceMutation::DropDrainRelease));
+    EXPECT_TRUE(hasDefect(r, ServiceDefect::SlotLeak) ||
+                hasDefect(r, ServiceDefect::SlotDrift))
+        << r.summary();
+}
+
+TEST(ServiceModel, DropLateReleaseLeaksSlot)
+{
+    ServiceModelReport r = checkServiceLifecycle(
+        makeConfig(1, 2, ServiceMutation::DropLateRelease));
+    EXPECT_TRUE(hasDefect(r, ServiceDefect::SlotLeak) ||
+                hasDefect(r, ServiceDefect::SlotDrift))
+        << r.summary();
+}
+
+TEST(ServiceModel, DoubleAnswerLateCaughtAsDoubleAnswer)
+{
+    ServiceModelReport r = checkServiceLifecycle(
+        makeConfig(1, 2, ServiceMutation::DoubleAnswerLate));
+    EXPECT_TRUE(hasDefect(r, ServiceDefect::DoubleAnswer))
+        << r.summary();
+}
+
+TEST(ServiceModel, ShedLeaksSlotCaughtAsSlotViolation)
+{
+    // depth 1 with 3 jobs sheds constantly; the leaked slots pile up.
+    ServiceModelReport r = checkServiceLifecycle(
+        makeConfig(1, 1, ServiceMutation::ShedLeaksSlot));
+    EXPECT_TRUE(hasDefect(r, ServiceDefect::SlotOverflow) ||
+                hasDefect(r, ServiceDefect::SlotDrift) ||
+                hasDefect(r, ServiceDefect::SlotLeak))
+        << r.summary();
+}
+
+TEST(ServiceModel, SkipCancelAnswerLosesJob)
+{
+    ServiceModelReport r = checkServiceLifecycle(
+        makeConfig(1, 2, ServiceMutation::SkipCancelAnswer));
+    EXPECT_TRUE(hasDefect(r, ServiceDefect::LostJob)) << r.summary();
+}
+
+/** The mutation must not shrink coverage to a trivial space: the
+ *  explorer keeps exploring past the first violation (up to the
+ *  finding cap) so the report is informative. */
+TEST(ServiceModel, MutatedRunsStillExplore)
+{
+    ServiceModelReport r = checkServiceLifecycle(
+        makeConfig(2, 2, ServiceMutation::DropLateRelease));
+    EXPECT_GT(r.states, 100u) << r.summary();
+    EXPECT_FALSE(r.findings.empty());
+}
+
+} // namespace
+} // namespace ringsim::verify
