@@ -118,6 +118,33 @@ workloadKey(const trace::WorkloadConfig &wl)
 
 } // namespace
 
+std::vector<FigureRow>
+FigureSweep::blockRows(const Block &block,
+                       const coherence::Census *census,
+                       const fault::FaultConfig &faults,
+                       bool model_only)
+{
+    // Degraded tier: the sim validation rows are the expensive half;
+    // model-only output simply omits them.
+    if (model_only && (block.kind == BlockKind::RingSim ||
+                       block.kind == BlockKind::BusSim))
+        return {};
+    switch (block.kind) {
+      case BlockKind::RingSeries:
+        return ringSeriesRows(block.wl, *census, block.period,
+                              block.protocol, block.label);
+      case BlockKind::BusSeries:
+        return busSeriesRows(block.wl, *census, block.period,
+                             block.label);
+      case BlockKind::RingSim:
+        return ringSimRows(block.wl, block.period, block.simKind,
+                           faults, block.label);
+      case BlockKind::BusSim:
+        return busSimRows(block.wl, block.period, block.label);
+    }
+    panic("unreachable figure block kind");
+}
+
 std::size_t
 FigureSweep::censusSlotFor(const trace::WorkloadConfig &wl)
 {
@@ -205,42 +232,52 @@ FigureSweep::run() const
         runner::runAll(std::move(calib_tasks), opt_.jobs);
 
     // Phase 2: every registered block is one job producing its rows.
+    // Blocks the degraded tier skips still occupy their index (with
+    // empty rows) so results aligns with the block index space that
+    // sweep-part jobs shard over.
     std::vector<std::function<std::vector<Row>()>> block_tasks;
     block_tasks.reserve(blocks_.size());
     const fault::FaultConfig &faults = opt_.faults;
+    const bool model_only = opt_.modelOnly;
     for (const Block &block : blocks_) {
-        // Degraded tier: the sim validation rows are the expensive
-        // half; model-only output simply omits them.
-        if (opt_.modelOnly && (block.kind == BlockKind::RingSim ||
-                               block.kind == BlockKind::BusSim))
-            continue;
         const coherence::Census *census =
             block.needsCensus ? &censuses[block.censusSlot] : nullptr;
-        block_tasks.push_back(
-            [&block, census, &faults]() -> std::vector<Row> {
-            switch (block.kind) {
-              case BlockKind::RingSeries:
-                return ringSeriesRows(block.wl, *census, block.period,
-                                      block.protocol, block.label);
-              case BlockKind::BusSeries:
-                return busSeriesRows(block.wl, *census, block.period,
-                                     block.label);
-              case BlockKind::RingSim:
-                return ringSimRows(block.wl, block.period,
-                                   block.simKind, faults, block.label);
-              case BlockKind::BusSim:
-                return busSimRows(block.wl, block.period, block.label);
-            }
-            panic("unreachable figure block kind");
+        block_tasks.push_back([&block, census, &faults,
+                               model_only]() -> std::vector<Row> {
+            return blockRows(block, census, faults, model_only);
         });
     }
     std::vector<std::vector<Row>> results =
         runner::runAll(std::move(block_tasks), opt_.jobs);
 
     // Assemble in registration order: bit-identical to a serial run.
+    return assemble(results);
+}
+
+std::vector<FigureRow>
+FigureSweep::runBlock(std::size_t index) const
+{
+    if (index >= blocks_.size())
+        panic("figure block index %zu out of range (%zu blocks)",
+              index, blocks_.size());
+    const Block &block = blocks_[index];
+    coherence::Census census;
+    if (block.needsCensus)
+        census = model::calibrate(block.wl);
+    return blockRows(block, block.needsCensus ? &census : nullptr,
+                     opt_.faults, opt_.modelOnly);
+}
+
+TextTable
+FigureSweep::assemble(
+    const std::vector<std::vector<FigureRow>> &rows_per_block) const
+{
+    if (rows_per_block.size() != blocks_.size())
+        panic("figure assembly expects %zu block row sets, got %zu",
+              blocks_.size(), rows_per_block.size());
     TextTable table = makeFigureTable();
-    for (const std::vector<Row> &rows : results) {
-        for (const Row &row : rows)
+    for (const std::vector<FigureRow> &rows : rows_per_block) {
+        for (const FigureRow &row : rows)
             table.addRow(row);
     }
     return table;
@@ -388,12 +425,11 @@ buildFigure(FigureId id, const FigureOptions &opt, bool fig6_cholesky)
     return sweep;
 }
 
+namespace {
+
 std::string
-renderFigure(FigureId id, const FigureOptions &opt, bool csv,
-             bool fig6_cholesky)
+renderTable(FigureId id, const TextTable &table, bool csv)
 {
-    FigureSweep sweep = buildFigure(id, opt, fig6_cholesky);
-    TextTable table = sweep.run();
     std::ostringstream os;
     if (csv) {
         table.printCsv(os);
@@ -402,6 +438,39 @@ renderFigure(FigureId id, const FigureOptions &opt, bool csv,
         table.print(os);
     }
     return os.str();
+}
+
+} // namespace
+
+std::string
+renderFigure(FigureId id, const FigureOptions &opt, bool csv,
+             bool fig6_cholesky)
+{
+    FigureSweep sweep = buildFigure(id, opt, fig6_cholesky);
+    return renderTable(id, sweep.run(), csv);
+}
+
+std::size_t
+figureBlockCount(FigureId id, const FigureOptions &opt,
+                 bool fig6_cholesky)
+{
+    return buildFigure(id, opt, fig6_cholesky).blockCount();
+}
+
+std::vector<FigureRow>
+runFigureBlock(FigureId id, const FigureOptions &opt,
+               std::size_t block, bool fig6_cholesky)
+{
+    return buildFigure(id, opt, fig6_cholesky).runBlock(block);
+}
+
+std::string
+assembleFigure(FigureId id, const FigureOptions &opt,
+               const std::vector<std::vector<FigureRow>> &rows_per_block,
+               bool csv, bool fig6_cholesky)
+{
+    FigureSweep sweep = buildFigure(id, opt, fig6_cholesky);
+    return renderTable(id, sweep.assemble(rows_per_block), csv);
 }
 
 } // namespace ringsim::figures

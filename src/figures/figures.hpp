@@ -44,6 +44,9 @@ const std::vector<double> &cycleSweepNs();
 /** Columns of a figure table. */
 TextTable makeFigureTable();
 
+/** One rendered table row (the cells of makeFigureTable columns). */
+using FigureRow = std::vector<std::string>;
+
 /** Options one figure sweep runs under (a subset of bench flags). */
 struct FigureOptions
 {
@@ -99,6 +102,35 @@ class FigureSweep
      */
     TextTable run() const;
 
+    /**
+     * Number of registered blocks. The block index space is the unit
+     * of fleet sweep sharding: a sweep job with part=i computes
+     * exactly runBlock(i), and assemble() of all parts reproduces
+     * run() byte-identically.
+     */
+    std::size_t blockCount() const { return blocks_.size(); }
+
+    /**
+     * Execute one registered block and return its rows. A series
+     * block computes its own calibration census (model::calibrate is
+     * deterministic, so a census recomputed on another worker yields
+     * the same rows as run()'s shared phase-1 census). Under
+     * opt.modelOnly a sim block returns no rows, mirroring run().
+     * Panics on an out-of-range index — callers validate against
+     * blockCount().
+     */
+    std::vector<FigureRow> runBlock(std::size_t index) const;
+
+    /**
+     * Assemble per-block row vectors (one entry per registered block,
+     * in block-index order) into the figure table. assemble() of
+     * runBlock(0..blockCount()-1) equals run() byte-for-byte, however
+     * the blocks were partitioned across workers.
+     */
+    TextTable
+    assemble(const std::vector<std::vector<FigureRow>> &rows_per_block)
+        const;
+
   private:
     enum class BlockKind { RingSeries, BusSeries, RingSim, BusSim };
 
@@ -115,6 +147,10 @@ class FigureSweep
     };
 
     std::size_t censusSlotFor(const trace::WorkloadConfig &wl);
+
+    static std::vector<FigureRow>
+    blockRows(const Block &block, const coherence::Census *census,
+              const fault::FaultConfig &faults, bool model_only);
 
     FigureOptions opt_;
     std::vector<Block> blocks_;
@@ -156,6 +192,30 @@ FigureSweep buildFigure(FigureId id, const FigureOptions &opt,
  */
 std::string renderFigure(FigureId id, const FigureOptions &opt,
                          bool csv = false, bool fig6_cholesky = false);
+
+/** Block count of @p id under @p opt (the sweep-part index space). */
+std::size_t figureBlockCount(FigureId id, const FigureOptions &opt,
+                             bool fig6_cholesky = false);
+
+/**
+ * Execute one block of @p id (see FigureSweep::runBlock). This is the
+ * unit of work a fleet worker performs for a sweep-part job.
+ */
+std::vector<FigureRow> runFigureBlock(FigureId id,
+                                      const FigureOptions &opt,
+                                      std::size_t block,
+                                      bool fig6_cholesky = false);
+
+/**
+ * Render @p rows_per_block (one entry per block, in block order) into
+ * the complete bench output. assembleFigure() over runFigureBlock()
+ * results equals renderFigure() byte-for-byte — the contract that
+ * legalizes fleet sweep splitting.
+ */
+std::string
+assembleFigure(FigureId id, const FigureOptions &opt,
+               const std::vector<std::vector<FigureRow>> &rows_per_block,
+               bool csv = false, bool fig6_cholesky = false);
 
 } // namespace ringsim::figures
 

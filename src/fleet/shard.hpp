@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Deterministic job-to-worker sharding.
+ *
+ * The shard of a job is a pure function of its 128-bit canonical-spec
+ * cache key (service/cache_key): equal specs always route to the same
+ * worker, so each worker's memory cache warms on exactly its shard of
+ * the spec space and repeat submissions hit without a peer hop. The
+ * failover order (shard, shard+1, ... mod n) is equally
+ * deterministic, so every coordinator — and every multi-endpoint
+ * ringsim_submit client — agrees on which worker serves a key when
+ * its primary is dead.
+ */
+
+#ifndef RINGSIM_FLEET_SHARD_HPP
+#define RINGSIM_FLEET_SHARD_HPP
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace ringsim::fleet {
+
+/**
+ * The worker index in [0, n) that owns @p key (a cache key or any
+ * identity string). Pure; @p n must be nonzero.
+ */
+std::size_t shardIndex(const std::string &key, std::size_t n);
+
+/**
+ * The deterministic failover order for @p key over @p n workers:
+ * its shard first, then each successor mod n, every index exactly
+ * once.
+ */
+std::vector<std::size_t> failoverOrder(const std::string &key,
+                                       std::size_t n);
+
+} // namespace ringsim::fleet
+
+#endif // RINGSIM_FLEET_SHARD_HPP

@@ -1,0 +1,82 @@
+#include "single_flight.hpp"
+
+namespace ringsim::fleet {
+
+SingleFlight::Role
+SingleFlight::join(const std::string &key, std::string *value)
+{
+    core::UniqueLock lock(mutex_);
+    bool saw_abort = false;
+    for (;;) {
+        auto it = flights_.find(key);
+        if (it == flights_.end()) {
+            flights_.emplace(key, std::make_shared<Flight>());
+            if (saw_abort)
+                ++promoted_;
+            return Role::Leader;
+        }
+        // Hold the flight by shared_ptr: publish/abort erase the map
+        // entry before we wake, but the object outlives the erase.
+        std::shared_ptr<Flight> flight = it->second;
+        while (!flight->done && !flight->aborted)
+            settled_cv_.wait(lock.native());
+        if (flight->done) {
+            *value = flight->value;
+            ++coalesced_;
+            return Role::Waiter;
+        }
+        // Aborted: the flight is gone from the map. The first waiter
+        // to loop around finds no entry becomes the new leader; the
+        // rest re-attach to the successor flight. No one is orphaned,
+        // and at most one execution runs per key at a time.
+        saw_abort = true;
+    }
+}
+
+void
+SingleFlight::publish(const std::string &key, std::string value)
+{
+    core::MutexLock lock(mutex_);
+    auto it = flights_.find(key);
+    if (it == flights_.end())
+        return; // publish after abort: waiters already re-flighted.
+    it->second->done = true;
+    it->second->value = std::move(value);
+    flights_.erase(it);
+    settled_cv_.notify_all();
+}
+
+void
+SingleFlight::abort(const std::string &key)
+{
+    core::MutexLock lock(mutex_);
+    auto it = flights_.find(key);
+    if (it == flights_.end())
+        return;
+    it->second->aborted = true;
+    flights_.erase(it);
+    settled_cv_.notify_all();
+}
+
+std::uint64_t
+SingleFlight::coalesced() const
+{
+    core::MutexLock lock(mutex_);
+    return coalesced_;
+}
+
+std::uint64_t
+SingleFlight::promoted() const
+{
+    core::MutexLock lock(mutex_);
+    return promoted_;
+}
+
+std::uint64_t
+SingleFlight::inflight() const
+{
+    core::MutexLock lock(mutex_);
+    return flights_.size();
+}
+
+} // namespace ringsim::fleet

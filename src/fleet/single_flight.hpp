@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Coordinator-level single-flight coalescing.
+ *
+ * When N clients submit the same canonical spec concurrently, exactly
+ * one forward (the *leader*) should reach the worker fleet; the other
+ * N-1 (*waiters*) block and receive the leader's bytes. Workers
+ * already coalesce duplicates that reach the same daemon
+ * (service/server.cpp); this class closes the remaining window where
+ * duplicates arrive at the coordinator faster than any worker can
+ * publish a cache entry.
+ *
+ * Leader death is the hard case: a leader whose forward throws must
+ * not orphan its waiters, and its waiters must not all stampede the
+ * fleet at once. abort() wakes every waiter and exactly one of them
+ * is promoted to the new leader (its join() call returns Leader); the
+ * rest keep waiting on the successor flight. The verified transition
+ * model in src/verify/service_model.* checks precisely this protocol:
+ * no double execution, no orphaned waiter, for every interleaving.
+ */
+
+#ifndef RINGSIM_FLEET_SINGLE_FLIGHT_HPP
+#define RINGSIM_FLEET_SINGLE_FLIGHT_HPP
+
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+#include "core/thread_annotations.hpp"
+
+namespace ringsim::fleet {
+
+/**
+ * Keyed rendezvous: the first join() per key leads, later join()s
+ * wait for the leader's published value. Thread safe.
+ */
+class SingleFlight
+{
+  public:
+    /** What a join() caller must do next. */
+    enum class Role
+    {
+        /** Execute the work, then publish() or abort(). Always. */
+        Leader,
+        /** *value holds the leader's bytes; nothing left to do. */
+        Waiter,
+    };
+
+    /**
+     * Join the flight for @p key. Returns Leader when the caller owns
+     * execution (including promotion after a prior leader aborted);
+     * returns Waiter with the published bytes in @p *value otherwise.
+     * May block; a Leader return never blocks on other flights.
+     */
+    Role join(const std::string &key, std::string *value)
+        EXCLUDES(mutex_);
+
+    /**
+     * Publish the leader's result bytes to every waiter of @p key and
+     * retire the flight. Leader-only.
+     */
+    void publish(const std::string &key, std::string value)
+        EXCLUDES(mutex_);
+
+    /**
+     * Retire the flight for @p key without a value; one blocked
+     * waiter (if any) is promoted to leader. Leader-only — call on
+     * every failure path so waiters are never orphaned.
+     */
+    void abort(const std::string &key) EXCLUDES(mutex_);
+
+    /** Joins answered with a leader's bytes (no execution of theirs). */
+    std::uint64_t coalesced() const EXCLUDES(mutex_);
+
+    /** Waiters promoted to leader after an abort. */
+    std::uint64_t promoted() const EXCLUDES(mutex_);
+
+    /** Flights currently executing. */
+    std::uint64_t inflight() const EXCLUDES(mutex_);
+
+  private:
+    /**
+     * One in-flight execution. Waiters hold the shared_ptr across
+     * their wait, so publish/abort can drop the map entry immediately
+     * — late joiners after publish start a fresh flight (the worker
+     * cache makes the repeat cheap) instead of reading stale bytes
+     * forever.
+     */
+    struct Flight
+    {
+        bool done = false;    ///< publish() ran; value is valid.
+        bool aborted = false; ///< abort() ran; re-join for promotion.
+        std::string value;
+    };
+
+    mutable core::Mutex mutex_;
+    std::condition_variable settled_cv_;
+    /// Keyed lookup only (never iterated): key -> live flight.
+    std::unordered_map<std::string, std::shared_ptr<Flight>>
+        flights_ GUARDED_BY(mutex_);
+    std::uint64_t coalesced_ GUARDED_BY(mutex_) = 0;
+    std::uint64_t promoted_ GUARDED_BY(mutex_) = 0;
+};
+
+} // namespace ringsim::fleet
+
+#endif // RINGSIM_FLEET_SINGLE_FLIGHT_HPP

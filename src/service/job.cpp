@@ -212,6 +212,26 @@ JobSpec::tryParse(const util::JsonValue &json, bool allow_test_jobs,
         }
         spec.csv = json.getBool("csv", false, &errors);
         spec.fig6Cholesky = json.getBool("cholesky", false, &errors);
+        if (const util::JsonValue *part = json.find("part")) {
+            if (!part->isNumber()) {
+                *error = "part = <non-number>: expected a block index";
+                return false;
+            }
+            spec.sweepPart = static_cast<std::int64_t>(
+                json.getU64("part", 0, &errors));
+            std::size_t count = figures::figureBlockCount(
+                spec.figure, figures::FigureOptions{},
+                spec.fig6Cholesky);
+            if (spec.sweepPart < 0 ||
+                static_cast<std::size_t>(spec.sweepPart) >= count) {
+                *error = strprintf(
+                    "part = %lld: %s has %zu blocks (0..%zu)",
+                    static_cast<long long>(spec.sweepPart),
+                    figures::figureName(spec.figure), count,
+                    count - 1);
+                return false;
+            }
+        }
     } else if (spec.kind == JobKind::Verify) {
         std::string proto = json.getString("protocol", "snoop",
                                            &errors);
@@ -318,6 +338,11 @@ JobSpec::canonical() const
               util::JsonValue::string(figures::figureName(figure)));
         o.set("csv", util::JsonValue::boolean(csv));
         o.set("cholesky", util::JsonValue::boolean(fig6Cholesky));
+        // A part spec is a distinct cacheable unit; a whole sweep
+        // keeps its pre-part canonical form (warm caches survive).
+        if (sweepPart >= 0)
+            o.set("part", util::JsonValue::integer(
+                              static_cast<std::uint64_t>(sweepPart)));
         break;
       case JobKind::Run:
       case JobKind::Model:
@@ -347,6 +372,11 @@ JobSpec::describe() const
                          benchmarkWireName(benchmark).c_str(), procs,
                          protocol.c_str());
       case JobKind::Sweep:
+        if (sweepPart >= 0)
+            return strprintf("sweep %s part %lld%s",
+                             figures::figureName(figure),
+                             static_cast<long long>(sweepPart),
+                             fast ? " (fast)" : "");
         return strprintf("sweep %s%s", figures::figureName(figure),
                          fast ? " (fast)" : "");
       case JobKind::Verify:
@@ -469,6 +499,30 @@ executeSweep(const JobSpec &spec, unsigned sweep_jobs)
     opt.fast = spec.fast;
     opt.jobs = sweep_jobs;
     opt.faults = spec.faults;
+    if (spec.sweepPart >= 0) {
+        // One block of the figure: the rows travel back as strings so
+        // the coordinator's reassembly is a pure concatenation — no
+        // numeric re-formatting between worker and assembled output.
+        std::vector<figures::FigureRow> rows = figures::runFigureBlock(
+            spec.figure, opt,
+            static_cast<std::size_t>(spec.sweepPart),
+            spec.fig6Cholesky);
+        util::JsonValue jrows = util::JsonValue::array();
+        for (const figures::FigureRow &row : rows) {
+            util::JsonValue jrow = util::JsonValue::array();
+            for (const std::string &cell : row)
+                jrow.append(util::JsonValue::string(cell));
+            jrows.append(std::move(jrow));
+        }
+        util::JsonValue o = util::JsonValue::object();
+        o.set("kind", util::JsonValue::string("sweep_part"));
+        o.set("figure", util::JsonValue::string(
+                            figures::figureName(spec.figure)));
+        o.set("part", util::JsonValue::integer(
+                          static_cast<std::uint64_t>(spec.sweepPart)));
+        o.set("rows", std::move(jrows));
+        return o;
+    }
     std::string text = figures::renderFigure(
         spec.figure, opt, spec.csv, spec.fig6Cholesky);
     util::JsonValue o = util::JsonValue::object();
@@ -555,6 +609,9 @@ executeDegraded(const JobSpec &spec, unsigned sweep_jobs)
         break;
       }
       case JobKind::Sweep: {
+        if (spec.sweepPart >= 0)
+            throw std::runtime_error(
+                "sweep parts have no degraded tier");
         figures::FigureOptions opt;
         opt.refs = spec.refs;
         opt.seed = spec.seed;

@@ -70,6 +70,16 @@ struct JobSpec
     bool csv = false;
     bool fig6Cholesky = false;
 
+    /**
+     * Sweep-part index: -1 computes the whole figure; >= 0 computes
+     * exactly one registered block (the fleet's sweep-sharding unit)
+     * and returns its rows instead of rendered text. Part specs are
+     * cacheable like any sweep — the index joins the canonical spec —
+     * but never degrade: a model-only part would poison the
+     * reassembled figure with mixed tiers.
+     */
+    std::int64_t sweepPart = -1;
+
     // -- verify ---------------------------------------------------
     unsigned vNodes = 2;
     unsigned vBlocks = 1;
@@ -124,8 +134,9 @@ struct JobSpec
      */
     bool degradable() const
     {
-        return kind == JobKind::Run || kind == JobKind::Sweep ||
-               kind == JobKind::Model;
+        if (kind == JobKind::Sweep)
+            return sweepPart < 0;
+        return kind == JobKind::Run || kind == JobKind::Model;
     }
 
     /** One-line human description (logs, statsz). */

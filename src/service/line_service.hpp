@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Transport-facing interface of an NDJSON line service.
+ *
+ * SocketServer pumps lines between connections and *some* request
+ * handler; PR 5 hard-wired that handler to ServiceCore. The fleet
+ * coordinator (src/fleet/) speaks the identical line protocol, so the
+ * pump is generalized over this interface: one implementation is a
+ * worker daemon (ServiceCore), another is the fleet router
+ * (fleet::FleetCore), and both reuse the same accept loop, chaos
+ * hooks and connection lifecycle.
+ */
+
+#ifndef RINGSIM_SERVICE_LINE_SERVICE_HPP
+#define RINGSIM_SERVICE_LINE_SERVICE_HPP
+
+#include <string>
+
+namespace ringsim::fault {
+class ServiceFaultInjector;
+}
+
+namespace ringsim::service {
+
+class LineService
+{
+  public:
+    virtual ~LineService() = default;
+
+    /**
+     * Handle one NDJSON request line from @p client (the connection's
+     * identity) and return the one-line response (no trailing
+     * newline). Must be safe to call from concurrent connection
+     * threads.
+     */
+    virtual std::string handleLine(const std::string &client,
+                                   const std::string &line) = 0;
+
+    /** True once a shutdown request has been accepted. */
+    virtual bool shutdownRequested() const = 0;
+
+    /** The connection identified by @p client closed. */
+    virtual void clientGone(const std::string &client) = 0;
+
+    /** The chaos injector, or nullptr when chaos is off. */
+    virtual fault::ServiceFaultInjector *chaosInjector()
+    {
+        return nullptr;
+    }
+};
+
+} // namespace ringsim::service
+
+#endif // RINGSIM_SERVICE_LINE_SERVICE_HPP

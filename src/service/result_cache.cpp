@@ -1,6 +1,8 @@
 #include "result_cache.hpp"
 
 #include <dirent.h>
+#include <fcntl.h>
+#include <sys/file.h>
 #include <sys/stat.h>
 #include <unistd.h>
 
@@ -53,6 +55,48 @@ endsWith(const std::string &s, const std::string &suffix)
            s.compare(s.size() - suffix.size(), suffix.size(),
                      suffix) == 0;
 }
+
+/**
+ * Advisory flock on the cache directory's lock file, coordinating
+ * *processes* (the in-process mutex_ cannot see a second daemon
+ * sharing --cache-dir). Publishers take the lock shared — concurrent
+ * publishes are safe with each other (unique temp names, atomic
+ * rename) — while the startup quarantine scan takes it exclusive:
+ * without that, daemon B's scan can see daemon A's in-flight .tmp
+ * file and delete it between A's write and A's rename, losing A's
+ * publish. A missing or unlockable lock file degrades to the old
+ * unguarded behavior (single-daemon directories never contend).
+ */
+class ScopedDirLock
+{
+  public:
+    ScopedDirLock(const std::string &dir, int op)
+    {
+        if (dir.empty())
+            return;
+        std::string path = dir + "/.cache.lock";
+        fd_ = ::open(path.c_str(), O_CREAT | O_RDWR | O_CLOEXEC,
+                     0644);
+        if (fd_ < 0)
+            return;
+        if (::flock(fd_, op) != 0) {
+            ::close(fd_);
+            fd_ = -1;
+        }
+    }
+
+    ~ScopedDirLock()
+    {
+        if (fd_ >= 0)
+            ::close(fd_); // closing releases the flock
+    }
+
+    ScopedDirLock(const ScopedDirLock &) = delete;
+    ScopedDirLock &operator=(const ScopedDirLock &) = delete;
+
+  private:
+    int fd_ = -1;
+};
 
 } // namespace
 
@@ -237,7 +281,10 @@ ResultCache::diskPut(const std::string &key, const std::string &value)
     std::string framed = frameEntry(value);
     // Atomic publish: a reader either sees the whole entry or none.
     // The temp name is unique per store so concurrent writers of the
-    // same key cannot interleave into one temp file.
+    // same key cannot interleave into one temp file. The shared dir
+    // lock keeps a peer daemon's startup scan from reaping the temp
+    // file mid-publish.
+    ScopedDirLock dir_lock(dir_, LOCK_SH);
     static std::atomic<unsigned> tmp_serial{0};
     std::string tmp = path + strprintf(".tmp%u", tmp_serial++);
     std::FILE *f = std::fopen(tmp.c_str(), "wb");
@@ -299,6 +346,10 @@ ResultCache::scanDisk()
 {
     if (dir_.empty())
         return 0;
+    // Exclusive against publishers (shared lock in diskPut) and
+    // other scanners: a .tmp seen under this lock is a true orphan
+    // from a crashed daemon, never an in-flight publish.
+    ScopedDirLock dir_lock(dir_, LOCK_EX);
     std::vector<std::string> entries, orphans;
     DIR *d = ::opendir(dir_.c_str());
     if (!d) {

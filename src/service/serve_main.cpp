@@ -49,7 +49,11 @@ usage()
         "                     tagged degraded:true (default off)\n"
         "  --chaos SEED       deterministic fault injection: slow,\n"
         "                     garbled and dropped responses, torn and\n"
-        "                     bit-flipped disk-cache entries\n";
+        "                     bit-flipped disk-cache entries, dropped\n"
+        "                     peer-cache probes\n"
+        "  --peers E1,E2,...  peer daemon endpoints: on a local cache\n"
+        "                     miss, ask each peer's cache before\n"
+        "                     simulating (the fleet cache tier)\n";
 }
 
 } // namespace
@@ -108,6 +112,10 @@ main(int argc, char **argv)
             cfg.chaos = fault::ServiceFaultConfig::chaosPreset(
                 std::strtoull(need_value("--chaos").c_str(), nullptr,
                               10));
+        } else if (arg == "--peers") {
+            for (std::string &peer : service::splitEndpointList(
+                     need_value("--peers")))
+                cfg.peers.push_back(std::move(peer));
         } else if (arg == "--help" || arg == "-h") {
             usage();
             return 0;

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "service/cache_key.hpp"
+#include "service/client.hpp"
 #include "util/logging.hpp"
 
 namespace ringsim::service {
@@ -117,6 +118,8 @@ ServiceCore::handleLine(const std::string &client,
         return handlePoll(req);
     if (op == "cancel")
         return handleCancel(req);
+    if (op == "cache_get")
+        return handleCacheGet(req);
     if (op == "statsz")
         return handleStatsz();
     if (op == "shutdown") {
@@ -135,7 +138,7 @@ ServiceCore::handleLine(const std::string &client,
     return errorResponse(nullptr,
                          "op = '" + op +
                              "': expected ping, submit, poll, "
-                             "cancel, statsz or shutdown")
+                             "cancel, cache_get, statsz or shutdown")
         .dump();
 }
 
@@ -170,11 +173,22 @@ ServiceCore::handleSubmit(const std::string &client,
     std::string key;
     if (spec.cacheable()) {
         key = cacheKey(spec.canonical().dump(), cfg_.salt);
-        if (std::optional<std::string> hit = cache_->get(key)) {
+        std::optional<std::string> hit = cache_->get(key);
+        bool from_peer = false;
+        if (!hit && !cfg_.peers.empty()) {
+            // Fleet cache tier: a warm answer on any peer beats
+            // recomputing here. The raw bytes travel as an opaque
+            // string, so promotion preserves them exactly.
+            hit = peerLookup(key);
+            from_peer = hit.has_value();
+        }
+        if (hit) {
             // A corrupt disk entry must recompute, not error out.
             util::JsonValue result;
             std::string cache_error;
             if (tryParseJson(*hit, &result, &cache_error)) {
+                if (from_peer)
+                    cache_->put(key, *hit);
                 std::uint64_t id;
                 {
                     core::MutexLock lock(mutex_);
@@ -188,6 +202,8 @@ ServiceCore::handleSubmit(const std::string &client,
                 o.set("id", util::JsonValue::integer(id));
                 o.set("state", util::JsonValue::string("done"));
                 o.set("cached", util::JsonValue::boolean(true));
+                if (from_peer)
+                    o.set("peer", util::JsonValue::boolean(true));
                 o.set("key", util::JsonValue::string(key));
                 o.set("result", std::move(result));
                 return o.dump();
@@ -202,12 +218,41 @@ ServiceCore::handleSubmit(const std::string &client,
     std::uint64_t id = 0;
     bool shed = false;
     bool try_degrade = false;
+    bool coalesced = false;
+    std::string coalesced_state;
     std::size_t busy = 0;
     std::uint64_t factor = 1;
     {
         core::MutexLock lock(mutex_);
         submitted_.inc();
-        if (active_ >= cfg_.queueDepth) {
+        // Single-flight: an identical cacheable spec already admitted
+        // and not yet terminal answers this submit too — attach to
+        // the leader's id instead of executing twice. Consumes no
+        // admission slot, so coalescing keeps working under overload
+        // (exactly when duplicate retries pile up).
+        if (!key.empty()) {
+            auto flight = inflight_.find(key);
+            if (flight != inflight_.end()) {
+                auto leader = jobs_.find(flight->second);
+                if (leader != jobs_.end() &&
+                    (leader->second.state == JobState::Queued ||
+                     leader->second.state == JobState::Running)) {
+                    coalesced_.inc();
+                    coalesced = true;
+                    id = flight->second;
+                    coalesced_state =
+                        jobStateName(leader->second.state);
+                } else {
+                    // finishLocked erases terminal leaders; a stale
+                    // entry here means the record was evicted.
+                    inflight_.erase(flight);
+                }
+            }
+        }
+        if (coalesced) {
+            // Fall through to the wait loop (or the async response)
+            // below with the leader's id.
+        } else if (active_ >= cfg_.queueDepth) {
             shed = true;
             shed_.inc();
             // Scale the hint with how many "pool drains" of work are
@@ -245,6 +290,8 @@ ServiceCore::handleSubmit(const std::string &client,
                 it = std::prev(queues_.end());
             }
             it->pending.push_back(id);
+            if (!key.empty())
+                inflight_[key] = id;
         }
     }
 
@@ -286,15 +333,20 @@ ServiceCore::handleSubmit(const std::string &client,
         return o.dump();
     }
 
-    pool_->submit([this]() { runOne(); });
+    if (!coalesced)
+        pool_->submit([this]() { runOne(); });
 
     if (!wait) {
         util::JsonValue o = util::JsonValue::object();
         o.set("ok", util::JsonValue::boolean(true));
         o.set("op", util::JsonValue::string("submit"));
         o.set("id", util::JsonValue::integer(id));
-        o.set("state", util::JsonValue::string("queued"));
+        o.set("state", util::JsonValue::string(
+                           coalesced ? coalesced_state.c_str()
+                                     : "queued"));
         o.set("cached", util::JsonValue::boolean(false));
+        if (coalesced)
+            o.set("coalesced", util::JsonValue::boolean(true));
         if (!key.empty())
             o.set("key", util::JsonValue::string(key));
         return o.dump();
@@ -319,6 +371,8 @@ ServiceCore::handleSubmit(const std::string &client,
             it->second.state != JobState::Running) {
             util::JsonValue o = jobJsonLocked(it->second);
             o.set("op", util::JsonValue::string("submit"));
+            if (coalesced)
+                o.set("coalesced", util::JsonValue::boolean(true));
             return o.dump();
         }
         done_cv_.wait_for(lock.native(),
@@ -466,6 +520,79 @@ ServiceCore::clientGone(const std::string &client)
     done_cv_.notify_all();
 }
 
+std::string
+ServiceCore::handleCacheGet(const util::JsonValue &req)
+{
+    std::vector<std::string> errors;
+    std::string key = req.getString("key", "", &errors);
+    if (!errors.empty() || key.empty()) {
+        core::MutexLock lock(mutex_);
+        bad_requests_.inc();
+        return errorResponse("cache_get",
+                             errors.empty()
+                                 ? "key = '': a cache_get needs a "
+                                   "cache key"
+                                 : errors.front())
+            .dump();
+    }
+    {
+        core::MutexLock lock(mutex_);
+        peer_probes_.inc();
+    }
+    // Cache only, never compute, never consult *our* peers: the
+    // fleet lookup is one hop deep by construction, so a ring of
+    // peers cannot amplify one miss into a probe storm.
+    std::optional<std::string> hit = cache_->get(key);
+    util::JsonValue o = util::JsonValue::object();
+    o.set("ok", util::JsonValue::boolean(true));
+    o.set("op", util::JsonValue::string("cache_get"));
+    o.set("hit", util::JsonValue::boolean(hit.has_value()));
+    if (hit) {
+        // Raw bytes as an opaque JSON string: re-parsing the result
+        // into an object here could re-format numbers and break the
+        // byte-identity contract on promotion.
+        o.set("value", util::JsonValue::string(std::move(*hit)));
+    }
+    return o.dump();
+}
+
+std::optional<std::string>
+ServiceCore::peerLookup(const std::string &key)
+{
+    util::JsonValue req = util::JsonValue::object();
+    req.set("op", util::JsonValue::string("cache_get"));
+    req.set("key", util::JsonValue::string(key));
+    for (const std::string &endpoint : cfg_.peers) {
+        // Chaos: a dropped probe models an unreachable peer — the
+        // lookup degrades to a miss and the job recomputes locally,
+        // so delivered bytes never change.
+        if (chaos_ && chaos_->peerDrop())
+            continue;
+        ServiceClient peer;
+        std::string error;
+        // A dead or slow peer is a plain miss: one connect attempt,
+        // no resilient retries — recomputing locally is always
+        // cheaper than waiting out a peer's restart.
+        if (!peer.tryConnect(endpoint, &error))
+            continue;
+        util::JsonValue resp;
+        if (!peer.tryCall(req, &resp, &error))
+            continue;
+        std::vector<std::string> errors;
+        if (!resp.getBool("hit", false, &errors))
+            continue;
+        std::string value = resp.getString("value", "", &errors);
+        if (value.empty())
+            continue;
+        core::MutexLock lock(mutex_);
+        peer_hits_.inc();
+        return value;
+    }
+    core::MutexLock lock(mutex_);
+    peer_misses_.inc();
+    return std::nullopt;
+}
+
 std::uint64_t
 ServiceCore::retryJitter(const std::string &client) const
 {
@@ -509,6 +636,15 @@ ServiceCore::handleStatsz()
     o.set("deadline_expired",
           util::JsonValue::integer(deadline_expired_.value()));
     o.set("degraded", util::JsonValue::integer(degraded_.value()));
+    o.set("coalesced", util::JsonValue::integer(coalesced_.value()));
+
+    util::JsonValue peer = util::JsonValue::object();
+    peer.set("probes_served",
+             util::JsonValue::integer(peer_probes_.value()));
+    peer.set("hits", util::JsonValue::integer(peer_hits_.value()));
+    peer.set("misses", util::JsonValue::integer(peer_misses_.value()));
+    peer.set("peers", util::JsonValue::integer(cfg_.peers.size()));
+    o.set("peer", std::move(peer));
 
     util::JsonValue cache = util::JsonValue::object();
     cache.set("mem_hits", util::JsonValue::integer(cs.memHits));
@@ -535,6 +671,8 @@ ServiceCore::handleStatsz()
         chaos.set("torn_writes",
                   util::JsonValue::integer(fc.tornWrites));
         chaos.set("bit_flips", util::JsonValue::integer(fc.bitFlips));
+        chaos.set("peer_drops",
+                  util::JsonValue::integer(fc.peerDrops));
         o.set("chaos", std::move(chaos));
     }
 
@@ -717,6 +855,16 @@ void
 ServiceCore::finishLocked(JobRecord &rec, JobState state,
                           std::string result_or_error)
 {
+    // The leader is terminal: detach its single-flight entry so the
+    // next identical submit starts (or cache-hits) fresh. Waiters
+    // blocked on this id read the terminal answer below — a
+    // cancelled or timed-out leader answers them with that state
+    // rather than orphaning them.
+    if (!rec.key.empty()) {
+        auto flight = inflight_.find(rec.key);
+        if (flight != inflight_.end() && flight->second == rec.id)
+            inflight_.erase(flight);
+    }
     rec.state = state;
     if (state == JobState::Done)
         rec.result = std::move(result_or_error);

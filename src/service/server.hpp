@@ -66,6 +66,7 @@
 #include <cstdint>
 #include <deque>
 #include <memory>
+#include <optional>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -74,6 +75,7 @@
 #include "runner/experiment_runner.hpp"
 #include "service/config.hpp"
 #include "service/job.hpp"
+#include "service/line_service.hpp"
 #include "service/result_cache.hpp"
 #include "stats/stats.hpp"
 
@@ -92,13 +94,13 @@ enum class JobState {
 /** Printable state name ("queued", ...). */
 const char *jobStateName(JobState s);
 
-class ServiceCore
+class ServiceCore : public LineService
 {
   public:
     explicit ServiceCore(const ServiceConfig &cfg);
 
     /** Drains the pool (running jobs finish; queued jobs still run). */
-    ~ServiceCore();
+    ~ServiceCore() override;
 
     ServiceCore(const ServiceCore &) = delete;
     ServiceCore &operator=(const ServiceCore &) = delete;
@@ -109,23 +111,25 @@ class ServiceCore
      * and return the one-line response (no trailing newline).
      */
     std::string handleLine(const std::string &client,
-                           const std::string &line) EXCLUDES(mutex_);
+                           const std::string &line) override
+        EXCLUDES(mutex_);
 
     /** True once a shutdown request has been accepted. */
-    bool shutdownRequested() const EXCLUDES(mutex_);
+    bool shutdownRequested() const override EXCLUDES(mutex_);
 
     /**
      * The connection identified by @p client is gone: cancel its
      * still-queued jobs (running jobs finish — their results are
      * cacheable even if nobody is left to read them).
      */
-    void clientGone(const std::string &client) EXCLUDES(mutex_);
+    void clientGone(const std::string &client) override
+        EXCLUDES(mutex_);
 
     /** The cache (exposed for tests and statsz). */
     const ResultCache &cache() const { return *cache_; }
 
     /** The chaos injector, or nullptr when chaos is off. */
-    fault::ServiceFaultInjector *chaosInjector()
+    fault::ServiceFaultInjector *chaosInjector() override
     {
         return chaos_.get();
     }
@@ -153,7 +157,18 @@ class ServiceCore
         EXCLUDES(mutex_);
     std::string handleCancel(const util::JsonValue &req)
         EXCLUDES(mutex_);
+    std::string handleCacheGet(const util::JsonValue &req)
+        EXCLUDES(mutex_);
     std::string handleStatsz() EXCLUDES(mutex_);
+
+    /**
+     * Ask each configured peer's cache for @p key (one hop: the
+     * remote cache_get answers from its ResultCache only). Returns
+     * the raw cached result bytes on the first hit. Runs off-lock —
+     * a slow or dead peer must not serialize the service.
+     */
+    std::optional<std::string> peerLookup(const std::string &key)
+        EXCLUDES(mutex_);
 
     /** Deterministic per-client retry jitter in [0, retryAfterMs). */
     std::uint64_t retryJitter(const std::string &client) const;
@@ -196,6 +211,20 @@ class ServiceCore
     std::unordered_map<std::uint64_t, JobRecord> jobs_
         GUARDED_BY(mutex_);
 
+    /**
+     * Single-flight index: cache key -> id of the one admitted job
+     * computing it. A cacheable submit whose key is already in
+     * flight attaches to that job (same id, "coalesced": true, no
+     * admission slot) instead of executing again; the entry is
+     * erased when the leader reaches any terminal state, at which
+     * point waiters read the leader's answer — including a
+     * cancellation or timeout, so a dead leader answers its waiters
+     * rather than orphaning them. Keyed lookup only (never
+     * iterated — see the lint rule).
+     */
+    std::unordered_map<std::string, std::uint64_t> inflight_
+        GUARDED_BY(mutex_);
+
     /** Ids of running jobs, in start order (for the lazy watchdog). */
     std::vector<std::uint64_t> running_ GUARDED_BY(mutex_);
 
@@ -230,6 +259,14 @@ class ServiceCore
     stats::Counter deadline_expired_ GUARDED_BY(mutex_);
     /** Model-tier answers served. */
     stats::Counter degraded_ GUARDED_BY(mutex_);
+    /** Submits attached to an identical in-flight job. */
+    stats::Counter coalesced_ GUARDED_BY(mutex_);
+    /** Peer cache_get requests this daemon answered. */
+    stats::Counter peer_probes_ GUARDED_BY(mutex_);
+    /** Local misses answered from a peer's cache. */
+    stats::Counter peer_hits_ GUARDED_BY(mutex_);
+    /** Peer lookups that found nothing (recompute follows). */
+    stats::Counter peer_misses_ GUARDED_BY(mutex_);
 
     /** Job service latency (admission to completion), milliseconds. */
     stats::Sampler latency_ms_ GUARDED_BY(mutex_);

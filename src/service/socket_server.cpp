@@ -12,7 +12,6 @@
 #include <thread>
 
 #include "fault/service_faults.hpp"
-#include "service/server.hpp"
 #include "util/logging.hpp"
 #include "util/posix_error.hpp"
 
@@ -86,7 +85,25 @@ tryParseEndpoint(const std::string &endpoint, int *tcp_port,
     return true;
 }
 
-SocketServer::SocketServer(ServiceCore &core, std::string endpoint)
+std::vector<std::string>
+splitEndpointList(const std::string &list)
+{
+    std::vector<std::string> out;
+    std::size_t start = 0;
+    while (start <= list.size()) {
+        std::size_t comma = list.find(',', start);
+        std::size_t end =
+            comma == std::string::npos ? list.size() : comma;
+        if (end > start)
+            out.push_back(list.substr(start, end - start));
+        if (comma == std::string::npos)
+            break;
+        start = comma + 1;
+    }
+    return out;
+}
+
+SocketServer::SocketServer(LineService &core, std::string endpoint)
     : core_(core), endpoint_(std::move(endpoint))
 {
 }

@@ -18,17 +18,17 @@
 #define RINGSIM_SERVICE_SOCKET_SERVER_HPP
 
 #include <string>
+#include <vector>
 
 #include "service/connection_registry.hpp"
+#include "service/line_service.hpp"
 
 namespace ringsim::service {
-
-class ServiceCore;
 
 class SocketServer
 {
   public:
-    SocketServer(ServiceCore &core, std::string endpoint);
+    SocketServer(LineService &core, std::string endpoint);
 
     /** Closes the listener and joins connection threads. */
     ~SocketServer();
@@ -60,7 +60,7 @@ class SocketServer
   private:
     void handleConnection(int fd, std::string client);
 
-    ServiceCore &core_;
+    LineService &core_;
     const std::string endpoint_;
     int listen_fd_ = -1;
     bool unix_path_bound_ = false;
@@ -78,6 +78,13 @@ class SocketServer
                                     int *tcp_port,
                                     std::string *unix_path,
                                     std::string *error);
+
+/**
+ * Split a comma-separated endpoint list ("tcp:7001,tcp:7002,..."),
+ * dropping empty segments. Shared by --peers, --workers endpoint
+ * lists and the multi-endpoint ringsim_submit form.
+ */
+std::vector<std::string> splitEndpointList(const std::string &list);
 
 } // namespace ringsim::service
 

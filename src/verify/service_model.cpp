@@ -13,6 +13,8 @@ namespace {
 
 constexpr unsigned kMaxJobs = 3;
 constexpr unsigned kMaxClients = 2;
+/** Duplicate submissions that may attach to one leader job. */
+constexpr unsigned kMaxWaiters = 2;
 constexpr std::uint64_t kStateCap = 2'000'000;
 constexpr std::size_t kFindingCap = 4;
 
@@ -60,6 +62,13 @@ struct JobCell
     bool deadlineUsed = false; //!< queued-deadline expiry explored
     bool degraded = false;     //!< degraded escalation attached
     std::uint8_t answers = 0;  //!< terminal answers rendered
+    /** Single-flight state: duplicate submissions of this job's spec
+     *  that coalesced onto it instead of executing. Waiters consume
+     *  no admission slot; the leader's terminal answer must serve
+     *  each exactly once. */
+    std::uint8_t waiters = 0;       //!< currently blocked waiters
+    std::uint8_t attached = 0;      //!< waiters ever attached
+    std::uint8_t waiterAnswers = 0; //!< answers rendered to waiters
 };
 
 /** One global state of the modeled service. */
@@ -75,9 +84,9 @@ struct State
     std::string
     key() const
     {
-        // Flat fixed buffer: 3 chars per job, '|', up to
+        // Flat fixed buffer: 4 chars per job, '|', up to
         // (kMaxJobs + 1) per FIFO, rrNext, active, one per client.
-        char buf[3 * kMaxJobs + 1 + (kMaxJobs + 1) * kMaxClients +
+        char buf[4 * kMaxJobs + 1 + (kMaxJobs + 1) * kMaxClients +
                  2 + kMaxClients];
         std::size_t i = 0;
         for (const JobCell &j : jobs) {
@@ -90,6 +99,11 @@ struct State
                              (j.degraded ? 16u : 0);
             buf[i++] = static_cast<char>('a' + flags);
             buf[i++] = static_cast<char>('0' + j.answers);
+            // waiters/attached/waiterAnswers packed base-5: each is
+            // bounded by 2*kMaxWaiters = 4.
+            unsigned flight = j.waiters * 25u + j.attached * 5u +
+                              j.waiterAnswers;
+            buf[i++] = static_cast<char>('!' + flight);
         }
         buf[i++] = '|';
         for (const auto &q : fifo) {
@@ -216,11 +230,18 @@ struct Explorer
             fail(s, key, ServiceDefect::SlotDrift,
                  strprintf("active = %u but %u jobs hold a slot",
                            s.active, slotsHeld(s)));
-        for (unsigned j = 0; j < kMaxJobs && j < nJobs; ++j)
+        for (unsigned j = 0; j < kMaxJobs && j < nJobs; ++j) {
             if (s.jobs[j].answers > 1)
                 fail(s, key, ServiceDefect::DoubleAnswer,
                      strprintf("job %u answered %u times", j,
                                s.jobs[j].answers));
+            if (s.jobs[j].waiterAnswers > s.jobs[j].attached)
+                fail(s, key, ServiceDefect::DoubleAnswer,
+                     strprintf("job %u rendered %u waiter answers "
+                               "for %u attached waiters",
+                               j, s.jobs[j].waiterAnswers,
+                               s.jobs[j].attached));
+        }
         if (!quiescent(s))
             return;
         ++report.quiescentStates;
@@ -243,6 +264,22 @@ struct Explorer
                      strprintf("job %u reached %s but was never "
                                "answered",
                                j, stageName(cell.stage)));
+            // Waiters hold no pool thread and no FIFO entry, so an
+            // orphan is *exactly* a quiescent state that still has
+            // one: a connection blocked forever on a finished
+            // flight.
+            if (cell.waiters != 0)
+                fail(s, key, ServiceDefect::OrphanedWaiter,
+                     strprintf("quiescent with %u waiter%s still "
+                               "blocked on job %u (%s)",
+                               cell.waiters,
+                               cell.waiters == 1 ? "" : "s", j,
+                               stageName(cell.stage)));
+            else if (cell.waiterAnswers < cell.attached)
+                fail(s, key, ServiceDefect::OrphanedWaiter,
+                     strprintf("job %u attached %u waiters but "
+                               "answered only %u",
+                               j, cell.attached, cell.waiterAnswers));
         }
     }
 
@@ -259,12 +296,24 @@ struct Explorer
         frontier.push_back(std::move(next));
     }
 
-    /** Render one terminal answer for job @p j in @p s. */
-    static void
-    answer(State &s, unsigned j, Stage terminal)
+    /**
+     * Render one terminal answer for job @p j in @p s. Every terminal
+     * transition — done, shed, cancelled, timed out — also answers
+     * the job's attached waiters and retires its in-flight entry;
+     * this is exactly why a dead leader cannot orphan its waiters in
+     * the real ServiceCore/FleetCore (finishLocked answers before
+     * anything can observe the terminal state).
+     */
+    void
+    answer(State &s, unsigned j, Stage terminal) const
     {
         s.jobs[j].stage = terminal;
         ++s.jobs[j].answers;
+        if (cfg.mutation == ServiceMutation::DropWaiterAnswer)
+            return; // waiters stay blocked on the finished flight
+        s.jobs[j].waiterAnswers = static_cast<std::uint8_t>(
+            s.jobs[j].waiterAnswers + s.jobs[j].waiters);
+        s.jobs[j].waiters = 0;
     }
 
     void
@@ -365,10 +414,48 @@ struct Explorer
                 }
                 if (mut == ServiceMutation::DoubleAnswerLate)
                     answer(n, j, Stage::Done);
+                if (mut == ServiceMutation::DoubleAnswerWaiters)
+                    // The buggy late path replays every waiter
+                    // answer the terminal transition already
+                    // rendered.
+                    cell.waiterAnswers = static_cast<std::uint8_t>(
+                        cell.waiterAnswers + cell.attached);
                 push(s, std::move(n),
                      strprintf("complete job %u -> late completion "
                                "(job was %s), discarded",
                                j, was));
+            }
+        }
+
+        // attach: a duplicate submission of an in-flight spec joins
+        // the leader job as a waiter — no admission slot, no FIFO
+        // entry, no thread; just a blocked connection the leader's
+        // terminal answer must serve. The stale-inflight mutation
+        // models a finish path that forgot to erase the in-flight
+        // entry: the duplicate then attaches to a dead leader.
+        if (cfg.coalesce) {
+            for (unsigned j = 0; j < kMaxJobs && j < nJobs; ++j) {
+                const JobCell &cell = s.jobs[j];
+                if (cell.attached >= kMaxWaiters)
+                    continue;
+                bool in_flight = cell.stage == Stage::Queued ||
+                                 cell.stage == Stage::Running;
+                bool stale =
+                    mut == ServiceMutation::StaleInflightAttach &&
+                    (cell.stage == Stage::Done ||
+                     cell.stage == Stage::TimedOut ||
+                     cell.stage == Stage::Cancelled);
+                if (!in_flight && !stale)
+                    continue;
+                State n = s;
+                ++n.jobs[j].waiters;
+                ++n.jobs[j].attached;
+                push(s, std::move(n),
+                     strprintf("duplicate submit of job %u's spec -> "
+                               "coalesced onto %s leader as waiter "
+                               "%u",
+                               j, stageName(cell.stage),
+                               cell.attached + 1u));
             }
         }
 
@@ -504,6 +591,12 @@ serviceMutationName(ServiceMutation m)
         return "shed-leaks-slot";
       case ServiceMutation::SkipCancelAnswer:
         return "skip-cancel-answer";
+      case ServiceMutation::DropWaiterAnswer:
+        return "drop-waiter-answer";
+      case ServiceMutation::StaleInflightAttach:
+        return "stale-inflight-attach";
+      case ServiceMutation::DoubleAnswerWaiters:
+        return "double-answer-waiters";
     }
     return "?";
 }
@@ -540,6 +633,8 @@ serviceDefectName(ServiceDefect d)
         return "double-answer";
       case ServiceDefect::StuckJob:
         return "stuck-job";
+      case ServiceDefect::OrphanedWaiter:
+        return "orphaned-waiter";
     }
     return "?";
 }
@@ -574,6 +669,8 @@ ServiceModelReport::summary() const
         flags[nf++] = 'x';
     if (config.degrades)
         flags[nf++] = 'g';
+    if (config.coalesce)
+        flags[nf++] = 'f';
     if (nf == 0)
         flags[nf++] = '-';
     flags[nf] = '\0';

@@ -29,6 +29,14 @@
  *  - Cancellation-race safety: cancel-vs-complete, deadline-vs-
  *    dispatch and disconnect-vs-shed races all resolve to a single
  *    consistent terminal state.
+ *  - Single-flight coalescing safety (the fleet layer's protocol,
+ *    also run by each worker daemon): a duplicate submission of an
+ *    in-flight spec attaches as a waiter to the leader job without
+ *    consuming an admission slot; *every* leader terminal state —
+ *    including leader death by cancel, deadline or watchdog — answers
+ *    all attached waiters exactly once. No interleaving can orphan a
+ *    waiter (blocked forever on a finished flight) or answer one
+ *    twice, and a waiter never starts an execution of its own.
  *
  * A ServiceMutation seeds one deliberately broken transition (for
  * example a drain path that forgets to release its admission slot);
@@ -69,6 +77,15 @@ enum class ServiceMutation {
     ShedLeaksSlot,
     /** A cancel transitions the job but never renders an answer. */
     SkipCancelAnswer,
+    /** A leader's terminal transition forgets to answer its attached
+     *  waiters (they block forever on the finished flight). */
+    DropWaiterAnswer,
+    /** The leader's finish path forgets to erase the in-flight map
+     *  entry, so a later duplicate attaches to a dead leader. */
+    StaleInflightAttach,
+    /** A late completion replays the waiter answers its job already
+     *  rendered at its terminal transition. */
+    DoubleAnswerWaiters,
 };
 
 /** All mutations, for CLI listing and test sweeps. */
@@ -78,6 +95,9 @@ inline constexpr ServiceMutation allServiceMutations[] = {
     ServiceMutation::DoubleAnswerLate,
     ServiceMutation::ShedLeaksSlot,
     ServiceMutation::SkipCancelAnswer,
+    ServiceMutation::DropWaiterAnswer,
+    ServiceMutation::StaleInflightAttach,
+    ServiceMutation::DoubleAnswerWaiters,
 };
 
 /** Printable mutation name ("drop-drain-release", ...). */
@@ -100,6 +120,7 @@ struct ServiceModelConfig
     bool watchdog = true;    //!< explore running-job abandonment
     bool disconnects = true; //!< explore client-disconnect sweeps
     bool degrades = true;    //!< explore degraded escalation on poll
+    bool coalesce = true;    //!< explore single-flight waiter attach
 
     ServiceMutation mutation = ServiceMutation::None;
 
@@ -113,8 +134,9 @@ enum class ServiceDefect {
     SlotDrift,    //!< active != jobs actually holding a slot
     SlotLeak,     //!< quiescent state with active != 0
     LostJob,      //!< admitted job never answered
-    DoubleAnswer, //!< job answered more than once
+    DoubleAnswer, //!< job (or one of its waiters) answered twice
     StuckJob,     //!< quiescent state with a queued/running job
+    OrphanedWaiter, //!< coalesced waiter never answered
 };
 
 /** Printable defect name. */

@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Cross-process coordination of a shared --cache-dir: the advisory
+ * directory lock that keeps one daemon's startup quarantine scan
+ * from reaping another daemon's in-flight publish. The lock file is
+ * public protocol (".cache.lock" in the cache directory), so the
+ * tests take it with raw flock() exactly as a second daemon would.
+ */
+
+#include <gtest/gtest.h>
+
+#include <fcntl.h>
+#include <sys/file.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <thread>
+
+#include "src/service/result_cache.hpp"
+
+namespace ringsim::service {
+namespace {
+
+std::string
+tempDir(const char *name)
+{
+    return testing::TempDir() + "/" + name +
+           std::to_string(::getpid());
+}
+
+TEST(CacheLock, TwoConcurrentOpenersShareOneDirectory)
+{
+    std::string dir = tempDir("ringsim_two_openers");
+    // Both daemons alive at once, each publishing and reading. The
+    // memory tiers are private, so cross-instance visibility proves
+    // the disk tier (and its locking) carried the bytes.
+    ResultCache a(4, dir);
+    ResultCache b(4, dir);
+
+    a.put("aaaa0000aaaa0000aaaa0000aaaa0000", "from-a");
+    b.put("bbbb0000bbbb0000bbbb0000bbbb0000", "from-b");
+
+    auto b_reads = b.get("aaaa0000aaaa0000aaaa0000aaaa0000");
+    ASSERT_TRUE(b_reads.has_value());
+    EXPECT_EQ(*b_reads, "from-a");
+    auto a_reads = a.get("bbbb0000bbbb0000bbbb0000bbbb0000");
+    ASSERT_TRUE(a_reads.has_value());
+    EXPECT_EQ(*a_reads, "from-b");
+
+    // Same key from both sides: last write wins, nothing corrupts.
+    a.put("cccc0000cccc0000cccc0000cccc0000", "first");
+    b.put("cccc0000cccc0000cccc0000cccc0000", "second");
+    EXPECT_EQ(a.stats().diskErrors, 0u);
+    EXPECT_EQ(b.stats().diskErrors, 0u);
+    EXPECT_EQ(a.stats().quarantined, 0u);
+    EXPECT_EQ(b.stats().quarantined, 0u);
+
+    // A third opener scans a consistent store: three entries, no
+    // leftovers to clean.
+    ResultCache c(4, dir);
+    EXPECT_EQ(c.stats().scanned, 3u);
+    EXPECT_EQ(c.stats().tmpCleaned, 0u);
+    auto warm = c.get("cccc0000cccc0000cccc0000cccc0000");
+    ASSERT_TRUE(warm.has_value());
+    EXPECT_EQ(*warm, "second");
+}
+
+// The regression satellite: opener B's startup scan must block on
+// the directory lock while publisher A is mid-publish (temp file
+// written, not yet renamed), instead of reaping A's temp file as an
+// orphan and losing the publish.
+TEST(CacheLock, StartupScanWaitsForAnInFlightPublish)
+{
+    std::string dir = tempDir("ringsim_scan_vs_publish");
+    const std::string key = "00112233445566778899aabbccddeeff";
+
+    // Opener A: creates the directory and the lock file.
+    ResultCache a(4, dir);
+    std::string path = a.diskPath(key);
+    ASSERT_FALSE(path.empty());
+
+    // Freeze A mid-publish: a complete framed entry sitting at a
+    // temp name, publisher lock held, rename still to come. (diskPut
+    // does exactly this between its fwrite and its rename.)
+    std::string tmp = path + ".tmp99";
+    std::string framed = ResultCache::frameEntry("{\"ok\":true}");
+    std::FILE *f = std::fopen(tmp.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    ASSERT_EQ(std::fwrite(framed.data(), 1, framed.size(), f),
+              framed.size());
+    ASSERT_EQ(std::fclose(f), 0);
+    int lock_fd = ::open((dir + "/.cache.lock").c_str(),
+                         O_RDWR | O_CLOEXEC);
+    ASSERT_GE(lock_fd, 0);
+    ASSERT_EQ(::flock(lock_fd, LOCK_SH), 0);
+
+    // Opener B arrives now. Its constructor's scan needs the lock
+    // exclusive, so it blocks until the publish completes.
+    std::unique_ptr<ResultCache> b;
+    std::thread opener([&b, &dir]() {
+        b = std::make_unique<ResultCache>(4, dir);
+    });
+
+    // Finish the publish while B is (or soon will be) blocked, then
+    // release the lock. Order matters: the rename happens under the
+    // publisher lock, so B's scan can only ever see the final name.
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    ASSERT_EQ(std::rename(tmp.c_str(), path.c_str()), 0);
+    ::close(lock_fd);
+    opener.join();
+
+    // B saw a completed publish: the entry verified, nothing was
+    // reaped as an orphan, and the bytes are servable.
+    EXPECT_EQ(b->stats().tmpCleaned, 0u);
+    EXPECT_EQ(b->stats().scanned, 1u);
+    auto hit = b->get(key);
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_EQ(*hit, "{\"ok\":true}");
+}
+
+TEST(CacheLock, OrphanedTempFilesAreStillReapedWhenUncontended)
+{
+    std::string dir = tempDir("ringsim_orphan_reap");
+    ResultCache a(4, dir);
+    std::string tmp = a.diskPath(
+        "ffff0000ffff0000ffff0000ffff0000") + ".tmp0";
+    std::FILE *f = std::fopen(tmp.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    std::fputs("half a publish from a crashed daemon", f);
+    std::fclose(f);
+
+    // No publisher holds the lock, so the next opener's scan removes
+    // the leftover — the lock defends in-flight publishes, not
+    // genuine crash debris.
+    ResultCache b(4, dir);
+    EXPECT_EQ(b.stats().tmpCleaned, 1u);
+    ASSERT_EQ(::access(tmp.c_str(), F_OK), -1);
+}
+
+} // namespace
+} // namespace ringsim::service

@@ -1,0 +1,208 @@
+/**
+ * @file
+ * The fleet cache tier: the cache_get wire op, promotion of a peer's
+ * warm bytes into the local cache, and the failure shape — a dead
+ * peer is a plain miss, never an error. One hop only: a cache_get
+ * answers from the local ResultCache and never consults *its* peers.
+ */
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/service/client.hpp"
+#include "src/service/server.hpp"
+#include "src/service/socket_server.hpp"
+#include "src/util/json.hpp"
+
+namespace ringsim::service {
+namespace {
+
+util::JsonValue
+parse(const std::string &line)
+{
+    util::JsonValue v;
+    std::string error;
+    EXPECT_TRUE(util::tryParseJson(line, &v, &error))
+        << error << " in: " << line;
+    return v;
+}
+
+ServiceConfig
+testConfig()
+{
+    ServiceConfig cfg;
+    cfg.workers = 2;
+    cfg.queueDepth = 8;
+    cfg.memCacheEntries = 16;
+    cfg.enableTestJobs = true;
+    return cfg;
+}
+
+std::string
+uniqueEndpoint()
+{
+    static int counter = 0;
+    return testing::TempDir() + "/ringsim_peer_test." +
+           std::to_string(::getpid()) + "." +
+           std::to_string(counter++) + ".sock";
+}
+
+/** A live peer daemon on a Unix socket, torn down on scope exit. */
+class LivePeer
+{
+  public:
+    explicit LivePeer(const ServiceConfig &cfg)
+        : core_(cfg), endpoint_(uniqueEndpoint()),
+          server_(core_, endpoint_)
+    {
+        std::string error;
+        started_ = server_.tryStart(&error);
+        EXPECT_TRUE(started_) << error;
+        if (started_)
+            pump_ = std::thread([this]() { server_.serve(); });
+    }
+
+    ~LivePeer()
+    {
+        if (!started_)
+            return;
+        ServiceClient client;
+        std::string error, response;
+        if (client.tryConnect(endpoint_, &error))
+            (void)client.tryRequest("{\"op\":\"shutdown\"}",
+                                    &response, &error);
+        pump_.join();
+    }
+
+    const std::string &endpoint() const { return endpoint_; }
+    ServiceCore &core() { return core_; }
+
+  private:
+    ServiceCore core_;
+    std::string endpoint_;
+    SocketServer server_;
+    bool started_ = false;
+    std::thread pump_;
+};
+
+constexpr const char *kModelSubmit =
+    "{\"op\":\"submit\",\"wait\":true,\"job\":{\"type\":\"model\","
+    "\"benchmark\":\"mp3d\",\"procs\":8,\"refs\":2000,"
+    "\"fast\":true}}";
+
+TEST(CacheGetOp, AnswersFromTheLocalCacheOnly)
+{
+    ServiceCore core(testConfig());
+    std::vector<std::string> errors;
+
+    util::JsonValue bad =
+        parse(core.handleLine("c", "{\"op\":\"cache_get\"}"));
+    EXPECT_FALSE(bad.getBool("ok", true, &errors));
+
+    util::JsonValue miss = parse(core.handleLine(
+        "c", "{\"op\":\"cache_get\",\"key\":\"deadbeef\"}"));
+    ASSERT_TRUE(miss.getBool("ok", false, &errors));
+    EXPECT_FALSE(miss.getBool("hit", true, &errors));
+    EXPECT_EQ(miss.find("value"), nullptr);
+
+    // Warm the cache through a normal submit, then probe its key.
+    util::JsonValue done = parse(core.handleLine("c", kModelSubmit));
+    ASSERT_TRUE(done.getBool("ok", false, &errors));
+    std::string key = done.getString("key", "", &errors);
+    ASSERT_FALSE(key.empty());
+
+    util::JsonValue hit = parse(core.handleLine(
+        "c", "{\"op\":\"cache_get\",\"key\":\"" + key + "\"}"));
+    ASSERT_TRUE(hit.getBool("ok", false, &errors));
+    EXPECT_TRUE(hit.getBool("hit", false, &errors));
+    // The value is the raw cached bytes — they re-parse to exactly
+    // the result the submit returned.
+    util::JsonValue value =
+        parse(hit.getString("value", "", &errors));
+    EXPECT_EQ(value.dump(), done.find("result")->dump());
+
+    util::JsonValue stats =
+        parse(core.handleLine("c", "{\"op\":\"statsz\"}"));
+    const util::JsonValue *peer = stats.find("peer");
+    ASSERT_NE(peer, nullptr);
+    EXPECT_EQ(peer->getU64("probes_served", 0, &errors), 2u);
+}
+
+TEST(PeerCache, WarmPeerServesAColdDaemon)
+{
+    LivePeer warm(testConfig());
+    std::vector<std::string> errors;
+
+    // Warm the peer directly; note the key both daemons derive (same
+    // canonical spec, same empty salt).
+    util::JsonValue first =
+        parse(warm.core().handleLine("w", kModelSubmit));
+    ASSERT_TRUE(first.getBool("ok", false, &errors));
+    ASSERT_FALSE(first.getBool("cached", true, &errors));
+
+    ServiceConfig cold_cfg = testConfig();
+    cold_cfg.peers = {warm.endpoint()};
+    ServiceCore cold(cold_cfg);
+
+    // The cold daemon's local miss is answered from the peer — same
+    // result bytes, tagged as a cached peer answer, no recompute.
+    util::JsonValue promoted =
+        parse(cold.handleLine("c", kModelSubmit));
+    ASSERT_TRUE(promoted.getBool("ok", false, &errors));
+    EXPECT_TRUE(promoted.getBool("cached", false, &errors));
+    EXPECT_TRUE(promoted.getBool("peer", false, &errors));
+    EXPECT_EQ(promoted.find("result")->dump(),
+              first.find("result")->dump());
+
+    // Promotion warmed the local memory tier: the repeat is a local
+    // hit, not another network hop.
+    util::JsonValue repeat = parse(cold.handleLine("c", kModelSubmit));
+    EXPECT_TRUE(repeat.getBool("cached", false, &errors));
+    EXPECT_FALSE(repeat.getBool("peer", false, &errors));
+
+    util::JsonValue stats =
+        parse(cold.handleLine("c", "{\"op\":\"statsz\"}"));
+    const util::JsonValue *peer = stats.find("peer");
+    ASSERT_NE(peer, nullptr);
+    EXPECT_EQ(peer->getU64("hits", 0, &errors), 1u);
+    EXPECT_EQ(peer->getU64("misses", 0, &errors), 0u);
+    EXPECT_EQ(peer->getU64("peers", 0, &errors), 1u);
+
+    // The warm daemon saw exactly one probe.
+    util::JsonValue warm_stats =
+        parse(warm.core().handleLine("w", "{\"op\":\"statsz\"}"));
+    const util::JsonValue *served = warm_stats.find("peer");
+    ASSERT_NE(served, nullptr);
+    EXPECT_EQ(served->getU64("probes_served", 0, &errors), 1u);
+}
+
+TEST(PeerCache, ADeadPeerIsAPlainMiss)
+{
+    ServiceConfig cfg = testConfig();
+    cfg.peers = {uniqueEndpoint()}; // never bound
+    ServiceCore core(cfg);
+    std::vector<std::string> errors;
+
+    // The unreachable peer must cost one failed probe, not an error:
+    // the job computes locally as if the tier were empty.
+    util::JsonValue r = parse(core.handleLine("c", kModelSubmit));
+    ASSERT_TRUE(r.getBool("ok", false, &errors));
+    EXPECT_FALSE(r.getBool("cached", true, &errors));
+    EXPECT_FALSE(r.getBool("peer", false, &errors));
+    ASSERT_NE(r.find("result"), nullptr);
+
+    util::JsonValue stats =
+        parse(core.handleLine("c", "{\"op\":\"statsz\"}"));
+    const util::JsonValue *peer = stats.find("peer");
+    ASSERT_NE(peer, nullptr);
+    EXPECT_EQ(peer->getU64("hits", 0, &errors), 0u);
+    EXPECT_EQ(peer->getU64("misses", 0, &errors), 1u);
+}
+
+} // namespace
+} // namespace ringsim::service
